@@ -1,0 +1,197 @@
+//! Queen-loss alerting.
+//!
+//! The end of the pipeline the paper motivates ("sending alerts to
+//! beekeepers"): per-cycle queen detections are noisy, so raising an alarm
+//! on a single negative reading at 99 % accuracy would page the beekeeper
+//! every ~100 cycles per healthy hive. [`AlertPolicy`] debounces by
+//! requiring `k` consecutive negative detections, and provides the
+//! closed-form false-alarm and detection-delay trade-off so `k` can be
+//! chosen, which a seeded simulation cross-checks.
+
+use pb_units::Seconds;
+use rand::Rng;
+
+/// A consecutive-detection alerting policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AlertPolicy {
+    /// Consecutive queenless detections required to raise the alarm.
+    pub consecutive_required: usize,
+}
+
+impl AlertPolicy {
+    /// Creates a policy (k ≥ 1).
+    pub fn new(consecutive_required: usize) -> Self {
+        assert!(consecutive_required >= 1, "need at least one detection");
+        AlertPolicy { consecutive_required }
+    }
+
+    /// Probability a *healthy* hive triggers a false alarm within `n`
+    /// cycles, given per-cycle false-negative... i.e. false-queenless
+    /// probability `p` (= 1 − specificity). Computed exactly by dynamic
+    /// programming over run lengths.
+    pub fn false_alarm_probability(&self, p: f64, n_cycles: usize) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        let k = self.consecutive_required;
+        // state = current run of consecutive false positives (0..k);
+        // absorbing state k = alarm fired.
+        let mut dist = vec![0.0f64; k + 1];
+        dist[0] = 1.0;
+        for _ in 0..n_cycles {
+            let mut next = vec![0.0f64; k + 1];
+            next[k] = dist[k];
+            for (run, &mass) in dist.iter().take(k).enumerate() {
+                next[run + 1] += mass * p;
+                next[0] += mass * (1.0 - p);
+            }
+            dist = next;
+        }
+        dist[k]
+    }
+
+    /// Expected alarm delay (in cycles) once the queen is actually lost,
+    /// given per-cycle detection probability `q` (sensitivity). This is
+    /// the expected waiting time for `k` consecutive successes:
+    /// E = (1 − qᵏ) / (qᵏ (1 − q)) for q < 1, else exactly `k`.
+    pub fn expected_detection_delay(&self, q: f64) -> f64 {
+        assert!(q > 0.0 && q <= 1.0, "sensitivity must be in (0, 1]");
+        let k = self.consecutive_required as f64;
+        if (q - 1.0).abs() < 1e-15 {
+            return k;
+        }
+        let qk = q.powf(k);
+        (1.0 - qk) / (qk * (1.0 - q))
+    }
+
+    /// Expected alarm latency in wall-clock time at a given cycle period.
+    pub fn expected_detection_latency(&self, q: f64, period: Seconds) -> Seconds {
+        period * self.expected_detection_delay(q)
+    }
+
+    /// Simulates `n_cycles` of per-cycle detections with queenless
+    /// probability `p_queenless_reading` and returns the cycle index at
+    /// which the alarm fires, if it does.
+    pub fn simulate<R: Rng + ?Sized>(
+        &self,
+        p_queenless_reading: f64,
+        n_cycles: usize,
+        rng: &mut R,
+    ) -> Option<usize> {
+        let mut run = 0usize;
+        for i in 0..n_cycles {
+            if rng.gen::<f64>() < p_queenless_reading {
+                run += 1;
+                if run >= self.consecutive_required {
+                    return Some(i);
+                }
+            } else {
+                run = 0;
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn k1_false_alarm_is_complement_power() {
+        // With k = 1 the no-alarm probability over n cycles is (1−p)ⁿ.
+        let policy = AlertPolicy::new(1);
+        let p: f64 = 0.01;
+        let n = 288; // one day of 5-minute cycles
+        let exact = 1.0 - (1.0 - p).powi(n as i32);
+        assert!((policy.false_alarm_probability(p, n) - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn debouncing_slashes_false_alarms() {
+        let p = 0.01; // the paper's 99% accuracy
+        let day = 288;
+        let k1 = AlertPolicy::new(1).false_alarm_probability(p, day);
+        let k3 = AlertPolicy::new(3).false_alarm_probability(p, day);
+        assert!(k1 > 0.9, "single-reading alarms fire almost daily: {k1}");
+        assert!(k3 < 3e-4, "k=3 false alarms are rare: {k3}");
+    }
+
+    #[test]
+    fn monotone_in_k_and_n() {
+        let p = 0.05;
+        let a = AlertPolicy::new(2).false_alarm_probability(p, 100);
+        let b = AlertPolicy::new(4).false_alarm_probability(p, 100);
+        assert!(b < a);
+        let c = AlertPolicy::new(2).false_alarm_probability(p, 500);
+        assert!(c > a);
+    }
+
+    #[test]
+    fn zero_probability_never_alarms() {
+        assert_eq!(AlertPolicy::new(2).false_alarm_probability(0.0, 1000), 0.0);
+        assert_eq!(AlertPolicy::new(2).false_alarm_probability(1.0, 2), 1.0);
+    }
+
+    #[test]
+    fn detection_delay_formula() {
+        // Perfect detector: exactly k cycles.
+        assert_eq!(AlertPolicy::new(3).expected_detection_delay(1.0), 3.0);
+        // k = 1 at q: geometric mean 1/q.
+        let d = AlertPolicy::new(1).expected_detection_delay(0.5);
+        assert!((d - 2.0).abs() < 1e-12);
+        // Known closed form for k = 2, q = 0.5: (1−0.25)/(0.25·0.5) = 6.
+        let d = AlertPolicy::new(2).expected_detection_delay(0.5);
+        assert!((d - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_scales_with_period() {
+        let policy = AlertPolicy::new(2);
+        let l5 = policy.expected_detection_latency(0.99, Seconds::from_minutes(5.0));
+        let l60 = policy.expected_detection_latency(0.99, Seconds::from_minutes(60.0));
+        assert!((l60.value() / l5.value() - 12.0).abs() < 1e-9);
+        // At the paper's accuracy and cycle, the k=2 alarm lands in ~10 min.
+        assert!(l5 < Seconds::from_minutes(11.0), "latency {l5}");
+    }
+
+    #[test]
+    fn simulation_matches_analysis() {
+        let policy = AlertPolicy::new(3);
+        let p = 0.04;
+        let n = 288;
+        let trials = 20_000;
+        let mut rng = StdRng::seed_from_u64(13);
+        let fired = (0..trials)
+            .filter(|_| policy.simulate(p, n, &mut rng).is_some())
+            .count();
+        let simulated = fired as f64 / trials as f64;
+        let analytic = policy.false_alarm_probability(p, n);
+        assert!(
+            (simulated - analytic).abs() < 0.005,
+            "simulated {simulated} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn simulated_detection_delay_matches_expectation() {
+        let policy = AlertPolicy::new(2);
+        let q = 0.9;
+        let mut rng = StdRng::seed_from_u64(14);
+        let trials = 20_000;
+        let total: usize = (0..trials)
+            .map(|_| policy.simulate(q, 10_000, &mut rng).expect("fires eventually") + 1)
+            .sum();
+        let mean = total as f64 / trials as f64;
+        // simulate() returns the 0-based firing cycle; +1 converts to the
+        // number of cycles elapsed, which is the waiting time E[T].
+        let expected = policy.expected_detection_delay(q);
+        assert!((mean - expected).abs() < 0.1, "mean {mean} vs {expected}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_k_panics() {
+        let _ = AlertPolicy::new(0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Apiaries and the scenario recommender.
+//!
+//! The paper closes with "build connected beehives' intelligence to tune
+//! its parameters and choose between a set of scenarios" as future work;
+//! [`Apiary::recommend`] is that feature: given an apiary size, a server
+//! setting and a loss model, it simulates both placements and recommends
+//! the more energy-efficient one.
+
+use pb_orchestra::allocator::FillPolicy;
+use pb_orchestra::loss::LossModel;
+use pb_orchestra::scenario::{presets, Scenario};
+use pb_orchestra::sweep::SweepConfig;
+use pb_orchestra::ServiceKind;
+use pb_units::{Joules, Seconds};
+
+/// A population of smart beehives managed together.
+#[derive(Clone, Debug)]
+pub struct Apiary {
+    /// Apiary name.
+    pub name: String,
+    /// Number of hives.
+    pub n_hives: usize,
+    /// Shared wake-up period.
+    pub wake_period: Seconds,
+}
+
+/// The recommender's verdict for one apiary.
+#[derive(Clone, Debug)]
+pub struct ScenarioRecommendation {
+    /// The recommended placement.
+    pub scenario: Scenario,
+    /// Energy per hive per cycle under the edge placement.
+    pub edge_per_hive: Joules,
+    /// Energy per hive per cycle under the edge+cloud placement.
+    pub cloud_per_hive: Joules,
+    /// Cloud servers the edge+cloud placement would need.
+    pub servers_needed: usize,
+}
+
+impl Apiary {
+    /// Creates an apiary of `n_hives` on 5-minute cycles.
+    pub fn new(name: impl Into<String>, n_hives: usize) -> Self {
+        Apiary { name: name.into(), n_hives, wake_period: Seconds(300.0) }
+    }
+
+    /// Recommends the more energy-efficient placement for this apiary,
+    /// running `service` with `max_parallel` clients per server slot under
+    /// `loss`.
+    pub fn recommend(
+        &self,
+        service: ServiceKind,
+        max_parallel: usize,
+        loss: LossModel,
+    ) -> ScenarioRecommendation {
+        let sweep = SweepConfig {
+            edge_client: presets::edge_client(service),
+            cloud_client: presets::edge_cloud_client(),
+            server: presets::cloud_server(service, max_parallel),
+            loss,
+            policy: FillPolicy::PackSlots,
+            seed: 0xAB1A,
+        };
+        let point = sweep.compare_at(self.n_hives);
+        let scenario = if point.cloud_wins() {
+            Scenario::EdgeCloud(service)
+        } else {
+            Scenario::Edge(service)
+        };
+        ScenarioRecommendation {
+            scenario,
+            edge_per_hive: point.edge.total_per_client,
+            cloud_per_hive: point.cloud.total_per_client,
+            servers_needed: point.cloud.n_servers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_apiary_stays_at_the_edge() {
+        // Five hives (the actual deployment) should never justify a
+        // 44.6 W-idle server.
+        let rec = Apiary::new("deployed", 5).recommend(ServiceKind::Cnn, 10, LossModel::NONE);
+        assert!(matches!(rec.scenario, Scenario::Edge(_)));
+        assert!(rec.cloud_per_hive > rec.edge_per_hive);
+        assert_eq!(rec.servers_needed, 1);
+    }
+
+    #[test]
+    fn large_apiary_moves_to_the_cloud() {
+        // 630 hives at cap 35 is the paper's sweet spot.
+        let rec = Apiary::new("coop", 630).recommend(ServiceKind::Cnn, 35, LossModel::NONE);
+        assert!(matches!(rec.scenario, Scenario::EdgeCloud(_)));
+        assert!(rec.edge_per_hive > rec.cloud_per_hive);
+        assert_eq!(rec.servers_needed, 1);
+    }
+
+    #[test]
+    fn recommendation_reports_both_costs() {
+        let rec = Apiary::new("x", 100).recommend(ServiceKind::Svm, 10, LossModel::NONE);
+        assert!(rec.edge_per_hive > Joules(300.0));
+        assert!(rec.cloud_per_hive > Joules(300.0));
+    }
+
+    #[test]
+    fn apiary_defaults() {
+        let a = Apiary::new("n", 7);
+        assert_eq!(a.n_hives, 7);
+        assert_eq!(a.wake_period, Seconds(300.0));
+    }
+}

@@ -1,0 +1,196 @@
+//! Cascade placement: a third option the paper doesn't evaluate.
+//!
+//! The paper compares running the detector entirely at the edge against
+//! entirely in the cloud. A cascade does both: the hive runs the
+//! near-free Goertzel baseline on every clip and uploads **only the
+//! uncertain ones** for the cloud CNN to settle. The edge then pays the
+//! full upload cost only on a fraction of cycles, and the server needs
+//! slots only for that fraction — so the cascade can undercut *both* pure
+//! placements while keeping CNN-grade accuracy on the hard clips.
+
+use crate::baseline::PipingDetector;
+use pb_device::constants as k;
+use pb_units::{Joules, Seconds, Watts};
+
+/// A two-stage cascade policy.
+#[derive(Clone, Copy, Debug)]
+pub struct CascadePlacement {
+    /// Half-width of the uncertainty band around the detector threshold:
+    /// clips with |feature − threshold| below this are uploaded.
+    pub uncertainty_band: f64,
+    /// Fraction of cycles expected to fall in the band (measured on a
+    /// validation set or supplied analytically).
+    pub upload_fraction: f64,
+    /// Energy of the stage-1 detector on the hive (near-zero: a handful
+    /// of Goertzel probes).
+    pub stage1_energy: Joules,
+    /// Duration of the stage-1 detector on the hive.
+    pub stage1_time: Seconds,
+}
+
+impl CascadePlacement {
+    /// A cascade calibrated from a trained [`PipingDetector`] and its
+    /// feature distribution on validation clips.
+    pub fn from_detector(
+        detector: &PipingDetector,
+        validation: &[(Vec<f64>, pb_signal::audio::ColonyState)],
+        uncertainty_band: f64,
+    ) -> Self {
+        assert!(uncertainty_band >= 0.0, "band must be non-negative");
+        assert!(!validation.is_empty(), "need validation clips");
+        let uncertain = validation
+            .iter()
+            .filter(|(s, _)| {
+                (PipingDetector::feature(s, detector.sample_rate) - detector.threshold).abs()
+                    < uncertainty_band
+            })
+            .count();
+        let n_samples = validation[0].0.len();
+        // The Pi executes ~22 MMAC/s on this workload (calibrated from the
+        // CNN anchor); stage 1 is ~2 MMAC for a 10 s clip.
+        let macs = PipingDetector::prediction_macs(n_samples) as f64;
+        let pi_macs_per_s = 30_160_064.0 / 35.6; // CNN anchor minus overhead
+        let stage1_time = Seconds(macs / pi_macs_per_s);
+        let stage1_power = Watts(94.8 / 37.6); // active CNN-power class
+        CascadePlacement {
+            uncertainty_band,
+            upload_fraction: uncertain as f64 / validation.len() as f64,
+            stage1_energy: stage1_power * stage1_time,
+            stage1_time,
+        }
+    }
+
+    /// Expected edge energy per cycle under the cascade (collect, stage-1
+    /// detect, conditional upload, result send, shutdown, sleep).
+    pub fn edge_cycle_energy(&self) -> Joules {
+        let active_time = k::EDGE_COLLECT_TIME
+            + self.stage1_time
+            + k::EDGE_SEND_AUDIO_TIME * self.upload_fraction
+            + k::EDGE_SEND_RESULTS_TIME
+            + k::EDGE_SHUTDOWN_TIME;
+        let active_energy = k::EDGE_COLLECT_ENERGY
+            + self.stage1_energy
+            + k::EDGE_SEND_AUDIO_ENERGY * self.upload_fraction
+            + k::EDGE_SEND_RESULTS_ENERGY
+            + k::EDGE_SHUTDOWN_ENERGY;
+        active_energy + k::PI3B_SLEEP_POWER * (k::CYCLE_PERIOD - active_time)
+    }
+
+    /// Expected per-client server energy at population `n` with slot
+    /// capacity `cap`: only `upload_fraction` of the population needs
+    /// slots each cycle, amortized over everyone.
+    pub fn server_energy_per_client(&self, n: usize, cap: usize) -> Joules {
+        assert!(n > 0, "need at least one client");
+        let uploads = ((n as f64 * self.upload_fraction).ceil()) as usize;
+        let server = pb_orchestra::scenario::presets::cloud_server(
+            pb_orchestra::ServiceKind::Cnn,
+            cap,
+        );
+        let allocation = pb_orchestra::allocator::allocate(
+            uploads,
+            &server,
+            pb_orchestra::allocator::FillPolicy::PackSlots,
+            None,
+        );
+        let energy = pb_orchestra::simulation::servers_cycle_energy(
+            &server,
+            &allocation,
+            &pb_orchestra::loss::LossModel::NONE,
+        );
+        energy / n as f64
+    }
+
+    /// Total expected energy per hive per cycle.
+    pub fn total_per_client(&self, n: usize, cap: usize) -> Joules {
+        self.edge_cycle_energy() + self.server_energy_per_client(n, cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_signal::corpus::{Corpus, CorpusConfig};
+
+    fn validation(n: usize, seed: u64) -> Vec<(Vec<f64>, pb_signal::audio::ColonyState)> {
+        Corpus::generate(&CorpusConfig::small(n, 3.0, seed))
+            .clips()
+            .iter()
+            .map(|c| (c.samples.clone(), c.state))
+            .collect()
+    }
+
+    fn calibrated(band: f64) -> (PipingDetector, CascadePlacement) {
+        let train = validation(40, 5);
+        let det = PipingDetector::train(&train, 22_050.0);
+        let val = validation(40, 99);
+        (det, CascadePlacement::from_detector(&det, &val, band))
+    }
+
+    #[test]
+    fn stage1_is_nearly_free() {
+        // ≈2 J at the (very conservative) CNN-derived MAC throughput —
+        // fifty times below the 94.8 J on-device CNN.
+        let (_, cascade) = calibrated(1.0);
+        assert!(cascade.stage1_energy < Joules(3.0), "stage-1 {}", cascade.stage1_energy);
+        assert!(cascade.stage1_energy.value() * 30.0 < 94.8);
+        assert!(cascade.stage1_time < Seconds(1.5));
+    }
+
+    #[test]
+    fn upload_fraction_grows_with_the_band() {
+        let (_, narrow) = calibrated(0.3);
+        let (_, wide) = calibrated(3.0);
+        assert!(narrow.upload_fraction <= wide.upload_fraction);
+        assert!(narrow.upload_fraction < 1.0);
+        // Zero band never uploads.
+        let (_, zero) = calibrated(0.0);
+        assert_eq!(zero.upload_fraction, 0.0);
+    }
+
+    #[test]
+    fn cascade_edge_cost_sits_between_detector_only_and_full_upload() {
+        let (_, cascade) = calibrated(1.0);
+        let edge_cost = cascade.edge_cycle_energy();
+        // Strictly below the always-upload Table II edge cost…
+        assert!(
+            edge_cost < k::EDGE_CLOUD_EDGE_TOTAL,
+            "cascade edge {edge_cost} vs always-upload 322"
+        );
+        // …and, because the paper's CNN-on-device path pays 94.8 J for
+        // what stage 1 does in <1 J, far below the edge scenario too.
+        assert!(edge_cost < k::EDGE_CNN_CYCLE_TOTAL - Joules(50.0));
+    }
+
+    #[test]
+    fn cascade_beats_both_pure_placements_at_scale() {
+        // At 630 hives / cap 35 the pure placements cost 367.5 J (edge)
+        // and ≈355.5 J (edge+cloud). A cascade uploading a fraction of
+        // clips undercuts both.
+        let (_, cascade) = calibrated(1.0);
+        assert!(cascade.upload_fraction < 0.9, "fraction {}", cascade.upload_fraction);
+        let total = cascade.total_per_client(630, 35);
+        assert!(total < Joules(355.5), "cascade total {total}");
+        assert!(total < Joules(367.5));
+    }
+
+    #[test]
+    fn server_cost_scales_with_upload_fraction() {
+        let (det, mut cascade) = calibrated(1.0);
+        let _ = det;
+        cascade.upload_fraction = 0.1;
+        let low = cascade.server_energy_per_client(630, 35);
+        cascade.upload_fraction = 0.9;
+        let high = cascade.server_energy_per_client(630, 35);
+        assert!(low < high);
+        // Zero uploads → no server at all.
+        cascade.upload_fraction = 0.0;
+        assert_eq!(cascade.server_energy_per_client(630, 35), Joules::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "validation clips")]
+    fn empty_validation_panics() {
+        let det = PipingDetector { threshold: 0.0, sample_rate: 22_050.0 };
+        let _ = CascadePlacement::from_detector(&det, &[], 1.0);
+    }
+}

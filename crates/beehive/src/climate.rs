@@ -1,0 +1,167 @@
+//! In-hive and ambient climate models — the context curves of Figure 2.
+//!
+//! Figure 2 plots the in-hive temperature and humidity next to the energy
+//! trace, and notes "the colony of bees was yet to be introduced inside the
+//! beehive, hence the abnormally low inside temperature": an empty hive
+//! tracks ambient, while a colonized hive thermoregulates its brood nest to
+//! ≈ 35 °C.
+
+use pb_device::gaussian;
+use pb_units::{Celsius, Percent, TimeOfDay};
+use rand::Rng;
+
+/// Diurnal ambient weather.
+#[derive(Clone, Copy, Debug)]
+pub struct AmbientWeather {
+    /// Daily mean temperature.
+    pub mean_temp: Celsius,
+    /// Half of the day/night temperature swing.
+    pub temp_amplitude: Celsius,
+    /// Daily mean relative humidity.
+    pub mean_humidity: Percent,
+    /// Half of the humidity swing (inverse phase with temperature).
+    pub humidity_amplitude: Percent,
+    /// Standard deviation of short-term noise on both signals.
+    pub noise: f64,
+}
+
+impl Default for AmbientWeather {
+    /// A temperate summer in Lyon/Cachan.
+    fn default() -> Self {
+        AmbientWeather {
+            mean_temp: Celsius(20.0),
+            temp_amplitude: Celsius(6.0),
+            mean_humidity: Percent(60.0),
+            humidity_amplitude: Percent(15.0),
+            noise: 0.5,
+        }
+    }
+}
+
+impl AmbientWeather {
+    /// Ambient temperature at a time of day (coolest ≈ 05:00, warmest ≈
+    /// 17:00), with measurement noise.
+    pub fn temperature<R: Rng + ?Sized>(&self, t: TimeOfDay, rng: &mut R) -> Celsius {
+        let phase = (t.hours() - 5.0) / 24.0 * std::f64::consts::TAU;
+        Celsius(
+            self.mean_temp.value() - self.temp_amplitude.value() * phase.cos()
+                + self.noise * gaussian(rng),
+        )
+    }
+
+    /// Ambient relative humidity (inverse phase: most humid at dawn).
+    pub fn humidity<R: Rng + ?Sized>(&self, t: TimeOfDay, rng: &mut R) -> Percent {
+        let phase = (t.hours() - 5.0) / 24.0 * std::f64::consts::TAU;
+        Percent(
+            (self.mean_humidity.value() + self.humidity_amplitude.value() * phase.cos()
+                + 2.0 * self.noise * gaussian(rng))
+            .clamp(0.0, 100.0),
+        )
+    }
+}
+
+/// The hive's internal climate.
+#[derive(Clone, Copy, Debug)]
+pub struct HiveClimate {
+    /// True once a colony lives in the hive.
+    pub colonized: bool,
+    /// Brood-nest setpoint a healthy colony regulates to.
+    pub brood_setpoint: Celsius,
+    /// How strongly the colony pulls the interior toward the setpoint
+    /// (0 = tracks ambient, 1 = perfect regulation).
+    pub regulation: f64,
+}
+
+impl Default for HiveClimate {
+    fn default() -> Self {
+        HiveClimate { colonized: true, brood_setpoint: Celsius(35.0), regulation: 0.85 }
+    }
+}
+
+impl HiveClimate {
+    /// An empty hive (the state of the Figure 2a recording).
+    pub fn empty() -> Self {
+        HiveClimate { colonized: false, ..HiveClimate::default() }
+    }
+
+    /// In-hive temperature given the ambient temperature.
+    pub fn temperature(&self, ambient: Celsius) -> Celsius {
+        if self.colonized {
+            Celsius(
+                ambient.value()
+                    + self.regulation * (self.brood_setpoint.value() - ambient.value()),
+            )
+        } else {
+            // Empty hive: mild thermal inertia only.
+            Celsius(ambient.value() + 1.0)
+        }
+    }
+
+    /// In-hive relative humidity given ambient humidity: a colony keeps the
+    /// brood nest in the 50–60 % band.
+    pub fn humidity(&self, ambient: Percent) -> Percent {
+        if self.colonized {
+            Percent(ambient.value() + 0.7 * (55.0 - ambient.value()))
+        } else {
+            ambient
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ambient_day_night_swing() {
+        let w = AmbientWeather { noise: 0.0, ..AmbientWeather::default() };
+        let mut rng = StdRng::seed_from_u64(1);
+        let dawn = w.temperature(TimeOfDay::from_hm(5, 0), &mut rng);
+        let afternoon = w.temperature(TimeOfDay::from_hm(17, 0), &mut rng);
+        assert!((dawn.value() - 14.0).abs() < 1e-9);
+        assert!((afternoon.value() - 26.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn humidity_is_inverse_phase_and_clamped() {
+        let w = AmbientWeather { noise: 0.0, ..AmbientWeather::default() };
+        let mut rng = StdRng::seed_from_u64(1);
+        let dawn = w.humidity(TimeOfDay::from_hm(5, 0), &mut rng);
+        let afternoon = w.humidity(TimeOfDay::from_hm(17, 0), &mut rng);
+        assert!(dawn > afternoon);
+        let extreme = AmbientWeather {
+            mean_humidity: Percent(95.0),
+            humidity_amplitude: Percent(20.0),
+            noise: 0.0,
+            ..AmbientWeather::default()
+        };
+        assert!(extreme.humidity(TimeOfDay::from_hm(5, 0), &mut rng) <= Percent(100.0));
+    }
+
+    #[test]
+    fn colonized_hive_regulates_toward_35() {
+        let hive = HiveClimate::default();
+        let cold = hive.temperature(Celsius(10.0));
+        assert!(cold.value() > 30.0, "brood nest at {cold}");
+        let hot = hive.temperature(Celsius(40.0));
+        assert!(hot.value() < 37.0, "brood nest at {hot}");
+    }
+
+    #[test]
+    fn empty_hive_tracks_ambient() {
+        // The "abnormally low inside temperature" of Figure 2a.
+        let hive = HiveClimate::empty();
+        let t = hive.temperature(Celsius(12.0));
+        assert!((t.value() - 13.0).abs() < 1e-9);
+        assert_eq!(hive.humidity(Percent(70.0)), Percent(70.0));
+    }
+
+    #[test]
+    fn colonized_humidity_in_brood_band() {
+        let hive = HiveClimate::default();
+        let h = hive.humidity(Percent(90.0));
+        assert!(h.value() > 55.0 && h.value() < 70.0, "humidity {h}");
+    }
+}

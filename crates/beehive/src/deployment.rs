@@ -1,0 +1,255 @@
+//! Week-long deployment simulation — the Figure 2 reproduction.
+//!
+//! Steps a [`SmartBeehive`] through several simulated days: the solar
+//! power system serves the two Raspberry Pis, routines fire at every GPIO
+//! wake-up, and the record stream carries the same channels Figure 2
+//! plots — node power, in-hive temperature/humidity, ambient weather and
+//! the night brown-outs.
+
+use crate::climate::AmbientWeather;
+use crate::hive::SmartBeehive;
+use pb_units::{Celsius, Joules, Percent, Seconds, TimeOfDay, Watts};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deployment simulation parameters.
+#[derive(Clone, Debug)]
+pub struct DeploymentConfig {
+    /// Simulated duration.
+    pub duration: Seconds,
+    /// Simulation step (Figure 2 is plotted at minutes-scale resolution).
+    pub step: Seconds,
+    /// Ambient weather model.
+    pub weather: AmbientWeather,
+    /// RNG seed for irradiance, weather noise and network jitter.
+    pub seed: u64,
+}
+
+impl Default for DeploymentConfig {
+    /// One week at 1-minute resolution — the Figure 2a setting.
+    fn default() -> Self {
+        DeploymentConfig {
+            duration: Seconds::from_days(7.0),
+            step: Seconds(60.0),
+            weather: AmbientWeather::default(),
+            seed: 0xF162,
+        }
+    }
+}
+
+/// One sample of the deployment record — one x-position of Figure 2.
+#[derive(Clone, Copy, Debug)]
+pub struct DeploymentRecord {
+    /// Simulation timestamp.
+    pub at: Seconds,
+    /// Time of day.
+    pub time: TimeOfDay,
+    /// Node electrical load requested at this time.
+    pub load: Watts,
+    /// Power actually delivered by the energy node.
+    pub delivered_power: Watts,
+    /// Battery state of charge (fraction).
+    pub soc: f64,
+    /// True when the node browned out in this step.
+    pub brown_out: bool,
+    /// In-hive temperature.
+    pub hive_temp: Celsius,
+    /// In-hive relative humidity.
+    pub hive_humidity: Percent,
+    /// Ambient temperature.
+    pub ambient_temp: Celsius,
+    /// Ambient relative humidity.
+    pub ambient_humidity: Percent,
+}
+
+/// Aggregates of a deployment run.
+#[derive(Clone, Copy, Debug)]
+pub struct DeploymentSummary {
+    /// Total solar energy harvested (after conversion).
+    pub harvested: Joules,
+    /// Total energy delivered to the node.
+    pub delivered: Joules,
+    /// Cumulative brown-out time.
+    pub brown_out_time: Seconds,
+    /// Wake-ups whose routine window was fully powered.
+    pub routines_completed: usize,
+    /// Wake-ups that fell (partly) into a brown-out.
+    pub routines_missed: usize,
+}
+
+/// Runs the deployment simulation.
+pub fn simulate(hive: &SmartBeehive, config: &DeploymentConfig) -> (Vec<DeploymentRecord>, DeploymentSummary) {
+    assert!(config.step.value() > 0.0, "step must be positive");
+    let mut hive = hive.clone();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = (config.duration.value() / config.step.value()).round() as usize;
+    let mut records = Vec::with_capacity(n);
+
+    // Track routine outcomes per wake-up.
+    let mut routines_completed = 0usize;
+    let mut routines_missed = 0usize;
+    let mut current_wake: Option<(Seconds, bool)> = None; // (wake time, browned)
+
+    for i in 0..n {
+        let at = config.step * i as f64;
+        let time = TimeOfDay::at(at);
+        let load = hive.load_at(at);
+        let step_result = hive.power.step(load, config.step, &mut rng);
+
+        // Routine accounting: a wake-up is missed if any step of its
+        // routine window browned out.
+        let routine = hive.routine_duration();
+        let wake = hive.scheduler.next_after(at + Seconds(1e-9) - hive.scheduler.period);
+        let in_routine = at.value() - wake.value() < routine.value() && at >= wake;
+        if in_routine {
+            match &mut current_wake {
+                Some((w, browned)) if *w == wake => *browned |= step_result.brown_out,
+                _ => {
+                    if let Some((_, browned)) = current_wake.take() {
+                        if browned {
+                            routines_missed += 1;
+                        } else {
+                            routines_completed += 1;
+                        }
+                    }
+                    current_wake = Some((wake, step_result.brown_out));
+                }
+            }
+        }
+
+        let ambient_temp = config.weather.temperature(time, &mut rng);
+        let ambient_humidity = config.weather.humidity(time, &mut rng);
+        records.push(DeploymentRecord {
+            at,
+            time,
+            load,
+            delivered_power: step_result.delivered / config.step,
+            soc: step_result.soc,
+            brown_out: step_result.brown_out,
+            hive_temp: hive.climate.temperature(ambient_temp),
+            hive_humidity: hive.climate.humidity(ambient_humidity),
+            ambient_temp,
+            ambient_humidity,
+        });
+    }
+    if let Some((_, browned)) = current_wake {
+        if browned {
+            routines_missed += 1;
+        } else {
+            routines_completed += 1;
+        }
+    }
+
+    let summary = DeploymentSummary {
+        harvested: hive.power.total_harvested(),
+        delivered: hive.power.total_delivered(),
+        brown_out_time: hive.power.brown_out_time(),
+        routines_completed,
+        routines_missed,
+    };
+    (records, summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_energy::battery::Battery;
+    use pb_energy::harvest::PowerSystemConfig;
+    use pb_units::WattHours;
+
+    fn week_config(seed: u64) -> DeploymentConfig {
+        DeploymentConfig { seed, ..DeploymentConfig::default() }
+    }
+
+    fn small_battery_hive() -> SmartBeehive {
+        // A battery too small to last the night — the Figure 2a regime.
+        SmartBeehive::deployed("fig2", Seconds::from_minutes(10.0)).with_power_system(
+            PowerSystemConfig {
+                battery: Battery::new(WattHours(8.0), 0.5),
+                ..PowerSystemConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn record_stream_has_expected_length_and_channels() {
+        let (records, _) = simulate(&small_battery_hive(), &week_config(1));
+        assert_eq!(records.len(), 7 * 24 * 60);
+        let r = &records[300];
+        assert!(r.load > Watts::ZERO);
+        assert!((0.0..=1.0).contains(&r.soc));
+        assert!(r.hive_humidity <= Percent(100.0));
+    }
+
+    #[test]
+    fn night_brown_outs_appear_and_days_recover() {
+        // Figure 2a "shows moments when the system is not running due to
+        // the lack of light at night".
+        let (records, summary) = simulate(&small_battery_hive(), &week_config(2));
+        let night_outs = records
+            .iter()
+            .filter(|r| r.brown_out)
+            .filter(|r| r.time.hours() < 7.0 || r.time.hours() > 20.0)
+            .count();
+        let day_outs = records
+            .iter()
+            .filter(|r| r.brown_out)
+            .filter(|r| r.time.hours() > 10.0 && r.time.hours() < 17.0)
+            .count();
+        assert!(night_outs > 100, "expected night outages, got {night_outs}");
+        assert_eq!(day_outs, 0, "no outages in full daylight");
+        assert!(summary.brown_out_time > Seconds(3600.0));
+        assert!(summary.routines_missed > 0);
+        assert!(summary.routines_completed > summary.routines_missed);
+    }
+
+    #[test]
+    fn colonized_hive_is_warm_at_night() {
+        let (records, _) = simulate(&small_battery_hive(), &week_config(3));
+        let midnight: Vec<&DeploymentRecord> =
+            records.iter().filter(|r| r.time.hours() < 1.0).collect();
+        assert!(!midnight.is_empty());
+        for r in midnight {
+            assert!(r.hive_temp.value() > 30.0, "brood nest at {}", r.hive_temp);
+            assert!(r.hive_temp > r.ambient_temp);
+        }
+    }
+
+    #[test]
+    fn empty_hive_tracks_ambient_temperature() {
+        // The Figure 2a footnote: no colony → "abnormally low inside
+        // temperature".
+        let hive = small_battery_hive().without_colony();
+        let (records, _) = simulate(&hive, &week_config(4));
+        for r in records.iter().step_by(100) {
+            assert!((r.hive_temp.value() - r.ambient_temp.value()).abs() < 1.5);
+        }
+    }
+
+    #[test]
+    fn big_battery_eliminates_outages() {
+        let hive = SmartBeehive::deployed("big", Seconds::from_minutes(10.0));
+        let (_, summary) = simulate(&hive, &week_config(5));
+        assert_eq!(summary.routines_missed, 0);
+        assert_eq!(summary.brown_out_time, Seconds::ZERO);
+        // ~1008 ten-minute wake-ups in a week.
+        assert!((990..=1010).contains(&summary.routines_completed),
+            "completed {}", summary.routines_completed);
+    }
+
+    #[test]
+    fn energy_conservation() {
+        let hive = small_battery_hive();
+        let initial = hive.power.battery().stored();
+        let (_, summary) = simulate(&hive, &week_config(6));
+        assert!(summary.delivered <= summary.harvested + initial + Joules(1.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = simulate(&small_battery_hive(), &week_config(7)).1;
+        let b = simulate(&small_battery_hive(), &week_config(7)).1;
+        assert_eq!(a.routines_completed, b.routines_completed);
+        assert!((a.delivered - b.delivered).abs() < Joules(1e-9));
+    }
+}

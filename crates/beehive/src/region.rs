@@ -1,0 +1,202 @@
+//! Regionally correlated client loss.
+//!
+//! The paper's Loss C draws lost clients independently each cycle from
+//! 𝒩(10 %·n, σ = 2). Real apiaries share weather: a cloudy morning drains
+//! *every* hive's battery at once, so losses arrive in correlated bursts.
+//! This module models a regional cloudiness process (AR(1)) that modulates
+//! every hive's per-cycle outage probability, and quantifies how badly the
+//! independent model underestimates the variability a shared server
+//! actually sees.
+
+use pb_device::gaussian;
+use rand::Rng;
+
+/// A mean-reverting AR(1) cloudiness process clamped to `[0, 1]`.
+#[derive(Clone, Copy, Debug)]
+pub struct RegionalWeather {
+    /// Long-run mean cloudiness.
+    pub mean_cloudiness: f64,
+    /// Persistence φ in [0, 1): higher = longer weather spells.
+    pub persistence: f64,
+    /// Innovation standard deviation.
+    pub volatility: f64,
+}
+
+impl Default for RegionalWeather {
+    /// Temperate-summer defaults: mean 0.3, multi-cycle spells. The
+    /// volatility keeps the stationary spread (σ ≈ volatility/√(1−φ²) ≈
+    /// 0.11) clear of the [0, 1] clamp so the long-run mean stays at the
+    /// configured value.
+    fn default() -> Self {
+        RegionalWeather { mean_cloudiness: 0.3, persistence: 0.9, volatility: 0.05 }
+    }
+}
+
+impl RegionalWeather {
+    /// Simulates `n_cycles` of cloudiness, starting at the mean.
+    pub fn simulate<R: Rng + ?Sized>(&self, n_cycles: usize, rng: &mut R) -> Vec<f64> {
+        assert!((0.0..1.0).contains(&self.persistence), "persistence must be in [0, 1)");
+        let mut c = self.mean_cloudiness;
+        (0..n_cycles)
+            .map(|_| {
+                c = (self.persistence * c
+                    + (1.0 - self.persistence) * self.mean_cloudiness
+                    + self.volatility * gaussian(rng))
+                .clamp(0.0, 1.0);
+                c
+            })
+            .collect()
+    }
+}
+
+/// Weather-modulated hive outage model.
+#[derive(Clone, Copy, Debug)]
+pub struct CorrelatedLoss {
+    /// The shared weather process.
+    pub weather: RegionalWeather,
+    /// Per-cycle outage probability in perfectly clear weather.
+    pub base_loss: f64,
+    /// Additional outage probability per unit cloudiness.
+    pub weather_sensitivity: f64,
+}
+
+impl CorrelatedLoss {
+    /// A model calibrated so the *mean* loss matches the paper's 10 %,
+    /// with the variability carried by the weather.
+    pub fn paper_mean() -> Self {
+        // E[p] = base + sensitivity × mean_cloudiness = 0.01 + 0.3·0.3 = 0.10.
+        CorrelatedLoss {
+            weather: RegionalWeather::default(),
+            base_loss: 0.01,
+            weather_sensitivity: 0.30,
+        }
+    }
+
+    /// Simulates lost-hive counts per cycle for `n_hives` over
+    /// `n_cycles`: each cycle draws a shared cloudiness, then each hive
+    /// fails independently with the cloudiness-modulated probability.
+    pub fn losses<R: Rng + ?Sized>(
+        &self,
+        n_hives: usize,
+        n_cycles: usize,
+        rng: &mut R,
+    ) -> Vec<usize> {
+        let cloud = self.weather.simulate(n_cycles, rng);
+        cloud
+            .into_iter()
+            .map(|c| {
+                let p = (self.base_loss + self.weather_sensitivity * c).clamp(0.0, 1.0);
+                (0..n_hives).filter(|_| rng.gen::<f64>() < p).count()
+            })
+            .collect()
+    }
+}
+
+/// Summary statistics of a per-cycle loss series.
+#[derive(Clone, Copy, Debug)]
+pub struct LossStats {
+    /// Mean lost fraction of the population.
+    pub mean_fraction: f64,
+    /// Standard deviation of the lost count (hives).
+    pub std_hives: f64,
+    /// Worst cycle's lost count.
+    pub max_hives: usize,
+}
+
+/// Computes [`LossStats`] over a loss series for `n_hives`.
+pub fn loss_statistics(losses: &[usize], n_hives: usize) -> LossStats {
+    assert!(!losses.is_empty() && n_hives > 0, "need data and hives");
+    let n = losses.len() as f64;
+    let mean = losses.iter().sum::<usize>() as f64 / n;
+    let var = losses.iter().map(|&l| (l as f64 - mean).powi(2)).sum::<f64>() / n;
+    LossStats {
+        mean_fraction: mean / n_hives as f64,
+        std_hives: var.sqrt(),
+        max_hives: losses.iter().copied().max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_orchestra::loss::ClientLoss;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weather_stays_in_unit_interval_and_reverts() {
+        let w = RegionalWeather::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let series = w.simulate(5000, &mut rng);
+        assert!(series.iter().all(|&c| (0.0..=1.0).contains(&c)));
+        let mean = series.iter().sum::<f64>() / series.len() as f64;
+        assert!((mean - 0.3).abs() < 0.05, "mean cloudiness {mean}");
+    }
+
+    #[test]
+    fn weather_is_persistent() {
+        // Lag-1 autocorrelation near the configured persistence.
+        let w = RegionalWeather::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = w.simulate(20_000, &mut rng);
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        let var = s.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / s.len() as f64;
+        let cov = s.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum::<f64>()
+            / (s.len() - 1) as f64;
+        let rho = cov / var;
+        assert!(rho > 0.85, "autocorrelation {rho}");
+    }
+
+    #[test]
+    fn mean_loss_matches_the_paper() {
+        let model = CorrelatedLoss::paper_mean();
+        let mut rng = StdRng::seed_from_u64(3);
+        let losses = model.losses(200, 3000, &mut rng);
+        let stats = loss_statistics(&losses, 200);
+        assert!((stats.mean_fraction - 0.10).abs() < 0.015, "mean {}", stats.mean_fraction);
+    }
+
+    #[test]
+    fn correlation_inflates_variability_far_beyond_the_papers_sigma() {
+        // The headline claim: same mean loss, wildly different spread.
+        let n_hives = 200;
+        let cycles = 3000;
+        let model = CorrelatedLoss::paper_mean();
+        let mut rng = StdRng::seed_from_u64(4);
+        let correlated = loss_statistics(&model.losses(n_hives, cycles, &mut rng), n_hives);
+
+        let paper = ClientLoss::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let independent: Vec<usize> = (0..cycles).map(|_| paper.draw(n_hives, &mut rng)).collect();
+        let indep = loss_statistics(&independent, n_hives);
+
+        assert!(
+            correlated.std_hives > 3.0 * indep.std_hives,
+            "correlated σ {} vs independent σ {}",
+            correlated.std_hives,
+            indep.std_hives
+        );
+        // Worst cycles lose several times the mean.
+        assert!(correlated.max_hives as f64 > 2.0 * n_hives as f64 * correlated.mean_fraction);
+    }
+
+    #[test]
+    fn no_weather_sensitivity_recovers_binomial() {
+        let model = CorrelatedLoss {
+            weather: RegionalWeather::default(),
+            base_loss: 0.1,
+            weather_sensitivity: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let losses = model.losses(200, 2000, &mut rng);
+        let stats = loss_statistics(&losses, 200);
+        // Binomial σ = √(n p (1−p)) = √18 ≈ 4.24.
+        assert!((stats.std_hives - 4.24).abs() < 0.6, "σ {}", stats.std_hives);
+    }
+
+    #[test]
+    #[should_panic(expected = "need data")]
+    fn empty_stats_panic() {
+        let _ = loss_statistics(&[], 10);
+    }
+}

@@ -1,0 +1,268 @@
+//! The end-to-end queen-detection pipeline and the Figure 5 sweep.
+//!
+//! Pipeline (identical to the paper's): 10 s of hive audio at 22 050 Hz →
+//! log-mel spectrogram (n_fft 2048, hop 512, 128 mels) → either a flat
+//! feature vector for the RBF-SVM or a resized S×S image for the CNN. The
+//! Figure 5 sweep trains/evaluates the CNN at several input sides S and
+//! pairs each accuracy with the FLOP-derived Raspberry-Pi inference energy.
+
+use pb_device::compute::ComputeModel;
+use pb_ml::dataset::Dataset;
+use pb_ml::metrics::accuracy;
+use pb_ml::nn::resnet::{ResNetConfig, ResNetLite};
+use pb_ml::nn::train::{evaluate, train, TrainConfig};
+use pb_ml::svm::{RbfSvm, SvmConfig};
+use pb_ml::tensor::FeatureMap;
+use pb_signal::corpus::{Corpus, CorpusConfig};
+use pb_signal::mel::MelFilterbank;
+use pb_signal::stft::SpectrogramParams;
+use pb_units::Joules;
+
+/// Configuration of the training/evaluation pipeline.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Corpus to synthesize (the paper used 1647 clips of 10 s; smaller
+    /// settings keep tests and examples fast).
+    pub corpus: CorpusConfig,
+    /// STFT parameters (defaults to the paper's).
+    pub stft: SpectrogramParams,
+    /// Number of mel bands.
+    pub n_mels: usize,
+    /// Held-out test fraction.
+    pub test_fraction: f64,
+    /// CNN training hyperparameters.
+    pub train: TrainConfig,
+    /// Split/shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            corpus: CorpusConfig::default(),
+            stft: SpectrogramParams::default(),
+            n_mels: pb_signal::N_MELS,
+            test_fraction: 0.25,
+            train: TrainConfig::default(),
+            seed: 0xB0B,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A small configuration for tests and quick examples: `n` clips of
+    /// `secs` seconds, 32 mel bands, light CNN training.
+    pub fn small(n: usize, secs: f64, seed: u64) -> Self {
+        PipelineConfig {
+            corpus: CorpusConfig::small(n, secs, seed),
+            stft: SpectrogramParams { n_fft: 1024, hop: 512, ..SpectrogramParams::default() },
+            n_mels: 32,
+            test_fraction: 0.25,
+            train: TrainConfig { epochs: 14, lr: 0.04, batch_size: 16, seed },
+            seed,
+        }
+    }
+}
+
+/// One point of the Figure 5 resolution sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct ResolutionPoint {
+    /// CNN input side length (images are side × side).
+    pub side: usize,
+    /// Held-out classification accuracy at this resolution.
+    pub accuracy: f64,
+    /// Multiply-accumulate count of one inference.
+    pub macs: u64,
+    /// FLOP-derived Raspberry-Pi inference energy at this resolution.
+    pub edge_energy: Joules,
+}
+
+/// The end-to-end pipeline: corpus, features and both models.
+pub struct QueenDetectionPipeline {
+    config: PipelineConfig,
+    corpus: Corpus,
+    bank: MelFilterbank,
+}
+
+impl QueenDetectionPipeline {
+    /// Synthesizes the corpus and prepares the filterbank.
+    pub fn new(config: PipelineConfig) -> Self {
+        let corpus = Corpus::generate(&config.corpus);
+        let bank = MelFilterbank::new(
+            config.n_mels,
+            config.stft.n_fft,
+            config.corpus.synth.sample_rate,
+            0.0,
+            config.corpus.synth.sample_rate / 2.0,
+        );
+        QueenDetectionPipeline { config, corpus, bank }
+    }
+
+    /// The synthesized corpus.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// Per-band-mean mel features and labels for the SVM path.
+    ///
+    /// The paper passes mel "vector features … as it is" to the SVM; we
+    /// use the per-band temporal means, which keep the SVM's input
+    /// dimension at `n_mels` and the classes separable by construction of
+    /// the synthesizer.
+    pub fn svm_dataset(&self) -> Dataset {
+        let feats = self.corpus.mel_features(self.config.stft, &self.bank);
+        let (features, labels) = feats
+            .into_iter()
+            .map(|(mel, state)| (mel.band_means(), state.label()))
+            .unzip();
+        Dataset::from_pairs(features, labels)
+    }
+
+    /// Trains the SVM with the paper's hyperparameters (C = 20, γ = 10⁻⁵ on
+    /// dB-scale features) and returns `(model, held-out accuracy)`.
+    pub fn train_svm(&self) -> (RbfSvm, f64) {
+        let split = self.svm_dataset().split(self.config.test_fraction, self.config.seed);
+        let svm = RbfSvm::train(&split.train, SvmConfig::default());
+        let acc = accuracy(&svm.predict_all(&split.test), split.test.labels());
+        (svm, acc)
+    }
+
+    /// Spectrogram images at `side × side` with labels, for the CNN path.
+    pub fn image_dataset(&self, side: usize) -> Vec<(FeatureMap, usize)> {
+        self.corpus
+            .spectrogram_images(self.config.stft, &self.bank, side)
+            .into_iter()
+            .map(|(img, state)| {
+                (FeatureMap::from_image(img.width(), img.height(), img.pixels()), state.label())
+            })
+            .collect()
+    }
+
+    /// Trains the CNN at input side `side` and returns `(model, held-out
+    /// accuracy)`.
+    pub fn train_cnn(&self, side: usize) -> (ResNetLite, f64) {
+        let data = self.image_dataset(side);
+        let n_test = (data.len() as f64 * self.config.test_fraction).round() as usize;
+        // Deterministic split: the corpus alternates labels, so holding
+        // out whole *pairs* at a stride keeps both splits balanced.
+        let stride = (1.0 / self.config.test_fraction).round().max(1.0) as usize;
+        let (test, train_data): (Vec<_>, Vec<_>) = {
+            let mut test = Vec::new();
+            let mut tr = Vec::new();
+            for (i, ex) in data.into_iter().enumerate() {
+                if (i / 2) % stride == 0 && test.len() < n_test {
+                    test.push(ex);
+                } else {
+                    tr.push(ex);
+                }
+            }
+            (test, tr)
+        };
+        // From-scratch training of a small CNN occasionally collapses to a
+        // one-class predictor for an unlucky initialization; retry with a
+        // fresh seed and a longer schedule, keeping the best attempt.
+        let mut best: Option<(ResNetLite, f64)> = None;
+        for attempt in 0..3u64 {
+            let mut net = ResNetLite::new(ResNetConfig {
+                seed: self.config.seed.wrapping_add(attempt.wrapping_mul(0x9E37)),
+                ..ResNetConfig::default()
+            });
+            let cfg = TrainConfig {
+                epochs: self.config.train.epochs + 6 * attempt as usize,
+                seed: self.config.train.seed + attempt,
+                ..self.config.train
+            };
+            let report = train(&mut net, &train_data, &cfg);
+            let train_acc = report.final_train_accuracy;
+            if best.as_ref().is_none_or(|(_, b)| train_acc > *b) {
+                best = Some((net, train_acc));
+            }
+            if train_acc >= 0.9 {
+                break;
+            }
+        }
+        let (net, _) = best.expect("at least one training attempt runs");
+        let acc = evaluate(&net, &test);
+        (net, acc)
+    }
+
+    /// Runs the Figure 5 sweep: trains and evaluates the CNN at each input
+    /// side, pairing accuracy with the calibrated Raspberry-Pi inference
+    /// energy (anchored so a 100×100 inference costs the paper's 94.8 J).
+    pub fn resolution_sweep(&self, sides: &[usize]) -> Vec<ResolutionPoint> {
+        let reference = ResNetLite::new(ResNetConfig::default());
+        let anchor_macs = reference.forward_macs(100, 100);
+        let edge = ComputeModel::pi3b_cnn(anchor_macs);
+        sides
+            .iter()
+            .map(|&side| {
+                let (net, acc) = self.train_cnn(side);
+                let macs = net.forward_macs(side, side);
+                ResolutionPoint {
+                    side,
+                    accuracy: acc,
+                    macs,
+                    edge_energy: edge.execute(macs).energy,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_pipeline() -> QueenDetectionPipeline {
+        QueenDetectionPipeline::new(PipelineConfig::small(48, 1.0, 11))
+    }
+
+    #[test]
+    fn svm_dataset_is_balanced_and_sized() {
+        let p = small_pipeline();
+        let d = p.svm_dataset();
+        assert_eq!(d.len(), 48);
+        assert_eq!(d.dim(), 32);
+        let positives = d.labels().iter().filter(|&&l| l == 1).count();
+        assert_eq!(positives, 24);
+    }
+
+    #[test]
+    fn svm_learns_queen_detection() {
+        let p = small_pipeline();
+        let (_, acc) = p.train_svm();
+        assert!(acc >= 0.9, "SVM held-out accuracy {acc}");
+    }
+
+    #[test]
+    fn cnn_learns_queen_detection_at_high_resolution() {
+        let p = small_pipeline();
+        let (_, acc) = p.train_cnn(32);
+        assert!(acc >= 0.85, "CNN held-out accuracy {acc}");
+    }
+
+    #[test]
+    fn image_dataset_shapes() {
+        let p = small_pipeline();
+        let data = p.image_dataset(24);
+        assert_eq!(data.len(), 48);
+        for (img, label) in &data {
+            assert_eq!(img.shape(), (1, 24, 24));
+            assert!(*label <= 1);
+        }
+    }
+
+    #[test]
+    fn resolution_sweep_energy_is_monotone_and_anchored() {
+        let p = small_pipeline();
+        let points = p.resolution_sweep(&[16, 32]);
+        assert_eq!(points.len(), 2);
+        assert!(points[0].edge_energy < points[1].edge_energy);
+        assert!(points[0].macs < points[1].macs);
+        // The anchor: a 100×100 inference must cost the paper's 94.8 J.
+        let reference = ResNetLite::new(ResNetConfig::default());
+        let edge = ComputeModel::pi3b_cnn(reference.forward_macs(100, 100));
+        let e100 = edge.execute(reference.forward_macs(100, 100)).energy;
+        assert!((e100 - Joules(94.8)).abs() < Joules(1e-6));
+    }
+}

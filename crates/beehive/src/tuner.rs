@@ -1,0 +1,235 @@
+//! Wake-up frequency auto-tuning.
+//!
+//! The paper calibrates the wake-up frequency by hand (Section IV: "for a
+//! service tracking the temperature of the beehive, collecting data every
+//! 60 or 120 minutes suffices. … in a period of collection of large
+//! datasets, collecting data every 5 minutes becomes reasonable") and
+//! names automatic tuning as future work ("build connected beehives'
+//! intelligence to tune its parameters"). [`FrequencyTuner`] implements
+//! it: given the hive's power system and a service's data-freshness
+//! requirement, it picks the fastest wake-up period the energy budget can
+//! sustain — checking both the *daily* balance (harvest ≥ demand with a
+//! reserve) and the *overnight* balance (the battery must bridge the dark
+//! hours).
+
+use crate::hive::SmartBeehive;
+use pb_energy::solar::daily_clear_sky_energy;
+use pb_units::{Joules, Seconds};
+
+/// A service's data-freshness requirement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServiceRequirement {
+    /// The service is useless if samples are further apart than this.
+    pub max_period: Seconds,
+}
+
+impl ServiceRequirement {
+    /// Temperature/humidity tracking: hourly-to-two-hourly suffices.
+    pub fn temperature_tracking() -> Self {
+        ServiceRequirement { max_period: Seconds::from_minutes(120.0) }
+    }
+
+    /// Queen detection: the paper runs it on 5-minute cycles.
+    pub fn queen_detection() -> Self {
+        ServiceRequirement { max_period: Seconds::from_minutes(5.0) }
+    }
+
+    /// Bulk dataset collection: as fast as the budget allows, 5-minute
+    /// floor.
+    pub fn dataset_collection() -> Self {
+        ServiceRequirement { max_period: Seconds::from_minutes(5.0) }
+    }
+}
+
+/// Why the tuner rejected a period.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The period satisfies both energy constraints.
+    Sustainable,
+    /// The daily demand exceeds the reserved daily harvest.
+    DailyDeficit,
+    /// The battery cannot carry the load through the dark hours.
+    NightDeficit,
+}
+
+/// The tuner's full report for one candidate period.
+#[derive(Clone, Copy, Debug)]
+pub struct PeriodAssessment {
+    /// The candidate wake-up period.
+    pub period: Seconds,
+    /// Expected daily energy demand of the whole node.
+    pub daily_demand: Joules,
+    /// Expected daily harvest (after the reserve margin).
+    pub daily_budget: Joules,
+    /// Energy needed to bridge the dark hours.
+    pub night_demand: Joules,
+    /// Energy the battery can deliver from full.
+    pub night_budget: Joules,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// Picks sustainable wake-up periods for a hive.
+#[derive(Clone, Debug)]
+pub struct FrequencyTuner {
+    /// Fraction of the expected harvest held back for bad-weather days.
+    pub reserve_fraction: f64,
+    /// Candidate periods, fastest first (defaults to the paper's six).
+    pub candidates: Vec<Seconds>,
+}
+
+impl Default for FrequencyTuner {
+    fn default() -> Self {
+        FrequencyTuner {
+            reserve_fraction: 0.3,
+            candidates: pb_device::constants::FIG3_FREQUENCIES_MIN
+                .iter()
+                .map(|&m| Seconds::from_minutes(m))
+                .collect(),
+        }
+    }
+}
+
+impl FrequencyTuner {
+    /// Assesses one candidate period on `hive`.
+    pub fn assess(&self, hive: &SmartBeehive, period: Seconds) -> PeriodAssessment {
+        let mut candidate = hive.clone();
+        candidate.scheduler = pb_device::wake::WakeScheduler::new(period, Seconds::ZERO);
+        let mean_load = candidate.mean_load();
+        let day = Seconds::from_days(1.0);
+        let daily_demand = mean_load * day;
+
+        // Expected daily harvest: clear-sky integral × mean clearness.
+        let config = pb_energy::harvest::PowerSystemConfig::default();
+        let clear = daily_clear_sky_energy(
+            &config.irradiance,
+            &config.panel,
+            &config.converter,
+            Seconds(60.0),
+        );
+        let daily_budget = clear * config.irradiance.clearness * (1.0 - self.reserve_fraction);
+
+        // Night bridging: the dark window of the site's irradiance model.
+        let dark_hours = 24.0
+            - (config.irradiance.sunset.seconds() - config.irradiance.sunrise.seconds()) / 3600.0;
+        let night_demand = mean_load * Seconds::from_hours(dark_hours);
+        let night_budget = hive.power.battery().deliverable();
+
+        let verdict = if daily_demand > daily_budget {
+            Verdict::DailyDeficit
+        } else if night_demand > night_budget {
+            Verdict::NightDeficit
+        } else {
+            Verdict::Sustainable
+        };
+        PeriodAssessment { period, daily_demand, daily_budget, night_demand, night_budget, verdict }
+    }
+
+    /// The fastest sustainable period, or `None` when even the slowest
+    /// candidate is not sustainable.
+    pub fn fastest_sustainable(&self, hive: &SmartBeehive) -> Option<PeriodAssessment> {
+        self.candidates
+            .iter()
+            .map(|&p| self.assess(hive, p))
+            .find(|a| a.verdict == Verdict::Sustainable)
+    }
+
+    /// The recommended period for a service: the fastest sustainable one,
+    /// which must also satisfy the service's freshness requirement.
+    pub fn recommend(
+        &self,
+        hive: &SmartBeehive,
+        requirement: ServiceRequirement,
+    ) -> Option<PeriodAssessment> {
+        self.fastest_sustainable(hive)
+            .filter(|a| a.period.value() <= requirement.max_period.value() + 1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_energy::battery::Battery;
+    use pb_energy::harvest::PowerSystemConfig;
+    use pb_units::WattHours;
+
+    fn hive_with_battery(wh: f64) -> SmartBeehive {
+        SmartBeehive::deployed("tuner", Seconds::from_minutes(10.0)).with_power_system(
+            PowerSystemConfig {
+                battery: Battery::new(WattHours(wh), 1.0),
+                ..PowerSystemConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn deployed_hive_sustains_five_minute_cycles() {
+        // 100 Wh bank + 30 W panel: even the fastest paper frequency fits.
+        let tuner = FrequencyTuner::default();
+        let best = tuner.fastest_sustainable(&hive_with_battery(100.0)).unwrap();
+        assert_eq!(best.period, Seconds::from_minutes(5.0));
+        assert_eq!(best.verdict, Verdict::Sustainable);
+        assert!(best.daily_demand < best.daily_budget);
+    }
+
+    #[test]
+    fn tiny_battery_fails_the_night_check() {
+        let tuner = FrequencyTuner::default();
+        let a = tuner.assess(&hive_with_battery(3.0), Seconds::from_minutes(5.0));
+        assert_eq!(a.verdict, Verdict::NightDeficit);
+        // A slower period reduces the load, but the 9-hour night at ≈1 W
+        // still needs more than 3 Wh.
+        assert!(tuner.fastest_sustainable(&hive_with_battery(3.0)).is_none());
+    }
+
+    #[test]
+    fn night_demand_shrinks_with_period() {
+        let tuner = FrequencyTuner::default();
+        let hive = hive_with_battery(100.0);
+        let fast = tuner.assess(&hive, Seconds::from_minutes(5.0));
+        let slow = tuner.assess(&hive, Seconds::from_minutes(120.0));
+        assert!(fast.night_demand > slow.night_demand);
+        assert!(fast.daily_demand > slow.daily_demand);
+    }
+
+    #[test]
+    fn recommendation_respects_freshness() {
+        let tuner = FrequencyTuner::default();
+        let hive = hive_with_battery(100.0);
+        // Queen detection wants ≤ 5 min and the hive can deliver it.
+        let rec = tuner.recommend(&hive, ServiceRequirement::queen_detection()).unwrap();
+        assert_eq!(rec.period, Seconds::from_minutes(5.0));
+        // Temperature tracking is satisfied by the same (fastest) period.
+        assert!(tuner.recommend(&hive, ServiceRequirement::temperature_tracking()).is_some());
+    }
+
+    #[test]
+    fn starved_hive_cannot_serve_queen_detection() {
+        // A tuner with a brutal reserve: only slow periods survive the
+        // daily check, so the 5-minute queen-detection requirement fails.
+        let mut tuner = FrequencyTuner { reserve_fraction: 0.987, ..FrequencyTuner::default() };
+        tuner.candidates = pb_device::constants::FIG3_FREQUENCIES_MIN
+            .iter()
+            .map(|&m| Seconds::from_minutes(m))
+            .collect();
+        let hive = hive_with_battery(100.0);
+        let fastest = tuner.fastest_sustainable(&hive);
+        if let Some(a) = fastest {
+            assert!(a.period > Seconds::from_minutes(5.0), "period {}", a.period);
+            assert!(tuner.recommend(&hive, ServiceRequirement::queen_detection()).is_none());
+        }
+    }
+
+    #[test]
+    fn requirement_presets() {
+        assert_eq!(
+            ServiceRequirement::temperature_tracking().max_period,
+            Seconds::from_minutes(120.0)
+        );
+        assert_eq!(ServiceRequirement::queen_detection().max_period, Seconds::from_minutes(5.0));
+        assert_eq!(
+            ServiceRequirement::dataset_collection().max_period,
+            Seconds::from_minutes(5.0)
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Criterion benchmarks for the two queen-detection models.
+//!
+//! Measures what the paper prices in joules: one SVM prediction and one
+//! CNN inference at several input resolutions (the Figure 5 x-axis), plus
+//! the training-side costs.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pb_ml::dataset::Dataset;
+use pb_ml::nn::resnet::{ResNetConfig, ResNetGrads, ResNetLite};
+use pb_ml::svm::{RbfSvm, SvmConfig};
+use pb_ml::tensor::FeatureMap;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn blob_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Dataset::new();
+    for i in 0..n {
+        let label = i % 2;
+        let centre = if label == 1 { 2.0 } else { -2.0 };
+        d.push((0..dim).map(|_| centre + rng.gen_range(-1.0..1.0)).collect(), label);
+    }
+    d
+}
+
+fn bench_svm(c: &mut Criterion) {
+    let data = blob_dataset(128, 128, 1);
+    let config = SvmConfig { gamma: 0.01, ..SvmConfig::default() };
+    c.bench_function("svm_train_128x128d", |b| {
+        b.iter(|| black_box(RbfSvm::train(&data, config).n_support_vectors()))
+    });
+    let svm = RbfSvm::train(&data, config);
+    let probe: Vec<f64> = vec![0.1; 128];
+    c.bench_function("svm_predict_128d", |b| b.iter(|| black_box(svm.predict(&probe))));
+}
+
+fn random_image(side: usize, seed: u64) -> FeatureMap {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<f64> = (0..side * side).map(|_| rng.gen_range(0.0..1.0)).collect();
+    FeatureMap::from_vec(1, side, side, data)
+}
+
+fn bench_cnn_inference(c: &mut Criterion) {
+    let net = ResNetLite::new(ResNetConfig::default());
+    let mut group = c.benchmark_group("cnn_forward");
+    for side in [20usize, 60, 100] {
+        let img = random_image(side, side as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, _| {
+            b.iter(|| black_box(net.forward(&img)[0]))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cnn_training_step(c: &mut Criterion) {
+    let net = ResNetLite::new(ResNetConfig::default());
+    let img = random_image(32, 9);
+    c.bench_function("cnn_loss_and_gradients_32px", |b| {
+        b.iter(|| {
+            let mut grads = ResNetGrads::zeros_for(&net);
+            black_box(net.loss_and_gradients(&img, 1, &mut grads))
+        })
+    });
+}
+
+criterion_group!(benches, bench_svm, bench_cnn_inference, bench_cnn_training_step);
+criterion_main!(benches);

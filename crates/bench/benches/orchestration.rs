@@ -1,0 +1,140 @@
+//! Criterion benchmarks for the orchestration simulator — one group per
+//! reproduced figure, measuring the cost of regenerating it.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pb_orchestra::loss::LossModel;
+use pb_orchestra::prelude::*;
+use pb_orchestra::sweep::SweepConfig;
+
+fn cnn_sweep(cap: usize, loss: LossModel) -> SweepConfig {
+    SweepConfig {
+        edge_client: presets::edge_client(ServiceKind::Cnn),
+        cloud_client: presets::edge_cloud_client(),
+        server: presets::cloud_server(ServiceKind::Cnn, cap),
+        loss,
+        policy: FillPolicy::PackSlots,
+        seed: 99,
+    }
+}
+
+fn bench_single_cycle(c: &mut Criterion) {
+    let client = presets::edge_cloud_client();
+    let server = presets::cloud_server(ServiceKind::Cnn, 10);
+    let mut group = c.benchmark_group("simulate_cycle");
+    for n in [100usize, 1000, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = seeded_rng(1);
+            b.iter(|| {
+                black_box(
+                    simulate_edge_cloud(
+                        n,
+                        &client,
+                        &server,
+                        &LossModel::all(),
+                        FillPolicy::PackSlots,
+                        &mut rng,
+                    )
+                    .total_energy,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig6_sweep(c: &mut Criterion) {
+    let sweep = cnn_sweep(10, LossModel::NONE);
+    c.bench_function("fig6_sweep_10_400", |b| {
+        b.iter(|| black_box(sweep.run_range(10, 400, 10).len()))
+    });
+}
+
+fn bench_fig7_sweep(c: &mut Criterion) {
+    let sweep = cnn_sweep(35, LossModel::NONE);
+    c.bench_function("fig7b_sweep_100_2000_step1", |b| {
+        b.iter(|| black_box(sweep.run_range(100, 2000, 1).len()))
+    });
+}
+
+fn bench_fig8_lossy_sweep(c: &mut Criterion) {
+    let sweep = cnn_sweep(10, LossModel::all());
+    c.bench_function("fig8d_sweep_10_400", |b| {
+        b.iter(|| black_box(sweep.run_range(10, 400, 10).len()))
+    });
+}
+
+fn bench_fig9_sweep(c: &mut Criterion) {
+    let sweep = SweepConfig {
+        policy: FillPolicy::BalanceSlots,
+        ..cnn_sweep(35, LossModel::fig9())
+    };
+    c.bench_function("fig9_sweep_100_2000", |b| {
+        b.iter(|| black_box(sweep.run_range(100, 2000, 10).len()))
+    });
+}
+
+fn bench_async_des(c: &mut Criterion) {
+    use pb_orchestra::des::simulate_async_cycle;
+    let server = presets::cloud_server(ServiceKind::Cnn, 10);
+    c.bench_function("des_async_cycle_180_clients", |b| {
+        let mut rng = seeded_rng(3);
+        b.iter(|| black_box(simulate_async_cycle(180, &server, &mut rng).server_energy))
+    });
+}
+
+fn bench_capacity_planner(c: &mut Criterion) {
+    use pb_orchestra::planner::plan_slot_capacity;
+    let client = presets::edge_cloud_client();
+    c.bench_function("planner_630_clients_caps_1_60", |b| {
+        b.iter(|| {
+            black_box(
+                plan_slot_capacity(
+                    630,
+                    1..=60,
+                    |cap| presets::cloud_server(ServiceKind::Cnn, cap),
+                    &client,
+                    &LossModel::transfer_only(),
+                    FillPolicy::PackSlots,
+                    1,
+                )
+                .best
+                .cap,
+            )
+        })
+    });
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    use pb_orchestra::fleet::{simulate_fleet, FleetGroup};
+    use pb_units::Seconds;
+    let server = presets::cloud_server(ServiceKind::Cnn, 10);
+    let groups: Vec<FleetGroup> = (0..4)
+        .map(|i| FleetGroup {
+            name: format!("g{i}"),
+            client: presets::edge_cloud_client_with_period(Seconds(300.0 * (i + 1) as f64)),
+            count: 60,
+            phase: i,
+        })
+        .collect();
+    c.bench_function("fleet_4_groups_hyperperiod_12", |b| {
+        b.iter(|| {
+            black_box(
+                simulate_fleet(&groups, &server, &LossModel::NONE, FillPolicy::PackSlots)
+                    .total_per_hive_per_cycle,
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_single_cycle,
+    bench_fig6_sweep,
+    bench_fig7_sweep,
+    bench_fig8_lossy_sweep,
+    bench_fig9_sweep,
+    bench_async_des,
+    bench_capacity_planner,
+    bench_fleet
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benchmarks for the DSP and energy substrates.
+//!
+//! These are throughput benchmarks for the building blocks the figure
+//! regenerators lean on: the FFT, the full mel pipeline on a standard
+//! 10-second clip, audio synthesis and spectrogram-image resizing.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pb_signal::audio::{BeeAudioSynth, ColonyState};
+use pb_signal::complex::Complex;
+use pb_signal::fft::Fft;
+use pb_signal::image::Image;
+use pb_signal::mel::{MelFilterbank, MelSpectrogram};
+use pb_signal::stft::{SpectrogramParams, Stft};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for n in [256usize, 2048, 8192] {
+        let plan = Fft::new(n);
+        let mut rng = StdRng::seed_from_u64(1);
+        let data: Vec<Complex> =
+            (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), 0.0)).collect();
+        group.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                plan.forward(&mut buf);
+                black_box(buf[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mel_pipeline(c: &mut Criterion) {
+    // One full paper-standard clip: 10 s at 22 050 Hz → 128-mel features.
+    let synth = BeeAudioSynth::default();
+    let mut rng = StdRng::seed_from_u64(2);
+    let clip = synth.generate(ColonyState::Queenright, 10.0, &mut rng);
+    let stft = Stft::new(SpectrogramParams::default());
+    let bank = MelFilterbank::paper_default();
+    c.bench_function("mel_spectrogram_10s_clip", |b| {
+        b.iter(|| black_box(MelSpectrogram::compute(&clip, &stft, &bank).n_frames()))
+    });
+}
+
+fn bench_audio_synthesis(c: &mut Criterion) {
+    let synth = BeeAudioSynth::default();
+    c.bench_function("synthesize_1s_clip", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| black_box(synth.generate(ColonyState::Queenless, 1.0, &mut rng).len()))
+    });
+}
+
+fn bench_image_resize(c: &mut Criterion) {
+    let pixels: Vec<f64> = (0..427 * 128).map(|i| (i % 97) as f64 / 97.0).collect();
+    let img = Image::from_pixels(427, 128, pixels);
+    let mut group = c.benchmark_group("resize_bilinear");
+    for side in [20usize, 100, 220] {
+        group.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, &side| {
+            b.iter(|| black_box(img.resize_bilinear(side, side).mean()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_mel_pipeline, bench_audio_synthesis, bench_image_resize);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Edge-hardware ablation (beyond the paper).
+//!
+//! Ranks candidate node designs by edge-scenario cycle energy for the CNN
+//! service across wake-up periods: raw compute speed matters far less than
+//! sleep draw on a duty-cycled workload.
+//!
+//! `cargo run -p pb-bench --bin ablation_hardware [--csv]`
+
+use pb_bench::{emit, Args};
+use pb_device::catalog::HardwareOption;
+use pb_orchestra::report::TextTable;
+use pb_units::Seconds;
+
+fn main() {
+    let args = Args::from_env();
+    if args.help {
+        println!("usage: ablation_hardware [--csv]");
+        return;
+    }
+
+    let mut t = TextTable::new(vec![
+        "hardware",
+        "cnn_exec_J",
+        "cnn_exec_s",
+        "sleep_W",
+        "cycle_J_at_5min",
+        "cycle_J_at_60min",
+    ]);
+    for h in HardwareOption::catalog() {
+        t.row(vec![
+            h.profile.name.clone(),
+            format!("{:.1}", h.profile.cnn_exec.0.value()),
+            format!("{:.1}", h.profile.cnn_exec.1.value()),
+            format!("{:.3}", h.profile.sleep_power.value()),
+            format!("{:.1}", h.edge_cnn_cycle_energy(Seconds::from_minutes(5.0)).value()),
+            format!("{:.1}", h.edge_cnn_cycle_energy(Seconds::from_minutes(60.0)).value()),
+        ]);
+    }
+    emit(&t, args.csv);
+
+    if !args.csv {
+        println!("\nRanking at the paper's 5-minute cycle:");
+        for (i, (name, energy)) in pb_device::catalog::rank_hardware(Seconds::from_minutes(5.0))
+            .into_iter()
+            .enumerate()
+        {
+            println!("  {}. {name}: {:.1} J/cycle", i + 1, energy.value());
+        }
+        println!("\nAlternatives are the calibrated Pi 3b+ rescaled by device-class");
+        println!("factors (see pb_device::catalog); only the baseline row is measured.");
+    }
+}

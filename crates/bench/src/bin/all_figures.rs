@@ -1,0 +1,127 @@
+//! Writes every cheap regenerator's CSV into `results/` in one shot.
+//!
+//! `cargo run -p pb-bench --bin all_figures [--out results]`
+//!
+//! (Figure 5 is excluded — it trains CNNs for minutes; run `--bin fig5`
+//! separately when needed. Figure 2 is included at hourly resolution.)
+
+use pb_beehive::deployment::{simulate, DeploymentConfig};
+use pb_beehive::hive::SmartBeehive;
+use pb_bench::Args;
+use pb_device::constants::CYCLE_PERIOD;
+use pb_device::routine::{RoutineBuilder, ServiceKind};
+use pb_energy::battery::Battery;
+use pb_energy::harvest::PowerSystemConfig;
+use pb_orchestra::loss::LossModel;
+use pb_orchestra::prelude::*;
+use pb_orchestra::report::{comparison_table, TextTable};
+use pb_orchestra::sweep::SweepConfig;
+use pb_units::{Seconds, WattHours};
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let args = Args::from_env();
+    if args.help {
+        println!("usage: all_figures [--out DIR]");
+        return;
+    }
+    let out_dir = args.get("out", "results".to_string());
+    fs::create_dir_all(&out_dir).expect("create output directory");
+    let out = Path::new(&out_dir);
+
+    let write = |name: &str, table: &TextTable| {
+        let path = out.join(name);
+        fs::write(&path, table.to_csv()).expect("write CSV");
+        println!("wrote {} ({} rows)", path.display(), table.len());
+    };
+
+    // Table I / II as CSV.
+    let builder = RoutineBuilder::deployed();
+    let mut t = TextTable::new(vec!["scenario", "task", "energy_J", "time_s"]);
+    for service in [ServiceKind::Svm, ServiceKind::Cnn] {
+        let cycle = builder.edge_cycle(service, CYCLE_PERIOD);
+        for e in cycle.to_ledger().entries() {
+            t.row(vec![
+                format!("Edge ({})", service.name()),
+                e.task.clone(),
+                format!("{:.1}", e.energy.value()),
+                format!("{:.1}", e.time.value()),
+            ]);
+        }
+    }
+    let cloud_cycle = builder.edge_cloud_cycle(CYCLE_PERIOD);
+    for e in cloud_cycle.to_ledger().entries() {
+        t.row(vec![
+            "Edge+Cloud (edge side)".to_string(),
+            e.task.clone(),
+            format!("{:.1}", e.energy.value()),
+            format!("{:.1}", e.time.value()),
+        ]);
+    }
+    write("tables.csv", &t);
+
+    // Figure 2 at hourly resolution.
+    let hive = SmartBeehive::deployed("fig2", Seconds::from_minutes(10.0)).with_power_system(
+        PowerSystemConfig {
+            battery: Battery::new(WattHours(10.0), 0.6),
+            ..PowerSystemConfig::default()
+        },
+    );
+    let (records, _) = simulate(&hive, &DeploymentConfig::default());
+    let mut t = TextTable::new(vec!["t_hours", "load_W", "soc", "brown_out", "hive_T_C", "ambient_T_C"]);
+    for r in records.iter().step_by(60) {
+        t.row(vec![
+            format!("{:.2}", r.at.as_hours()),
+            format!("{:.3}", r.load.value()),
+            format!("{:.3}", r.soc),
+            usize::from(r.brown_out).to_string(),
+            format!("{:.1}", r.hive_temp.value()),
+            format!("{:.1}", r.ambient_temp.value()),
+        ]);
+    }
+    write("fig2.csv", &t);
+
+    // Figure 3.
+    let mut t = TextTable::new(vec!["wake_period_min", "mean_cycle_power_W"]);
+    for (period, power) in builder.fig3_sweep() {
+        t.row(vec![format!("{:.0}", period.as_minutes()), format!("{:.3}", power.value())]);
+    }
+    write("fig3.csv", &t);
+
+    // Figures 6–9.
+    let sweep = |cap: usize, loss: LossModel, policy: FillPolicy| SweepConfig {
+        edge_client: presets::edge_client(ServiceKind::Cnn),
+        cloud_client: presets::edge_cloud_client(),
+        server: presets::cloud_server(ServiceKind::Cnn, cap),
+        loss,
+        policy,
+        seed: 0xA11F,
+    };
+    write(
+        "fig6.csv",
+        &comparison_table(&sweep(10, LossModel::NONE, FillPolicy::PackSlots).run_range(10, 400, 10)),
+    );
+    write(
+        "fig7a.csv",
+        &comparison_table(&sweep(10, LossModel::NONE, FillPolicy::PackSlots).run_range(100, 2000, 25)),
+    );
+    write(
+        "fig7b.csv",
+        &comparison_table(&sweep(35, LossModel::NONE, FillPolicy::PackSlots).run_range(100, 2000, 25)),
+    );
+    for (name, loss) in [
+        ("fig8a.csv", LossModel::saturation_only()),
+        ("fig8b.csv", LossModel::transfer_only()),
+        ("fig8c.csv", LossModel::client_loss_only()),
+        ("fig8d.csv", LossModel::all()),
+    ] {
+        write(name, &comparison_table(&sweep(10, loss, FillPolicy::PackSlots).run_range(10, 400, 10)));
+    }
+    write(
+        "fig9.csv",
+        &comparison_table(&sweep(35, LossModel::fig9(), FillPolicy::BalanceSlots).run_range(100, 2000, 25)),
+    );
+
+    println!("\nAll CSVs written to {}/ (fig5 excluded: run `--bin fig5` separately).", out_dir);
+}

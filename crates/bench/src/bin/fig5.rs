@@ -1,0 +1,59 @@
+//! Regenerates **Figure 5**: queen-detection accuracy and Raspberry-Pi
+//! inference energy as functions of the CNN's input image side.
+//!
+//! Trains the residual CNN at each resolution on a synthetic corpus and
+//! prices the inference with the FLOP model anchored at the paper's
+//! 100×100 measurement (94.8 J / 37.6 s on the Pi 3b+).
+//!
+//! `cargo run --release -p pb-bench --bin fig5 [--csv] [--clips 240]
+//!  [--secs 2.0] [--sides 12,20,32,48,64,100]`
+
+use pb_beehive::service::{PipelineConfig, QueenDetectionPipeline};
+use pb_bench::{emit, Args};
+use pb_orchestra::report::TextTable;
+
+fn main() {
+    let args = Args::from_env();
+    if args.help {
+        println!("usage: fig5 [--csv] [--clips N] [--secs S] [--seed N] [--sides a,b,c]");
+        return;
+    }
+    let clips: usize = args.get("clips", 240);
+    let secs: f64 = args.get("secs", 2.0);
+    let seed: u64 = args.get("seed", 55);
+    let sides: Vec<usize> = args
+        .get("sides", "12,20,32,48,64,100".to_string())
+        .split(',')
+        .map(|s| s.trim().parse().expect("--sides expects comma-separated integers"))
+        .collect();
+
+    eprintln!("synthesizing {clips} clips of {secs} s and training at {} resolutions…", sides.len());
+    // The paper's feature pipeline (n_fft 2048, hop 512, 128 mels) so the
+    // spectrogram has fine structure for the high-resolution inputs to keep.
+    let config = PipelineConfig {
+        n_mels: 128,
+        stft: pb_signal::stft::SpectrogramParams::default(),
+        ..PipelineConfig::small(clips, secs, seed)
+    };
+    let pipeline = QueenDetectionPipeline::new(config);
+
+    let (_, svm_acc) = pipeline.train_svm();
+    let points = pipeline.resolution_sweep(&sides);
+
+    let mut t = TextTable::new(vec!["side_px", "accuracy_pct", "macs", "pi_energy_J"]);
+    for p in &points {
+        t.row(vec![
+            p.side.to_string(),
+            format!("{:.1}", p.accuracy * 100.0),
+            p.macs.to_string(),
+            format!("{:.1}", p.edge_energy.value()),
+        ]);
+    }
+    emit(&t, args.csv);
+
+    if !args.csv {
+        println!("\nSVM reference accuracy: {:.1}%", svm_acc * 100.0);
+        println!("\nPaper: accuracy converges by 100×100 (99%); energy grows");
+        println!("quadratically with the side and passes through 94.8 J at 100 px.");
+    }
+}

@@ -1,0 +1,72 @@
+//! Regenerates **Figure 7**: end-to-end energy per client of the two
+//! scenarios for 100–2000 clients, with 10 (7a) and 35 (7b) clients per
+//! time slot, plus the crossover analysis.
+//!
+//! `cargo run -p pb-bench --bin fig7 [--csv] [--step 100]`
+
+use pb_bench::{emit, Args};
+use pb_orchestra::loss::LossModel;
+use pb_orchestra::prelude::*;
+use pb_orchestra::report::comparison_table;
+use pb_orchestra::sweep::{analyze_crossover, SweepConfig};
+
+fn main() {
+    let args = Args::from_env();
+    if args.help {
+        println!("usage: fig7 [--csv] [--plot] [--step N]");
+        return;
+    }
+    let step: usize = args.get("step", 100);
+
+    for (panel, cap) in [("7a", 10usize), ("7b", 35)] {
+        let sweep = SweepConfig {
+            edge_client: presets::edge_client(ServiceKind::Cnn),
+            cloud_client: presets::edge_cloud_client(),
+            server: presets::cloud_server(ServiceKind::Cnn, cap),
+            loss: LossModel::NONE,
+            policy: FillPolicy::PackSlots,
+            seed: 7,
+        };
+        if !args.csv {
+            println!("== Figure {panel}: {cap} clients per time slot ==\n");
+        }
+        let points = sweep.run_range(100, 2000, step);
+        emit(&comparison_table(&points), args.csv);
+
+        if args.plot && !args.csv {
+            let edge: Vec<(f64, f64)> = points
+                .iter()
+                .map(|p| (p.n_clients as f64, p.edge.total_per_client.value()))
+                .collect();
+            let cloud: Vec<(f64, f64)> = points
+                .iter()
+                .map(|p| (p.n_clients as f64, p.cloud.total_per_client.value()))
+                .collect();
+            println!("\nJ/client vs clients — e = edge, c = edge+cloud:\n");
+            println!(
+                "{}",
+                pb_orchestra::plot::AsciiChart::new(72, 16).series('e', edge).series('c', cloud).render()
+            );
+        }
+
+        if !args.csv {
+            let fine = sweep.run_range(100, 2000, 1);
+            let report = analyze_crossover(&fine);
+            match report.first_crossover {
+                Some(n) => println!("\nfirst crossover : {n} clients"),
+                None => println!("\nfirst crossover : none (edge always wins)"),
+            }
+            if let Some((n, adv)) = report.max_advantage {
+                println!("max advantage   : {:.1} J/client at {n} clients", adv.value());
+            }
+            if let Some(n) = report.always_after {
+                println!("stable win from : {n} clients");
+            }
+            println!();
+        }
+    }
+    if !args.csv {
+        println!("Paper (7b): crossover at 406, max gap 12.5 J at 630, stable from 803.");
+        println!("Tipping slot capacity (Section VI-B): 26 clients per slot.");
+    }
+}

@@ -1,0 +1,59 @@
+//! Regenerates **Figure 9**: the two scenarios compared for 100–2000
+//! clients at 35 clients per slot with all three losses active.
+//!
+//! The transfer penalty uses the per-slot calibration and the balanced
+//! fill policy — the reading of Section VI-C that reproduces the figure's
+//! server counts ("three servers when the number of clients is between
+//! 1600 and 1750"); see `pb_orchestra::loss::PenaltyMode` for why
+//! Figures 8b and 9 need different readings.
+//!
+//! `cargo run -p pb-bench --bin fig9 [--csv] [--step 100]`
+
+use pb_bench::{emit, Args};
+use pb_orchestra::loss::LossModel;
+use pb_orchestra::prelude::*;
+use pb_orchestra::report::comparison_table;
+use pb_orchestra::sweep::{analyze_crossover, SweepConfig};
+
+fn main() {
+    let args = Args::from_env();
+    if args.help {
+        println!("usage: fig9 [--csv] [--step N]");
+        return;
+    }
+    let sweep = SweepConfig {
+        edge_client: presets::edge_client(ServiceKind::Cnn),
+        cloud_client: presets::edge_cloud_client(),
+        server: presets::cloud_server(ServiceKind::Cnn, 35),
+        loss: LossModel::fig9(),
+        policy: FillPolicy::BalanceSlots,
+        seed: 9,
+    };
+    let points = sweep.run_range(100, 2000, args.get("step", 100));
+    emit(&comparison_table(&points), args.csv);
+
+    if args.plot && !args.csv {
+        let edge: Vec<(f64, f64)> =
+            points.iter().map(|p| (p.n_clients as f64, p.edge.total_per_client.value())).collect();
+        let cloud: Vec<(f64, f64)> =
+            points.iter().map(|p| (p.n_clients as f64, p.cloud.total_per_client.value())).collect();
+        println!("\nJ/client vs clients — e = edge, c = edge+cloud (all losses):\n");
+        println!(
+            "{}",
+            pb_orchestra::plot::AsciiChart::new(72, 16).series('e', edge).series('c', cloud).render()
+        );
+    }
+
+    if !args.csv {
+        let fine = sweep.run_range(100, 2000, 5);
+        let report = analyze_crossover(&fine);
+        let wins = fine.iter().filter(|p| p.cloud_wins()).count();
+        println!("\nwinning points : {wins}/{} sampled", fine.len());
+        if let Some((n, adv)) = report.max_advantage {
+            println!("max advantage  : {:.1} J/client at {n} clients", adv.value());
+        }
+        println!("\nPaper: the cap-35 setting becomes \"a little bit worse\" than its");
+        println!("no-loss counterpart but keeps intervals where edge+cloud wins, e.g.");
+        println!("three servers covering 1600–1750 clients.");
+    }
+}

@@ -1,0 +1,41 @@
+//! Sensitivity of the headline results to the calibrated constants
+//! (beyond the paper).
+//!
+//! Perturbs each measured constant by ±10 % / ±20 % and reports how the
+//! tipping slot capacity (paper: 26) and the cap-35 crossover population
+//! (paper: 406) move — i.e. how robust the paper's conclusions are to
+//! measurement error.
+//!
+//! `cargo run -p pb-bench --bin sensitivity [--csv]`
+
+use pb_bench::{emit, Args};
+use pb_orchestra::report::TextTable;
+use pb_orchestra::sensitivity::sensitivity_sweep;
+
+fn main() {
+    let args = Args::from_env();
+    if args.help {
+        println!("usage: sensitivity [--csv]");
+        return;
+    }
+    let rows = sensitivity_sweep(&[0.8, 0.9, 1.0, 1.1, 1.2]);
+
+    let mut t = TextTable::new(vec!["parameter", "factor", "tipping_capacity", "crossover_cap35"]);
+    for r in &rows {
+        t.row(vec![
+            r.parameter.label().to_string(),
+            format!("{:.1}", r.factor),
+            r.tipping.map_or("never".into(), |v| v.to_string()),
+            r.crossover_cap35.map_or("never".into(), |v| v.to_string()),
+        ]);
+    }
+    emit(&t, args.csv);
+
+    if !args.csv {
+        println!("\nReading: the crossover is most sensitive to the cloud idle power");
+        println!("(it dominates a part-full server), the tipping capacity to the");
+        println!("receive power (it dominates a full one). Per-task edge energies");
+        println!("shift both by tens of clients per ±10% — the paper's qualitative");
+        println!("story survives every ±20% perturbation that keeps a crossover.");
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerates **Table I**: per-task time and energy of the edge scenario
+//! (SVM and CNN) over one 5-minute cycle.
+//!
+//! `cargo run -p pb-bench --bin table1`
+
+use pb_device::constants::CYCLE_PERIOD;
+use pb_device::routine::{RoutineBuilder, ServiceKind};
+
+fn main() {
+    let builder = RoutineBuilder::deployed();
+    for service in [ServiceKind::Svm, ServiceKind::Cnn] {
+        println!("Scenario: Edge ({})", service.name());
+        println!("{}\n", builder.edge_cycle(service, CYCLE_PERIOD).to_ledger());
+    }
+    println!("Paper totals: 366.3 J (SVM), 367.5 J (CNN), 300 s each.");
+}

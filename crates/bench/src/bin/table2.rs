@@ -1,0 +1,45 @@
+//! Regenerates **Table II**: per-task time and energy of the edge+cloud
+//! scenario — the edge column from the device model and the cloud column
+//! from one single-client cycle of the orchestration simulator.
+//!
+//! `cargo run -p pb-bench --bin table2`
+
+use pb_device::constants::CYCLE_PERIOD;
+use pb_device::profile::CloudServerProfile;
+use pb_device::routine::{RoutineBuilder, ServiceKind};
+use pb_energy::ledger::EnergyLedger;
+use pb_units::Seconds;
+
+fn main() {
+    let builder = RoutineBuilder::deployed();
+    let server = CloudServerProfile::i7_rtx2070();
+
+    for service in [ServiceKind::Svm, ServiceKind::Cnn] {
+        println!("Scenario: Edge+Cloud ({})\n", service.name());
+        println!("Edge device:");
+        let edge = builder.edge_cloud_cycle(CYCLE_PERIOD);
+        println!("{}\n", edge.to_ledger());
+
+        // Cloud column, aligned to the edge timeline exactly as the paper
+        // prints it: idle during sleep, idle during collection, receive
+        // during the upload, the model during the start of the shutdown,
+        // then idle for the rest of the shutdown.
+        let exec = match service {
+            ServiceKind::Svm => server.svm_exec,
+            ServiceKind::Cnn => server.cnn_exec,
+        };
+        let sleep = edge.sleep_duration();
+        let collect = Seconds(64.0);
+        let receive = Seconds(15.0);
+        let shutdown_rest = Seconds(9.9) - exec.1;
+        let mut cloud = EnergyLedger::new();
+        cloud.record("Idle (edge sleeps)", server.idle_power * sleep, sleep);
+        cloud.record("Idle (edge collects)", server.idle_power * collect, collect);
+        cloud.record("Receive audio", server.receive_power * receive, receive);
+        cloud.record(format!("Queen detection model ({})", service.name()), exec.0, exec.1);
+        cloud.record("Idle (edge shuts down)", server.idle_power * shutdown_rest, shutdown_rest);
+        println!("Cloud server:");
+        println!("{}\n", cloud);
+    }
+    println!("Paper totals: edge 322.0 J; cloud 13 744.3 J (SVM) / 13 806 J (CNN).");
+}

@@ -1,0 +1,258 @@
+//! The allocator component of the simulation model.
+//!
+//! "Allocator: its main task is to allocate several clients to servers. It
+//! takes a list of clients, creates servers based on their features …,
+//! allocates every client to one server, and links them to a wake-up time
+//! slot. Currently, it has one filling policy: filling a server with
+//! clients by filling one slot up to its maximum after another."
+//!
+//! That fill-first policy is [`FillPolicy::PackSlots`]. As an ablation
+//! (the paper defers alternative policies to future work) the crate adds
+//! [`FillPolicy::BalanceSlots`], which spreads the clients of each server
+//! evenly over its slots — identical in the loss-free model, but it defers
+//! the Loss-A saturation penalty.
+
+use crate::loss::TransferPenalty;
+use crate::server::ServerModel;
+
+/// How clients are distributed over a server's time slots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FillPolicy {
+    /// The paper's policy: fill each slot to its maximum before opening
+    /// the next.
+    PackSlots,
+    /// Ablation: provision the same minimal number of servers, but spread
+    /// the clients evenly across all of them and across each server's
+    /// slots. Uses more receive windows than packing, but keeps occupancy
+    /// low — which defers the Loss-A saturation penalty.
+    BalanceSlots,
+}
+
+/// One server's allocation: clients per slot (used slots only are listed;
+/// a slot may appear with zero occupancy under balancing of tiny loads).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServerAllocation {
+    /// Occupancy of each of the server's slots, in slot order.
+    pub slots: Vec<usize>,
+}
+
+impl ServerAllocation {
+    /// Number of clients on this server.
+    pub fn n_clients(&self) -> usize {
+        self.slots.iter().sum()
+    }
+
+    /// Number of slots with at least one client.
+    pub fn used_slots(&self) -> usize {
+        self.slots.iter().filter(|&&k| k > 0).count()
+    }
+}
+
+/// A complete allocation of clients onto servers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Allocation {
+    /// Per-server slot occupancies.
+    pub servers: Vec<ServerAllocation>,
+    /// Slots available per server when the allocation was made.
+    pub n_slots: usize,
+    /// Slot capacity when the allocation was made.
+    pub max_parallel: usize,
+}
+
+impl Allocation {
+    /// Total clients allocated.
+    pub fn n_clients(&self) -> usize {
+        self.servers.iter().map(ServerAllocation::n_clients).sum()
+    }
+
+    /// Number of servers used.
+    pub fn n_servers(&self) -> usize {
+        self.servers.len()
+    }
+}
+
+/// Allocates `n_clients` onto as few servers as possible, distributing
+/// within each server according to `policy`. The transfer penalty (when
+/// active) shrinks each server's slot count exactly as in
+/// [`ServerModel::n_slots`].
+pub fn allocate(
+    n_clients: usize,
+    server: &ServerModel,
+    policy: FillPolicy,
+    penalty: Option<&TransferPenalty>,
+) -> Allocation {
+    let n_slots = server.n_slots(penalty);
+    assert!(n_slots > 0, "server admits no time slots");
+    let capacity = n_slots * server.max_parallel;
+    let n_servers = n_clients.div_ceil(capacity);
+    let mut servers = Vec::with_capacity(n_servers);
+    match policy {
+        FillPolicy::PackSlots => {
+            let mut remaining = n_clients;
+            while remaining > 0 {
+                let here = remaining.min(capacity);
+                let mut slots = Vec::with_capacity(n_slots);
+                let mut left = here;
+                for _ in 0..n_slots {
+                    let k = left.min(server.max_parallel);
+                    slots.push(k);
+                    left -= k;
+                }
+                servers.push(ServerAllocation { slots });
+                remaining -= here;
+            }
+        }
+        FillPolicy::BalanceSlots => {
+            for s in 0..n_servers {
+                // Server s's even share of the population…
+                let here = n_clients / n_servers + usize::from(s < n_clients % n_servers);
+                // …spread evenly over its slots.
+                let slots =
+                    (0..n_slots).map(|i| here / n_slots + usize::from(i < here % n_slots)).collect();
+                servers.push(ServerAllocation { slots });
+            }
+        }
+    }
+    Allocation { servers, n_slots, max_parallel: server.max_parallel }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{PenaltyMode, TransferPenalty};
+    use pb_units::{Seconds, Watts};
+
+    fn paper_server(max_parallel: usize) -> ServerModel {
+        ServerModel::new(
+            Watts(44.6),
+            Watts(68.8),
+            Seconds(15.0),
+            Watts(108.0),
+            Seconds(1.0),
+            max_parallel,
+            Seconds(300.0),
+        )
+    }
+
+    #[test]
+    fn pack_fills_slot_by_slot() {
+        let a = allocate(25, &paper_server(10), FillPolicy::PackSlots, None);
+        assert_eq!(a.n_servers(), 1);
+        assert_eq!(a.servers[0].slots[0], 10);
+        assert_eq!(a.servers[0].slots[1], 10);
+        assert_eq!(a.servers[0].slots[2], 5);
+        assert!(a.servers[0].slots[3..].iter().all(|&k| k == 0));
+        assert_eq!(a.n_clients(), 25);
+        assert_eq!(a.servers[0].used_slots(), 3);
+    }
+
+    #[test]
+    fn balance_spreads_evenly() {
+        let a = allocate(25, &paper_server(10), FillPolicy::BalanceSlots, None);
+        assert_eq!(a.n_servers(), 1);
+        // 25 over 18 slots: seven slots of 2, eleven of 1.
+        let twos = a.servers[0].slots.iter().filter(|&&k| k == 2).count();
+        let ones = a.servers[0].slots.iter().filter(|&&k| k == 1).count();
+        assert_eq!((twos, ones), (7, 11));
+        assert_eq!(a.n_clients(), 25);
+    }
+
+    #[test]
+    fn overflow_opens_new_servers() {
+        // Capacity is 180 per server.
+        let a = allocate(400, &paper_server(10), FillPolicy::PackSlots, None);
+        assert_eq!(a.n_servers(), 3);
+        assert_eq!(a.servers[0].n_clients(), 180);
+        assert_eq!(a.servers[1].n_clients(), 180);
+        assert_eq!(a.servers[2].n_clients(), 40);
+    }
+
+    #[test]
+    fn exact_capacity_uses_exactly_full_servers() {
+        let a = allocate(360, &paper_server(10), FillPolicy::PackSlots, None);
+        assert_eq!(a.n_servers(), 2);
+        assert!(a.servers.iter().all(|s| s.n_clients() == 180));
+        assert!(a.servers.iter().all(|s| s.slots.iter().all(|&k| k == 10)));
+    }
+
+    #[test]
+    fn zero_clients_zero_servers() {
+        let a = allocate(0, &paper_server(10), FillPolicy::PackSlots, None);
+        assert_eq!(a.n_servers(), 0);
+        assert_eq!(a.n_clients(), 0);
+    }
+
+    #[test]
+    fn transfer_penalty_shrinks_capacity() {
+        // Figure 8b: "for 350 clients: 4 servers when duration penalty is
+        // applied versus 2 servers in the no-loss case".
+        let server = paper_server(10);
+        let no_loss = allocate(350, &server, FillPolicy::PackSlots, None);
+        assert_eq!(no_loss.n_servers(), 2);
+        let p = TransferPenalty { extra_per_client: Seconds(1.5), mode: PenaltyMode::PerExtraClient };
+        let with_loss = allocate(350, &server, FillPolicy::PackSlots, Some(&p));
+        assert_eq!(with_loss.n_servers(), 4);
+    }
+
+    #[test]
+    fn policies_preserve_client_count() {
+        for n in [1usize, 17, 180, 181, 399, 1000] {
+            for policy in [FillPolicy::PackSlots, FillPolicy::BalanceSlots] {
+                let a = allocate(n, &paper_server(10), policy, None);
+                assert_eq!(a.n_clients(), n, "policy {policy:?}, n {n}");
+                // No slot exceeds the maximum.
+                for s in &a.servers {
+                    assert!(s.slots.iter().all(|&k| k <= 10));
+                    assert_eq!(s.slots.len(), a.n_slots);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn server_count_is_minimal() {
+        for n in [1usize, 180, 181, 360, 361] {
+            let a = allocate(n, &paper_server(10), FillPolicy::PackSlots, None);
+            assert_eq!(a.n_servers(), n.div_ceil(180), "n {n}");
+        }
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn every_client_allocated_exactly_once(
+                n in 0usize..2000,
+                cap in 1usize..40,
+                balance in proptest::bool::ANY,
+            ) {
+                let server = paper_server(cap);
+                let policy = if balance { FillPolicy::BalanceSlots } else { FillPolicy::PackSlots };
+                let a = allocate(n, &server, policy, None);
+                prop_assert_eq!(a.n_clients(), n);
+                // Minimal server count.
+                let capacity = server.capacity(None);
+                prop_assert_eq!(a.n_servers(), n.div_ceil(capacity));
+                match policy {
+                    // Packing leaves all but the last server full.
+                    FillPolicy::PackSlots => {
+                        for s in a.servers.iter().rev().skip(1) {
+                            prop_assert_eq!(s.n_clients(), capacity);
+                        }
+                    }
+                    // Balancing leaves server loads within one client.
+                    FillPolicy::BalanceSlots => {
+                        if let (Some(max), Some(min)) = (
+                            a.servers.iter().map(ServerAllocation::n_clients).max(),
+                            a.servers.iter().map(ServerAllocation::n_clients).min(),
+                        ) {
+                            prop_assert!(max - min <= 1);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

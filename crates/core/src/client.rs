@@ -1,0 +1,206 @@
+//! The client component of the simulation model.
+//!
+//! "Client: its tasks are to acquire and optionally process and transfer
+//! data. It is initialized thanks to the power consumption in the sleep
+//! state, a series of actions (active state) and their respective time and
+//! power consumption, and the time between two consecutive wake-ups."
+
+use pb_device::routine::CyclePlan;
+use pb_units::{Joules, Seconds, Watts};
+
+/// One active action of a client's wake-up routine.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Action {
+    /// Action name (used by reports and to locate the transfer step).
+    pub name: String,
+    /// Draw while the action runs.
+    pub power: Watts,
+    /// Action duration.
+    pub duration: Seconds,
+}
+
+impl Action {
+    /// Builds an action.
+    pub fn new(name: impl Into<String>, power: Watts, duration: Seconds) -> Self {
+        assert!(power.value() >= 0.0 && duration.value() >= 0.0, "action values must be non-negative");
+        Action { name: name.into(), power, duration }
+    }
+
+    /// Energy of one execution.
+    pub fn energy(&self) -> Joules {
+        self.power * self.duration
+    }
+}
+
+/// A client: sleep power, action series and wake-up period.
+#[derive(Clone, Debug)]
+pub struct ClientModel {
+    /// Draw in the sleep state.
+    pub sleep_power: Watts,
+    /// Active actions executed each wake-up, in order.
+    pub actions: Vec<Action>,
+    /// Time between two consecutive wake-ups.
+    pub wake_period: Seconds,
+    /// Index into `actions` of the data-transfer step, when the client
+    /// uploads to a server (used by the transfer-time loss model).
+    pub transfer_action: Option<usize>,
+}
+
+impl ClientModel {
+    /// Builds a client, validating that the actions fit in the period.
+    pub fn new(
+        sleep_power: Watts,
+        actions: Vec<Action>,
+        wake_period: Seconds,
+        transfer_action: Option<usize>,
+    ) -> Self {
+        let active: Seconds = actions.iter().map(|a| a.duration).sum();
+        assert!(
+            active.value() <= wake_period.value() + 1e-9,
+            "actions ({active}) exceed the wake period ({wake_period})"
+        );
+        if let Some(i) = transfer_action {
+            assert!(i < actions.len(), "transfer action index out of range");
+        }
+        ClientModel { sleep_power, actions, wake_period, transfer_action }
+    }
+
+    /// Builds a client from a device-layer cycle plan; the transfer action
+    /// is located by name when `transfer_name` is given.
+    pub fn from_cycle(plan: &CyclePlan, transfer_name: Option<&str>) -> Self {
+        let actions: Vec<Action> =
+            plan.tasks.iter().map(|t| Action::new(t.name.clone(), t.power(), t.duration)).collect();
+        let transfer_action =
+            transfer_name.and_then(|n| actions.iter().position(|a| a.name == n));
+        ClientModel::new(plan.sleep_power, actions, plan.period, transfer_action)
+    }
+
+    /// Total active time per wake-up.
+    pub fn active_duration(&self) -> Seconds {
+        self.actions.iter().map(|a| a.duration).sum()
+    }
+
+    /// Total active energy per wake-up.
+    pub fn active_energy(&self) -> Joules {
+        self.actions.iter().map(Action::energy).sum()
+    }
+
+    /// Energy of one full cycle (active + sleep until the next wake-up).
+    pub fn cycle_energy(&self) -> Joules {
+        self.active_energy() + self.sleep_power * (self.wake_period - self.active_duration())
+    }
+
+    /// Energy of one cycle when the transfer step is stretched by `extra`
+    /// (the Loss-B contention penalty). The stretched transfer displaces
+    /// sleep time, so the net cost is `(tx_power − sleep_power) · extra`.
+    pub fn cycle_energy_with_transfer_penalty(&self, extra: Seconds) -> Joules {
+        assert!(extra.value() >= 0.0, "penalty must be non-negative");
+        match self.transfer_action {
+            Some(i) => {
+                let tx = &self.actions[i];
+                let stretched = self.active_duration() + extra;
+                assert!(
+                    stretched.value() <= self.wake_period.value() + 1e-9,
+                    "stretched actions exceed the wake period"
+                );
+                self.cycle_energy() + (tx.power - self.sleep_power) * extra
+            }
+            None => self.cycle_energy(),
+        }
+    }
+
+    /// Mean power over one cycle.
+    pub fn mean_power(&self) -> Watts {
+        self.cycle_energy() / self.wake_period
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_device::routine::RoutineBuilder;
+    use pb_units::Seconds;
+
+    fn paper_client() -> ClientModel {
+        // Table II edge column, CNN scenario.
+        ClientModel::new(
+            Watts(0.625),
+            vec![
+                Action::new("collect", Watts(131.8 / 64.0), Seconds(64.0)),
+                Action::new("send audio", Watts(37.3 / 15.0), Seconds(15.0)),
+                Action::new("shutdown", Watts(21.0 / 9.9), Seconds(9.9)),
+            ],
+            Seconds(300.0),
+            Some(1),
+        )
+    }
+
+    #[test]
+    fn cycle_energy_matches_table2() {
+        let c = paper_client();
+        assert!((c.cycle_energy() - Joules(322.0)).abs() < Joules(0.5));
+        assert!((c.active_duration() - Seconds(88.9)).abs() < Seconds(1e-9));
+        assert!((c.active_energy() - Joules(190.1)).abs() < Joules(1e-9));
+    }
+
+    #[test]
+    fn from_cycle_plan_round_trips() {
+        let plan = RoutineBuilder::deployed().edge_cloud_cycle(Seconds(300.0));
+        let c = ClientModel::from_cycle(&plan, Some("Send audio"));
+        assert_eq!(c.transfer_action, Some(1));
+        assert!((c.cycle_energy() - plan.total_energy()).abs() < Joules(1e-6));
+    }
+
+    #[test]
+    fn from_cycle_unknown_transfer_is_none() {
+        let plan = RoutineBuilder::deployed().edge_cloud_cycle(Seconds(300.0));
+        let c = ClientModel::from_cycle(&plan, Some("nope"));
+        assert_eq!(c.transfer_action, None);
+    }
+
+    #[test]
+    fn transfer_penalty_costs_tx_minus_sleep() {
+        let c = paper_client();
+        let base = c.cycle_energy();
+        let with = c.cycle_energy_with_transfer_penalty(Seconds(10.0));
+        let expected_delta = (Watts(37.3 / 15.0) - Watts(0.625)) * Seconds(10.0);
+        assert!(((with - base) - expected_delta).abs() < Joules(1e-9));
+    }
+
+    #[test]
+    fn no_transfer_action_ignores_penalty() {
+        let mut c = paper_client();
+        c.transfer_action = None;
+        assert_eq!(c.cycle_energy_with_transfer_penalty(Seconds(10.0)), c.cycle_energy());
+    }
+
+    #[test]
+    fn mean_power() {
+        let c = paper_client();
+        assert!((c.mean_power() - Watts(322.0 / 300.0)).abs() < Watts(0.01));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the wake period")]
+    fn overfull_period_panics() {
+        let _ = ClientModel::new(
+            Watts(0.6),
+            vec![Action::new("x", Watts(2.0), Seconds(400.0))],
+            Seconds(300.0),
+            None,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_transfer_index_panics() {
+        let _ = ClientModel::new(Watts(0.6), vec![], Seconds(300.0), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "stretched actions exceed")]
+    fn excessive_penalty_panics() {
+        let c = paper_client();
+        let _ = c.cycle_energy_with_transfer_penalty(Seconds(250.0));
+    }
+}

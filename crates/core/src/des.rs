@@ -1,0 +1,329 @@
+//! Discrete-event simulation of an *unsynchronized* server.
+//!
+//! The paper's server design rests on synchronized time slots: "every
+//! client within a group has to start their communication with the server
+//! at the same time … all synchronized in time thanks to a specific
+//! hardware (GPS, for example)". This module asks what that buys by
+//! simulating the alternative — clients wake uniformly at random within
+//! the cycle, upload over a capacity-limited link (FIFO waiting) and are
+//! processed one at a time — and accounting the same energy quantities,
+//! so the slotted and asynchronous designs can be compared head-to-head
+//! (`ablation_async` binary).
+
+use crate::server::ServerModel;
+use pb_units::{Joules, Seconds, Watts};
+use rand::Rng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Outcome of one asynchronous cycle.
+#[derive(Clone, Debug)]
+pub struct AsyncCycleReport {
+    /// Number of clients served.
+    pub n_clients: usize,
+    /// Wall-clock horizon: end of cycle or last completion, whichever is
+    /// later (synchronization-free arrivals can spill past the cycle).
+    pub horizon: Seconds,
+    /// Total server energy over the horizon.
+    pub server_energy: Joules,
+    /// Time during which at least one upload was in progress.
+    pub receive_busy: Seconds,
+    /// Time during which the processor was busy.
+    pub process_busy: Seconds,
+    /// Mean client latency from wake-up to processed result.
+    pub mean_latency: Seconds,
+    /// Worst client latency.
+    pub max_latency: Seconds,
+    /// Largest number of clients simultaneously waiting for the uplink.
+    pub peak_queue: usize,
+}
+
+/// Ordered event-queue key (time then sequence number for determinism).
+#[derive(Clone, Copy, PartialEq)]
+struct EventKey {
+    time: f64,
+    seq: u64,
+}
+
+impl Eq for EventKey {}
+
+impl PartialOrd for EventKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EventKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.total_cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    /// A client wakes and wants the uplink.
+    Arrival { client: usize },
+    /// A client's upload finishes; it joins the processing queue.
+    TransferDone { client: usize },
+    /// The processor finishes a client's job.
+    ProcessDone { client: usize },
+}
+
+/// Simulates one unsynchronized cycle: `n_clients` wake uniformly at
+/// random in `[0, cycle)`, each uploads for the server's receive window
+/// (at most `max_parallel` concurrent uploads; FIFO waiting), and jobs are
+/// processed one at a time for `process_duration` each.
+///
+/// Energy model (matching the slotted accounting): idle power over the
+/// whole horizon, plus the receive-power *delta* while ≥ 1 upload is
+/// active, plus the process-power delta while the processor is busy.
+pub fn simulate_async_cycle<R: Rng + ?Sized>(
+    n_clients: usize,
+    server: &ServerModel,
+    rng: &mut R,
+) -> AsyncCycleReport {
+    let cycle = server.cycle.value();
+    let transfer = server.receive_duration.value();
+    let process = server.process_duration.value();
+
+    let mut events: BinaryHeap<Reverse<(EventKey, usize)>> = BinaryHeap::new();
+    let mut payload: Vec<Event> = Vec::with_capacity(3 * n_clients + 1);
+    let mut seq = 0u64;
+    let mut push = |events: &mut BinaryHeap<Reverse<(EventKey, usize)>>,
+                    payload: &mut Vec<Event>,
+                    time: f64,
+                    ev: Event| {
+        payload.push(ev);
+        events.push(Reverse((EventKey { time, seq }, payload.len() - 1)));
+        seq += 1;
+    };
+
+    let mut arrivals: Vec<f64> = (0..n_clients).map(|_| rng.gen_range(0.0..cycle)).collect();
+    arrivals.sort_by(f64::total_cmp);
+    for (client, &t) in arrivals.iter().enumerate() {
+        push(&mut events, &mut payload, t, Event::Arrival { client });
+    }
+
+    let mut uplink_in_use = 0usize;
+    let mut uplink_wait: VecDeque<usize> = VecDeque::new();
+    let mut cpu_busy_until: Option<f64> = None;
+    let mut cpu_wait: VecDeque<usize> = VecDeque::new();
+
+    let mut receive_busy = 0.0f64;
+    let mut receive_since = 0.0f64;
+    let mut process_busy = 0.0f64;
+    let mut completion = vec![0.0f64; n_clients];
+    let mut peak_queue = 0usize;
+    let mut last_time = 0.0f64;
+
+    while let Some(Reverse((key, idx))) = events.pop() {
+        let now = key.time;
+        last_time = now;
+        match payload[idx] {
+            Event::Arrival { client } => {
+                if uplink_in_use < server.max_parallel {
+                    if uplink_in_use == 0 {
+                        receive_since = now;
+                    }
+                    uplink_in_use += 1;
+                    push(&mut events, &mut payload, now + transfer, Event::TransferDone { client });
+                } else {
+                    uplink_wait.push_back(client);
+                    peak_queue = peak_queue.max(uplink_wait.len());
+                }
+            }
+            Event::TransferDone { client } => {
+                // Hand the uplink to the next waiter (if any).
+                if let Some(next) = uplink_wait.pop_front() {
+                    push(&mut events, &mut payload, now + transfer, Event::TransferDone {
+                        client: next,
+                    });
+                } else {
+                    uplink_in_use -= 1;
+                    if uplink_in_use == 0 {
+                        receive_busy += now - receive_since;
+                    }
+                }
+                // Queue for processing.
+                match cpu_busy_until {
+                    Some(t) if t > now => cpu_wait.push_back(client),
+                    _ => {
+                        cpu_busy_until = Some(now + process);
+                        process_busy += process;
+                        push(&mut events, &mut payload, now + process, Event::ProcessDone {
+                            client,
+                        });
+                    }
+                }
+            }
+            Event::ProcessDone { client } => {
+                completion[client] = now;
+                if let Some(next) = cpu_wait.pop_front() {
+                    cpu_busy_until = Some(now + process);
+                    process_busy += process;
+                    push(&mut events, &mut payload, now + process, Event::ProcessDone {
+                        client: next,
+                    });
+                }
+            }
+        }
+    }
+    if uplink_in_use > 0 {
+        receive_busy += last_time - receive_since;
+    }
+
+    let horizon = last_time.max(cycle);
+    let receive_delta = server.receive_power - server.idle_power;
+    let process_delta = (server.process_power - server.idle_power).max(Watts::ZERO);
+    let server_energy = server.idle_power * Seconds(horizon)
+        + receive_delta * Seconds(receive_busy)
+        + process_delta * Seconds(process_busy);
+
+    let latencies: Vec<f64> =
+        completion.iter().zip(&arrivals).map(|(c, a)| c - a).collect();
+    let mean_latency = if n_clients > 0 {
+        latencies.iter().sum::<f64>() / n_clients as f64
+    } else {
+        0.0
+    };
+    let max_latency = latencies.iter().copied().fold(0.0, f64::max);
+
+    AsyncCycleReport {
+        n_clients,
+        horizon: Seconds(horizon),
+        server_energy,
+        receive_busy: Seconds(receive_busy),
+        process_busy: Seconds(process_busy),
+        mean_latency: Seconds(mean_latency),
+        max_latency: Seconds(max_latency),
+        peak_queue,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::presets;
+    use crate::ServiceKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn server(cap: usize) -> ServerModel {
+        presets::cloud_server(ServiceKind::Cnn, cap)
+    }
+
+    #[test]
+    fn zero_clients_idle_cycle() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = simulate_async_cycle(0, &server(10), &mut rng);
+        assert_eq!(r.n_clients, 0);
+        assert_eq!(r.horizon, Seconds(300.0));
+        assert!((r.server_energy - Joules(44.6 * 300.0)).abs() < Joules(0.5));
+        assert_eq!(r.peak_queue, 0);
+        assert_eq!(r.mean_latency, Seconds(0.0));
+    }
+
+    #[test]
+    fn single_client_latency_is_transfer_plus_process() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = simulate_async_cycle(1, &server(10), &mut rng);
+        assert!((r.mean_latency - Seconds(16.0)).abs() < Seconds(1e-9));
+        assert!((r.receive_busy - Seconds(15.0)).abs() < Seconds(1e-9));
+        assert!((r.process_busy - Seconds(1.0)).abs() < Seconds(1e-9));
+    }
+
+    #[test]
+    fn uplink_capacity_one_serializes_transfers() {
+        // Capacity 1: 5 clients → transfers serialize, so receive-busy
+        // time ≥ 5×15 − overlaps-impossible = exactly the span of the busy
+        // periods; worst latency ≥ 16 s.
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = simulate_async_cycle(5, &server(1), &mut rng);
+        assert!(r.receive_busy >= Seconds(75.0 - 1e-9));
+        assert!(r.max_latency >= Seconds(16.0));
+        assert!((r.process_busy - Seconds(5.0)).abs() < Seconds(1e-9));
+    }
+
+    #[test]
+    fn all_clients_complete_and_latency_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = simulate_async_cycle(180, &server(10), &mut rng);
+        // Everyone processed: 180 × 1 s of CPU.
+        assert!((r.process_busy - Seconds(180.0)).abs() < Seconds(1e-9));
+        assert!(r.mean_latency >= Seconds(16.0 - 1e-9));
+        assert!(r.max_latency >= r.mean_latency);
+        assert!(r.horizon >= Seconds(300.0));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = simulate_async_cycle(100, &server(10), &mut StdRng::seed_from_u64(5));
+        let b = simulate_async_cycle(100, &server(10), &mut StdRng::seed_from_u64(5));
+        assert!((a.server_energy - b.server_energy).abs() < Joules(1e-9));
+        assert_eq!(a.peak_queue, b.peak_queue);
+    }
+
+    #[test]
+    fn synchronized_slots_beat_async_on_energy() {
+        // The design-justifying comparison: the slotted server batches one
+        // execution per slot (18 total) where the async server runs one per
+        // client (180), and its receive NIC is up only 18×15 s instead of
+        // the near-full union of random intervals.
+        use crate::allocator::{allocate, FillPolicy};
+        use crate::loss::LossModel;
+        use crate::simulation::servers_cycle_energy;
+        let s = server(10);
+        let allocation = allocate(180, &s, FillPolicy::PackSlots, None);
+        let slotted = servers_cycle_energy(&s, &allocation, &LossModel::NONE);
+        let mut rng = StdRng::seed_from_u64(6);
+        let async_r = simulate_async_cycle(180, &s, &mut rng);
+        assert!(
+            slotted + Joules(5000.0) < async_r.server_energy,
+            "slotted {slotted} vs async {}",
+            async_r.server_energy
+        );
+    }
+
+    #[test]
+    fn async_latency_is_lower_than_worst_slot_wait() {
+        // What asynchrony buys instead: a client never waits for its
+        // group's time slot. Mean latency ≈ 16 s versus up to a whole
+        // cycle of slot wait in the synchronized design.
+        let mut rng = StdRng::seed_from_u64(7);
+        let r = simulate_async_cycle(180, &server(10), &mut rng);
+        assert!(r.mean_latency < Seconds(40.0), "mean latency {}", r.mean_latency);
+    }
+
+    #[test]
+    fn saturated_uplink_grows_queue() {
+        // 400 clients on capacity 2: the uplink is the bottleneck
+        // (400×15/2 = 3000 s ≫ 300 s cycle) — queue builds, horizon spills.
+        let mut rng = StdRng::seed_from_u64(8);
+        let r = simulate_async_cycle(400, &server(2), &mut rng);
+        assert!(r.peak_queue > 50, "peak queue {}", r.peak_queue);
+        assert!(r.horizon > Seconds(2000.0));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(proptest::test_runner::Config::with_cases(32))]
+            #[test]
+            fn invariants(n in 0usize..300, cap in 1usize..40, seed in 0u64..100) {
+                let s = server(cap);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let r = simulate_async_cycle(n, &s, &mut rng);
+                // CPU time is exactly n × process duration.
+                prop_assert!((r.process_busy.value() - n as f64).abs() < 1e-6);
+                // Receive-busy bounded by n × transfer and by the horizon.
+                prop_assert!(r.receive_busy.value() <= n as f64 * 15.0 + 1e-6);
+                prop_assert!(r.receive_busy.value() <= r.horizon.value() + 1e-6);
+                // Energy at least the idle floor.
+                let floor = s.idle_power * r.horizon;
+                prop_assert!(r.server_energy >= floor - Joules(1e-6));
+            }
+        }
+    }
+}

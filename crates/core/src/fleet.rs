@@ -1,0 +1,284 @@
+//! Heterogeneous fleets: several beekeepers, one network.
+//!
+//! Section VI motivates "an organization of several beekeepers putting
+//! their hardware in one unique network of edge and cloud computing". The
+//! paper simulates a homogeneous population; this module extends the model
+//! to a fleet of *groups* with different wake-up periods (each an integer
+//! multiple of the server's base cycle): a group with ratio 3 only uploads
+//! every third cycle. Server provisioning must cover the *peak* cycle,
+//! while energy is averaged over the fleet's hyper-period — so staggering
+//! group phases reduces both, which the fleet simulator quantifies.
+
+use crate::allocator::{allocate, FillPolicy};
+use crate::client::ClientModel;
+use crate::loss::LossModel;
+use crate::server::ServerModel;
+use crate::simulation::{edge_cycle_energy, servers_cycle_energy};
+use pb_units::Joules;
+
+/// One homogeneous group within the fleet.
+#[derive(Clone, Debug)]
+pub struct FleetGroup {
+    /// Group label (e.g. a beekeeper's name).
+    pub name: String,
+    /// The group's client model. Its `wake_period` must be an integer
+    /// multiple of the server cycle.
+    pub client: ClientModel,
+    /// Number of hives in the group.
+    pub count: usize,
+    /// Phase offset in base cycles (0 ≤ phase < ratio). Groups with the
+    /// same ratio but different phases never collide.
+    pub phase: usize,
+}
+
+impl FleetGroup {
+    /// The group's wake-up ratio with respect to `cycle`: how many base
+    /// cycles pass between the group's uploads.
+    pub fn ratio(&self, server: &ServerModel) -> usize {
+        let r = self.client.wake_period / server.cycle;
+        let rounded = r.round();
+        assert!(
+            (r - rounded).abs() < 1e-9 && rounded >= 1.0,
+            "group '{}': wake period must be a positive integer multiple of the server cycle",
+            self.name
+        );
+        rounded as usize
+    }
+
+    /// True when the group uploads in base cycle `j`.
+    pub fn active_in(&self, j: usize, server: &ServerModel) -> bool {
+        j % self.ratio(server) == self.phase % self.ratio(server)
+    }
+}
+
+/// Aggregate results of a fleet simulation over one hyper-period.
+#[derive(Clone, Debug)]
+pub struct FleetReport {
+    /// Length of the hyper-period in base cycles.
+    pub hyper_period: usize,
+    /// Largest simultaneous upload population across the hyper-period.
+    pub peak_clients: usize,
+    /// Servers needed to cover the peak cycle.
+    pub servers_provisioned: usize,
+    /// Mean server energy per base cycle, averaged over the hyper-period.
+    pub mean_server_energy_per_cycle: Joules,
+    /// Total edge energy of the whole fleet over the hyper-period.
+    pub edge_energy_per_hyper_period: Joules,
+    /// Total (edge + server) energy per hive per base cycle.
+    pub total_per_hive_per_cycle: Joules,
+}
+
+fn lcm(a: usize, b: usize) -> usize {
+    fn gcd(a: usize, b: usize) -> usize {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+    a / gcd(a, b) * b
+}
+
+/// Simulates one hyper-period of a heterogeneous fleet sharing servers.
+///
+/// Random client loss is intentionally excluded (it would make the peak
+/// provisioning ill-defined); apply Loss A/B via `loss` as usual.
+pub fn simulate_fleet(
+    groups: &[FleetGroup],
+    server: &ServerModel,
+    loss: &LossModel,
+    policy: FillPolicy,
+) -> FleetReport {
+    assert!(!groups.is_empty(), "fleet must contain at least one group");
+    assert!(
+        loss.client_loss.is_none(),
+        "random client loss is not supported in fleet mode"
+    );
+    let hyper_period = groups.iter().map(|g| g.ratio(server)).fold(1, lcm);
+    let n_hives: usize = groups.iter().map(|g| g.count).sum();
+
+    // First pass: per-cycle participation and the provisioning peak.
+    let participants_per_cycle: Vec<usize> = (0..hyper_period)
+        .map(|j| groups.iter().filter(|g| g.active_in(j, server)).map(|g| g.count).sum())
+        .collect();
+    let peak_clients = participants_per_cycle.iter().copied().max().unwrap_or(0);
+    let servers_provisioned =
+        allocate(peak_clients, server, policy, loss.transfer.as_ref()).n_servers();
+
+    // Second pass: energy. Provisioned servers are always on (the paper's
+    // "a server that must be turned on and available at all times"), so a
+    // cycle that uses fewer servers than provisioned bills the difference
+    // at idle.
+    let mut server_energy_total = Joules::ZERO;
+    let mut edge_energy_upload_cycles = Joules::ZERO;
+    for (j, &participants) in participants_per_cycle.iter().enumerate() {
+        let allocation = allocate(participants, server, policy, loss.transfer.as_ref());
+        server_energy_total += servers_cycle_energy(server, &allocation, loss);
+        let spare = servers_provisioned - allocation.n_servers();
+        server_energy_total += server.idle_cycle_energy() * spare as f64;
+        // Each active group pays one upload cycle of its own client model;
+        // its transfer penalty is evaluated against its own slot occupancy.
+        for g in groups.iter().filter(|g| g.active_in(j, server)) {
+            let own_allocation = allocate(g.count, server, policy, loss.transfer.as_ref());
+            edge_energy_upload_cycles += edge_cycle_energy(&g.client, &own_allocation, loss);
+        }
+    }
+
+    let mean_server = server_energy_total / hyper_period as f64;
+    let total = edge_energy_upload_cycles + server_energy_total;
+    let total_per_hive_per_cycle = total / (n_hives * hyper_period) as f64;
+
+    FleetReport {
+        hyper_period,
+        peak_clients,
+        servers_provisioned,
+        mean_server_energy_per_cycle: mean_server,
+        edge_energy_per_hyper_period: edge_energy_upload_cycles,
+        total_per_hive_per_cycle,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::presets;
+    use crate::ServiceKind;
+    use pb_units::Seconds;
+
+    fn base_client() -> ClientModel {
+        presets::edge_cloud_client()
+    }
+
+    fn slow_client(ratio: f64) -> ClientModel {
+        presets::edge_cloud_client_with_period(Seconds(300.0 * ratio))
+    }
+
+    fn server(cap: usize) -> ServerModel {
+        presets::cloud_server(ServiceKind::Cnn, cap)
+    }
+
+    fn group(name: &str, client: ClientModel, count: usize, phase: usize) -> FleetGroup {
+        FleetGroup { name: name.into(), client, count, phase }
+    }
+
+    #[test]
+    fn homogeneous_fleet_matches_plain_simulation() {
+        let g = group("solo", base_client(), 180, 0);
+        let report = simulate_fleet(&[g], &server(10), &LossModel::NONE, FillPolicy::PackSlots);
+        assert_eq!(report.hyper_period, 1);
+        assert_eq!(report.peak_clients, 180);
+        assert_eq!(report.servers_provisioned, 1);
+        // 322 J edge + 117 J server share per hive per cycle.
+        assert!((report.total_per_hive_per_cycle - Joules(439.0)).abs() < Joules(1.5));
+    }
+
+    #[test]
+    fn ratios_and_activity() {
+        let s = server(10);
+        let g2 = group("g2", slow_client(2.0), 5, 0);
+        assert_eq!(g2.ratio(&s), 2);
+        assert!(g2.active_in(0, &s));
+        assert!(!g2.active_in(1, &s));
+        assert!(g2.active_in(2, &s));
+        let g2p = group("g2p", slow_client(2.0), 5, 1);
+        assert!(!g2p.active_in(0, &s));
+        assert!(g2p.active_in(1, &s));
+    }
+
+    #[test]
+    #[should_panic(expected = "integer multiple")]
+    fn fractional_ratio_panics() {
+        let g = group("bad", slow_client(1.5), 5, 0);
+        let _ = g.ratio(&server(10));
+    }
+
+    #[test]
+    fn hyper_period_is_lcm_of_ratios() {
+        let groups = [
+            group("fast", base_client(), 10, 0),
+            group("slow", slow_client(3.0), 10, 0),
+            group("slower", slow_client(4.0), 10, 0),
+        ];
+        let report = simulate_fleet(&groups, &server(10), &LossModel::NONE, FillPolicy::PackSlots);
+        assert_eq!(report.hyper_period, 12);
+        // All three collide at cycle 0 → peak 30.
+        assert_eq!(report.peak_clients, 30);
+    }
+
+    #[test]
+    fn staggering_cuts_the_peak() {
+        // Two slow groups of 180: in phase they need 2 servers at the
+        // collision cycle; staggered they fit in 1 server per cycle.
+        let aligned = [
+            group("a", slow_client(2.0), 180, 0),
+            group("b", slow_client(2.0), 180, 0),
+        ];
+        let staggered = [
+            group("a", slow_client(2.0), 180, 0),
+            group("b", slow_client(2.0), 180, 1),
+        ];
+        let s = server(10);
+        let ra = simulate_fleet(&aligned, &s, &LossModel::NONE, FillPolicy::PackSlots);
+        let rs = simulate_fleet(&staggered, &s, &LossModel::NONE, FillPolicy::PackSlots);
+        assert_eq!(ra.peak_clients, 360);
+        assert_eq!(rs.peak_clients, 180);
+        assert_eq!(ra.servers_provisioned, 2);
+        assert_eq!(rs.servers_provisioned, 1);
+        // Staggering also lowers the mean server energy (fewer idle-heavy
+        // partial servers).
+        assert!(rs.mean_server_energy_per_cycle <= ra.mean_server_energy_per_cycle + Joules(1e-6));
+    }
+
+    #[test]
+    fn slow_groups_amortize_their_uploads() {
+        // A group that wakes every other cycle pays for one upload per two
+        // cycles: its long sleep is embedded in its own cycle energy.
+        let fast = simulate_fleet(
+            &[group("fast", base_client(), 50, 0)],
+            &server(10),
+            &LossModel::NONE,
+            FillPolicy::PackSlots,
+        );
+        let slow = simulate_fleet(
+            &[group("slow", slow_client(2.0), 50, 0)],
+            &server(10),
+            &LossModel::NONE,
+            FillPolicy::PackSlots,
+        );
+        // Per hive per base cycle the slow group pays less at the edge
+        // (sleeping is cheaper than waking) and less at the server (half
+        // the uploads, though the idle server still burns).
+        assert!(slow.total_per_hive_per_cycle < fast.total_per_hive_per_cycle);
+    }
+
+    #[test]
+    fn losses_apply_in_fleet_mode() {
+        let groups = [group("g", base_client(), 100, 0)];
+        let none = simulate_fleet(&groups, &server(10), &LossModel::NONE, FillPolicy::PackSlots);
+        let lossy = simulate_fleet(
+            &groups,
+            &server(10),
+            &LossModel::saturation_only(),
+            FillPolicy::PackSlots,
+        );
+        assert!(lossy.mean_server_energy_per_cycle > none.mean_server_energy_per_cycle);
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported in fleet mode")]
+    fn client_loss_rejected() {
+        let groups = [group("g", base_client(), 10, 0)];
+        let _ = simulate_fleet(
+            &groups,
+            &server(10),
+            &LossModel::client_loss_only(),
+            FillPolicy::PackSlots,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one group")]
+    fn empty_fleet_panics() {
+        let _ = simulate_fleet(&[], &server(10), &LossModel::NONE, FillPolicy::PackSlots);
+    }
+}

@@ -1,0 +1,251 @@
+//! The three loss models of Section VI-C.
+//!
+//! * **Loss A** — slot-saturation penalty: "A penalty when a server's time
+//!   slot starts saturating with its number of clients. The limit at which
+//!   the penalty starts is set at 5 clients below the maximum allowed per
+//!   slot. Each additional client penalizes the whole energy slots by 10%."
+//! * **Loss B** — transfer-time penalty: "A time penalty of 1.5 extra
+//!   second per client for clients' data transfer time."
+//! * **Loss C** — client loss: "A loss of clients at every wake-up time: we
+//!   use a random Gaussian distribution (mean: 10% of the total number of
+//!   clients; standard deviation: 2) to draw the number of lost clients."
+
+use pb_device::gaussian;
+use pb_units::Seconds;
+use rand::Rng;
+
+/// Loss A: multiplicative energy penalty on saturating slots.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SaturationPenalty {
+    /// Saturation starts this many clients below the slot maximum.
+    pub margin: usize,
+    /// Energy multiplier added per client above the saturation limit.
+    pub factor_per_client: f64,
+}
+
+impl Default for SaturationPenalty {
+    /// The paper's values: margin 5, 10 % per extra client.
+    fn default() -> Self {
+        SaturationPenalty { margin: 5, factor_per_client: 0.10 }
+    }
+}
+
+impl SaturationPenalty {
+    /// Energy multiplier for a slot of `occupancy` clients out of
+    /// `max_parallel` allowed.
+    pub fn multiplier(&self, occupancy: usize, max_parallel: usize) -> f64 {
+        let limit = max_parallel.saturating_sub(self.margin);
+        let over = occupancy.saturating_sub(limit);
+        1.0 + self.factor_per_client * over as f64
+    }
+}
+
+/// How the Loss-B per-client transfer penalty counts clients.
+///
+/// The paper's prose ("1.5 extra second per client for clients' data
+/// transfer time") admits several readings, and its own figures disagree:
+/// Figure 8b's numbers (≈212 J minimum server cost, 4 servers at 350
+/// clients with cap 10) force [`PenaltyMode::PerExtraClient`], while
+/// Figure 9's claim (3 servers suffice for 1600–1750 clients at cap 35)
+/// forces the much milder [`PenaltyMode::PerSlot`]. Both are provided;
+/// each figure regenerator uses the mode its source figure implies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PenaltyMode {
+    /// Extra time per client **beyond the first** in the slot. This
+    /// calibration reproduces the paper's reported ≈212 J minimum server
+    /// cost and "4 servers at 350 clients" (Figure 8b).
+    PerExtraClient,
+    /// Extra time for **every** client in the slot (the literal reading).
+    PerClient,
+    /// One constant extra transfer time per slot: since a slot's clients
+    /// transmit simultaneously, every client's transfer stretches by the
+    /// same 1.5 s. Reproduces Figure 9's server counts.
+    PerSlot,
+}
+
+/// Loss B: transfer-time contention penalty.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TransferPenalty {
+    /// Extra transfer time contributed per (extra) client.
+    pub extra_per_client: Seconds,
+    /// Counting mode.
+    pub mode: PenaltyMode,
+}
+
+impl Default for TransferPenalty {
+    /// The paper's value: 1.5 s, in the calibrated per-extra-client mode.
+    fn default() -> Self {
+        TransferPenalty { extra_per_client: Seconds(1.5), mode: PenaltyMode::PerExtraClient }
+    }
+}
+
+impl TransferPenalty {
+    /// Extra receive time for a slot of `occupancy` clients.
+    pub fn extra_for(&self, occupancy: usize) -> Seconds {
+        let n = match self.mode {
+            PenaltyMode::PerExtraClient => occupancy.saturating_sub(1),
+            PenaltyMode::PerClient => occupancy,
+            PenaltyMode::PerSlot => usize::from(occupancy > 0),
+        };
+        self.extra_per_client * n as f64
+    }
+}
+
+/// Loss C: random client loss per wake-up.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClientLoss {
+    /// Mean lost fraction of the initial client count.
+    pub mean_fraction: f64,
+    /// Standard deviation of the lost-client count (absolute clients).
+    pub std_clients: f64,
+}
+
+impl Default for ClientLoss {
+    /// The paper's values: mean 10 % of clients, σ = 2 clients.
+    fn default() -> Self {
+        ClientLoss { mean_fraction: 0.10, std_clients: 2.0 }
+    }
+}
+
+impl ClientLoss {
+    /// Draws the number of clients lost out of `n`, clamped to `[0, n]`.
+    pub fn draw<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> usize {
+        let raw = self.mean_fraction * n as f64 + self.std_clients * gaussian(rng);
+        raw.round().clamp(0.0, n as f64) as usize
+    }
+}
+
+/// Composition of the three loss models; any subset may be active.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LossModel {
+    /// Loss A.
+    pub saturation: Option<SaturationPenalty>,
+    /// Loss B.
+    pub transfer: Option<TransferPenalty>,
+    /// Loss C.
+    pub client_loss: Option<ClientLoss>,
+}
+
+impl LossModel {
+    /// The ideal, loss-free model of Section VI-B.
+    pub const NONE: LossModel = LossModel { saturation: None, transfer: None, client_loss: None };
+
+    /// Loss A only (Figure 8a).
+    pub fn saturation_only() -> Self {
+        LossModel { saturation: Some(SaturationPenalty::default()), ..Self::NONE }
+    }
+
+    /// Loss B only (Figure 8b).
+    pub fn transfer_only() -> Self {
+        LossModel { transfer: Some(TransferPenalty::default()), ..Self::NONE }
+    }
+
+    /// Loss C only (Figure 8c).
+    pub fn client_loss_only() -> Self {
+        LossModel { client_loss: Some(ClientLoss::default()), ..Self::NONE }
+    }
+
+    /// All three losses with the Figure 8 calibration (cap-10 setting).
+    pub fn all() -> Self {
+        LossModel {
+            saturation: Some(SaturationPenalty::default()),
+            transfer: Some(TransferPenalty::default()),
+            client_loss: Some(ClientLoss::default()),
+        }
+    }
+
+    /// All three losses with the Figure 9 calibration: the transfer
+    /// penalty in [`PenaltyMode::PerSlot`] mode (see [`PenaltyMode`] for
+    /// why the two figures need different readings).
+    pub fn fig9() -> Self {
+        LossModel {
+            transfer: Some(TransferPenalty {
+                extra_per_client: Seconds(1.5),
+                mode: PenaltyMode::PerSlot,
+            }),
+            ..Self::all()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn saturation_kicks_in_above_limit() {
+        let p = SaturationPenalty::default();
+        // Max 10: limit at 5. 5 clients → ×1.0, 6 → ×1.1, 10 → ×1.5.
+        assert_eq!(p.multiplier(5, 10), 1.0);
+        assert!((p.multiplier(6, 10) - 1.1).abs() < 1e-12);
+        assert!((p.multiplier(10, 10) - 1.5).abs() < 1e-12);
+        assert_eq!(p.multiplier(0, 10), 1.0);
+    }
+
+    #[test]
+    fn saturation_with_tiny_slot_max() {
+        let p = SaturationPenalty::default();
+        // Max 3 < margin 5: every client is above the (zero) limit.
+        assert!((p.multiplier(3, 3) - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_penalty_modes() {
+        let per_extra = TransferPenalty::default();
+        assert_eq!(per_extra.extra_for(1), Seconds(0.0));
+        assert_eq!(per_extra.extra_for(10), Seconds(13.5));
+        let per_client = TransferPenalty { mode: PenaltyMode::PerClient, ..per_extra };
+        assert_eq!(per_client.extra_for(10), Seconds(15.0));
+        assert_eq!(per_extra.extra_for(0), Seconds(0.0));
+        let per_slot = TransferPenalty { mode: PenaltyMode::PerSlot, ..per_extra };
+        assert_eq!(per_slot.extra_for(10), Seconds(1.5));
+        assert_eq!(per_slot.extra_for(1), Seconds(1.5));
+        assert_eq!(per_slot.extra_for(0), Seconds(0.0));
+    }
+
+    #[test]
+    fn client_loss_draw_is_clamped_and_centered() {
+        let loss = ClientLoss::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 200;
+        let draws: Vec<usize> = (0..2000).map(|_| loss.draw(n, &mut rng)).collect();
+        assert!(draws.iter().all(|&d| d <= n));
+        let mean = draws.iter().sum::<usize>() as f64 / draws.len() as f64;
+        // Mean should be near 10% of 200 = 20.
+        assert!((mean - 20.0).abs() < 0.5, "mean {mean}");
+        let std = (draws.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>()
+            / draws.len() as f64)
+            .sqrt();
+        assert!((std - 2.0).abs() < 0.3, "std {std}");
+    }
+
+    #[test]
+    fn client_loss_tiny_population() {
+        let loss = ClientLoss { mean_fraction: 0.5, std_clients: 10.0 };
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..200 {
+            let d = loss.draw(3, &mut rng);
+            assert!(d <= 3);
+        }
+    }
+
+    #[test]
+    fn fig9_uses_per_slot_mode() {
+        let m = LossModel::fig9();
+        assert_eq!(m.transfer.unwrap().mode, PenaltyMode::PerSlot);
+        assert!(m.saturation.is_some() && m.client_loss.is_some());
+    }
+
+    #[test]
+    fn composition_constructors() {
+        assert!(LossModel::NONE.saturation.is_none());
+        assert!(LossModel::saturation_only().saturation.is_some());
+        assert!(LossModel::saturation_only().transfer.is_none());
+        assert!(LossModel::transfer_only().transfer.is_some());
+        assert!(LossModel::client_loss_only().client_loss.is_some());
+        let all = LossModel::all();
+        assert!(all.saturation.is_some() && all.transfer.is_some() && all.client_loss.is_some());
+    }
+}

@@ -1,0 +1,159 @@
+//! Monte-Carlo confidence intervals for the stochastic sweeps.
+//!
+//! Figures 8c/8d/9 plot *single draws* of the random client loss — the
+//! paper itself notes "abnormal rises around 225 clients and 340 clients"
+//! that are artifacts of one draw. This module reruns a sweep point under
+//! many seeds and reports mean and a normal-approximation confidence
+//! interval, separating the model's signal from the draw's noise.
+
+use crate::sweep::SweepConfig;
+use pb_units::Joules;
+use rayon::prelude::*;
+
+/// Mean and confidence half-width of a per-client energy estimate.
+#[derive(Clone, Copy, Debug)]
+pub struct CiPoint {
+    /// Population size.
+    pub n_clients: usize,
+    /// Mean edge+cloud total per client over the replications.
+    pub cloud_mean: Joules,
+    /// 95 % confidence half-width of the mean.
+    pub cloud_ci95: Joules,
+    /// Mean edge-scenario total per client.
+    pub edge_mean: Joules,
+    /// Replications whose draw made edge+cloud win.
+    pub cloud_win_fraction: f64,
+}
+
+/// Reruns `sweep` at `n_clients` under `replications` different seeds.
+pub fn replicate_point(sweep: &SweepConfig, n_clients: usize, replications: usize) -> CiPoint {
+    assert!(replications >= 2, "need at least two replications");
+    let results: Vec<(f64, f64, bool)> = (0..replications as u64)
+        .into_par_iter()
+        .map(|r| {
+            let mut cfg = sweep.clone();
+            cfg.seed = sweep.seed.wrapping_add(r.wrapping_mul(0x9E37_79B9));
+            let p = cfg.compare_at(n_clients);
+            (
+                p.cloud.total_per_client.value(),
+                p.edge.total_per_client.value(),
+                p.cloud_wins(),
+            )
+        })
+        .collect();
+    let n = results.len() as f64;
+    let cloud_mean = results.iter().map(|r| r.0).sum::<f64>() / n;
+    let edge_mean = results.iter().map(|r| r.1).sum::<f64>() / n;
+    let var = results.iter().map(|r| (r.0 - cloud_mean).powi(2)).sum::<f64>() / (n - 1.0);
+    let ci95 = 1.96 * (var / n).sqrt();
+    let wins = results.iter().filter(|r| r.2).count() as f64 / n;
+    CiPoint {
+        n_clients,
+        cloud_mean: Joules(cloud_mean),
+        cloud_ci95: Joules(ci95),
+        edge_mean: Joules(edge_mean),
+        cloud_win_fraction: wins,
+    }
+}
+
+/// Replicates every point of a range sweep.
+pub fn replicate_range(
+    sweep: &SweepConfig,
+    from: usize,
+    to: usize,
+    step: usize,
+    replications: usize,
+) -> Vec<CiPoint> {
+    assert!(step > 0, "step must be positive");
+    (from..=to)
+        .step_by(step)
+        .map(|n| replicate_point(sweep, n, replications))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocator::FillPolicy;
+    use crate::loss::LossModel;
+    use crate::scenario::presets;
+    use crate::ServiceKind;
+
+    fn sweep(loss: LossModel) -> SweepConfig {
+        SweepConfig {
+            edge_client: presets::edge_client(ServiceKind::Cnn),
+            cloud_client: presets::edge_cloud_client(),
+            server: presets::cloud_server(ServiceKind::Cnn, 10),
+            loss,
+            policy: FillPolicy::PackSlots,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn deterministic_sweep_has_zero_interval() {
+        let ci = replicate_point(&sweep(LossModel::NONE), 180, 16);
+        assert!(ci.cloud_ci95 < Joules(1e-9), "CI {}", ci.cloud_ci95);
+        assert!((ci.cloud_mean - Joules(439.0)).abs() < Joules(1.5));
+        assert_eq!(ci.cloud_win_fraction, 0.0);
+    }
+
+    #[test]
+    fn random_loss_produces_a_real_interval() {
+        // n = 150: active ≈ 135 ± 2, safely inside one server.
+        let ci = replicate_point(&sweep(LossModel::client_loss_only()), 150, 64);
+        assert!(ci.cloud_ci95 > Joules(0.01), "CI {}", ci.cloud_ci95);
+        assert!(ci.cloud_ci95 < Joules(5.0), "CI {}", ci.cloud_ci95);
+    }
+
+    #[test]
+    fn provisioning_boundaries_amplify_draw_noise() {
+        // n = 200: the 10 %-loss draw leaves ≈180 active — exactly the
+        // one-server capacity — so the server count flips draw to draw
+        // and the per-client energy swings by tens of joules. This is the
+        // mechanism behind the paper's "abnormal rises" in Figure 8d.
+        let boundary = replicate_point(&sweep(LossModel::client_loss_only()), 200, 64);
+        let interior = replicate_point(&sweep(LossModel::client_loss_only()), 150, 64);
+        assert!(
+            boundary.cloud_ci95 > 4.0 * interior.cloud_ci95,
+            "boundary CI {} vs interior CI {}",
+            boundary.cloud_ci95,
+            interior.cloud_ci95
+        );
+    }
+
+    #[test]
+    fn more_replications_tighten_the_interval() {
+        let wide = replicate_point(&sweep(LossModel::client_loss_only()), 200, 8);
+        let tight = replicate_point(&sweep(LossModel::client_loss_only()), 200, 128);
+        assert!(tight.cloud_ci95 < wide.cloud_ci95);
+    }
+
+    #[test]
+    fn range_covers_requested_points() {
+        let points = replicate_range(&sweep(LossModel::NONE), 100, 300, 100, 4);
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].n_clients, 100);
+        assert_eq!(points[2].n_clients, 300);
+    }
+
+    #[test]
+    fn win_fraction_reflects_the_draw_sensitivity() {
+        // Near the cap-35 crossover the winner flips draw to draw under
+        // client loss; away from it the verdict is stable.
+        let near = SweepConfig {
+            server: presets::cloud_server(ServiceKind::Cnn, 35),
+            ..sweep(LossModel::client_loss_only())
+        };
+        let at_200 = replicate_point(&near, 200, 32);
+        assert_eq!(at_200.cloud_win_fraction, 0.0, "far below the crossover");
+        let at_700 = replicate_point(&near, 700, 32);
+        assert!(at_700.cloud_win_fraction > 0.5, "win fraction {}", at_700.cloud_win_fraction);
+    }
+
+    #[test]
+    #[should_panic(expected = "two replications")]
+    fn single_replication_panics() {
+        let _ = replicate_point(&sweep(LossModel::NONE), 10, 1);
+    }
+}

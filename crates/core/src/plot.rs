@@ -1,0 +1,177 @@
+//! Terminal line charts for the figure regenerators.
+//!
+//! The regenerators print tables by default; with `--plot` they also
+//! render the series as an ASCII chart so the crossover geometry of
+//! Figures 6–9 is visible without leaving the terminal.
+
+/// A multi-series ASCII line chart.
+#[derive(Clone, Debug)]
+pub struct AsciiChart {
+    width: usize,
+    height: usize,
+    series: Vec<(char, Vec<(f64, f64)>)>,
+}
+
+impl AsciiChart {
+    /// Creates a chart canvas of `width × height` characters (axes
+    /// excluded). Minimum 16 × 4.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width >= 16 && height >= 4, "canvas too small");
+        AsciiChart { width, height, series: Vec::new() }
+    }
+
+    /// Adds a series drawn with `marker`. Points need not be sorted.
+    pub fn series(mut self, marker: char, points: Vec<(f64, f64)>) -> Self {
+        assert!(!points.is_empty(), "series must contain points");
+        assert!(
+            points.iter().all(|(x, y)| x.is_finite() && y.is_finite()),
+            "points must be finite"
+        );
+        self.series.push((marker, points));
+        self
+    }
+
+    /// Data bounds across all series: `(x_min, x_max, y_min, y_max)`.
+    pub fn bounds(&self) -> (f64, f64, f64, f64) {
+        let mut b = (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+        for (_, pts) in &self.series {
+            for &(x, y) in pts {
+                b.0 = b.0.min(x);
+                b.1 = b.1.max(x);
+                b.2 = b.2.min(y);
+                b.3 = b.3.max(y);
+            }
+        }
+        b
+    }
+
+    /// Renders the chart with a y-axis label column and an x-axis line.
+    pub fn render(&self) -> String {
+        assert!(!self.series.is_empty(), "chart has no series");
+        let (x0, x1, y0, y1) = self.bounds();
+        let x_span = (x1 - x0).max(f64::MIN_POSITIVE);
+        let y_span = (y1 - y0).max(f64::MIN_POSITIVE);
+
+        let mut canvas = vec![vec![' '; self.width]; self.height];
+        for (marker, pts) in &self.series {
+            for &(x, y) in pts {
+                let cx = (((x - x0) / x_span) * (self.width - 1) as f64).round() as usize;
+                let cy = (((y - y0) / y_span) * (self.height - 1) as f64).round() as usize;
+                canvas[self.height - 1 - cy][cx] = *marker;
+            }
+        }
+
+        let label_w = 10;
+        let mut out = String::new();
+        for (row, line) in canvas.iter().enumerate() {
+            let frac = 1.0 - row as f64 / (self.height - 1) as f64;
+            let y = y0 + frac * y_span;
+            let label = if row == 0 || row == self.height - 1 || row == self.height / 2 {
+                format!("{y:>9.1} ")
+            } else {
+                " ".repeat(label_w)
+            };
+            out.push_str(&label);
+            out.push('|');
+            out.extend(line.iter());
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(label_w));
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        out.push_str(&format!(
+            "{}{:<w$.0}{:>r$.0}\n",
+            " ".repeat(label_w + 1),
+            x0,
+            x1,
+            w = self.width / 2,
+            r = self.width - self.width / 2
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(slope: f64, n: usize) -> Vec<(f64, f64)> {
+        (0..n).map(|i| (i as f64, slope * i as f64)).collect()
+    }
+
+    #[test]
+    fn renders_expected_dimensions() {
+        let chart = AsciiChart::new(40, 10).series('*', line(1.0, 20));
+        let text = chart.render();
+        let lines: Vec<&str> = text.lines().collect();
+        // 10 canvas rows + axis + x labels.
+        assert_eq!(lines.len(), 12);
+        assert!(lines[10].contains("+----"));
+    }
+
+    #[test]
+    fn increasing_series_rises_left_to_right() {
+        let chart = AsciiChart::new(40, 8).series('*', line(2.0, 40));
+        let text = chart.render();
+        let rows: Vec<&str> = text.lines().collect();
+        // Topmost canvas row has its marker to the right of the bottom row's.
+        let top_col = rows[0].find('*').unwrap();
+        let bottom_col = rows[7].find('*').unwrap();
+        assert!(top_col > bottom_col);
+    }
+
+    #[test]
+    fn two_series_both_visible() {
+        let chart = AsciiChart::new(30, 6)
+            .series('e', line(1.0, 30))
+            .series('c', (0..30).map(|i| (i as f64, 30.0 - i as f64)).collect());
+        let text = chart.render();
+        assert!(text.contains('e'));
+        assert!(text.contains('c'));
+    }
+
+    #[test]
+    fn bounds_cover_all_series() {
+        let chart = AsciiChart::new(20, 5)
+            .series('a', vec![(0.0, 5.0), (10.0, 8.0)])
+            .series('b', vec![(-5.0, 1.0), (3.0, 20.0)]);
+        assert_eq!(chart.bounds(), (-5.0, 10.0, 1.0, 20.0));
+    }
+
+    #[test]
+    fn constant_series_renders() {
+        // Zero spans must not divide by zero.
+        let chart = AsciiChart::new(20, 5).series('*', vec![(1.0, 7.0), (1.0, 7.0)]);
+        let text = chart.render();
+        assert!(text.contains('*'));
+    }
+
+    #[test]
+    fn axis_labels_show_extremes() {
+        let chart = AsciiChart::new(40, 8).series('*', vec![(100.0, 322.0), (2000.0, 439.0)]);
+        let text = chart.render();
+        assert!(text.contains("439.0"));
+        assert!(text.contains("322.0"));
+        assert!(text.contains("100"));
+        assert!(text.contains("2000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_canvas_panics() {
+        let _ = AsciiChart::new(5, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_points_panic() {
+        let _ = AsciiChart::new(20, 5).series('*', vec![(0.0, f64::NAN)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no series")]
+    fn empty_chart_panics() {
+        let _ = AsciiChart::new(20, 5).render();
+    }
+}

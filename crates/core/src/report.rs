@@ -1,0 +1,164 @@
+//! Text rendering of sweep results — the figure regenerators print these.
+
+use crate::sweep::ComparisonPoint;
+use std::fmt::Write as _;
+
+/// A simple fixed-width text table.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; the cell count must match the header count.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "cell count must match headers");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as aligned text with a header separator.
+    pub fn render(&self) -> String {
+        let n = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                let _ = write!(out, "{cell:>w$}");
+                if i + 1 < n {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (n - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as CSV (no quoting; the renderers only emit numbers and
+    /// simple labels).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Builds the standard comparison table used by the Figure 7/9 renderers.
+pub fn comparison_table(points: &[ComparisonPoint]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "clients",
+        "active",
+        "servers",
+        "edge_J_per_client",
+        "cloud_edge_J_per_client",
+        "cloud_server_J_per_client",
+        "cloud_total_J_per_client",
+        "advantage_J",
+        "winner",
+    ]);
+    for p in points {
+        t.row(vec![
+            p.n_clients.to_string(),
+            p.cloud.n_active.to_string(),
+            p.cloud.n_servers.to_string(),
+            format!("{:.1}", p.edge.total_per_client.value()),
+            format!("{:.1}", p.cloud.edge_energy_per_client.value()),
+            format!("{:.1}", p.cloud.server_energy_per_client.value()),
+            format!("{:.1}", p.cloud.total_per_client.value()),
+            format!("{:.1}", p.advantage().value()),
+            if p.cloud_wins() { "edge+cloud" } else { "edge" }.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocator::FillPolicy;
+    use crate::loss::LossModel;
+    use crate::scenario::presets;
+    use crate::sweep::SweepConfig;
+    use crate::ServiceKind;
+
+    #[test]
+    fn render_aligns_and_separates() {
+        let mut t = TextTable::new(vec!["a", "long_header"]);
+        t.row(vec!["1", "2"]);
+        t.row(vec!["100", "20000"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long_header"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right-aligned numbers line up with headers.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = TextTable::new(vec!["x", "y"]);
+        t.row(vec!["1", "2"]);
+        assert_eq!(t.to_csv(), "x,y\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "match headers")]
+    fn wrong_cell_count_panics() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["1"]);
+    }
+
+    #[test]
+    fn comparison_table_from_sweep() {
+        let sweep = SweepConfig {
+            edge_client: presets::edge_client(ServiceKind::Cnn),
+            cloud_client: presets::edge_cloud_client(),
+            server: presets::cloud_server(ServiceKind::Cnn, 35),
+            loss: LossModel::NONE,
+            policy: FillPolicy::PackSlots,
+            seed: 1,
+        };
+        let points = sweep.run_range(600, 700, 50);
+        let t = comparison_table(&points);
+        assert_eq!(t.len(), 3);
+        let text = t.render();
+        assert!(text.contains("edge+cloud"));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("clients,"));
+    }
+}

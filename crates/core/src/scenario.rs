@@ -1,0 +1,133 @@
+//! Scenario definitions and calibrated presets.
+
+use crate::client::ClientModel;
+use crate::server::ServerModel;
+use pb_device::constants as k;
+use pb_device::profile::CloudServerProfile;
+use pb_device::routine::{RoutineBuilder, ServiceKind};
+use pb_units::Seconds;
+
+/// The two placements compared throughout the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scenario {
+    /// The service runs on the smart beehive; no cloud server exists.
+    Edge(ServiceKind),
+    /// The beehive only collects and uploads; the service runs in the cloud.
+    EdgeCloud(ServiceKind),
+}
+
+impl Scenario {
+    /// Display name matching the paper.
+    pub fn name(&self) -> String {
+        match self {
+            Scenario::Edge(s) => format!("Edge ({})", s.name()),
+            Scenario::EdgeCloud(s) => format!("Edge+Cloud ({})", s.name()),
+        }
+    }
+
+    /// The service this scenario runs.
+    pub fn service(&self) -> ServiceKind {
+        match self {
+            Scenario::Edge(s) | Scenario::EdgeCloud(s) => *s,
+        }
+    }
+}
+
+/// Calibrated client/server constructors from the paper's measurements.
+pub mod presets {
+    use super::*;
+
+    /// Client for the edge scenario: collect, run the model on device,
+    /// send results, shut down (Table I).
+    pub fn edge_client(service: ServiceKind) -> ClientModel {
+        let plan = RoutineBuilder::deployed().edge_cycle(service, k::CYCLE_PERIOD);
+        // "Send results" is the only upload, but it goes to the user's
+        // phone, not to a slotted server — no transfer action.
+        ClientModel::from_cycle(&plan, None)
+    }
+
+    /// Client for the edge+cloud scenario: collect, upload audio, shut
+    /// down (Table II edge column). The "Send audio" step is the slotted
+    /// transfer.
+    pub fn edge_cloud_client() -> ClientModel {
+        let plan = RoutineBuilder::deployed().edge_cloud_cycle(k::CYCLE_PERIOD);
+        ClientModel::from_cycle(&plan, Some("Send audio"))
+    }
+
+    /// Cloud server for the edge+cloud scenario (Table II cloud column)
+    /// with `max_parallel` clients allowed per time slot.
+    pub fn cloud_server(service: ServiceKind, max_parallel: usize) -> ServerModel {
+        let p = CloudServerProfile::i7_rtx2070();
+        let exec = match service {
+            ServiceKind::Svm => p.svm_exec,
+            ServiceKind::Cnn => p.cnn_exec,
+        };
+        ServerModel::new(
+            p.idle_power,
+            p.receive_power,
+            k::EDGE_SEND_AUDIO_TIME,
+            if exec.1.value() > 0.0 { exec.0 / exec.1 } else { p.idle_power },
+            exec.1,
+            max_parallel,
+            k::CYCLE_PERIOD,
+        )
+    }
+
+    /// Client with a custom wake-up period (for frequency studies beyond
+    /// the paper's fixed 5-minute cycle).
+    pub fn edge_cloud_client_with_period(period: Seconds) -> ClientModel {
+        let plan = RoutineBuilder::deployed().edge_cloud_cycle(period);
+        ClientModel::from_cycle(&plan, Some("Send audio"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_units::Joules;
+
+    #[test]
+    fn scenario_names() {
+        assert_eq!(Scenario::Edge(ServiceKind::Svm).name(), "Edge (SVM)");
+        assert_eq!(Scenario::EdgeCloud(ServiceKind::Cnn).name(), "Edge+Cloud (CNN)");
+        assert_eq!(Scenario::Edge(ServiceKind::Cnn).service(), ServiceKind::Cnn);
+    }
+
+    #[test]
+    fn edge_clients_match_table1() {
+        let svm = presets::edge_client(ServiceKind::Svm);
+        assert!((svm.cycle_energy() - Joules(366.3)).abs() < Joules(0.2));
+        let cnn = presets::edge_client(ServiceKind::Cnn);
+        assert!((cnn.cycle_energy() - Joules(367.5)).abs() < Joules(0.2));
+        assert!(svm.transfer_action.is_none());
+    }
+
+    #[test]
+    fn edge_cloud_client_matches_table2() {
+        let c = presets::edge_cloud_client();
+        assert!((c.cycle_energy() - Joules(322.0)).abs() < Joules(0.5));
+        assert_eq!(c.transfer_action, Some(1));
+    }
+
+    #[test]
+    fn cloud_server_slots() {
+        // CNN: 16 s slots → 18 per cycle. SVM: 15.1 s slots → 19 per cycle.
+        assert_eq!(presets::cloud_server(ServiceKind::Cnn, 10).n_slots(None), 18);
+        assert_eq!(presets::cloud_server(ServiceKind::Svm, 10).n_slots(None), 19);
+    }
+
+    #[test]
+    fn cloud_server_cnn_powers() {
+        let s = presets::cloud_server(ServiceKind::Cnn, 10);
+        assert!((s.process_power.value() - 108.0).abs() < 1e-9);
+        assert!((s.idle_power.value() - 44.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn custom_period_client() {
+        let c = presets::edge_cloud_client_with_period(Seconds::from_minutes(10.0));
+        assert_eq!(c.wake_period, Seconds(600.0));
+        // Longer sleep → more cycle energy than the 5-minute client.
+        assert!(c.cycle_energy() > presets::edge_cloud_client().cycle_energy());
+    }
+}

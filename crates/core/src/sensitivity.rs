@@ -1,0 +1,281 @@
+//! Sensitivity of the headline results to the calibrated constants.
+//!
+//! Every number in the placement analysis descends from a handful of
+//! measured constants (sleep power, task energies, server powers). This
+//! module perturbs them one at a time and recomputes the two headline
+//! outputs — the tipping slot capacity (paper: 26) and the first
+//! crossover population at cap 35 (paper: 406) — quantifying how fragile
+//! the paper's conclusions are to measurement error.
+
+use crate::allocator::FillPolicy;
+use crate::client::{Action, ClientModel};
+use crate::loss::LossModel;
+use crate::server::ServerModel;
+use crate::sweep::{analyze_crossover, tipping_slot_capacity, SweepConfig};
+use pb_device::constants as k;
+use pb_units::{Joules, Seconds, Watts};
+
+/// The full parameter set of the two scenarios (defaults = the paper).
+#[derive(Clone, Debug)]
+pub struct ScenarioParameters {
+    /// Edge sleep power.
+    pub edge_sleep: Watts,
+    /// Wake-up + data collection (energy, time).
+    pub collect: (Joules, Seconds),
+    /// Audio upload (energy, time).
+    pub send_audio: (Joules, Seconds),
+    /// Result upload (energy, time).
+    pub send_results: (Joules, Seconds),
+    /// Shutdown (energy, time).
+    pub shutdown: (Joules, Seconds),
+    /// On-device CNN execution (energy, time).
+    pub edge_cnn: (Joules, Seconds),
+    /// Cloud idle power.
+    pub cloud_idle: Watts,
+    /// Cloud receive power.
+    pub cloud_receive: Watts,
+    /// Cloud CNN execution (energy, time).
+    pub cloud_cnn: (Joules, Seconds),
+    /// Cycle period.
+    pub cycle: Seconds,
+}
+
+impl Default for ScenarioParameters {
+    fn default() -> Self {
+        ScenarioParameters {
+            edge_sleep: k::PI3B_SLEEP_POWER,
+            collect: (k::EDGE_COLLECT_ENERGY, k::EDGE_COLLECT_TIME),
+            send_audio: (k::EDGE_SEND_AUDIO_ENERGY, k::EDGE_SEND_AUDIO_TIME),
+            send_results: (k::EDGE_SEND_RESULTS_ENERGY, k::EDGE_SEND_RESULTS_TIME),
+            shutdown: (k::EDGE_SHUTDOWN_ENERGY, k::EDGE_SHUTDOWN_TIME),
+            edge_cnn: (k::EDGE_CNN_ENERGY, k::EDGE_CNN_TIME),
+            cloud_idle: k::CLOUD_IDLE_POWER,
+            cloud_receive: k::CLOUD_RECEIVE_POWER,
+            cloud_cnn: (k::CLOUD_CNN_ENERGY, k::CLOUD_CNN_TIME),
+            cycle: k::CYCLE_PERIOD,
+        }
+    }
+}
+
+/// A perturbable constant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Parameter {
+    /// Edge sleep power (W).
+    EdgeSleepPower,
+    /// Collection energy (J, duration unchanged).
+    CollectEnergy,
+    /// Audio-upload energy (J, duration unchanged).
+    SendAudioEnergy,
+    /// On-device CNN energy (J, duration unchanged).
+    EdgeCnnEnergy,
+    /// Cloud idle power (W).
+    CloudIdlePower,
+    /// Cloud receive power (W).
+    CloudReceivePower,
+    /// Cloud CNN energy (J, duration unchanged).
+    CloudCnnEnergy,
+}
+
+impl Parameter {
+    /// Every perturbable constant.
+    pub const ALL: [Parameter; 7] = [
+        Parameter::EdgeSleepPower,
+        Parameter::CollectEnergy,
+        Parameter::SendAudioEnergy,
+        Parameter::EdgeCnnEnergy,
+        Parameter::CloudIdlePower,
+        Parameter::CloudReceivePower,
+        Parameter::CloudCnnEnergy,
+    ];
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Parameter::EdgeSleepPower => "edge sleep power",
+            Parameter::CollectEnergy => "collect energy",
+            Parameter::SendAudioEnergy => "send-audio energy",
+            Parameter::EdgeCnnEnergy => "edge CNN energy",
+            Parameter::CloudIdlePower => "cloud idle power",
+            Parameter::CloudReceivePower => "cloud receive power",
+            Parameter::CloudCnnEnergy => "cloud CNN energy",
+        }
+    }
+}
+
+impl ScenarioParameters {
+    /// Returns a copy with `parameter` multiplied by `factor`.
+    pub fn perturbed(&self, parameter: Parameter, factor: f64) -> Self {
+        assert!(factor > 0.0, "perturbation factor must be positive");
+        let mut p = self.clone();
+        match parameter {
+            Parameter::EdgeSleepPower => p.edge_sleep *= factor,
+            Parameter::CollectEnergy => p.collect.0 *= factor,
+            Parameter::SendAudioEnergy => p.send_audio.0 *= factor,
+            Parameter::EdgeCnnEnergy => p.edge_cnn.0 *= factor,
+            Parameter::CloudIdlePower => p.cloud_idle *= factor,
+            Parameter::CloudReceivePower => p.cloud_receive *= factor,
+            Parameter::CloudCnnEnergy => p.cloud_cnn.0 *= factor,
+        }
+        p
+    }
+
+    /// Edge-scenario client (CNN service) under these parameters.
+    pub fn edge_client(&self) -> ClientModel {
+        let actions = vec![
+            action("Wake up & Data collection", self.collect),
+            action("Queen detection model (CNN)", self.edge_cnn),
+            action("Send results", self.send_results),
+            action("Shutdown", self.shutdown),
+        ];
+        ClientModel::new(self.edge_sleep, actions, self.cycle, None)
+    }
+
+    /// Edge+cloud client under these parameters.
+    pub fn cloud_client(&self) -> ClientModel {
+        let actions = vec![
+            action("Wake up & Data collection", self.collect),
+            action("Send audio", self.send_audio),
+            action("Shutdown", self.shutdown),
+        ];
+        ClientModel::new(self.edge_sleep, actions, self.cycle, Some(1))
+    }
+
+    /// Cloud server under these parameters.
+    pub fn server(&self, max_parallel: usize) -> ServerModel {
+        let process_power =
+            if self.cloud_cnn.1.value() > 0.0 { self.cloud_cnn.0 / self.cloud_cnn.1 } else { self.cloud_idle };
+        ServerModel::new(
+            self.cloud_idle,
+            self.cloud_receive,
+            self.send_audio.1,
+            process_power,
+            self.cloud_cnn.1,
+            max_parallel,
+            self.cycle,
+        )
+    }
+
+    /// The tipping slot capacity under these parameters.
+    pub fn tipping(&self) -> Option<usize> {
+        tipping_slot_capacity(&self.edge_client(), &self.cloud_client(), |cap| self.server(cap))
+    }
+
+    /// The first crossover population at `cap` clients per slot.
+    pub fn crossover(&self, cap: usize) -> Option<usize> {
+        let sweep = SweepConfig {
+            edge_client: self.edge_client(),
+            cloud_client: self.cloud_client(),
+            server: self.server(cap),
+            loss: LossModel::NONE,
+            policy: FillPolicy::PackSlots,
+            seed: 0,
+        };
+        analyze_crossover(&sweep.run_range(10, 2000, 1)).first_crossover
+    }
+}
+
+fn action(name: &str, (e, t): (Joules, Seconds)) -> Action {
+    let power = if t.value() > 0.0 { e / t } else { Watts::ZERO };
+    Action::new(name, power, t)
+}
+
+/// One row of a sensitivity report.
+#[derive(Clone, Copy, Debug)]
+pub struct SensitivityRow {
+    /// The perturbed constant.
+    pub parameter: Parameter,
+    /// The multiplicative perturbation applied.
+    pub factor: f64,
+    /// Tipping slot capacity under the perturbation.
+    pub tipping: Option<usize>,
+    /// First crossover at cap 35 under the perturbation.
+    pub crossover_cap35: Option<usize>,
+}
+
+/// Runs the one-at-a-time sweep over all parameters and factors.
+pub fn sensitivity_sweep(factors: &[f64]) -> Vec<SensitivityRow> {
+    let base = ScenarioParameters::default();
+    let mut rows = Vec::with_capacity(Parameter::ALL.len() * factors.len());
+    for &parameter in &Parameter::ALL {
+        for &factor in factors {
+            let p = base.perturbed(parameter, factor);
+            rows.push(SensitivityRow {
+                parameter,
+                factor,
+                tipping: p.tipping(),
+                crossover_cap35: p.crossover(35),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_reproduces_headlines() {
+        let base = ScenarioParameters::default();
+        assert_eq!(base.tipping(), Some(26));
+        let c = base.crossover(35).unwrap();
+        assert!((405..=410).contains(&c), "crossover {c}");
+        // Clients match the calibrated presets.
+        assert!((base.edge_client().cycle_energy() - Joules(367.5)).abs() < Joules(0.2));
+        assert!((base.cloud_client().cycle_energy() - Joules(322.0)).abs() < Joules(0.5));
+        assert_eq!(base.server(10).n_slots(None), 18);
+    }
+
+    #[test]
+    fn cheaper_cloud_idle_moves_crossover_earlier() {
+        let base = ScenarioParameters::default();
+        let cheap = base.perturbed(Parameter::CloudIdlePower, 0.8);
+        let expensive = base.perturbed(Parameter::CloudIdlePower, 1.2);
+        let c_base = base.crossover(35).unwrap();
+        let c_cheap = cheap.crossover(35).unwrap();
+        assert!(c_cheap < c_base, "cheap {c_cheap} vs base {c_base}");
+        // +20% idle power pushes the crossover out (or, if the cloud
+        // never wins, infinitely out).
+        if let Some(c) = expensive.crossover(35) {
+            assert!(c > c_base);
+        }
+        // Tipping capacity is nearly insensitive to idle power — a full
+        // server barely idles (12 s of 300) — but responds strongly to the
+        // receive power that dominates a full server's bill.
+        assert_eq!(cheap.tipping(), Some(26));
+        let cheap_rx = base.perturbed(Parameter::CloudReceivePower, 0.8);
+        assert!(cheap_rx.tipping().unwrap() < 24, "tipping {:?}", cheap_rx.tipping());
+    }
+
+    #[test]
+    fn pricier_edge_cnn_favors_the_cloud() {
+        let base = ScenarioParameters::default();
+        let pricier = base.perturbed(Parameter::EdgeCnnEnergy, 1.3);
+        // A costlier on-device model makes offloading attractive sooner.
+        assert!(pricier.tipping().unwrap() < base.tipping().unwrap());
+        assert!(pricier.crossover(35).unwrap() < base.crossover(35).unwrap());
+    }
+
+    #[test]
+    fn sweep_covers_grid_and_stays_finite() {
+        let rows = sensitivity_sweep(&[0.9, 1.0, 1.1]);
+        assert_eq!(rows.len(), Parameter::ALL.len() * 3);
+        // Factor 1.0 rows agree with the baseline for every parameter.
+        for r in rows.iter().filter(|r| r.factor == 1.0) {
+            assert_eq!(r.tipping, Some(26), "{:?}", r.parameter);
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<&str> =
+            Parameter::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), Parameter::ALL.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_factor_panics() {
+        let _ = ScenarioParameters::default().perturbed(Parameter::CloudIdlePower, 0.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! The server component of the simulation model.
+//!
+//! "Server: its tasks are to receive data from clients and process them. …
+//! It supports a maximum amount of clients allowed in parallel. Each server
+//! allows their clients to start communication at specific times … all
+//! synchronized in time … We will refer to these specific time windows as
+//! time slots. … The shorter the time window for the server's tasks, the
+//! greater the number of time slots."
+//!
+//! Calibration note: the clients of a slot transmit **simultaneously**, so
+//! a slot's receive window is one transfer long regardless of occupancy,
+//! and the service executes **once per slot** (the GPU batches the slot's
+//! payloads). These two readings are forced by the paper's own numbers:
+//! they reproduce the 18-slot / 630-client capacity behind Figure 7b and
+//! the 116 J/client asymptote of Figure 6 exactly.
+
+use crate::loss::TransferPenalty;
+use pb_units::{Joules, Seconds, Watts};
+
+/// A cloud server with synchronized time slots.
+#[derive(Clone, Debug)]
+pub struct ServerModel {
+    /// Draw while idle between slots.
+    pub idle_power: Watts,
+    /// Draw while receiving a slot's payloads.
+    pub receive_power: Watts,
+    /// Base duration of a slot's receive window (one synchronized upload).
+    pub receive_duration: Seconds,
+    /// Draw while executing the service for a slot.
+    pub process_power: Watts,
+    /// Duration of the per-slot service execution.
+    pub process_duration: Seconds,
+    /// Maximum clients allowed in parallel in one time slot.
+    pub max_parallel: usize,
+    /// Cycle period shared with the clients.
+    pub cycle: Seconds,
+}
+
+impl ServerModel {
+    /// Validates the configuration.
+    pub fn new(
+        idle_power: Watts,
+        receive_power: Watts,
+        receive_duration: Seconds,
+        process_power: Watts,
+        process_duration: Seconds,
+        max_parallel: usize,
+        cycle: Seconds,
+    ) -> Self {
+        assert!(max_parallel > 0, "need at least one client per slot");
+        assert!(receive_duration.value() > 0.0, "receive window must be positive");
+        assert!(cycle > receive_duration + process_duration, "cycle must fit at least one slot");
+        ServerModel {
+            idle_power,
+            receive_power,
+            receive_duration,
+            process_power,
+            process_duration,
+            max_parallel,
+            cycle,
+        }
+    }
+
+    /// Receive window of a slot holding `occupancy` clients under an
+    /// optional transfer-time penalty.
+    pub fn receive_window(&self, occupancy: usize, penalty: Option<&TransferPenalty>) -> Seconds {
+        let extra = penalty.map_or(Seconds::ZERO, |p| p.extra_for(occupancy));
+        self.receive_duration + extra
+    }
+
+    /// Full duration of a slot holding `occupancy` clients.
+    pub fn slot_duration(&self, occupancy: usize, penalty: Option<&TransferPenalty>) -> Seconds {
+        self.receive_window(occupancy, penalty) + self.process_duration
+    }
+
+    /// Number of time slots the cycle can hold. Slots are sized for the
+    /// worst case (a full slot), so the count shrinks under a transfer
+    /// penalty — the Figure 8b effect.
+    pub fn n_slots(&self, penalty: Option<&TransferPenalty>) -> usize {
+        let d = self.slot_duration(self.max_parallel, penalty);
+        (self.cycle.value() / d.value()).floor() as usize
+    }
+
+    /// Maximum clients one server can host per cycle.
+    pub fn capacity(&self, penalty: Option<&TransferPenalty>) -> usize {
+        self.n_slots(penalty) * self.max_parallel
+    }
+
+    /// Energy of one *used* slot holding `occupancy` clients (receive +
+    /// process), before any saturation penalty.
+    pub fn slot_energy(&self, occupancy: usize, penalty: Option<&TransferPenalty>) -> Joules {
+        assert!(occupancy > 0, "slot energy only defined for used slots");
+        self.receive_power * self.receive_window(occupancy, penalty)
+            + self.process_power * self.process_duration
+    }
+
+    /// Energy of a full cycle in which the server only idles.
+    pub fn idle_cycle_energy(&self) -> Joules {
+        self.idle_power * self.cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{PenaltyMode, TransferPenalty};
+
+    /// The paper's server with the CNN service, 10 clients/slot.
+    pub fn paper_server(max_parallel: usize) -> ServerModel {
+        ServerModel::new(
+            Watts(44.6),
+            Watts(68.8),
+            Seconds(15.0),
+            Watts(108.0),
+            Seconds(1.0),
+            max_parallel,
+            Seconds(300.0),
+        )
+    }
+
+    #[test]
+    fn eighteen_slots_per_cycle() {
+        // 300 s / (15 + 1) s = 18.75 → 18 slots.
+        let s = paper_server(10);
+        assert_eq!(s.n_slots(None), 18);
+        assert_eq!(s.capacity(None), 180);
+        // The Figure 7b setting: 35 clients/slot → 630 clients/server.
+        assert_eq!(paper_server(35).capacity(None), 630);
+    }
+
+    #[test]
+    fn paper_example_five_slots() {
+        // "given a data transfer and a model execution's duration of
+        // 1 minute, a server can allow 5-time slots" in a 5-minute cycle.
+        let s = ServerModel::new(
+            Watts(44.6),
+            Watts(68.8),
+            Seconds(45.0),
+            Watts(108.0),
+            Seconds(15.0),
+            10,
+            Seconds(300.0),
+        );
+        assert_eq!(s.n_slots(None), 5);
+    }
+
+    #[test]
+    fn slot_energy_matches_table2() {
+        let s = paper_server(10);
+        // Receive 15 s at 68.8 W = 1032 J plus CNN 108 J.
+        assert!((s.slot_energy(10, None) - Joules(1140.0)).abs() < Joules(0.1));
+    }
+
+    #[test]
+    fn full_server_cycle_energy_is_21kj() {
+        // 18 slots busy 288 s, idle 12 s: the Figure 6 asymptote input.
+        let s = paper_server(10);
+        let busy: f64 = (0..18).map(|_| s.slot_energy(10, None).value()).sum();
+        let idle = s.idle_power * (s.cycle - Seconds(18.0 * 16.0));
+        let total = idle + Joules(busy);
+        assert!((total - Joules(21_055.2)).abs() < Joules(1.0), "total {total}");
+        // → 117 J per client at capacity.
+        let per_client = total.value() / 180.0;
+        assert!((per_client - 117.0).abs() < 0.3, "per-client {per_client}");
+    }
+
+    #[test]
+    fn transfer_penalty_shrinks_slot_count() {
+        let s = paper_server(10);
+        let p = TransferPenalty { extra_per_client: Seconds(1.5), mode: PenaltyMode::PerExtraClient };
+        // Full slot: 15 + 1.5·9 = 28.5 s receive + 1 s process = 29.5 s →
+        // 10 slots → 100 clients (Figure 8b's ≈halved capacity).
+        assert_eq!(s.n_slots(Some(&p)), 10);
+        assert_eq!(s.capacity(Some(&p)), 100);
+    }
+
+    #[test]
+    fn per_client_penalty_mode_is_stricter() {
+        let s = paper_server(10);
+        let p = TransferPenalty { extra_per_client: Seconds(1.5), mode: PenaltyMode::PerClient };
+        // 15 + 1.5·10 = 30 s + 1 s = 31 s → 9 slots.
+        assert_eq!(s.n_slots(Some(&p)), 9);
+    }
+
+    #[test]
+    fn idle_cycle_energy() {
+        let s = paper_server(10);
+        assert!((s.idle_cycle_energy() - Joules(44.6 * 300.0)).abs() < Joules(1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn zero_parallel_panics() {
+        let _ = paper_server(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "used slots")]
+    fn empty_slot_energy_panics() {
+        let _ = paper_server(10).slot_energy(0, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn cycle_smaller_than_slot_panics() {
+        let _ = ServerModel::new(
+            Watts(44.6),
+            Watts(68.8),
+            Seconds(200.0),
+            Watts(108.0),
+            Seconds(150.0),
+            10,
+            Seconds(300.0),
+        );
+    }
+}

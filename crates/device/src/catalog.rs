@@ -1,0 +1,187 @@
+//! Alternative edge-hardware catalog.
+//!
+//! The paper's related-work section notes "there is not a universal
+//! solution in terms of architecture and choice of hardware". This catalog
+//! extends the calibrated Pi 3b+ profile with alternative node designs so
+//! the hardware choice itself can be ablated (`ablation_hardware`). The
+//! alternatives are *synthetic but disciplined*: each is the Pi 3b+
+//! profile rescaled by a relative compute speed and power factor typical
+//! of its device class, keeping the measured task structure intact.
+
+use crate::profile::EdgeDeviceProfile;
+use pb_units::{Joules, Seconds, Watts};
+
+/// A candidate edge platform.
+#[derive(Clone, Debug)]
+pub struct HardwareOption {
+    /// The device profile (collect/transfer/shutdown tasks rescaled).
+    pub profile: EdgeDeviceProfile,
+    /// Compute speed relative to the Pi 3b+ (2 = halves model runtimes).
+    pub compute_speedup: f64,
+    /// Active-power factor relative to the Pi 3b+.
+    pub active_power_factor: f64,
+}
+
+impl HardwareOption {
+    /// Builds an option by rescaling the calibrated Pi 3b+ profile.
+    ///
+    /// * compute tasks (the AI models) divide their duration by
+    ///   `compute_speedup` and multiply their power by
+    ///   `active_power_factor`;
+    /// * I/O-bound tasks (collect, transfer, shutdown) keep their measured
+    ///   durations — sensors and Wi-Fi don't speed up with the CPU — but
+    ///   scale their power;
+    /// * sleep power scales by `sleep_power_factor`.
+    pub fn scaled(
+        name: &str,
+        compute_speedup: f64,
+        active_power_factor: f64,
+        sleep_power_factor: f64,
+    ) -> Self {
+        assert!(compute_speedup > 0.0, "speedup must be positive");
+        assert!(active_power_factor > 0.0 && sleep_power_factor > 0.0, "factors must be positive");
+        let base = EdgeDeviceProfile::raspberry_pi_3b_plus();
+        let scale_io = |(e, t): (Joules, Seconds)| (e * active_power_factor, t);
+        let scale_compute = |(e, t): (Joules, Seconds)| {
+            let t2 = t / compute_speedup;
+            let p2 = if t.value() > 0.0 { (e / t) * active_power_factor } else { Watts::ZERO };
+            (p2 * t2, t2)
+        };
+        HardwareOption {
+            profile: EdgeDeviceProfile {
+                name: name.to_string(),
+                sleep_power: base.sleep_power * sleep_power_factor,
+                collect: scale_io(base.collect),
+                send_audio: scale_io(base.send_audio),
+                send_results: scale_io(base.send_results),
+                shutdown: scale_io(base.shutdown),
+                svm_exec: scale_compute(base.svm_exec),
+                cnn_exec: scale_compute(base.cnn_exec),
+            },
+            compute_speedup,
+            active_power_factor,
+        }
+    }
+
+    /// The calibrated baseline itself.
+    pub fn pi3b_plus() -> Self {
+        HardwareOption {
+            profile: EdgeDeviceProfile::raspberry_pi_3b_plus(),
+            compute_speedup: 1.0,
+            active_power_factor: 1.0,
+        }
+    }
+
+    /// A Pi-Zero-class node: ≈4× slower single core at ≈45 % of the power.
+    pub fn pi_zero_class() -> Self {
+        Self::scaled("Pi-Zero-class node", 0.25, 0.45, 0.30)
+    }
+
+    /// A Pi-4-class node: ≈2.5× faster at ≈1.6× the power.
+    pub fn pi4_class() -> Self {
+        Self::scaled("Pi-4-class node", 2.5, 1.6, 1.25)
+    }
+
+    /// An accelerator-equipped node (Jetson-class): ≈20× faster CNN at
+    /// ≈3.5× the power.
+    pub fn accelerator_class() -> Self {
+        Self::scaled("accelerator-class node", 20.0, 3.5, 2.0)
+    }
+
+    /// The full catalog, baseline first.
+    pub fn catalog() -> Vec<HardwareOption> {
+        vec![Self::pi3b_plus(), Self::pi_zero_class(), Self::pi4_class(), Self::accelerator_class()]
+    }
+
+    /// Energy of one edge-scenario cycle (CNN service) on this hardware.
+    pub fn edge_cnn_cycle_energy(&self, period: Seconds) -> Joules {
+        let p = &self.profile;
+        let active_time = p.collect.1 + p.cnn_exec.1 + p.send_results.1 + p.shutdown.1;
+        assert!(active_time.value() <= period.value(), "cycle does not fit the period");
+        p.collect.0
+            + p.cnn_exec.0
+            + p.send_results.0
+            + p.shutdown.0
+            + p.sleep_power * (period - active_time)
+    }
+}
+
+/// Ranks the catalog by edge-cycle energy for the CNN service.
+pub fn rank_hardware(period: Seconds) -> Vec<(String, Joules)> {
+    let mut ranked: Vec<(String, Joules)> = HardwareOption::catalog()
+        .into_iter()
+        .map(|h| (h.profile.name.clone(), h.edge_cnn_cycle_energy(period)))
+        .collect();
+    ranked.sort_by(|a, b| a.1.value().total_cmp(&b.1.value()));
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constants as k;
+
+    #[test]
+    fn baseline_matches_table1() {
+        let base = HardwareOption::pi3b_plus();
+        let e = base.edge_cnn_cycle_energy(k::CYCLE_PERIOD);
+        assert!((e - Joules(367.5)).abs() < Joules(0.2));
+    }
+
+    #[test]
+    fn compute_scaling_preserves_io_tasks() {
+        let pi4 = HardwareOption::pi4_class();
+        // Collect keeps the measured 64 s; CNN runs 2.5× faster.
+        assert_eq!(pi4.profile.collect.1, Seconds(64.0));
+        assert!((pi4.profile.cnn_exec.1 - Seconds(37.6 / 2.5)).abs() < Seconds(1e-9));
+        // CNN power is 1.6× the baseline's.
+        let p_base = Joules(94.8) / Seconds(37.6);
+        assert!((pi4.profile.phase_power(pi4.profile.cnn_exec) - p_base * 1.6).abs() < Watts(1e-9));
+    }
+
+    #[test]
+    fn accelerator_wins_on_compute_but_pays_sleep() {
+        let acc = HardwareOption::accelerator_class();
+        let base = HardwareOption::pi3b_plus();
+        // CNN execution energy: 20× faster at 3.5× power → ~5.7× cheaper.
+        assert!(acc.profile.cnn_exec.0 < base.profile.cnn_exec.0 / 4.0);
+        // But it idles hotter.
+        assert!(acc.profile.sleep_power > base.profile.sleep_power);
+    }
+
+    #[test]
+    fn ranking_is_sane_at_five_minutes() {
+        let ranked = rank_hardware(k::CYCLE_PERIOD);
+        assert_eq!(ranked.len(), 4);
+        // The low-power Zero-class node wins the duty-cycled workload.
+        assert!(ranked[0].0.contains("Zero"), "winner {:?}", ranked[0]);
+        // Ordered ascending.
+        for w in ranked.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn low_sleep_power_dominates_long_periods() {
+        // At a 2-hour period sleep dominates: the Zero-class node's win
+        // margin grows rather than shrinks.
+        let period = Seconds::from_hours(2.0);
+        let zero = HardwareOption::pi_zero_class().edge_cnn_cycle_energy(period);
+        let acc = HardwareOption::accelerator_class().edge_cnn_cycle_energy(period);
+        assert!(zero * 2.0 < acc, "zero {zero} vs accelerator {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn too_short_period_panics() {
+        // Zero-class CNN takes 4× longer: 37.6 × 4 = 150.4 s; with collect
+        // etc. the cycle needs > 225 s.
+        let _ = HardwareOption::pi_zero_class().edge_cnn_cycle_energy(Seconds(200.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "speedup must be positive")]
+    fn bad_speedup_panics() {
+        let _ = HardwareOption::scaled("x", 0.0, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Execution models: MAC counts → (duration, energy) on a device.
+//!
+//! Figure 5 of the paper sweeps the CNN input size and reports that the
+//! Raspberry Pi's inference energy grows quadratically with image size —
+//! i.e. proportionally to the model's multiply-accumulate count. A
+//! [`ComputeModel`] is a device's (throughput, active power) pair, and is
+//! calibrated from one measured anchor point so that the whole curve passes
+//! through the paper's measurement.
+
+use pb_units::{Joules, Seconds, Watts};
+
+/// The result of executing a workload on a device.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Execution {
+    /// Wall-clock duration of the execution.
+    pub duration: Seconds,
+    /// Energy consumed by the execution.
+    pub energy: Joules,
+}
+
+/// A device's compute model: fixed active power and MAC throughput.
+#[derive(Clone, Copy, Debug)]
+pub struct ComputeModel {
+    /// Draw while executing the workload.
+    pub active_power: Watts,
+    /// Sustained multiply-accumulates per second.
+    pub macs_per_second: f64,
+    /// Fixed per-invocation overhead (interpreter start-up, buffer setup).
+    pub overhead: Seconds,
+}
+
+impl ComputeModel {
+    /// Calibrates a model from one measured anchor: a workload of
+    /// `anchor_macs` took `anchor_time` and consumed `anchor_energy`.
+    /// `overhead` is subtracted from the anchor time before computing the
+    /// throughput.
+    pub fn calibrated(
+        anchor_macs: u64,
+        anchor_energy: Joules,
+        anchor_time: Seconds,
+        overhead: Seconds,
+    ) -> Self {
+        assert!(anchor_macs > 0, "anchor workload must be non-empty");
+        assert!(anchor_time > overhead, "anchor time must exceed the overhead");
+        let compute_time = anchor_time - overhead;
+        ComputeModel {
+            active_power: anchor_energy / anchor_time,
+            macs_per_second: anchor_macs as f64 / compute_time.value(),
+            overhead,
+        }
+    }
+
+    /// Raspberry Pi 3b+ CNN inference, anchored at the paper's 100×100
+    /// measurement (94.8 J / 37.6 s) for a model of `macs_at_100` MACs.
+    pub fn pi3b_cnn(macs_at_100: u64) -> Self {
+        ComputeModel::calibrated(
+            macs_at_100,
+            crate::constants::EDGE_CNN_ENERGY,
+            crate::constants::EDGE_CNN_TIME,
+            Seconds(2.0),
+        )
+    }
+
+    /// Cloud-server CNN inference, anchored at Table II (108 J / 1.0 s).
+    pub fn cloud_cnn(macs_at_100: u64) -> Self {
+        ComputeModel::calibrated(
+            macs_at_100,
+            crate::constants::CLOUD_CNN_ENERGY,
+            crate::constants::CLOUD_CNN_TIME,
+            Seconds(0.05),
+        )
+    }
+
+    /// Executes a workload of `macs` operations.
+    pub fn execute(&self, macs: u64) -> Execution {
+        let duration = self.overhead + Seconds(macs as f64 / self.macs_per_second);
+        Execution { duration, energy: self.active_power * duration }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ANCHOR_MACS: u64 = 50_000_000;
+
+    #[test]
+    fn calibration_reproduces_anchor() {
+        let m = ComputeModel::pi3b_cnn(ANCHOR_MACS);
+        let exec = m.execute(ANCHOR_MACS);
+        assert!((exec.duration - Seconds(37.6)).abs() < Seconds(1e-9));
+        assert!((exec.energy - Joules(94.8)).abs() < Joules(1e-6));
+    }
+
+    #[test]
+    fn cloud_is_much_faster_than_edge() {
+        let edge = ComputeModel::pi3b_cnn(ANCHOR_MACS);
+        let cloud = ComputeModel::cloud_cnn(ANCHOR_MACS);
+        let e = edge.execute(ANCHOR_MACS);
+        let c = cloud.execute(ANCHOR_MACS);
+        assert!(c.duration.value() * 30.0 < e.duration.value());
+        // ...but draws far more power.
+        assert!(cloud.active_power > edge.active_power * 40.0);
+    }
+
+    #[test]
+    fn energy_grows_linearly_in_macs_beyond_overhead() {
+        let m = ComputeModel::pi3b_cnn(ANCHOR_MACS);
+        let e1 = m.execute(ANCHOR_MACS).energy;
+        let e2 = m.execute(2 * ANCHOR_MACS).energy;
+        let e4 = m.execute(4 * ANCHOR_MACS).energy;
+        // Differences are exactly linear (the overhead cancels).
+        let d1 = e2 - e1;
+        let d2 = e4 - e2;
+        assert!((d2 - d1 * 2.0).abs() < Joules(1e-6));
+    }
+
+    #[test]
+    fn quadratic_curve_through_anchor() {
+        // If MACs scale as side², energy-vs-side is a quadratic passing
+        // through (100, 94.8): the Figure 5 property.
+        let m = ComputeModel::pi3b_cnn(ANCHOR_MACS);
+        let macs_at = |side: f64| ((side * side / 10_000.0) * ANCHOR_MACS as f64) as u64;
+        let e50 = m.execute(macs_at(50.0)).energy;
+        let e100 = m.execute(macs_at(100.0)).energy;
+        let e200 = m.execute(macs_at(200.0)).energy;
+        assert!((e100 - Joules(94.8)).abs() < Joules(1e-6));
+        assert!(e50 < e100 && e100 < e200);
+        // Quadratic check on the overhead-free part.
+        let base = m.active_power * m.overhead;
+        let r = (e200 - base).value() / (e50 - base).value();
+        assert!((r - 16.0).abs() < 0.1, "ratio {r}");
+    }
+
+    #[test]
+    fn zero_macs_costs_only_overhead() {
+        let m = ComputeModel::pi3b_cnn(ANCHOR_MACS);
+        let e = m.execute(0);
+        assert_eq!(e.duration, m.overhead);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the overhead")]
+    fn overhead_longer_than_anchor_panics() {
+        let _ = ComputeModel::calibrated(100, Joules(1.0), Seconds(1.0), Seconds(2.0));
+    }
+}

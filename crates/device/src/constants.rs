@@ -1,0 +1,173 @@
+//! Every calibrated constant, with provenance in the paper.
+//!
+//! All values are published measurements; nothing here is invented. Where a
+//! value is derived (power = energy / time) the derivation is noted.
+
+use pb_units::{Joules, Seconds, Watts};
+
+// --- Section IV: the data-collection routine ------------------------------
+
+/// Mean routine length: "the Raspberry Pi 3b+ is turned on, performs its
+/// tasks, and shuts down in 1 minute and 29 seconds".
+pub const ROUTINE_DURATION: Seconds = Seconds(89.0);
+/// Mean routine power: "with an average power of 2.14 watts".
+pub const ROUTINE_POWER: Watts = Watts(2.14);
+/// Mean routine energy: "an average energy cost of 190.1 joules".
+pub const ROUTINE_ENERGY: Joules = Joules(190.1);
+/// "The standard deviation for the lengths of routines is 3.5 seconds."
+pub const ROUTINE_DURATION_STD: Seconds = Seconds(3.5);
+/// "The standard deviation for the average power of routines is 0.009 watts."
+pub const ROUTINE_POWER_STD: Watts = Watts(0.009);
+/// Number of routines in the measurement campaign.
+pub const ROUTINE_CAMPAIGN_SIZE: usize = 319;
+/// Sleep-state draw of the Pi 3b+: "converges toward a value close to 0.62
+/// watts, which is the consumption of the Raspberry Pi 3b+ in a sleep
+/// state". Table I gives the sharper 111.6 J / 178.5 s = 0.625 W.
+pub const PI3B_SLEEP_POWER: Watts = Watts(111.6 / 178.5);
+/// Figure 3's reported mean cycle power at the 5-minute wake-up frequency.
+pub const FIG3_POWER_AT_5MIN: Watts = Watts(1.19);
+/// Wake-up frequencies swept in Figure 3, in minutes.
+pub const FIG3_FREQUENCIES_MIN: [f64; 6] = [5.0, 10.0, 15.0, 30.0, 60.0, 120.0];
+
+// --- Table I: edge scenario, per 5-minute cycle ----------------------------
+
+/// "Wake up & Data collection": 131.8 J over 64.0 s.
+pub const EDGE_COLLECT_ENERGY: Joules = Joules(131.8);
+/// Duration of wake-up + data collection.
+pub const EDGE_COLLECT_TIME: Seconds = Seconds(64.0);
+/// On-device SVM queen detection: 98.9 J over 46.1 s.
+pub const EDGE_SVM_ENERGY: Joules = Joules(98.9);
+/// Duration of the on-device SVM execution.
+pub const EDGE_SVM_TIME: Seconds = Seconds(46.1);
+/// On-device CNN queen detection (100×100 input): 94.8 J over 37.6 s.
+pub const EDGE_CNN_ENERGY: Joules = Joules(94.8);
+/// Duration of the on-device CNN execution.
+pub const EDGE_CNN_TIME: Seconds = Seconds(37.6);
+/// "Send results" (edge scenario): 3.0 J over 1.5 s.
+pub const EDGE_SEND_RESULTS_ENERGY: Joules = Joules(3.0);
+/// Duration of the result upload.
+pub const EDGE_SEND_RESULTS_TIME: Seconds = Seconds(1.5);
+/// Shutdown: 21.0 J over 9.9 s.
+pub const EDGE_SHUTDOWN_ENERGY: Joules = Joules(21.0);
+/// Duration of the shutdown.
+pub const EDGE_SHUTDOWN_TIME: Seconds = Seconds(9.9);
+/// Table I total, edge scenario with SVM.
+pub const EDGE_SVM_CYCLE_TOTAL: Joules = Joules(366.3);
+/// Table I total, edge scenario with CNN.
+pub const EDGE_CNN_CYCLE_TOTAL: Joules = Joules(367.5);
+
+// --- Table II: edge+cloud scenario, per 5-minute cycle ---------------------
+
+/// "Send audio" to the cloud: 37.3 J over 15.0 s.
+pub const EDGE_SEND_AUDIO_ENERGY: Joules = Joules(37.3);
+/// Duration of the audio upload.
+pub const EDGE_SEND_AUDIO_TIME: Seconds = Seconds(15.0);
+/// Table II total for the edge device (both services): 322.0 J.
+pub const EDGE_CLOUD_EDGE_TOTAL: Joules = Joules(322.0);
+
+/// Cloud server idle power: 9415 J / 211.1 s = 44.6 W (Table II, Idle).
+pub const CLOUD_IDLE_POWER: Watts = Watts(9415.0 / 211.1);
+/// Cloud receive power: 1032 J / 15.0 s = 68.8 W (Table II, Receive audio).
+pub const CLOUD_RECEIVE_POWER: Watts = Watts(1032.0 / 15.0);
+/// Cloud SVM execution: 6.3 J over 0.1 s (= 63 W).
+pub const CLOUD_SVM_ENERGY: Joules = Joules(6.3);
+/// Duration of the cloud SVM execution.
+pub const CLOUD_SVM_TIME: Seconds = Seconds(0.1);
+/// Cloud CNN execution: 108 J over 1.0 s (= 108 W).
+pub const CLOUD_CNN_ENERGY: Joules = Joules(108.0);
+/// Duration of the cloud CNN execution.
+pub const CLOUD_CNN_TIME: Seconds = Seconds(1.0);
+/// Table II total for the cloud server, SVM scenario.
+pub const CLOUD_SVM_CYCLE_TOTAL: Joules = Joules(13_744.3);
+/// Table II total for the cloud server, CNN scenario.
+pub const CLOUD_CNN_CYCLE_TOTAL: Joules = Joules(13_806.0);
+
+// --- Section V/VI framing ---------------------------------------------------
+
+/// The scenario cycle period: "when 5-minute cycles are considered".
+pub const CYCLE_PERIOD: Seconds = Seconds(300.0);
+/// CNN input side used on the Pi: "using 100 by 100 pixels images for the
+/// CNN model is the optimal choice".
+pub const CNN_INPUT_SIDE: usize = 100;
+/// Accuracy at the converged input size: "a classification accuracy of 99%".
+pub const CNN_CONVERGED_ACCURACY: f64 = 0.99;
+/// Training-set size: "1647 audio samples labeled with the presence of the
+/// queen".
+pub const CORPUS_SIZE: usize = 1647;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routine_is_consistent_with_table_rows() {
+        // collect + send audio + shutdown = the Section IV routine.
+        let energy = EDGE_COLLECT_ENERGY + EDGE_SEND_AUDIO_ENERGY + EDGE_SHUTDOWN_ENERGY;
+        assert!((energy - ROUTINE_ENERGY).abs() < Joules(1e-9));
+        let time = EDGE_COLLECT_TIME + EDGE_SEND_AUDIO_TIME + EDGE_SHUTDOWN_TIME;
+        assert!((time - ROUTINE_DURATION).abs() < Seconds(0.1));
+        // Mean power ≈ 2.14 W.
+        let p = energy / time;
+        assert!((p - ROUTINE_POWER).abs() < Watts(0.01), "mean power {p}");
+    }
+
+    #[test]
+    fn table1_svm_total_reconstructs() {
+        let sleep = PI3B_SLEEP_POWER
+            * (CYCLE_PERIOD
+                - EDGE_COLLECT_TIME
+                - EDGE_SVM_TIME
+                - EDGE_SEND_RESULTS_TIME
+                - EDGE_SHUTDOWN_TIME);
+        let total = sleep
+            + EDGE_COLLECT_ENERGY
+            + EDGE_SVM_ENERGY
+            + EDGE_SEND_RESULTS_ENERGY
+            + EDGE_SHUTDOWN_ENERGY;
+        assert!((total - EDGE_SVM_CYCLE_TOTAL).abs() < Joules(0.2), "total {total}");
+    }
+
+    #[test]
+    fn table1_cnn_total_reconstructs() {
+        let sleep = PI3B_SLEEP_POWER
+            * (CYCLE_PERIOD
+                - EDGE_COLLECT_TIME
+                - EDGE_CNN_TIME
+                - EDGE_SEND_RESULTS_TIME
+                - EDGE_SHUTDOWN_TIME);
+        let total = sleep
+            + EDGE_COLLECT_ENERGY
+            + EDGE_CNN_ENERGY
+            + EDGE_SEND_RESULTS_ENERGY
+            + EDGE_SHUTDOWN_ENERGY;
+        assert!((total - EDGE_CNN_CYCLE_TOTAL).abs() < Joules(0.2), "total {total}");
+    }
+
+    #[test]
+    fn table2_edge_total_reconstructs() {
+        let sleep = PI3B_SLEEP_POWER
+            * (CYCLE_PERIOD - EDGE_COLLECT_TIME - EDGE_SEND_AUDIO_TIME - EDGE_SHUTDOWN_TIME);
+        let total =
+            sleep + EDGE_COLLECT_ENERGY + EDGE_SEND_AUDIO_ENERGY + EDGE_SHUTDOWN_ENERGY;
+        assert!((total - EDGE_CLOUD_EDGE_TOTAL).abs() < Joules(0.5), "total {total}");
+    }
+
+    #[test]
+    fn table2_cloud_cnn_total_reconstructs() {
+        // Idle for everything except receive (15 s) and CNN (1 s).
+        let busy = EDGE_SEND_AUDIO_TIME + CLOUD_CNN_TIME;
+        let idle = CLOUD_IDLE_POWER * (CYCLE_PERIOD - busy);
+        let total = idle + CLOUD_RECEIVE_POWER * EDGE_SEND_AUDIO_TIME + CLOUD_CNN_ENERGY;
+        assert!((total - CLOUD_CNN_CYCLE_TOTAL).abs() < Joules(25.0), "total {total}");
+    }
+
+    #[test]
+    fn edge_cloud_saves_the_published_edge_fraction() {
+        // "a reduction of 12.1% and 12.4% of consumed energy for the SVM and
+        // CNN model, respectively".
+        let svm_saving = 1.0 - EDGE_CLOUD_EDGE_TOTAL / EDGE_SVM_CYCLE_TOTAL;
+        let cnn_saving = 1.0 - EDGE_CLOUD_EDGE_TOTAL / EDGE_CNN_CYCLE_TOTAL;
+        assert!((svm_saving - 0.121).abs() < 0.001, "SVM saving {svm_saving}");
+        assert!((cnn_saving - 0.124).abs() < 0.001, "CNN saving {cnn_saving}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Wi-Fi transfer model.
+//!
+//! The paper attributes the routine-length variance (σ = 3.5 s over a
+//! ≈ 89 s routine) to "the variance of the duration of the data transfer
+//! correlated to the unstable network throughput", and measures the
+//! transfer step as the most power-hungry part of the routine. The link
+//! model captures both: throughput with multiplicative jitter, and a
+//! transmit power above the active baseline.
+
+use pb_units::{Joules, Seconds, Watts};
+use rand::Rng;
+
+/// A Wi-Fi uplink with jittering effective throughput.
+#[derive(Clone, Debug)]
+pub struct WifiLink {
+    /// Mean effective throughput in bytes per second.
+    pub throughput: f64,
+    /// Standard deviation of the multiplicative throughput jitter
+    /// (fraction of the mean).
+    pub jitter_frac: f64,
+    /// Device power while transmitting.
+    pub tx_power: Watts,
+}
+
+impl WifiLink {
+    /// The deployed hive's uplink, calibrated so the full sensor payload
+    /// (≈ 2 MB) uploads in the measured 15 s at the measured 2.49 W
+    /// ("Send audio": 37.3 J / 15.0 s).
+    pub fn deployed() -> Self {
+        let payload = crate::sensors::SensorSuite::deployed().total_bytes() as f64;
+        WifiLink {
+            throughput: payload / 15.0,
+            jitter_frac: 0.15,
+            tx_power: Watts(37.3 / 15.0),
+        }
+    }
+
+    /// Expected transfer duration for `bytes` (no jitter).
+    pub fn expected_duration(&self, bytes: usize) -> Seconds {
+        Seconds(bytes as f64 / self.throughput)
+    }
+
+    /// Expected transfer energy for `bytes` (no jitter).
+    pub fn expected_energy(&self, bytes: usize) -> Joules {
+        self.tx_power * self.expected_duration(bytes)
+    }
+
+    /// Samples one transfer: returns `(duration, energy)` with throughput
+    /// jitter applied (throughput is clamped to ≥ 10 % of the mean so a
+    /// pathological draw cannot stall the simulation).
+    pub fn transfer<R: Rng + ?Sized>(&self, bytes: usize, rng: &mut R) -> (Seconds, Joules) {
+        let jitter = 1.0 + self.jitter_frac * crate::gaussian(rng);
+        let effective = (self.throughput * jitter).max(self.throughput * 0.1);
+        let duration = Seconds(bytes as f64 / effective);
+        (duration, self.tx_power * duration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deployed_link_matches_measured_transfer() {
+        let link = WifiLink::deployed();
+        let payload = crate::sensors::SensorSuite::deployed().total_bytes();
+        let d = link.expected_duration(payload);
+        assert!((d - Seconds(15.0)).abs() < Seconds(1e-9));
+        let e = link.expected_energy(payload);
+        assert!((e - Joules(37.3)).abs() < Joules(1e-9));
+    }
+
+    #[test]
+    fn duration_scales_linearly_with_bytes() {
+        let link = WifiLink::deployed();
+        let d1 = link.expected_duration(100_000);
+        let d2 = link.expected_duration(200_000);
+        assert!((d2.value() - 2.0 * d1.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jittered_transfers_scatter_around_mean() {
+        let link = WifiLink::deployed();
+        let payload = 1_000_000;
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 5000;
+        let durations: Vec<f64> =
+            (0..n).map(|_| link.transfer(payload, &mut rng).0.value()).collect();
+        let mean = durations.iter().sum::<f64>() / n as f64;
+        let expected = link.expected_duration(payload).value();
+        // Jensen's inequality makes the mean slightly above 1/E[throughput].
+        assert!((mean - expected).abs() / expected < 0.1, "mean {mean} vs {expected}");
+        let min = durations.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = durations.iter().cloned().fold(0.0, f64::max);
+        assert!(max > min * 1.2, "no visible jitter");
+    }
+
+    #[test]
+    fn transfer_energy_is_power_times_duration() {
+        let link = WifiLink::deployed();
+        let mut rng = StdRng::seed_from_u64(4);
+        let (d, e) = link.transfer(500_000, &mut rng);
+        assert!((e - link.tx_power * d).abs() < Joules(1e-9));
+    }
+
+    #[test]
+    fn pathological_jitter_is_clamped() {
+        let link = WifiLink { throughput: 1000.0, jitter_frac: 10.0, tx_power: Watts(2.0) };
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let (d, _) = link.transfer(1000, &mut rng);
+            // At worst 10% of mean throughput → 10 s for 1000 B at 1000 B/s.
+            assert!(d <= Seconds(10.0 + 1e-9));
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Edge-device and cloud-server power profiles.
+
+use crate::constants as k;
+use pb_units::{Joules, Seconds, Watts};
+
+/// Power profile of a duty-cycled edge device.
+#[derive(Clone, Debug)]
+pub struct EdgeDeviceProfile {
+    /// Human-readable device name.
+    pub name: String,
+    /// Draw while asleep but able to receive wake-up calls.
+    pub sleep_power: Watts,
+    /// Energy and duration of the wake-up + data-collection phase.
+    pub collect: (Joules, Seconds),
+    /// Energy and duration of uploading the audio payload to the cloud.
+    pub send_audio: (Joules, Seconds),
+    /// Energy and duration of uploading the small result message.
+    pub send_results: (Joules, Seconds),
+    /// Energy and duration of the shutdown phase.
+    pub shutdown: (Joules, Seconds),
+    /// On-device SVM queen-detection execution.
+    pub svm_exec: (Joules, Seconds),
+    /// On-device CNN (100×100) queen-detection execution.
+    pub cnn_exec: (Joules, Seconds),
+}
+
+impl EdgeDeviceProfile {
+    /// The deployed Raspberry Pi 3b+, calibrated from Tables I and II.
+    pub fn raspberry_pi_3b_plus() -> Self {
+        EdgeDeviceProfile {
+            name: "Raspberry Pi 3b+".to_string(),
+            sleep_power: k::PI3B_SLEEP_POWER,
+            collect: (k::EDGE_COLLECT_ENERGY, k::EDGE_COLLECT_TIME),
+            send_audio: (k::EDGE_SEND_AUDIO_ENERGY, k::EDGE_SEND_AUDIO_TIME),
+            send_results: (k::EDGE_SEND_RESULTS_ENERGY, k::EDGE_SEND_RESULTS_TIME),
+            shutdown: (k::EDGE_SHUTDOWN_ENERGY, k::EDGE_SHUTDOWN_TIME),
+            svm_exec: (k::EDGE_SVM_ENERGY, k::EDGE_SVM_TIME),
+            cnn_exec: (k::EDGE_CNN_ENERGY, k::EDGE_CNN_TIME),
+        }
+    }
+
+    /// The always-on Raspberry Pi Zero WH energy logger. Its "routine"
+    /// fields are zero — it never duty-cycles; only the sleep (= steady)
+    /// power matters. 0.4 W is the typical idle draw of a Zero WH with a
+    /// sensor hat.
+    pub fn raspberry_pi_zero_wh() -> Self {
+        EdgeDeviceProfile {
+            name: "Raspberry Pi Zero WH".to_string(),
+            sleep_power: Watts(0.4),
+            collect: (Joules::ZERO, Seconds::ZERO),
+            send_audio: (Joules::ZERO, Seconds::ZERO),
+            send_results: (Joules::ZERO, Seconds::ZERO),
+            shutdown: (Joules::ZERO, Seconds::ZERO),
+            svm_exec: (Joules::ZERO, Seconds::ZERO),
+            cnn_exec: (Joules::ZERO, Seconds::ZERO),
+        }
+    }
+
+    /// Mean power of the named phase (zero for zero-length phases).
+    pub fn phase_power(&self, phase: (Joules, Seconds)) -> Watts {
+        if phase.1.value() > 0.0 {
+            phase.0 / phase.1
+        } else {
+            Watts::ZERO
+        }
+    }
+
+    /// Energy of the base routine (collect + send audio + shutdown), the
+    /// Section-IV 190.1 J measurement.
+    pub fn base_routine_energy(&self) -> Joules {
+        self.collect.0 + self.send_audio.0 + self.shutdown.0
+    }
+
+    /// Duration of the base routine (≈ 89 s).
+    pub fn base_routine_duration(&self) -> Seconds {
+        self.collect.1 + self.send_audio.1 + self.shutdown.1
+    }
+}
+
+/// Power profile of the cloud server (Intel i7-8700K + Nvidia RTX2070).
+#[derive(Clone, Debug)]
+pub struct CloudServerProfile {
+    /// Human-readable server name.
+    pub name: String,
+    /// Idle draw while waiting for clients.
+    pub idle_power: Watts,
+    /// Draw while receiving audio payloads.
+    pub receive_power: Watts,
+    /// SVM queen-detection execution on the server.
+    pub svm_exec: (Joules, Seconds),
+    /// CNN queen-detection execution on the server.
+    pub cnn_exec: (Joules, Seconds),
+}
+
+impl CloudServerProfile {
+    /// The paper's server, calibrated from Table II.
+    pub fn i7_rtx2070() -> Self {
+        CloudServerProfile {
+            name: "i7-8700K + RTX2070".to_string(),
+            idle_power: k::CLOUD_IDLE_POWER,
+            receive_power: k::CLOUD_RECEIVE_POWER,
+            svm_exec: (k::CLOUD_SVM_ENERGY, k::CLOUD_SVM_TIME),
+            cnn_exec: (k::CLOUD_CNN_ENERGY, k::CLOUD_CNN_TIME),
+        }
+    }
+
+    /// Extra power above idle while receiving.
+    pub fn receive_delta(&self) -> Watts {
+        self.receive_power - self.idle_power
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pi3b_profile_matches_paper() {
+        let p = EdgeDeviceProfile::raspberry_pi_3b_plus();
+        assert!((p.sleep_power - Watts(0.625)).abs() < Watts(0.001));
+        assert!((p.base_routine_energy() - Joules(190.1)).abs() < Joules(1e-9));
+        assert!((p.base_routine_duration() - Seconds(89.0)).abs() < Seconds(0.1));
+        // Mean routine power ≈ 2.14 W.
+        let mean = p.base_routine_energy() / p.base_routine_duration();
+        assert!((mean - Watts(2.14)).abs() < Watts(0.01));
+    }
+
+    #[test]
+    fn phase_powers() {
+        let p = EdgeDeviceProfile::raspberry_pi_3b_plus();
+        assert!((p.phase_power(p.collect) - Watts(131.8 / 64.0)).abs() < Watts(1e-9));
+        assert!((p.phase_power(p.cnn_exec) - Watts(94.8 / 37.6)).abs() < Watts(1e-9));
+        let z = EdgeDeviceProfile::raspberry_pi_zero_wh();
+        assert_eq!(z.phase_power(z.collect), Watts::ZERO);
+    }
+
+    #[test]
+    fn cloud_profile_matches_paper() {
+        let s = CloudServerProfile::i7_rtx2070();
+        assert!((s.idle_power - Watts(44.6)).abs() < Watts(0.01));
+        assert!((s.receive_power - Watts(68.8)).abs() < Watts(0.01));
+        assert!((s.receive_delta() - Watts(24.2)).abs() < Watts(0.02));
+        assert_eq!(s.svm_exec.0, Joules(6.3));
+        assert_eq!(s.cnn_exec.1, Seconds(1.0));
+    }
+
+    #[test]
+    fn zero_wh_is_always_on() {
+        let z = EdgeDeviceProfile::raspberry_pi_zero_wh();
+        assert_eq!(z.base_routine_energy(), Joules::ZERO);
+        assert!(z.sleep_power > Watts::ZERO);
+    }
+}

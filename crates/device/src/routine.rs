@@ -1,0 +1,330 @@
+//! The data-collection routine and the wake-up frequency analysis.
+//!
+//! A *cycle* is one wake-up period of the duty-cycled Pi 3b+: a sequence of
+//! active tasks followed by sleep until the next GPIO wake-up. Section IV
+//! of the paper measures the base routine (collect + transfer + shutdown ≈
+//! 190.1 J over ≈ 89 s) and derives Figure 3: mean cycle power as a
+//! function of the wake-up frequency. [`RoutineBuilder`] reconstructs both
+//! from an [`EdgeDeviceProfile`].
+
+use crate::constants as k;
+use crate::profile::EdgeDeviceProfile;
+use pb_energy::ledger::EnergyLedger;
+use pb_energy::state::{PowerState, StateMachine};
+use pb_units::{Joules, Seconds, Watts};
+use rand::Rng;
+
+/// Which queen-detection model a cycle runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ServiceKind {
+    /// Classical ML: RBF-kernel support vector machine.
+    Svm,
+    /// Deep model: residual CNN on 100×100 spectrogram images.
+    Cnn,
+}
+
+impl ServiceKind {
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServiceKind::Svm => "SVM",
+            ServiceKind::Cnn => "CNN",
+        }
+    }
+}
+
+/// One active task in a cycle.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Task {
+    /// Task name as printed in the paper's tables.
+    pub name: String,
+    /// Energy consumed.
+    pub energy: Joules,
+    /// Wall-clock duration.
+    pub duration: Seconds,
+}
+
+impl Task {
+    /// Builds a task from its table row.
+    pub fn new(name: impl Into<String>, energy: Joules, duration: Seconds) -> Self {
+        assert!(energy.value() >= 0.0 && duration.value() >= 0.0, "task values must be non-negative");
+        Task { name: name.into(), energy, duration }
+    }
+
+    /// Mean power over the task (zero for zero-length tasks).
+    pub fn power(&self) -> Watts {
+        if self.duration.value() > 0.0 {
+            self.energy / self.duration
+        } else {
+            Watts::ZERO
+        }
+    }
+}
+
+/// A full wake-up cycle: active tasks plus sleep filling the period.
+#[derive(Clone, Debug)]
+pub struct CyclePlan {
+    /// Active tasks in execution order.
+    pub tasks: Vec<Task>,
+    /// Cycle period (time between consecutive wake-ups).
+    pub period: Seconds,
+    /// Draw while asleep.
+    pub sleep_power: Watts,
+}
+
+impl CyclePlan {
+    /// Creates a plan, checking the tasks fit inside the period.
+    pub fn new(tasks: Vec<Task>, period: Seconds, sleep_power: Watts) -> Self {
+        let active: Seconds = tasks.iter().map(|t| t.duration).sum();
+        assert!(
+            active.value() <= period.value() + 1e-9,
+            "active tasks ({active}) exceed the cycle period ({period})"
+        );
+        CyclePlan { tasks, period, sleep_power }
+    }
+
+    /// Total active time.
+    pub fn active_duration(&self) -> Seconds {
+        self.tasks.iter().map(|t| t.duration).sum()
+    }
+
+    /// Total active energy.
+    pub fn active_energy(&self) -> Joules {
+        self.tasks.iter().map(|t| t.energy).sum()
+    }
+
+    /// Sleep time filling the rest of the period.
+    pub fn sleep_duration(&self) -> Seconds {
+        self.period - self.active_duration()
+    }
+
+    /// Energy spent asleep.
+    pub fn sleep_energy(&self) -> Joules {
+        self.sleep_power * self.sleep_duration()
+    }
+
+    /// Total cycle energy (active + sleep).
+    pub fn total_energy(&self) -> Joules {
+        self.active_energy() + self.sleep_energy()
+    }
+
+    /// Mean power over the whole cycle — the Figure 3 quantity.
+    pub fn mean_power(&self) -> Watts {
+        self.total_energy() / self.period
+    }
+
+    /// Renders the cycle as a paper-style ledger, sleep row first (the
+    /// tables list sleep before the wake-up tasks).
+    pub fn to_ledger(&self) -> EnergyLedger {
+        let mut ledger = EnergyLedger::new();
+        ledger.record("Sleep", self.sleep_energy(), self.sleep_duration());
+        for t in &self.tasks {
+            ledger.record(t.name.clone(), t.energy, t.duration);
+        }
+        ledger
+    }
+
+    /// Replays the cycle into a power-state machine (sleep first).
+    pub fn to_state_machine(&self) -> StateMachine {
+        let mut m = StateMachine::new(PowerState::Sleep);
+        m.dwell(PowerState::Sleep, self.sleep_power, self.sleep_duration());
+        for t in &self.tasks {
+            m.dwell(PowerState::active(t.name.clone()), t.power(), t.duration);
+        }
+        m
+    }
+}
+
+/// Builds cycles from a device profile.
+#[derive(Clone, Debug)]
+pub struct RoutineBuilder {
+    profile: EdgeDeviceProfile,
+}
+
+impl RoutineBuilder {
+    /// Creates a builder on `profile`.
+    pub fn new(profile: EdgeDeviceProfile) -> Self {
+        RoutineBuilder { profile }
+    }
+
+    /// The deployed Pi 3b+ builder.
+    pub fn deployed() -> Self {
+        RoutineBuilder::new(EdgeDeviceProfile::raspberry_pi_3b_plus())
+    }
+
+    /// The device profile this builder uses.
+    pub fn profile(&self) -> &EdgeDeviceProfile {
+        &self.profile
+    }
+
+    /// Edge-scenario cycle (Table I): collect, run the model on device,
+    /// send the small result, shut down.
+    pub fn edge_cycle(&self, service: ServiceKind, period: Seconds) -> CyclePlan {
+        let p = &self.profile;
+        let model = match service {
+            ServiceKind::Svm => p.svm_exec,
+            ServiceKind::Cnn => p.cnn_exec,
+        };
+        CyclePlan::new(
+            vec![
+                Task::new("Wake up & Data collection", p.collect.0, p.collect.1),
+                Task::new(
+                    format!("Queen detection model ({})", service.name()),
+                    model.0,
+                    model.1,
+                ),
+                Task::new("Send results", p.send_results.0, p.send_results.1),
+                Task::new("Shutdown", p.shutdown.0, p.shutdown.1),
+            ],
+            period,
+            p.sleep_power,
+        )
+    }
+
+    /// Edge-side cycle of the edge+cloud scenario (Table II): collect,
+    /// upload the audio, shut down. The model runs in the cloud.
+    pub fn edge_cloud_cycle(&self, period: Seconds) -> CyclePlan {
+        let p = &self.profile;
+        CyclePlan::new(
+            vec![
+                Task::new("Wake up & Data collection", p.collect.0, p.collect.1),
+                Task::new("Send audio", p.send_audio.0, p.send_audio.1),
+                Task::new("Shutdown", p.shutdown.0, p.shutdown.1),
+            ],
+            period,
+            p.sleep_power,
+        )
+    }
+
+    /// Mean cycle power at a given wake-up period — one Figure 3 point.
+    /// The cycle is the Section IV base routine (no AI service).
+    pub fn mean_cycle_power(&self, period: Seconds) -> Watts {
+        self.edge_cloud_cycle(period).mean_power()
+    }
+
+    /// The full Figure 3 sweep: `(period, mean power)` for the paper's six
+    /// wake-up frequencies.
+    pub fn fig3_sweep(&self) -> Vec<(Seconds, Watts)> {
+        k::FIG3_FREQUENCIES_MIN
+            .iter()
+            .map(|&m| {
+                let period = Seconds::from_minutes(m);
+                (period, self.mean_cycle_power(period))
+            })
+            .collect()
+    }
+
+    /// Simulates a measurement campaign of `n` routines with the variance
+    /// the paper reports (transfer-length jitter σ = 3.5 s, power jitter
+    /// σ = 0.009 W). Returns `(duration, mean power)` per routine.
+    pub fn campaign<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<(Seconds, Watts)> {
+        let p = &self.profile;
+        let base_d = p.base_routine_duration();
+        let base_p = p.base_routine_energy() / base_d;
+        (0..n)
+            .map(|_| {
+                let d = Seconds(
+                    (base_d.value() + k::ROUTINE_DURATION_STD.value() * crate::gaussian(rng))
+                        .max(1.0),
+                );
+                let w = Watts(base_p.value() + k::ROUTINE_POWER_STD.value() * crate::gaussian(rng));
+                (d, w)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_svm_cycle_matches_paper() {
+        let cycle = RoutineBuilder::deployed().edge_cycle(ServiceKind::Svm, k::CYCLE_PERIOD);
+        assert!((cycle.total_energy() - Joules(366.3)).abs() < Joules(0.2));
+        assert!((cycle.sleep_duration() - Seconds(178.5)).abs() < Seconds(0.1));
+        assert!((cycle.sleep_energy() - Joules(111.6)).abs() < Joules(0.1));
+    }
+
+    #[test]
+    fn table1_cnn_cycle_matches_paper() {
+        let cycle = RoutineBuilder::deployed().edge_cycle(ServiceKind::Cnn, k::CYCLE_PERIOD);
+        assert!((cycle.total_energy() - Joules(367.5)).abs() < Joules(0.2));
+        assert!((cycle.sleep_duration() - Seconds(187.0)).abs() < Seconds(0.1));
+    }
+
+    #[test]
+    fn table2_edge_cycle_matches_paper() {
+        let cycle = RoutineBuilder::deployed().edge_cloud_cycle(k::CYCLE_PERIOD);
+        assert!((cycle.total_energy() - Joules(322.0)).abs() < Joules(0.5));
+        assert!((cycle.sleep_duration() - Seconds(211.1)).abs() < Seconds(0.1));
+    }
+
+    #[test]
+    fn ledger_rendering_lists_sleep_first() {
+        let cycle = RoutineBuilder::deployed().edge_cycle(ServiceKind::Svm, k::CYCLE_PERIOD);
+        let ledger = cycle.to_ledger();
+        assert_eq!(ledger.entries()[0].task, "Sleep");
+        assert_eq!(ledger.len(), 5);
+        assert!((ledger.total_time() - Seconds(300.0)).abs() < Seconds(1e-6));
+    }
+
+    #[test]
+    fn state_machine_round_trip() {
+        let cycle = RoutineBuilder::deployed().edge_cloud_cycle(k::CYCLE_PERIOD);
+        let m = cycle.to_state_machine();
+        assert!((m.total_energy() - cycle.total_energy()).abs() < Joules(1e-6));
+        assert!((m.clock() - Seconds(300.0)).abs() < Seconds(1e-6));
+    }
+
+    #[test]
+    fn mean_power_decreases_with_period() {
+        // Figure 3's monotone decay.
+        let b = RoutineBuilder::deployed();
+        let sweep = b.fig3_sweep();
+        assert_eq!(sweep.len(), 6);
+        for pair in sweep.windows(2) {
+            assert!(pair[0].1 > pair[1].1, "power must decrease with period");
+        }
+    }
+
+    #[test]
+    fn mean_power_converges_to_sleep_power() {
+        let b = RoutineBuilder::deployed();
+        let p2h = b.mean_cycle_power(Seconds::from_minutes(120.0));
+        // Within 5% of the sleep draw at the 2-hour frequency.
+        assert!((p2h - k::PI3B_SLEEP_POWER).value() / k::PI3B_SLEEP_POWER.value() < 0.05);
+        // And at 5 minutes the cycle is much hotter.
+        let p5 = b.mean_cycle_power(Seconds::from_minutes(5.0));
+        assert!(p5 > Watts(1.0), "5-minute mean power {p5}");
+    }
+
+    #[test]
+    fn campaign_statistics_match_section_iv() {
+        use pb_energy::trace::{mean, std_dev};
+        let b = RoutineBuilder::deployed();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let runs = b.campaign(k::ROUTINE_CAMPAIGN_SIZE, &mut rng);
+        assert_eq!(runs.len(), 319);
+        let durations: Vec<f64> = runs.iter().map(|r| r.0.value()).collect();
+        let powers: Vec<f64> = runs.iter().map(|r| r.1.value()).collect();
+        assert!((mean(&durations) - 89.0).abs() < 1.0);
+        assert!((std_dev(&durations) - 3.5).abs() < 0.5);
+        assert!((mean(&powers) - 2.14).abs() < 0.01);
+        assert!((std_dev(&powers) - 0.009).abs() < 0.002);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the cycle period")]
+    fn overfull_cycle_panics() {
+        let _ = RoutineBuilder::deployed().edge_cycle(ServiceKind::Svm, Seconds(60.0));
+    }
+
+    #[test]
+    fn service_names() {
+        assert_eq!(ServiceKind::Svm.name(), "SVM");
+        assert_eq!(ServiceKind::Cnn.name(), "CNN");
+    }
+
+    use rand::SeedableRng;
+}

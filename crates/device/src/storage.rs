@@ -1,0 +1,130 @@
+//! Local-storage (SD card) model.
+//!
+//! The edge scenario "optionally stores the data locally" instead of (or
+//! in addition to) uploading. Writing to the Pi's SD card costs far less
+//! energy than Wi-Fi transfer but consumes finite capacity — the trade-off
+//! this model exposes for the storage-vs-upload ablation.
+
+use pb_units::{Joules, Seconds, Watts};
+
+/// An SD-card-like local store.
+#[derive(Clone, Debug)]
+pub struct LocalStorage {
+    /// Total capacity in bytes.
+    pub capacity: usize,
+    /// Sustained write throughput in bytes per second.
+    pub write_throughput: f64,
+    /// Extra device power while writing.
+    pub write_power: Watts,
+    used: usize,
+}
+
+impl LocalStorage {
+    /// Creates an empty store.
+    pub fn new(capacity: usize, write_throughput: f64, write_power: Watts) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(write_throughput > 0.0, "throughput must be positive");
+        LocalStorage { capacity, write_throughput, write_power, used: 0 }
+    }
+
+    /// A 32 GB class-10 SD card: ≈10 MB/s sustained, ≈0.3 W write draw.
+    pub fn sd_card_32gb() -> Self {
+        LocalStorage::new(32_000_000_000, 10_000_000.0, Watts(0.3))
+    }
+
+    /// Bytes already stored.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Bytes still free.
+    pub fn free(&self) -> usize {
+        self.capacity - self.used
+    }
+
+    /// Fraction of capacity used, in `[0, 1]`.
+    pub fn fill_fraction(&self) -> f64 {
+        self.used as f64 / self.capacity as f64
+    }
+
+    /// Cost of writing `bytes` without performing the write.
+    pub fn write_cost(&self, bytes: usize) -> (Seconds, Joules) {
+        let duration = Seconds(bytes as f64 / self.write_throughput);
+        (duration, self.write_power * duration)
+    }
+
+    /// Writes `bytes`; returns the `(duration, energy)` spent, or `None`
+    /// when the card is full (nothing is written).
+    pub fn write(&mut self, bytes: usize) -> Option<(Seconds, Joules)> {
+        if bytes > self.free() {
+            return None;
+        }
+        self.used += bytes;
+        Some(self.write_cost(bytes))
+    }
+
+    /// Number of routines of `bytes_per_routine` the card can still hold.
+    pub fn routines_remaining(&self, bytes_per_routine: usize) -> usize {
+        assert!(bytes_per_routine > 0, "routine payload must be non-empty");
+        self.free() / bytes_per_routine
+    }
+
+    /// Days of autonomy at `bytes_per_routine` and `routines_per_day`.
+    pub fn days_remaining(&self, bytes_per_routine: usize, routines_per_day: f64) -> f64 {
+        assert!(routines_per_day > 0.0, "need at least one routine per day");
+        self.routines_remaining(bytes_per_routine) as f64 / routines_per_day
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sensors::SensorSuite;
+
+    #[test]
+    fn writes_consume_capacity() {
+        let mut sd = LocalStorage::new(1000, 100.0, Watts(0.3));
+        let (d, e) = sd.write(500).unwrap();
+        assert!((d - Seconds(5.0)).abs() < Seconds(1e-12));
+        assert!((e - Joules(1.5)).abs() < Joules(1e-12));
+        assert_eq!(sd.used(), 500);
+        assert_eq!(sd.free(), 500);
+        assert!((sd.fill_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_card_rejects_writes() {
+        let mut sd = LocalStorage::new(1000, 100.0, Watts(0.3));
+        assert!(sd.write(800).is_some());
+        assert!(sd.write(300).is_none());
+        assert_eq!(sd.used(), 800, "failed write must not consume space");
+        assert!(sd.write(200).is_some());
+    }
+
+    #[test]
+    fn storing_is_cheaper_than_uploading() {
+        // The core trade-off: writing the ≈2 MB payload costs millijoules,
+        // uploading it costs 37.3 J.
+        let payload = SensorSuite::deployed().total_bytes();
+        let sd = LocalStorage::sd_card_32gb();
+        let (d, e) = sd.write_cost(payload);
+        assert!(d < Seconds(1.0), "write should take under a second: {d}");
+        assert!(e < Joules(0.1), "write energy {e}");
+        assert!(e.value() * 100.0 < 37.3, "storage must be ≫ cheaper than Wi-Fi");
+    }
+
+    #[test]
+    fn autonomy_of_the_deployed_card() {
+        // 32 GB / ≈2 MB per routine at 5-minute cycles (288/day) ≈ 55 days.
+        let payload = SensorSuite::deployed().total_bytes();
+        let sd = LocalStorage::sd_card_32gb();
+        let days = sd.days_remaining(payload, 288.0);
+        assert!((50.0..60.0).contains(&days), "autonomy {days} days");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = LocalStorage::new(0, 1.0, Watts(0.1));
+    }
+}

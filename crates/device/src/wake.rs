@@ -1,0 +1,120 @@
+//! The GPIO wake-up scheduler.
+//!
+//! The always-on Pi Zero pulses a GPIO line at a fixed period to wake the
+//! Pi 3b+. [`WakeScheduler`] produces those wake-up instants and checks
+//! whether a candidate routine fits between consecutive wake-ups.
+
+use pb_units::Seconds;
+
+/// A periodic wake-up source.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WakeScheduler {
+    /// Period between consecutive wake-ups.
+    pub period: Seconds,
+    /// Offset of the first wake-up from the simulation origin.
+    pub offset: Seconds,
+}
+
+impl WakeScheduler {
+    /// Creates a scheduler with the given period (must be positive).
+    pub fn new(period: Seconds, offset: Seconds) -> Self {
+        assert!(period.value() > 0.0, "wake-up period must be positive");
+        assert!(offset.value() >= 0.0, "offset must be non-negative");
+        WakeScheduler { period, offset }
+    }
+
+    /// The deployed default: 10-minute wake-ups (Figure 2b).
+    pub fn deployed() -> Self {
+        WakeScheduler::new(Seconds::from_minutes(10.0), Seconds::ZERO)
+    }
+
+    /// Wake-up instants within `[0, horizon)`.
+    pub fn wake_ups(&self, horizon: Seconds) -> Vec<Seconds> {
+        let mut out = Vec::new();
+        let mut t = self.offset;
+        while t.value() < horizon.value() {
+            out.push(t);
+            t += self.period;
+        }
+        out
+    }
+
+    /// Number of wake-ups within `[0, horizon)`.
+    pub fn count(&self, horizon: Seconds) -> usize {
+        if horizon <= self.offset {
+            return 0;
+        }
+        (((horizon - self.offset).value() / self.period.value()).ceil()) as usize
+    }
+
+    /// True when a routine of length `routine` fits before the next
+    /// wake-up.
+    pub fn fits(&self, routine: Seconds) -> bool {
+        routine.value() <= self.period.value()
+    }
+
+    /// The wake-up instant at or after `t`.
+    pub fn next_after(&self, t: Seconds) -> Seconds {
+        if t <= self.offset {
+            return self.offset;
+        }
+        let k = ((t - self.offset).value() / self.period.value()).ceil();
+        self.offset + self.period * k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_ups_are_periodic() {
+        let s = WakeScheduler::new(Seconds(600.0), Seconds::ZERO);
+        let w = s.wake_ups(Seconds(1800.0));
+        assert_eq!(w, vec![Seconds(0.0), Seconds(600.0), Seconds(1200.0)]);
+        assert_eq!(s.count(Seconds(1800.0)), 3);
+    }
+
+    #[test]
+    fn offset_shifts_schedule() {
+        let s = WakeScheduler::new(Seconds(600.0), Seconds(100.0));
+        let w = s.wake_ups(Seconds(1400.0));
+        assert_eq!(w, vec![Seconds(100.0), Seconds(700.0), Seconds(1300.0)]);
+        assert_eq!(s.count(Seconds(1400.0)), 3);
+    }
+
+    #[test]
+    fn count_handles_horizon_before_offset() {
+        let s = WakeScheduler::new(Seconds(600.0), Seconds(1000.0));
+        assert_eq!(s.count(Seconds(500.0)), 0);
+        assert!(s.wake_ups(Seconds(500.0)).is_empty());
+    }
+
+    #[test]
+    fn a_day_of_ten_minute_wakeups() {
+        let s = WakeScheduler::deployed();
+        assert_eq!(s.count(Seconds::from_days(1.0)), 144);
+    }
+
+    #[test]
+    fn fits_routine() {
+        let s = WakeScheduler::deployed();
+        assert!(s.fits(Seconds(89.0)));
+        assert!(!s.fits(Seconds(601.0)));
+    }
+
+    #[test]
+    fn next_after() {
+        let s = WakeScheduler::new(Seconds(600.0), Seconds::ZERO);
+        assert_eq!(s.next_after(Seconds(0.0)), Seconds(0.0));
+        assert_eq!(s.next_after(Seconds(1.0)), Seconds(600.0));
+        assert_eq!(s.next_after(Seconds(600.0)), Seconds(600.0));
+        assert_eq!(s.next_after(Seconds(601.0)), Seconds(1200.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_panics() {
+        let _ = WakeScheduler::new(Seconds::ZERO, Seconds::ZERO);
+    }
+}

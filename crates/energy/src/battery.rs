@@ -1,0 +1,234 @@
+//! Battery state-of-charge model.
+//!
+//! The deployed system stores harvested energy in a 20 000 mAh, 5 V power
+//! bank (= 100 Wh). The model tracks state of charge with separate charge
+//! and discharge efficiencies and exposes the brown-out behaviour observed
+//! in Figure 2: when the battery is empty and the panel delivers nothing,
+//! the node stops running.
+
+use pb_units::{Joules, Percent, Seconds, WattHours, Watts};
+
+/// A simple coulomb-counting battery with charge/discharge efficiency.
+#[derive(Clone, Debug)]
+pub struct Battery {
+    capacity: Joules,
+    stored: Joules,
+    charge_efficiency: f64,
+    discharge_efficiency: f64,
+    /// Fraction of capacity below which the bank's protection circuit cuts
+    /// the output (power banks refuse to discharge fully).
+    cutoff_fraction: f64,
+}
+
+impl Battery {
+    /// Creates a battery of `capacity`, initially at `initial_soc` (0–1).
+    pub fn new(capacity: WattHours, initial_soc: f64) -> Self {
+        assert!(capacity.value() > 0.0, "battery capacity must be positive");
+        assert!((0.0..=1.0).contains(&initial_soc), "initial SoC must be in [0, 1]");
+        Battery {
+            capacity: capacity.to_joules(),
+            stored: capacity.to_joules() * initial_soc,
+            charge_efficiency: 0.9,
+            discharge_efficiency: 0.95,
+            cutoff_fraction: 0.02,
+        }
+    }
+
+    /// The paper's 20 000 mAh / 5 V power bank (100 Wh), full.
+    pub fn power_bank_20ah() -> Self {
+        Battery::new(WattHours(100.0), 1.0)
+    }
+
+    /// Overrides the charge/discharge efficiencies (both in (0, 1]).
+    pub fn with_efficiencies(mut self, charge: f64, discharge: f64) -> Self {
+        assert!(charge > 0.0 && charge <= 1.0, "charge efficiency must be in (0, 1]");
+        assert!(discharge > 0.0 && discharge <= 1.0, "discharge efficiency must be in (0, 1]");
+        self.charge_efficiency = charge;
+        self.discharge_efficiency = discharge;
+        self
+    }
+
+    /// Overrides the low-voltage cutoff fraction (0–1).
+    pub fn with_cutoff(mut self, fraction: f64) -> Self {
+        assert!((0.0..1.0).contains(&fraction), "cutoff fraction must be in [0, 1)");
+        self.cutoff_fraction = fraction;
+        self
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> Joules {
+        self.capacity
+    }
+
+    /// Currently stored energy.
+    pub fn stored(&self) -> Joules {
+        self.stored
+    }
+
+    /// State of charge as a percentage of capacity.
+    pub fn soc(&self) -> Percent {
+        Percent::from_fraction(self.stored / self.capacity)
+    }
+
+    /// True when the protection circuit has cut the output.
+    pub fn is_cut_off(&self) -> bool {
+        self.stored.value() <= self.capacity.value() * self.cutoff_fraction
+    }
+
+    /// Energy the battery can still deliver to a load before cutoff,
+    /// accounting for discharge efficiency.
+    pub fn deliverable(&self) -> Joules {
+        let floor = self.capacity * self.cutoff_fraction;
+        (self.stored - floor).max(Joules::ZERO) * self.discharge_efficiency
+    }
+
+    /// Charges with `power` for `dt`. Energy above capacity is rejected
+    /// (the charge controller floats); returns the energy actually stored.
+    pub fn charge(&mut self, power: Watts, dt: Seconds) -> Joules {
+        assert!(power.value() >= 0.0, "charge power must be non-negative");
+        let offered = power * dt * self.charge_efficiency;
+        let room = self.capacity - self.stored;
+        let accepted = offered.min(room);
+        self.stored += accepted;
+        accepted
+    }
+
+    /// Discharges to serve a load of `power` for `dt`.
+    ///
+    /// Returns the energy actually delivered to the load, which is less than
+    /// requested when the battery hits the cutoff mid-interval. The stored
+    /// energy drawn is `delivered / discharge_efficiency`.
+    pub fn discharge(&mut self, power: Watts, dt: Seconds) -> Joules {
+        assert!(power.value() >= 0.0, "discharge power must be non-negative");
+        let requested = power * dt;
+        let delivered = requested.min(self.deliverable());
+        self.stored -= delivered / self.discharge_efficiency;
+        // Guard against floating-point undershoot below the hard floor.
+        self.stored = self.stored.max(Joules::ZERO);
+        delivered
+    }
+
+    /// Runtime the battery could sustain `load` for, from the current SoC
+    /// (the paper reports 75 h for the full system on battery alone).
+    pub fn runtime_at(&self, load: Watts) -> Seconds {
+        if load.value() <= 0.0 {
+            return Seconds(f64::INFINITY);
+        }
+        self.deliverable() / load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_conversion() {
+        let b = Battery::power_bank_20ah();
+        assert!((b.capacity() - Joules(360_000.0)).abs() < Joules(1e-6));
+        assert!((b.soc() - Percent(100.0)).abs() < Percent(1e-9));
+    }
+
+    #[test]
+    fn charge_respects_capacity() {
+        let mut b = Battery::new(WattHours(1.0), 0.99).with_efficiencies(1.0, 1.0);
+        let stored = b.charge(Watts(3600.0), Seconds(100.0));
+        // Only 1% of 3600 J fits.
+        assert!((stored - Joules(36.0)).abs() < Joules(1e-9));
+        assert!((b.soc() - Percent(100.0)).abs() < Percent(1e-9));
+    }
+
+    #[test]
+    fn charge_efficiency_losses() {
+        let mut b = Battery::new(WattHours(1.0), 0.0).with_efficiencies(0.5, 1.0);
+        let stored = b.charge(Watts(10.0), Seconds(10.0));
+        assert!((stored - Joules(50.0)).abs() < Joules(1e-9));
+    }
+
+    #[test]
+    fn discharge_delivers_and_depletes() {
+        let mut b = Battery::new(WattHours(1.0), 1.0)
+            .with_efficiencies(1.0, 1.0)
+            .with_cutoff(0.0);
+        let got = b.discharge(Watts(10.0), Seconds(60.0));
+        assert!((got - Joules(600.0)).abs() < Joules(1e-9));
+        assert!((b.stored() - Joules(3000.0)).abs() < Joules(1e-9));
+    }
+
+    #[test]
+    fn discharge_truncates_at_cutoff() {
+        let mut b = Battery::new(WattHours(1.0), 1.0)
+            .with_efficiencies(1.0, 1.0)
+            .with_cutoff(0.5);
+        let got = b.discharge(Watts(3600.0), Seconds(2.0)); // asks 7200 J
+        assert!((got - Joules(1800.0)).abs() < Joules(1e-9)); // only half deliverable
+        assert!(b.is_cut_off());
+        // Further discharge yields nothing.
+        assert_eq!(b.discharge(Watts(1.0), Seconds(10.0)), Joules::ZERO);
+    }
+
+    #[test]
+    fn discharge_efficiency_draws_more_than_delivered() {
+        let mut b = Battery::new(WattHours(1.0), 1.0)
+            .with_efficiencies(1.0, 0.5)
+            .with_cutoff(0.0);
+        let got = b.discharge(Watts(10.0), Seconds(10.0));
+        assert!((got - Joules(100.0)).abs() < Joules(1e-9));
+        // 200 J of stored energy were consumed to deliver 100 J.
+        assert!((b.stored() - Joules(3400.0)).abs() < Joules(1e-9));
+    }
+
+    #[test]
+    fn runtime_matches_paper_style_estimate() {
+        // Full 100 Wh bank feeding a ~1.3 W system → ≈ 75 h, the paper's
+        // measured battery-only autonomy.
+        let b = Battery::power_bank_20ah().with_efficiencies(1.0, 1.0).with_cutoff(0.0);
+        let rt = b.runtime_at(Watts(100.0 / 75.0));
+        assert!((rt.as_hours() - 75.0).abs() < 1e-9);
+        assert!(b.runtime_at(Watts::ZERO).value().is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "SoC")]
+    fn bad_initial_soc_panics() {
+        let _ = Battery::new(WattHours(1.0), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Battery::new(WattHours(0.0), 0.5);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn soc_stays_in_bounds(
+                ops in proptest::collection::vec((0.0f64..50.0, 0.0f64..100.0, proptest::bool::ANY), 1..100),
+            ) {
+                let mut b = Battery::new(WattHours(10.0), 0.5);
+                for (power, dt, is_charge) in ops {
+                    if is_charge {
+                        b.charge(Watts(power), Seconds(dt));
+                    } else {
+                        b.discharge(Watts(power), Seconds(dt));
+                    }
+                    let frac = b.soc().fraction();
+                    prop_assert!((0.0..=1.0 + 1e-9).contains(&frac), "SoC {frac}");
+                }
+            }
+
+            #[test]
+            fn delivered_never_exceeds_requested(
+                soc in 0.0f64..1.0, power in 0.0f64..100.0, dt in 0.0f64..1000.0,
+            ) {
+                let mut b = Battery::new(WattHours(5.0), soc);
+                let got = b.discharge(Watts(power), Seconds(dt));
+                prop_assert!(got.value() <= power * dt + 1e-9);
+            }
+        }
+    }
+}

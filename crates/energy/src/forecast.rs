@@ -1,0 +1,196 @@
+//! Harvest forecasting.
+//!
+//! An energy-aware node that plans its duty cycle needs an estimate of
+//! tomorrow's harvest. This module provides two simple, battery-friendly
+//! estimators over a daily harvest history — an exponentially weighted
+//! moving average and an AR(1) fit — plus a planner helper that converts
+//! a forecast into a sustainable daily budget.
+
+use pb_units::Joules;
+
+/// Exponentially weighted moving average over daily harvest totals.
+#[derive(Clone, Debug)]
+pub struct EwmaForecaster {
+    alpha: f64,
+    estimate: Option<f64>,
+}
+
+impl EwmaForecaster {
+    /// Creates a forecaster with smoothing factor `alpha` in (0, 1].
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        EwmaForecaster { alpha, estimate: None }
+    }
+
+    /// Feeds one day's harvest total.
+    pub fn observe(&mut self, harvest: Joules) {
+        let x = harvest.value();
+        self.estimate = Some(match self.estimate {
+            Some(e) => e + self.alpha * (x - e),
+            None => x,
+        });
+    }
+
+    /// The current next-day forecast, if any observation has been made.
+    pub fn forecast(&self) -> Option<Joules> {
+        self.estimate.map(Joules)
+    }
+}
+
+/// AR(1) forecaster: fits x_{t+1} ≈ μ + φ(x_t − μ) over the history by
+/// least squares.
+#[derive(Clone, Debug, Default)]
+pub struct Ar1Forecaster {
+    history: Vec<f64>,
+}
+
+impl Ar1Forecaster {
+    /// Creates an empty forecaster.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one day's harvest total.
+    pub fn observe(&mut self, harvest: Joules) {
+        self.history.push(harvest.value());
+    }
+
+    /// Number of observed days.
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// True before any observation.
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+
+    /// Fitted `(mean, phi)`; `None` with fewer than 3 observations.
+    pub fn fit(&self) -> Option<(f64, f64)> {
+        let n = self.history.len();
+        if n < 3 {
+            return None;
+        }
+        let mean = self.history.iter().sum::<f64>() / n as f64;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for w in self.history.windows(2) {
+            num += (w[0] - mean) * (w[1] - mean);
+            den += (w[0] - mean).powi(2);
+        }
+        let phi = if den > 0.0 { (num / den).clamp(-0.99, 0.99) } else { 0.0 };
+        Some((mean, phi))
+    }
+
+    /// Next-day forecast.
+    pub fn forecast(&self) -> Option<Joules> {
+        let (mean, phi) = self.fit()?;
+        let last = *self.history.last()?;
+        Some(Joules((mean + phi * (last - mean)).max(0.0)))
+    }
+}
+
+/// Converts a harvest forecast into a daily spending budget with a safety
+/// margin in `[0, 1)` (e.g. 0.3 keeps 30 % in reserve).
+pub fn daily_budget(forecast: Joules, safety_margin: f64) -> Joules {
+    assert!((0.0..1.0).contains(&safety_margin), "safety margin must be in [0, 1)");
+    forecast * (1.0 - safety_margin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_first_observation_is_the_estimate() {
+        let mut f = EwmaForecaster::new(0.3);
+        assert!(f.forecast().is_none());
+        f.observe(Joules(100.0));
+        assert_eq!(f.forecast(), Some(Joules(100.0)));
+    }
+
+    #[test]
+    fn ewma_tracks_a_level_shift() {
+        let mut f = EwmaForecaster::new(0.5);
+        for _ in 0..5 {
+            f.observe(Joules(100.0));
+        }
+        for _ in 0..10 {
+            f.observe(Joules(200.0));
+        }
+        let e = f.forecast().unwrap().value();
+        assert!((e - 200.0).abs() < 1.0, "estimate {e}");
+    }
+
+    #[test]
+    fn ewma_smooths_noise() {
+        let mut f = EwmaForecaster::new(0.2);
+        for i in 0..50 {
+            f.observe(Joules(100.0 + if i % 2 == 0 { 20.0 } else { -20.0 }));
+        }
+        let e = f.forecast().unwrap().value();
+        assert!((e - 100.0).abs() < 10.0, "estimate {e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_panics() {
+        let _ = EwmaForecaster::new(0.0);
+    }
+
+    #[test]
+    fn ar1_needs_three_points() {
+        let mut f = Ar1Forecaster::new();
+        assert!(f.is_empty());
+        f.observe(Joules(1.0));
+        f.observe(Joules(2.0));
+        assert!(f.forecast().is_none());
+        f.observe(Joules(3.0));
+        assert!(f.forecast().is_some());
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn ar1_recovers_persistence() {
+        // Strongly autocorrelated series: x alternates slowly around 100.
+        let mut f = Ar1Forecaster::new();
+        let mut x = 150.0;
+        for _ in 0..200 {
+            x = 100.0 + 0.8 * (x - 100.0);
+            f.observe(Joules(x));
+        }
+        let (mean, phi) = f.fit().unwrap();
+        assert!((mean - 100.0).abs() < 15.0, "mean {mean}");
+        assert!(phi > 0.6, "phi {phi}");
+    }
+
+    #[test]
+    fn ar1_constant_series_forecasts_the_constant() {
+        let mut f = Ar1Forecaster::new();
+        for _ in 0..10 {
+            f.observe(Joules(42.0));
+        }
+        assert!((f.forecast().unwrap().value() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ar1_forecast_never_negative() {
+        let mut f = Ar1Forecaster::new();
+        for v in [5.0, 1.0, 0.2, 0.0, 0.0] {
+            f.observe(Joules(v));
+        }
+        assert!(f.forecast().unwrap().value() >= 0.0);
+    }
+
+    #[test]
+    fn budget_applies_margin() {
+        assert_eq!(daily_budget(Joules(100.0), 0.3), Joules(70.0));
+        assert_eq!(daily_budget(Joules(100.0), 0.0), Joules(100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "safety margin")]
+    fn full_margin_panics() {
+        let _ = daily_budget(Joules(1.0), 1.0);
+    }
+}

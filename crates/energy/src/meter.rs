@@ -1,0 +1,247 @@
+//! Current-sensor and energy-meter models.
+//!
+//! The deployed system wires three Grove ±5 A DC/AC current sensors to the
+//! Pi Zero's hat: one per Raspberry Pi supply and one on the solar-panel
+//! wire. [`CurrentSensor`] reproduces that measurement chain — clipping at
+//! the ±5 A range, quantization by the hat's ADC and zero-mean Gaussian
+//! noise — and [`EnergyMeter`] accumulates sampled powers into energy the
+//! way the deployed logger does.
+
+use pb_units::{Amperes, Joules, Seconds, Volts, Watts};
+use rand::Rng;
+
+/// A Hall-effect current sensor with finite range, ADC quantization and
+/// Gaussian noise.
+#[derive(Clone, Debug)]
+pub struct CurrentSensor {
+    /// Measurement range: readings clip to `[-range, +range]`.
+    pub range: Amperes,
+    /// Standard deviation of additive zero-mean Gaussian noise.
+    pub noise_std: Amperes,
+    /// ADC resolution in bits (the Grove hat exposes a 12-bit ADC).
+    pub adc_bits: u32,
+}
+
+impl Default for CurrentSensor {
+    /// The paper's ±5 A sensor on a 12-bit ADC with 10 mA noise.
+    fn default() -> Self {
+        CurrentSensor { range: Amperes(5.0), noise_std: Amperes(0.01), adc_bits: 12 }
+    }
+}
+
+impl CurrentSensor {
+    /// Measures `true_current`, applying noise, clipping and quantization.
+    pub fn measure<R: Rng + ?Sized>(&self, true_current: Amperes, rng: &mut R) -> Amperes {
+        let noisy = true_current.value() + gaussian(rng) * self.noise_std.value();
+        let clipped = noisy.clamp(-self.range.value(), self.range.value());
+        // Quantize onto the ADC grid spanning [-range, +range].
+        let levels = (1u64 << self.adc_bits) as f64 - 1.0;
+        let step = 2.0 * self.range.value() / levels;
+        let q = ((clipped + self.range.value()) / step).round() * step - self.range.value();
+        Amperes(q)
+    }
+
+    /// Smallest representable current difference.
+    pub fn resolution(&self) -> Amperes {
+        let levels = (1u64 << self.adc_bits) as f64 - 1.0;
+        Amperes(2.0 * self.range.value() / levels)
+    }
+}
+
+/// Accumulates `(current, voltage)` samples into energy, left-rectangle
+/// style, exactly like the deployed Python logger (sample × interval).
+#[derive(Clone, Debug)]
+pub struct EnergyMeter {
+    /// Bus voltage used to convert current to power (the 5 V rail).
+    pub bus_voltage: Volts,
+    /// Sampling interval.
+    pub interval: Seconds,
+    accumulated: Joules,
+    samples: usize,
+    last_power: Watts,
+}
+
+impl EnergyMeter {
+    /// Creates a meter on a bus of `bus_voltage` sampled every `interval`.
+    pub fn new(bus_voltage: Volts, interval: Seconds) -> Self {
+        assert!(interval.value() > 0.0, "sampling interval must be positive");
+        EnergyMeter {
+            bus_voltage,
+            interval,
+            accumulated: Joules::ZERO,
+            samples: 0,
+            last_power: Watts::ZERO,
+        }
+    }
+
+    /// Records one current sample; returns the instantaneous power.
+    pub fn record(&mut self, current: Amperes) -> Watts {
+        let p = self.bus_voltage * current;
+        self.accumulated += p * self.interval;
+        self.samples += 1;
+        self.last_power = p;
+        p
+    }
+
+    /// Total energy accumulated so far.
+    pub fn energy(&self) -> Joules {
+        self.accumulated
+    }
+
+    /// Number of samples recorded.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Most recent instantaneous power (zero before the first sample).
+    pub fn last_power(&self) -> Watts {
+        self.last_power
+    }
+
+    /// Time covered by the recorded samples.
+    pub fn elapsed(&self) -> Seconds {
+        self.interval * self.samples as f64
+    }
+
+    /// Mean power over the recorded window (zero before the first sample).
+    pub fn mean_power(&self) -> Watts {
+        if self.samples == 0 {
+            Watts::ZERO
+        } else {
+            self.accumulated / self.elapsed()
+        }
+    }
+
+    /// Resets the accumulator without changing the configuration.
+    pub fn reset(&mut self) {
+        self.accumulated = Joules::ZERO;
+        self.samples = 0;
+        self.last_power = Watts::ZERO;
+    }
+}
+
+/// Standard normal sample via Box–Muller (avoids a `rand_distr` dependency).
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sensor_is_unbiased_on_average() {
+        let sensor = CurrentSensor::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let truth = Amperes(0.428); // ≈ 2.14 W on the 5 V rail
+        let n = 20_000;
+        let mean: f64 =
+            (0..n).map(|_| sensor.measure(truth, &mut rng).value()).sum::<f64>() / n as f64;
+        assert!((mean - truth.value()).abs() < 1e-3, "bias {mean}");
+    }
+
+    #[test]
+    fn sensor_clips_to_range() {
+        let sensor = CurrentSensor { noise_std: Amperes(0.0), ..CurrentSensor::default() };
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = sensor.measure(Amperes(12.0), &mut rng);
+        assert!((m - Amperes(5.0)).abs() <= sensor.resolution());
+        let m = sensor.measure(Amperes(-12.0), &mut rng);
+        assert!((m + Amperes(5.0)).abs() <= sensor.resolution());
+    }
+
+    #[test]
+    fn sensor_quantizes_to_adc_grid() {
+        let sensor = CurrentSensor {
+            noise_std: Amperes(0.0),
+            adc_bits: 4,
+            range: Amperes(5.0),
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let step = sensor.resolution().value();
+        let m = sensor.measure(Amperes(1.234), &mut rng).value();
+        let offset = (m + 5.0) / step;
+        assert!((offset - offset.round()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resolution_12_bit() {
+        let sensor = CurrentSensor::default();
+        assert!((sensor.resolution().value() - 10.0 / 4095.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn meter_accumulates_constant_load() {
+        // 0.428 A at 5 V for 89 samples at 1 Hz ≈ the paper's 190 J routine.
+        let mut meter = EnergyMeter::new(Volts(5.0), Seconds(1.0));
+        for _ in 0..89 {
+            meter.record(Amperes(0.428));
+        }
+        assert!((meter.energy() - Joules(5.0 * 0.428 * 89.0)).abs() < Joules(1e-9));
+        assert_eq!(meter.samples(), 89);
+        assert_eq!(meter.elapsed(), Seconds(89.0));
+        assert!((meter.mean_power() - Watts(2.14)).abs() < Watts(1e-9));
+        assert!((meter.last_power() - Watts(2.14)).abs() < Watts(1e-9));
+    }
+
+    #[test]
+    fn meter_reset() {
+        let mut meter = EnergyMeter::new(Volts(5.0), Seconds(0.5));
+        meter.record(Amperes(1.0));
+        meter.reset();
+        assert_eq!(meter.energy(), Joules::ZERO);
+        assert_eq!(meter.samples(), 0);
+        assert_eq!(meter.mean_power(), Watts::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_panics() {
+        let _ = EnergyMeter::new(Volts(5.0), Seconds(0.0));
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn measurement_always_within_range(truth in -20.0f64..20.0, seed in 0u64..1000) {
+                let sensor = CurrentSensor::default();
+                let mut rng = StdRng::seed_from_u64(seed);
+                let m = sensor.measure(Amperes(truth), &mut rng);
+                prop_assert!(m.value().abs() <= 5.0 + 1e-9);
+            }
+
+            #[test]
+            fn meter_energy_is_monotone(currents in proptest::collection::vec(0.0f64..5.0, 1..100)) {
+                let mut meter = EnergyMeter::new(Volts(5.0), Seconds(1.0));
+                let mut prev = Joules::ZERO;
+                for c in currents {
+                    meter.record(Amperes(c));
+                    prop_assert!(meter.energy() >= prev);
+                    prev = meter.energy();
+                }
+            }
+        }
+    }
+}

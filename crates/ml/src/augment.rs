@@ -1,0 +1,194 @@
+//! Spectrogram-image augmentation.
+//!
+//! SpecAugment-style masking adapted to the queen-detection images: random
+//! time-column and frequency-row masks plus small additive noise. Used as
+//! an optional training-time transform to harden the small from-scratch
+//! CNN against the synthesizer's limited variability.
+
+use crate::tensor::FeatureMap;
+use rand::Rng;
+
+/// Augmentation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Augment {
+    /// Maximum width of the time (column) mask, in pixels.
+    pub max_time_mask: usize,
+    /// Maximum height of the frequency (row) mask, in pixels.
+    pub max_freq_mask: usize,
+    /// Standard deviation of additive Gaussian pixel noise.
+    pub noise_std: f64,
+    /// Value written into masked regions.
+    pub mask_value: f64,
+}
+
+impl Default for Augment {
+    fn default() -> Self {
+        Augment { max_time_mask: 6, max_freq_mask: 6, noise_std: 0.02, mask_value: 0.0 }
+    }
+}
+
+impl Augment {
+    /// Returns an augmented copy of a single-channel image.
+    pub fn apply<R: Rng + ?Sized>(&self, image: &FeatureMap, rng: &mut R) -> FeatureMap {
+        let (c, h, w) = image.shape();
+        assert_eq!(c, 1, "augmentation expects single-channel spectrogram images");
+        let mut out = image.clone();
+
+        // Time mask: a run of columns.
+        if self.max_time_mask > 0 && w > 1 {
+            let width = rng.gen_range(0..=self.max_time_mask.min(w - 1));
+            if width > 0 {
+                let start = rng.gen_range(0..=w - width);
+                for y in 0..h {
+                    for x in start..start + width {
+                        out.set(0, y, x, self.mask_value);
+                    }
+                }
+            }
+        }
+        // Frequency mask: a run of rows.
+        if self.max_freq_mask > 0 && h > 1 {
+            let height = rng.gen_range(0..=self.max_freq_mask.min(h - 1));
+            if height > 0 {
+                let start = rng.gen_range(0..=h - height);
+                for y in start..start + height {
+                    for x in 0..w {
+                        out.set(0, y, x, self.mask_value);
+                    }
+                }
+            }
+        }
+        // Additive noise.
+        if self.noise_std > 0.0 {
+            for v in out.data_mut() {
+                *v += self.noise_std * crate::init::standard_normal(rng);
+            }
+        }
+        out
+    }
+
+    /// Expands a labelled dataset with `copies` augmented variants per
+    /// example (originals retained first).
+    pub fn expand<R: Rng + ?Sized>(
+        &self,
+        data: &[(FeatureMap, usize)],
+        copies: usize,
+        rng: &mut R,
+    ) -> Vec<(FeatureMap, usize)> {
+        let mut out = Vec::with_capacity(data.len() * (copies + 1));
+        out.extend(data.iter().cloned());
+        for (img, label) in data {
+            for _ in 0..copies {
+                out.push((self.apply(img, rng), *label));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn image(side: usize, value: f64) -> FeatureMap {
+        FeatureMap::from_vec(1, side, side, vec![value; side * side])
+    }
+
+    #[test]
+    fn masks_write_the_mask_value() {
+        let aug = Augment { noise_std: 0.0, mask_value: -1.0, ..Augment::default() };
+        let mut rng = StdRng::seed_from_u64(3);
+        // Try several draws; at least one must place a non-empty mask.
+        let mut masked_any = false;
+        for _ in 0..10 {
+            let out = aug.apply(&image(16, 0.5), &mut rng);
+            let masked = out.data().iter().filter(|&&v| v == -1.0).count();
+            let untouched = out.data().iter().filter(|&&v| v == 0.5).count();
+            assert_eq!(masked + untouched, 256, "pixels are either masked or untouched");
+            masked_any |= masked > 0;
+        }
+        assert!(masked_any, "no mask was ever applied");
+    }
+
+    #[test]
+    fn shape_is_preserved() {
+        let aug = Augment::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = aug.apply(&image(24, 0.3), &mut rng);
+        assert_eq!(out.shape(), (1, 24, 24));
+    }
+
+    #[test]
+    fn noise_only_perturbs_mildly() {
+        let aug = Augment { max_time_mask: 0, max_freq_mask: 0, noise_std: 0.05, mask_value: 0.0 };
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = aug.apply(&image(16, 0.5), &mut rng);
+        let max_dev = out.data().iter().map(|v| (v - 0.5).abs()).fold(0.0, f64::max);
+        assert!(max_dev > 0.0 && max_dev < 0.3, "max deviation {max_dev}");
+    }
+
+    #[test]
+    fn expand_multiplies_the_dataset() {
+        let data = vec![(image(8, 0.1), 0), (image(8, 0.9), 1)];
+        let mut rng = StdRng::seed_from_u64(6);
+        let expanded = Augment::default().expand(&data, 3, &mut rng);
+        assert_eq!(expanded.len(), 8);
+        // Originals first, labels preserved.
+        assert_eq!(expanded[0].1, 0);
+        assert_eq!(expanded[1].1, 1);
+        let zeros = expanded.iter().filter(|(_, l)| *l == 0).count();
+        assert_eq!(zeros, 4);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let data = vec![(image(8, 0.4), 1)];
+        let a = Augment::default().expand(&data, 2, &mut StdRng::seed_from_u64(7));
+        let b = Augment::default().expand(&data, 2, &mut StdRng::seed_from_u64(7));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.0.data(), y.0.data());
+        }
+    }
+
+    #[test]
+    fn augmented_training_still_learns() {
+        use crate::nn::resnet::{ResNetConfig, ResNetLite, StageSpec};
+        use crate::nn::train::{evaluate, train, TrainConfig};
+        // Bright-left vs bright-right images, augmented 2×.
+        let mut rng = StdRng::seed_from_u64(8);
+        let base: Vec<(FeatureMap, usize)> = (0..24)
+            .map(|i| {
+                let label = i % 2;
+                let mut data = vec![0.1; 100];
+                for y in 0..10 {
+                    for x in 0..5 {
+                        let xx = if label == 1 { x } else { 9 - x };
+                        data[y * 10 + xx] = 0.9;
+                    }
+                }
+                (FeatureMap::from_vec(1, 10, 10, data), label)
+            })
+            .collect();
+        let aug = Augment { max_time_mask: 2, max_freq_mask: 2, ..Augment::default() };
+        let expanded = aug.expand(&base, 2, &mut rng);
+        let mut net = ResNetLite::new(ResNetConfig {
+            input_channels: 1,
+            base_width: 4,
+            stages: vec![StageSpec { channels: 4, stride: 1 }, StageSpec { channels: 8, stride: 2 }],
+            n_classes: 2,
+            seed: 2,
+        });
+        train(&mut net, &expanded, &TrainConfig { epochs: 12, lr: 0.1, batch_size: 8, seed: 3 });
+        assert!(evaluate(&net, &base) >= 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-channel")]
+    fn multichannel_panics() {
+        let aug = Augment::default();
+        let mut rng = StdRng::seed_from_u64(9);
+        let _ = aug.apply(&FeatureMap::zeros(2, 8, 8), &mut rng);
+    }
+}

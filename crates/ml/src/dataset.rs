@@ -1,0 +1,241 @@
+//! Labelled datasets, splits and standardization.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A dataset of flat feature vectors with integer class labels.
+#[derive(Clone, Debug, Default)]
+pub struct Dataset {
+    features: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+}
+
+/// A train/test split of a [`Dataset`].
+#[derive(Clone, Debug)]
+pub struct Split {
+    /// Training portion.
+    pub train: Dataset,
+    /// Held-out test portion.
+    pub test: Dataset,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a dataset from parallel feature/label vectors.
+    pub fn from_pairs(features: Vec<Vec<f64>>, labels: Vec<usize>) -> Self {
+        assert_eq!(features.len(), labels.len(), "features and labels must align");
+        if let Some(first) = features.first() {
+            let d = first.len();
+            assert!(
+                features.iter().all(|f| f.len() == d),
+                "all feature vectors must have the same dimension"
+            );
+        }
+        Dataset { features, labels }
+    }
+
+    /// Appends one example.
+    pub fn push(&mut self, features: Vec<f64>, label: usize) {
+        if let Some(first) = self.features.first() {
+            assert_eq!(features.len(), first.len(), "feature dimension mismatch");
+        }
+        self.features.push(features);
+        self.labels.push(label);
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True when the dataset holds no examples.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Feature dimension (zero when empty).
+    pub fn dim(&self) -> usize {
+        self.features.first().map_or(0, Vec::len)
+    }
+
+    /// Borrowed feature matrix.
+    pub fn features(&self) -> &[Vec<f64>] {
+        &self.features
+    }
+
+    /// Borrowed labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Distinct labels present, sorted.
+    pub fn classes(&self) -> Vec<usize> {
+        let mut cs = self.labels.clone();
+        cs.sort_unstable();
+        cs.dedup();
+        cs
+    }
+
+    /// Splits into train/test with `test_fraction` of examples held out,
+    /// shuffled deterministically by `seed`.
+    pub fn split(&self, test_fraction: f64, seed: u64) -> Split {
+        assert!((0.0..1.0).contains(&test_fraction), "test fraction must be in [0, 1)");
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut StdRng::seed_from_u64(seed));
+        let n_test = (self.len() as f64 * test_fraction).round() as usize;
+        let (test_idx, train_idx) = idx.split_at(n_test);
+        let pick = |ids: &[usize]| {
+            Dataset::from_pairs(
+                ids.iter().map(|&i| self.features[i].clone()).collect(),
+                ids.iter().map(|&i| self.labels[i]).collect(),
+            )
+        };
+        Split { train: pick(train_idx), test: pick(test_idx) }
+    }
+
+    /// Per-dimension mean and standard deviation over the dataset.
+    pub fn feature_moments(&self) -> (Vec<f64>, Vec<f64>) {
+        let d = self.dim();
+        let n = self.len().max(1) as f64;
+        let mut mean = vec![0.0; d];
+        for f in &self.features {
+            for (m, x) in mean.iter_mut().zip(f) {
+                *m += x;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut std = vec![0.0; d];
+        for f in &self.features {
+            for ((s, x), m) in std.iter_mut().zip(f).zip(&mean) {
+                *s += (x - m).powi(2);
+            }
+        }
+        for s in &mut std {
+            *s = (*s / n).sqrt();
+        }
+        (mean, std)
+    }
+
+    /// Standardizes features in place using the supplied moments (zero-std
+    /// dimensions pass through unscaled). The moments must come from the
+    /// *training* split to avoid leakage.
+    pub fn standardize(&mut self, mean: &[f64], std: &[f64]) {
+        assert_eq!(mean.len(), self.dim(), "moment dimension mismatch");
+        assert_eq!(std.len(), self.dim(), "moment dimension mismatch");
+        for f in &mut self.features {
+            for ((x, m), s) in f.iter_mut().zip(mean).zip(std) {
+                if *s > 0.0 {
+                    *x = (*x - m) / s;
+                } else {
+                    *x -= m;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::from_pairs(
+            (0..10).map(|i| vec![i as f64, (i * 2) as f64]).collect(),
+            (0..10).map(|i| i % 2).collect(),
+        )
+    }
+
+    #[test]
+    fn construction() {
+        let d = toy();
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.classes(), vec![0, 1]);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn push_checks_dimension() {
+        let mut d = toy();
+        d.push(vec![1.0, 2.0], 0);
+        assert_eq!(d.len(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn push_wrong_dimension_panics() {
+        let mut d = toy();
+        d.push(vec![1.0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn misaligned_pairs_panic() {
+        let _ = Dataset::from_pairs(vec![vec![1.0]], vec![0, 1]);
+    }
+
+    #[test]
+    fn split_sizes_and_disjointness() {
+        let d = toy();
+        let split = d.split(0.3, 42);
+        assert_eq!(split.test.len(), 3);
+        assert_eq!(split.train.len(), 7);
+        // Every original example appears exactly once across splits.
+        let mut seen: Vec<f64> = split
+            .train
+            .features()
+            .iter()
+            .chain(split.test.features())
+            .map(|f| f[0])
+            .collect();
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(seen, (0..10).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let d = toy();
+        let a = d.split(0.3, 7);
+        let b = d.split(0.3, 7);
+        assert_eq!(a.test.features(), b.test.features());
+        let c = d.split(0.3, 8);
+        assert_ne!(a.test.features(), c.test.features());
+    }
+
+    #[test]
+    fn moments_and_standardize() {
+        let mut d = Dataset::from_pairs(
+            vec![vec![1.0, 5.0], vec![3.0, 5.0]],
+            vec![0, 1],
+        );
+        let (mean, std) = d.feature_moments();
+        assert_eq!(mean, vec![2.0, 5.0]);
+        assert_eq!(std[0], 1.0);
+        assert_eq!(std[1], 0.0);
+        d.standardize(&mean, &std);
+        assert_eq!(d.features()[0], vec![-1.0, 0.0]);
+        assert_eq!(d.features()[1], vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn standardized_train_has_zero_mean_unit_std() {
+        let d = toy();
+        let mut train = d.clone();
+        let (mean, std) = train.feature_moments();
+        train.standardize(&mean, &std);
+        let (m2, s2) = train.feature_moments();
+        for v in m2 {
+            assert!(v.abs() < 1e-12);
+        }
+        for v in s2 {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+}

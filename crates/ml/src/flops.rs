@@ -1,0 +1,83 @@
+//! Operation counting for the energy model.
+//!
+//! The paper reports that CNN inference energy on the Raspberry Pi "grows
+//! as a quadratic function of the number of pixels" swept over input sizes
+//! (Figure 5). The device layer reproduces that curve by converting a
+//! model's multiply-accumulate count into joules with a calibrated
+//! joules-per-MAC coefficient; this module is the counting side.
+
+/// A count of multiply-accumulate operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct FlopCount {
+    /// Multiply-accumulate operations (1 MAC = 2 FLOPs).
+    pub macs: u64,
+}
+
+impl FlopCount {
+    /// Zero operations.
+    pub const ZERO: FlopCount = FlopCount { macs: 0 };
+
+    /// Wraps a raw MAC count.
+    pub fn from_macs(macs: u64) -> Self {
+        FlopCount { macs }
+    }
+
+    /// Floating-point operations (2 per MAC).
+    pub fn flops(self) -> u64 {
+        self.macs * 2
+    }
+
+    /// Adds two counts.
+    pub fn plus(self, other: FlopCount) -> FlopCount {
+        FlopCount { macs: self.macs + other.macs }
+    }
+}
+
+impl std::ops::Add for FlopCount {
+    type Output = FlopCount;
+    fn add(self, rhs: FlopCount) -> FlopCount {
+        self.plus(rhs)
+    }
+}
+
+impl std::iter::Sum for FlopCount {
+    fn sum<I: Iterator<Item = FlopCount>>(iter: I) -> FlopCount {
+        iter.fold(FlopCount::ZERO, FlopCount::plus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::resnet::{ResNetConfig, ResNetLite};
+
+    #[test]
+    fn arithmetic() {
+        let a = FlopCount::from_macs(10);
+        let b = FlopCount::from_macs(5);
+        assert_eq!((a + b).macs, 15);
+        assert_eq!(a.flops(), 20);
+        let total: FlopCount = [a, b, FlopCount::ZERO].into_iter().sum();
+        assert_eq!(total.macs, 15);
+    }
+
+    #[test]
+    fn resnet_macs_grow_with_input_side() {
+        let net = ResNetLite::new(ResNetConfig::default());
+        let mut prev = 0;
+        for side in [20usize, 40, 60, 100, 140] {
+            let macs = net.forward_macs(side, side);
+            assert!(macs > prev, "MACs must grow with side");
+            prev = macs;
+        }
+    }
+
+    #[test]
+    fn resnet_macs_quadratic_in_side() {
+        // Doubling the side should roughly quadruple the MACs (fc head and
+        // rounding at stride boundaries cause small deviations).
+        let net = ResNetLite::new(ResNetConfig::default());
+        let r = net.forward_macs(200, 200) as f64 / net.forward_macs(100, 100) as f64;
+        assert!((3.5..4.5).contains(&r), "ratio {r}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Classification metrics.
+
+/// Fraction of predictions equal to the ground truth.
+pub fn accuracy(predictions: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), truth.len(), "prediction/truth length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let hits = predictions.iter().zip(truth).filter(|(p, t)| p == t).count();
+    hits as f64 / predictions.len() as f64
+}
+
+/// A `k × k` confusion matrix: `counts[truth][prediction]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    k: usize,
+    counts: Vec<usize>,
+}
+
+/// Builds a confusion matrix over `k` classes.
+pub fn confusion_matrix(predictions: &[usize], truth: &[usize], k: usize) -> ConfusionMatrix {
+    assert_eq!(predictions.len(), truth.len(), "prediction/truth length mismatch");
+    let mut counts = vec![0usize; k * k];
+    for (&p, &t) in predictions.iter().zip(truth) {
+        assert!(p < k && t < k, "label out of range for {k} classes");
+        counts[t * k + p] += 1;
+    }
+    ConfusionMatrix { k, counts }
+}
+
+impl ConfusionMatrix {
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.k
+    }
+
+    /// Count of examples with ground truth `t` predicted as `p`.
+    pub fn count(&self, t: usize, p: usize) -> usize {
+        assert!(t < self.k && p < self.k, "index out of range");
+        self.counts[t * self.k + p]
+    }
+
+    /// Total number of examples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: usize = (0..self.k).map(|i| self.count(i, i)).sum();
+        diag as f64 / total as f64
+    }
+
+    /// Precision of class `c`: TP / (TP + FP). `None` when nothing was
+    /// predicted as `c`.
+    pub fn precision(&self, c: usize) -> Option<f64> {
+        let tp = self.count(c, c);
+        let predicted: usize = (0..self.k).map(|t| self.count(t, c)).sum();
+        if predicted == 0 {
+            None
+        } else {
+            Some(tp as f64 / predicted as f64)
+        }
+    }
+
+    /// Recall of class `c`: TP / (TP + FN). `None` when class `c` has no
+    /// ground-truth examples.
+    pub fn recall(&self, c: usize) -> Option<f64> {
+        let tp = self.count(c, c);
+        let actual: usize = (0..self.k).map(|p| self.count(c, p)).sum();
+        if actual == 0 {
+            None
+        } else {
+            Some(tp as f64 / actual as f64)
+        }
+    }
+
+    /// F1 score of class `c`; `None` when precision or recall is undefined
+    /// or both are zero.
+    pub fn f1(&self, c: usize) -> Option<f64> {
+        let p = self.precision(c)?;
+        let r = self.recall(c)?;
+        if p + r == 0.0 {
+            None
+        } else {
+            Some(2.0 * p * r / (p + r))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[1, 0, 1], &[1, 0, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[0], &[0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_mismatch_panics() {
+        accuracy(&[1], &[1, 0]);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        // truth:      0 0 1 1 1
+        // prediction: 0 1 1 1 0
+        let cm = confusion_matrix(&[0, 1, 1, 1, 0], &[0, 0, 1, 1, 1], 2);
+        assert_eq!(cm.count(0, 0), 1);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.count(1, 1), 2);
+        assert_eq!(cm.count(1, 0), 1);
+        assert_eq!(cm.total(), 5);
+        assert_eq!(cm.classes(), 2);
+        assert!((cm.accuracy() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        let cm = confusion_matrix(&[0, 1, 1, 1, 0], &[0, 0, 1, 1, 1], 2);
+        // Class 1: TP=2, FP=1, FN=1.
+        assert!((cm.precision(1).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.recall(1).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.f1(1).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undefined_metrics_are_none() {
+        // Nothing predicted as class 1, no ground truth class 1.
+        let cm = confusion_matrix(&[0, 0], &[0, 0], 2);
+        assert!(cm.precision(1).is_none());
+        assert!(cm.recall(1).is_none());
+        assert!(cm.f1(1).is_none());
+        // Perfect on class 0.
+        assert_eq!(cm.precision(0), Some(1.0));
+        assert_eq!(cm.recall(0), Some(1.0));
+    }
+
+    #[test]
+    fn empty_matrix_accuracy_zero() {
+        let cm = confusion_matrix(&[], &[], 3);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn label_out_of_range_panics() {
+        confusion_matrix(&[2], &[0], 2);
+    }
+}

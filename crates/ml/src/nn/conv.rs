@@ -1,0 +1,340 @@
+//! 2-D convolution with explicit forward and backward passes.
+
+use crate::init::he_normal;
+use crate::tensor::FeatureMap;
+use rand::Rng;
+
+/// A 2-D convolution layer with square kernels, zero padding and bias.
+#[derive(Clone, Debug)]
+pub struct Conv2d {
+    /// Input channel count.
+    pub in_c: usize,
+    /// Output channel count.
+    pub out_c: usize,
+    /// Kernel side length.
+    pub k: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding on every side.
+    pub pad: usize,
+    /// Weights, laid out `[out_c][in_c][ky][kx]`.
+    pub weights: Vec<f64>,
+    /// Per-output-channel bias.
+    pub bias: Vec<f64>,
+}
+
+impl Conv2d {
+    /// Creates a layer with He-normal initialized weights and zero bias.
+    pub fn new<R: Rng + ?Sized>(
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(in_c > 0 && out_c > 0 && k > 0 && stride > 0, "conv dimensions must be positive");
+        let fan_in = in_c * k * k;
+        let weights = (0..out_c * fan_in).map(|_| he_normal(fan_in, rng)).collect();
+        Conv2d { in_c, out_c, k, stride, pad, weights, bias: vec![0.0; out_c] }
+    }
+
+    /// Output spatial size for an input of `(h, w)`.
+    pub fn output_size(&self, h: usize, w: usize) -> (usize, usize) {
+        assert!(
+            h + 2 * self.pad >= self.k && w + 2 * self.pad >= self.k,
+            "input {h}x{w} too small for kernel {} with padding {}",
+            self.k,
+            self.pad
+        );
+        (
+            (h + 2 * self.pad - self.k) / self.stride + 1,
+            (w + 2 * self.pad - self.k) / self.stride + 1,
+        )
+    }
+
+    /// Number of trainable weights.
+    pub fn n_weights(&self) -> usize {
+        self.out_c * self.in_c * self.k * self.k
+    }
+
+    /// Multiply-accumulate count of one forward pass on an `(h, w)` input.
+    pub fn forward_macs(&self, h: usize, w: usize) -> u64 {
+        let (oh, ow) = self.output_size(h, w);
+        (self.out_c * oh * ow) as u64 * (self.in_c * self.k * self.k) as u64
+    }
+
+    #[inline]
+    fn w_at(&self, oc: usize, ic: usize, ky: usize, kx: usize) -> f64 {
+        self.weights[((oc * self.in_c + ic) * self.k + ky) * self.k + kx]
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &FeatureMap) -> FeatureMap {
+        assert_eq!(x.channels(), self.in_c, "input channel mismatch");
+        let (h, w) = (x.height(), x.width());
+        let (oh, ow) = self.output_size(h, w);
+        let mut out = FeatureMap::zeros(self.out_c, oh, ow);
+        for oc in 0..self.out_c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = self.bias[oc];
+                    for ic in 0..self.in_c {
+                        for ky in 0..self.k {
+                            let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..self.k {
+                                let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += self.w_at(oc, ic, ky, kx) * x.get(ic, iy as usize, ix as usize);
+                            }
+                        }
+                    }
+                    out.set(oc, oy, ox, acc);
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward pass: given the layer input `x` and the loss gradient with
+    /// respect to the output `gout`, accumulates weight/bias gradients into
+    /// `gw`/`gb` and returns the gradient with respect to the input.
+    #[allow(clippy::needless_range_loop)] // oc indexes gout, gb and the kernel together
+    pub fn backward(
+        &self,
+        x: &FeatureMap,
+        gout: &FeatureMap,
+        gw: &mut [f64],
+        gb: &mut [f64],
+    ) -> FeatureMap {
+        assert_eq!(gw.len(), self.n_weights(), "gw length mismatch");
+        assert_eq!(gb.len(), self.out_c, "gb length mismatch");
+        assert_eq!(x.channels(), self.in_c, "input channel mismatch");
+        let (h, w) = (x.height(), x.width());
+        let (oh, ow) = self.output_size(h, w);
+        assert_eq!(gout.shape(), (self.out_c, oh, ow), "gout shape mismatch");
+
+        let mut gin = FeatureMap::zeros(self.in_c, h, w);
+        for oc in 0..self.out_c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = gout.get(oc, oy, ox);
+                    if g == 0.0 {
+                        continue;
+                    }
+                    gb[oc] += g;
+                    for ic in 0..self.in_c {
+                        for ky in 0..self.k {
+                            let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..self.k {
+                                let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let widx = ((oc * self.in_c + ic) * self.k + ky) * self.k + kx;
+                                gw[widx] += g * x.get(ic, iy as usize, ix as usize);
+                                gin.add_at(ic, iy as usize, ix as usize, g * self.weights[widx]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        gin
+    }
+
+    /// Applies an SGD step: `w -= lr * gw`, `b -= lr * gb`.
+    pub fn apply_gradients(&mut self, gw: &[f64], gb: &[f64], lr: f64) {
+        assert_eq!(gw.len(), self.weights.len(), "gw length mismatch");
+        assert_eq!(gb.len(), self.bias.len(), "gb length mismatch");
+        for (w, g) in self.weights.iter_mut().zip(gw) {
+            *w -= lr * g;
+        }
+        for (b, g) in self.bias.iter_mut().zip(gb) {
+            *b -= lr * g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn identity_kernel_conv() -> Conv2d {
+        // 1→1 channel 3×3 kernel that copies the centre pixel.
+        let mut weights = vec![0.0; 9];
+        weights[4] = 1.0;
+        Conv2d { in_c: 1, out_c: 1, k: 3, stride: 1, pad: 1, weights, bias: vec![0.0] }
+    }
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        let conv = identity_kernel_conv();
+        let x = FeatureMap::from_vec(1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let y = conv.forward(&x);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn output_size_formula() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let conv = Conv2d::new(1, 4, 3, 2, 1, &mut rng);
+        assert_eq!(conv.output_size(8, 8), (4, 4));
+        assert_eq!(conv.output_size(7, 9), (4, 5));
+        let valid = Conv2d::new(1, 1, 3, 1, 0, &mut rng);
+        assert_eq!(valid.output_size(5, 5), (3, 3));
+    }
+
+    #[test]
+    fn bias_shifts_output() {
+        let mut conv = identity_kernel_conv();
+        conv.bias[0] = 10.0;
+        let x = FeatureMap::from_vec(1, 1, 2, vec![1.0, 2.0]);
+        let y = conv.forward(&x);
+        assert_eq!(y.data(), &[11.0, 12.0]);
+    }
+
+    #[test]
+    fn sum_kernel_counts_neighbours() {
+        // All-ones 3×3 kernel on all-ones input: interior pixels see 9,
+        // corners see 4 (with zero padding).
+        let conv = Conv2d {
+            in_c: 1,
+            out_c: 1,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            weights: vec![1.0; 9],
+            bias: vec![0.0],
+        };
+        let x = FeatureMap::from_vec(1, 3, 3, vec![1.0; 9]);
+        let y = conv.forward(&x);
+        assert_eq!(y.get(0, 1, 1), 9.0);
+        assert_eq!(y.get(0, 0, 0), 4.0);
+        assert_eq!(y.get(0, 0, 1), 6.0);
+    }
+
+    #[test]
+    fn stride_two_downsamples() {
+        let conv = identity_kernel_conv();
+        let strided = Conv2d { stride: 2, ..conv };
+        let x = FeatureMap::from_vec(1, 4, 4, (0..16).map(|i| i as f64).collect());
+        let y = strided.forward(&x);
+        assert_eq!(y.shape(), (1, 2, 2));
+        // Centre taps at (0,0), (0,2), (2,0), (2,2).
+        assert_eq!(y.data(), &[0.0, 2.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn forward_macs_counts() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+        // 8 out channels × 10×10 outputs × 3·3·3 taps.
+        assert_eq!(conv.forward_macs(10, 10), 8 * 100 * 27);
+        assert_eq!(conv.n_weights(), 8 * 3 * 9);
+    }
+
+    /// Finite-difference gradient check on a small random layer.
+    #[test]
+    #[allow(clippy::needless_range_loop)] // indices perturb the layer and index grads
+    fn gradient_check() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut conv = Conv2d::new(2, 3, 3, 2, 1, &mut rng);
+        let x = {
+            let data: Vec<f64> = (0..2 * 5 * 5).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            FeatureMap::from_vec(2, 5, 5, data)
+        };
+        // Loss = sum of outputs weighted by fixed random coefficients.
+        let (oh, ow) = conv.output_size(5, 5);
+        let coeffs: Vec<f64> = (0..3 * oh * ow).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let loss = |conv: &Conv2d, x: &FeatureMap| -> f64 {
+            conv.forward(x).data().iter().zip(&coeffs).map(|(y, c)| y * c).sum()
+        };
+
+        let gout = FeatureMap::from_vec(3, oh, ow, coeffs.clone());
+        let mut gw = vec![0.0; conv.n_weights()];
+        let mut gb = vec![0.0; conv.out_c];
+        let gin = conv.backward(&x, &gout, &mut gw, &mut gb);
+
+        let eps = 1e-5;
+        // Check a sample of weight gradients.
+        for widx in [0usize, 7, 23, conv.n_weights() - 1] {
+            let orig = conv.weights[widx];
+            conv.weights[widx] = orig + eps;
+            let up = loss(&conv, &x);
+            conv.weights[widx] = orig - eps;
+            let down = loss(&conv, &x);
+            conv.weights[widx] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - gw[widx]).abs() < 1e-6 * (1.0 + numeric.abs()),
+                "weight {widx}: numeric {numeric}, analytic {}",
+                gw[widx]
+            );
+        }
+        // Bias gradients.
+        for bidx in 0..conv.out_c {
+            let orig = conv.bias[bidx];
+            conv.bias[bidx] = orig + eps;
+            let up = loss(&conv, &x);
+            conv.bias[bidx] = orig - eps;
+            let down = loss(&conv, &x);
+            conv.bias[bidx] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            assert!((numeric - gb[bidx]).abs() < 1e-6 * (1.0 + numeric.abs()));
+        }
+        // Input gradients.
+        let mut x_mut = x.clone();
+        for idx in [0usize, 13, 31, 49] {
+            let orig = x_mut.data()[idx];
+            x_mut.data_mut()[idx] = orig + eps;
+            let up = loss(&conv, &x_mut);
+            x_mut.data_mut()[idx] = orig - eps;
+            let down = loss(&conv, &x_mut);
+            x_mut.data_mut()[idx] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - gin.data()[idx]).abs() < 1e-6 * (1.0 + numeric.abs()),
+                "input {idx}: numeric {numeric}, analytic {}",
+                gin.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn apply_gradients_moves_weights() {
+        let mut conv = identity_kernel_conv();
+        let gw = vec![1.0; 9];
+        let gb = vec![2.0];
+        conv.apply_gradients(&gw, &gb, 0.1);
+        assert!((conv.weights[4] - 0.9).abs() < 1e-12);
+        assert!((conv.weights[0] + 0.1).abs() < 1e-12);
+        assert!((conv.bias[0] + 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn wrong_input_channels_panic() {
+        let conv = identity_kernel_conv();
+        let x = FeatureMap::zeros(2, 4, 4);
+        conv.forward(&x);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn too_small_input_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let conv = Conv2d::new(1, 1, 5, 1, 0, &mut rng);
+        conv.output_size(3, 3);
+    }
+}

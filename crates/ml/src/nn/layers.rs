@@ -1,0 +1,332 @@
+//! Activation, pooling, dense and loss layers.
+
+use crate::init::he_normal;
+use crate::tensor::FeatureMap;
+use rand::Rng;
+
+/// Element-wise ReLU.
+pub fn relu(x: &FeatureMap) -> FeatureMap {
+    let (c, h, w) = x.shape();
+    FeatureMap::from_vec(c, h, w, x.data().iter().map(|&v| v.max(0.0)).collect())
+}
+
+/// Backward of ReLU given the *output* `y = relu(x)` and the gradient with
+/// respect to `y`. (Using the output works because `y > 0 ⇔ x > 0`.)
+pub fn relu_backward(y: &FeatureMap, gout: &FeatureMap) -> FeatureMap {
+    assert_eq!(y.shape(), gout.shape(), "shape mismatch in relu backward");
+    let (c, h, w) = y.shape();
+    let data = y
+        .data()
+        .iter()
+        .zip(gout.data())
+        .map(|(&yv, &g)| if yv > 0.0 { g } else { 0.0 })
+        .collect();
+    FeatureMap::from_vec(c, h, w, data)
+}
+
+/// 2×2 max pooling with stride 2 (odd trailing rows/columns are dropped).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaxPool2;
+
+impl MaxPool2 {
+    /// Forward pass; returns the pooled map and the flat argmax index (into
+    /// the input) per output element, needed by the backward pass.
+    pub fn forward(&self, x: &FeatureMap) -> (FeatureMap, Vec<usize>) {
+        let (c, h, w) = x.shape();
+        let (oh, ow) = (h / 2, w / 2);
+        assert!(oh > 0 && ow > 0, "input too small for 2x2 pooling");
+        let mut out = FeatureMap::zeros(c, oh, ow);
+        let mut argmax = vec![0usize; c * oh * ow];
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f64::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let (iy, ix) = (oy * 2 + dy, ox * 2 + dx);
+                            let v = x.get(ci, iy, ix);
+                            if v > best {
+                                best = v;
+                                best_idx = (ci * h + iy) * w + ix;
+                            }
+                        }
+                    }
+                    out.set(ci, oy, ox, best);
+                    argmax[(ci * oh + oy) * ow + ox] = best_idx;
+                }
+            }
+        }
+        (out, argmax)
+    }
+
+    /// Backward pass: scatters `gout` to the argmax positions.
+    pub fn backward(
+        &self,
+        input_shape: (usize, usize, usize),
+        argmax: &[usize],
+        gout: &FeatureMap,
+    ) -> FeatureMap {
+        let (c, h, w) = input_shape;
+        let mut gin = FeatureMap::zeros(c, h, w);
+        assert_eq!(argmax.len(), gout.len(), "argmax/gout length mismatch");
+        for (i, &g) in gout.data().iter().enumerate() {
+            gin.data_mut()[argmax[i]] += g;
+        }
+        gin
+    }
+}
+
+/// Global average pooling: one value per channel.
+pub fn global_avg_pool(x: &FeatureMap) -> Vec<f64> {
+    x.channel_means()
+}
+
+/// Backward of global average pooling.
+pub fn global_avg_pool_backward(
+    input_shape: (usize, usize, usize),
+    gout: &[f64],
+) -> FeatureMap {
+    let (c, h, w) = input_shape;
+    assert_eq!(gout.len(), c, "gradient length must equal channel count");
+    let mut gin = FeatureMap::zeros(c, h, w);
+    let scale = 1.0 / (h * w) as f64;
+    let plane = h * w;
+    for (ci, &go) in gout.iter().enumerate() {
+        let g = go * scale;
+        for v in &mut gin.data_mut()[ci * plane..(ci + 1) * plane] {
+            *v = g;
+        }
+    }
+    gin
+}
+
+/// A fully connected layer on flat vectors.
+#[derive(Clone, Debug)]
+pub struct Dense {
+    /// Input dimension.
+    pub in_dim: usize,
+    /// Output dimension.
+    pub out_dim: usize,
+    /// Weights, laid out `[out][in]`.
+    pub weights: Vec<f64>,
+    /// Per-output bias.
+    pub bias: Vec<f64>,
+}
+
+impl Dense {
+    /// Creates a layer with He-normal weights and zero bias.
+    pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "dense dimensions must be positive");
+        let weights = (0..in_dim * out_dim).map(|_| he_normal(in_dim, rng)).collect();
+        Dense { in_dim, out_dim, weights, bias: vec![0.0; out_dim] }
+    }
+
+    /// Forward pass: `y = Wx + b`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.in_dim, "dense input dimension mismatch");
+        (0..self.out_dim)
+            .map(|o| {
+                let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+                self.bias[o] + row.iter().zip(x).map(|(w, v)| w * v).sum::<f64>()
+            })
+            .collect()
+    }
+
+    /// Backward pass; accumulates parameter gradients, returns input grad.
+    pub fn backward(&self, x: &[f64], gout: &[f64], gw: &mut [f64], gb: &mut [f64]) -> Vec<f64> {
+        assert_eq!(gout.len(), self.out_dim, "gout dimension mismatch");
+        assert_eq!(gw.len(), self.weights.len(), "gw length mismatch");
+        assert_eq!(gb.len(), self.out_dim, "gb length mismatch");
+        let mut gin = vec![0.0; self.in_dim];
+        for o in 0..self.out_dim {
+            let g = gout[o];
+            gb[o] += g;
+            let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+            let grow = &mut gw[o * self.in_dim..(o + 1) * self.in_dim];
+            for i in 0..self.in_dim {
+                grow[i] += g * x[i];
+                gin[i] += g * row[i];
+            }
+        }
+        gin
+    }
+
+    /// SGD step.
+    pub fn apply_gradients(&mut self, gw: &[f64], gb: &[f64], lr: f64) {
+        for (w, g) in self.weights.iter_mut().zip(gw) {
+            *w -= lr * g;
+        }
+        for (b, g) in self.bias.iter_mut().zip(gb) {
+            *b -= lr * g;
+        }
+    }
+
+    /// Multiply-accumulate count of one forward pass.
+    pub fn forward_macs(&self) -> u64 {
+        (self.in_dim * self.out_dim) as u64
+    }
+}
+
+/// Softmax cross-entropy: returns `(loss, gradient w.r.t. logits)` for a
+/// single example with ground-truth class `label`.
+pub fn softmax_cross_entropy(logits: &[f64], label: usize) -> (f64, Vec<f64>) {
+    assert!(label < logits.len(), "label out of range");
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&z| (z - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    let probs: Vec<f64> = exps.iter().map(|e| e / sum).collect();
+    let loss = -probs[label].max(1e-300).ln();
+    let grad = probs
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| if i == label { p - 1.0 } else { p })
+        .collect();
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = FeatureMap::from_vec(1, 1, 4, vec![-2.0, -0.5, 0.0, 3.0]);
+        let y = relu(&x);
+        assert_eq!(y.data(), &[0.0, 0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks() {
+        let x = FeatureMap::from_vec(1, 1, 4, vec![-2.0, -0.5, 0.0, 3.0]);
+        let y = relu(&x);
+        let g = FeatureMap::from_vec(1, 1, 4, vec![1.0, 1.0, 1.0, 1.0]);
+        let gin = relu_backward(&y, &g);
+        assert_eq!(gin.data(), &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn maxpool_picks_maxima() {
+        let x = FeatureMap::from_vec(1, 4, 4, (0..16).map(|i| i as f64).collect());
+        let (y, argmax) = MaxPool2.forward(&x);
+        assert_eq!(y.shape(), (1, 2, 2));
+        assert_eq!(y.data(), &[5.0, 7.0, 13.0, 15.0]);
+        assert_eq!(argmax, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn maxpool_drops_odd_edges() {
+        let x = FeatureMap::zeros(1, 5, 5);
+        let (y, _) = MaxPool2.forward(&x);
+        assert_eq!(y.shape(), (1, 2, 2));
+    }
+
+    #[test]
+    fn maxpool_backward_scatters() {
+        let x = FeatureMap::from_vec(1, 2, 2, vec![1.0, 9.0, 3.0, 2.0]);
+        let (_, argmax) = MaxPool2.forward(&x);
+        let gout = FeatureMap::from_vec(1, 1, 1, vec![5.0]);
+        let gin = MaxPool2.backward((1, 2, 2), &argmax, &gout);
+        assert_eq!(gin.data(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn gap_and_backward() {
+        let x = FeatureMap::from_vec(2, 1, 2, vec![1.0, 3.0, 10.0, 30.0]);
+        let y = global_avg_pool(&x);
+        assert_eq!(y, vec![2.0, 20.0]);
+        let gin = global_avg_pool_backward((2, 1, 2), &[4.0, 8.0]);
+        assert_eq!(gin.data(), &[2.0, 2.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn dense_forward_matches_manual() {
+        let d = Dense {
+            in_dim: 2,
+            out_dim: 2,
+            weights: vec![1.0, 2.0, 3.0, 4.0],
+            bias: vec![0.5, -0.5],
+        };
+        let y = d.forward(&[10.0, 20.0]);
+        assert_eq!(y, vec![50.5, 109.5]);
+        assert_eq!(d.forward_macs(), 4);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // indices perturb the layer and index grads
+    fn dense_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut d = Dense::new(5, 3, &mut rng);
+        let x: Vec<f64> = (0..5).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let coeffs: Vec<f64> = (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let loss =
+            |d: &Dense, x: &[f64]| d.forward(x).iter().zip(&coeffs).map(|(y, c)| y * c).sum::<f64>();
+
+        let mut gw = vec![0.0; 15];
+        let mut gb = vec![0.0; 3];
+        let gin = d.backward(&x, &coeffs, &mut gw, &mut gb);
+
+        let eps = 1e-6;
+        for widx in 0..15 {
+            let orig = d.weights[widx];
+            d.weights[widx] = orig + eps;
+            let up = loss(&d, &x);
+            d.weights[widx] = orig - eps;
+            let down = loss(&d, &x);
+            d.weights[widx] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            assert!((numeric - gw[widx]).abs() < 1e-6 * (1.0 + numeric.abs()));
+        }
+        let mut x2 = x.clone();
+        for i in 0..5 {
+            let orig = x2[i];
+            x2[i] = orig + eps;
+            let up = loss(&d, &x2);
+            x2[i] = orig - eps;
+            let down = loss(&d, &x2);
+            x2[i] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            assert!((numeric - gin[i]).abs() < 1e-6 * (1.0 + numeric.abs()));
+        }
+        assert_eq!(gb, coeffs);
+    }
+
+    #[test]
+    fn softmax_ce_probabilities_and_loss() {
+        let (loss, grad) = softmax_cross_entropy(&[0.0, 0.0], 0);
+        assert!((loss - std::f64::consts::LN_2).abs() < 1e-12);
+        assert!((grad[0] + 0.5).abs() < 1e-12);
+        assert!((grad[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_ce_confident_correct_has_low_loss() {
+        let (loss, grad) = softmax_cross_entropy(&[10.0, -10.0], 0);
+        assert!(loss < 1e-6);
+        assert!(grad[0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_ce_gradient_sums_to_zero() {
+        let (_, grad) = softmax_cross_entropy(&[1.0, 2.0, 3.0], 1);
+        assert!(grad.iter().sum::<f64>().abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_ce_is_shift_invariant() {
+        let (l1, g1) = softmax_cross_entropy(&[1.0, 2.0], 1);
+        let (l2, g2) = softmax_cross_entropy(&[101.0, 102.0], 1);
+        assert!((l1 - l2).abs() < 1e-9);
+        for (a, b) in g1.iter().zip(&g2) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_label_panics() {
+        softmax_cross_entropy(&[0.0, 0.0], 2);
+    }
+}

@@ -1,0 +1,14 @@
+//! Convolutional neural network layers and the residual classifier.
+//!
+//! Everything is implemented from scratch: convolutions with explicit
+//! backward passes, pooling, dense layers, softmax cross-entropy, a
+//! residual architecture mirroring ResNet18's block structure, and an SGD
+//! training loop parallelized over the batch with rayon.
+
+pub mod conv;
+pub mod layers;
+pub mod resnet;
+pub mod train;
+
+pub use conv::Conv2d;
+pub use layers::{global_avg_pool, global_avg_pool_backward, relu, relu_backward, softmax_cross_entropy, Dense, MaxPool2};

@@ -1,0 +1,215 @@
+//! Post-training weight quantization.
+//!
+//! Energy-constrained edge inference commonly quantizes weights to 8 bits;
+//! on a Raspberry-Pi-class device this shrinks the model and enables
+//! integer arithmetic. This module implements symmetric per-tensor
+//! affine quantization with dequantized (fake-quant) inference, so the
+//! accuracy cost of deploying a quantized queen detector can be measured
+//! against the float model — an ablation the paper's energy analysis
+//! invites but does not run.
+
+use crate::nn::resnet::ResNetLite;
+
+/// Symmetric per-tensor quantization parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuantParams {
+    /// Scale: real value = scale × quantized integer.
+    pub scale: f64,
+    /// Number of bits (2–16).
+    pub bits: u32,
+}
+
+impl QuantParams {
+    /// Chooses the scale covering `values` symmetrically at `bits` bits.
+    /// A degenerate all-zero tensor gets scale 1.
+    pub fn fit(values: &[f64], bits: u32) -> Self {
+        assert!((2..=16).contains(&bits), "bits must be in 2..=16");
+        let max_abs = values.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+        let q_max = ((1i64 << (bits - 1)) - 1) as f64;
+        let scale = if max_abs > 0.0 { max_abs / q_max } else { 1.0 };
+        QuantParams { scale, bits }
+    }
+
+    /// Quantizes one value to the integer grid.
+    pub fn quantize(&self, v: f64) -> i32 {
+        let q_max = ((1i64 << (self.bits - 1)) - 1) as i32;
+        ((v / self.scale).round() as i64).clamp(-(q_max as i64) - 1, q_max as i64) as i32
+    }
+
+    /// Dequantizes an integer back to a real value.
+    pub fn dequantize(&self, q: i32) -> f64 {
+        f64::from(q) * self.scale
+    }
+
+    /// Round-trips a value through the grid (fake quantization).
+    pub fn fake_quantize(&self, v: f64) -> f64 {
+        self.dequantize(self.quantize(v))
+    }
+
+    /// Worst-case absolute rounding error of this grid.
+    pub fn max_error(&self) -> f64 {
+        self.scale * 0.5
+    }
+}
+
+/// Statistics of quantizing one tensor.
+#[derive(Clone, Copy, Debug)]
+pub struct TensorQuantReport {
+    /// Elements quantized.
+    pub n: usize,
+    /// Root-mean-square quantization error.
+    pub rms_error: f64,
+}
+
+/// Fake-quantizes a tensor in place; returns the error report.
+pub fn quantize_tensor(values: &mut [f64], bits: u32) -> TensorQuantReport {
+    let params = QuantParams::fit(values, bits);
+    let mut sq = 0.0;
+    for v in values.iter_mut() {
+        let q = params.fake_quantize(*v);
+        sq += (q - *v).powi(2);
+        *v = q;
+    }
+    TensorQuantReport { n: values.len(), rms_error: (sq / values.len().max(1) as f64).sqrt() }
+}
+
+/// Report of quantizing a whole network.
+#[derive(Clone, Debug)]
+pub struct ModelQuantReport {
+    /// Bits used.
+    pub bits: u32,
+    /// Per-tensor reports in network order.
+    pub tensors: Vec<TensorQuantReport>,
+}
+
+impl ModelQuantReport {
+    /// Parameter-weighted mean RMS error.
+    pub fn mean_rms_error(&self) -> f64 {
+        let total: usize = self.tensors.iter().map(|t| t.n).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.tensors.iter().map(|t| t.rms_error * t.n as f64).sum::<f64>() / total as f64
+    }
+
+    /// Model size in bytes at this bit width (weights only, no packing
+    /// overhead).
+    pub fn model_bytes(&self) -> usize {
+        let params: usize = self.tensors.iter().map(|t| t.n).sum();
+        (params * self.bits as usize).div_ceil(8)
+    }
+}
+
+/// Fake-quantizes every weight tensor of a [`ResNetLite`] in place
+/// (biases stay in float, as deployment stacks typically keep them at
+/// 32 bits).
+pub fn quantize_resnet(net: &mut ResNetLite, bits: u32) -> ModelQuantReport {
+    let mut tensors = Vec::new();
+    for w in net.weight_tensors_mut() {
+        tensors.push(quantize_tensor(w, bits));
+    }
+    ModelQuantReport { bits, tensors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::resnet::{ResNetConfig, StageSpec};
+    use crate::tensor::FeatureMap;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn fit_covers_the_range() {
+        let p = QuantParams::fit(&[-2.0, 1.0, 0.5], 8);
+        // q_max = 127; scale = 2/127.
+        assert!((p.scale - 2.0 / 127.0).abs() < 1e-12);
+        assert_eq!(p.quantize(2.0), 127);
+        assert_eq!(p.quantize(-2.0), -127);
+        assert_eq!(p.quantize(0.0), 0);
+    }
+
+    #[test]
+    fn degenerate_tensor() {
+        let p = QuantParams::fit(&[0.0, 0.0], 8);
+        assert_eq!(p.scale, 1.0);
+        assert_eq!(p.fake_quantize(0.0), 0.0);
+    }
+
+    #[test]
+    fn round_trip_error_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let values: Vec<f64> = (0..1000).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let p = QuantParams::fit(&values, 8);
+        for &v in &values {
+            assert!((p.fake_quantize(v) - v).abs() <= p.max_error() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn more_bits_less_error() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let values: Vec<f64> = (0..500).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut v4 = values.clone();
+        let mut v8 = values.clone();
+        let r4 = quantize_tensor(&mut v4, 4);
+        let r8 = quantize_tensor(&mut v8, 8);
+        assert!(r8.rms_error < r4.rms_error / 4.0, "8-bit {} vs 4-bit {}", r8.rms_error, r4.rms_error);
+    }
+
+    fn tiny_net() -> ResNetLite {
+        ResNetLite::new(ResNetConfig {
+            input_channels: 1,
+            base_width: 4,
+            stages: vec![StageSpec { channels: 4, stride: 1 }, StageSpec { channels: 8, stride: 2 }],
+            n_classes: 2,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn quantized_network_stays_close_in_logits() {
+        let float_net = tiny_net();
+        let mut q_net = float_net.clone();
+        let report = quantize_resnet(&mut q_net, 8);
+        assert!(report.mean_rms_error() < 0.01, "rms {}", report.mean_rms_error());
+
+        let mut rng = StdRng::seed_from_u64(7);
+        let data: Vec<f64> = (0..100).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let x = FeatureMap::from_vec(1, 10, 10, data);
+        let a = float_net.forward(&x);
+        let b = q_net.forward(&x);
+        for (fa, fb) in a.iter().zip(&b) {
+            assert!((fa - fb).abs() < 0.2, "logits drifted: {fa} vs {fb}");
+        }
+        // Predictions agree on a batch of random inputs.
+        let mut agree = 0;
+        for s in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(100 + s);
+            let data: Vec<f64> = (0..100).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let x = FeatureMap::from_vec(1, 10, 10, data);
+            if float_net.predict(&x) == q_net.predict(&x) {
+                agree += 1;
+            }
+        }
+        assert!(agree >= 18, "only {agree}/20 predictions agree after int8 quantization");
+    }
+
+    #[test]
+    fn model_bytes_shrink_with_bits() {
+        let mut a = tiny_net();
+        let r8 = quantize_resnet(&mut a, 8);
+        let mut b = tiny_net();
+        let r4 = quantize_resnet(&mut b, 4);
+        assert_eq!(r8.model_bytes(), 2 * r4.model_bytes());
+        // int8 is a quarter of f32.
+        let n_weights: usize = r8.tensors.iter().map(|t| t.n).sum();
+        assert_eq!(r8.model_bytes(), n_weights);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in")]
+    fn silly_bit_width_panics() {
+        let _ = QuantParams::fit(&[1.0], 1);
+    }
+}

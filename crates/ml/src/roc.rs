@@ -1,0 +1,172 @@
+//! ROC analysis for score-producing classifiers.
+//!
+//! A queen-detection deployment cares about operating points: a missed
+//! queenless colony (false negative) costs a colony; a false alarm costs a
+//! beekeeper visit. ROC curves over the SVM's decision values expose that
+//! trade-off; AUC summarizes separability independent of the threshold.
+
+/// One ROC operating point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RocPoint {
+    /// Decision threshold (predict positive when score ≥ threshold).
+    pub threshold: f64,
+    /// True-positive rate at this threshold.
+    pub tpr: f64,
+    /// False-positive rate at this threshold.
+    pub fpr: f64,
+}
+
+/// Computes the ROC curve from `(score, is_positive)` pairs. Points are
+/// ordered from the strictest threshold (0, 0) to the laxest (1, 1).
+pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Vec<RocPoint> {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let p = labels.iter().filter(|&&l| l).count();
+    let n = labels.len() - p;
+    assert!(p > 0 && n > 0, "ROC needs both classes present");
+
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+
+    let mut points = vec![RocPoint { threshold: f64::INFINITY, tpr: 0.0, fpr: 0.0 }];
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0;
+    while i < order.len() {
+        // Advance over ties so equal scores form one point.
+        let score = scores[order[i]];
+        while i < order.len() && scores[order[i]] == score {
+            if labels[order[i]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        points.push(RocPoint {
+            threshold: score,
+            tpr: tp as f64 / p as f64,
+            fpr: fp as f64 / n as f64,
+        });
+    }
+    points
+}
+
+/// Area under the ROC curve by trapezoidal integration.
+pub fn auc(points: &[RocPoint]) -> f64 {
+    points
+        .windows(2)
+        .map(|w| (w[1].fpr - w[0].fpr) * (w[0].tpr + w[1].tpr) * 0.5)
+        .sum()
+}
+
+/// Convenience: AUC directly from scores and labels.
+pub fn auc_from_scores(scores: &[f64], labels: &[bool]) -> f64 {
+    auc(&roc_curve(scores, labels))
+}
+
+/// The threshold maximizing Youden's J = TPR − FPR.
+pub fn best_threshold(points: &[RocPoint]) -> Option<f64> {
+    points
+        .iter()
+        .filter(|p| p.threshold.is_finite())
+        .max_by(|a, b| (a.tpr - a.fpr).total_cmp(&(b.tpr - b.fpr)))
+        .map(|p| p.threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_has_auc_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        let points = roc_curve(&scores, &labels);
+        assert!((auc(&points) - 1.0).abs() < 1e-12);
+        // Best threshold separates the classes.
+        let t = best_threshold(&points).unwrap();
+        assert!((0.2..=0.8).contains(&t), "threshold {t}");
+    }
+
+    #[test]
+    fn inverted_scores_have_auc_zero() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [true, true, false, false];
+        assert!(auc_from_scores(&scores, &labels).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interleaved_scores_have_combinatorial_auc() {
+        // Alternating labels down the ranking: AUC equals the
+        // Mann–Whitney pair count. Positives at ranks 1,3,5,7 win
+        // 4+3+2+1 = 10 of the 16 (pos, neg) pairs → 0.625; the mirrored
+        // arrangement wins 6 → 0.375. Their mean is the chance level.
+        let scores = [8.0, 7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0];
+        let labels = [true, false, true, false, true, false, true, false];
+        let a = auc_from_scores(&scores, &labels);
+        assert!((a - 0.625).abs() < 1e-12, "auc {a}");
+        let flipped: Vec<bool> = labels.iter().map(|l| !l).collect();
+        let b = auc_from_scores(&scores, &flipped);
+        assert!((b - 0.375).abs() < 1e-12, "auc {b}");
+        assert!(((a + b) / 2.0 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_starts_at_origin_ends_at_one_one() {
+        let scores = [0.3, 0.6, 0.1, 0.9];
+        let labels = [false, true, false, true];
+        let points = roc_curve(&scores, &labels);
+        let first = points.first().unwrap();
+        let last = points.last().unwrap();
+        assert_eq!((first.tpr, first.fpr), (0.0, 0.0));
+        assert_eq!((last.tpr, last.fpr), (1.0, 1.0));
+        // Monotone non-decreasing in both axes.
+        for w in points.windows(2) {
+            assert!(w[1].tpr >= w[0].tpr && w[1].fpr >= w[0].fpr);
+        }
+    }
+
+    #[test]
+    fn ties_collapse_to_one_point() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [true, false, true, false];
+        let points = roc_curve(&scores, &labels);
+        // Origin plus one diagonal jump.
+        assert_eq!(points.len(), 2);
+        assert!((auc(&points) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn single_class_panics() {
+        let _ = roc_curve(&[0.1, 0.2], &[true, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = roc_curve(&[0.1], &[true, false]);
+    }
+
+    #[test]
+    fn svm_decision_values_yield_high_auc() {
+        use crate::dataset::Dataset;
+        use crate::svm::{RbfSvm, SvmConfig};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut d = Dataset::new();
+        for i in 0..60 {
+            let label = i % 2;
+            let centre = if label == 1 { 3.0 } else { 0.0 };
+            d.push(
+                vec![centre + rng.gen_range(-1.0..1.0), centre + rng.gen_range(-1.0..1.0)],
+                label,
+            );
+        }
+        let svm = RbfSvm::train(&d, SvmConfig { gamma: 0.5, ..SvmConfig::default() });
+        let scores: Vec<f64> = d.features().iter().map(|f| svm.decision(f)).collect();
+        let labels: Vec<bool> = d.labels().iter().map(|&l| l == 1).collect();
+        let a = auc_from_scores(&scores, &labels);
+        assert!(a > 0.97, "AUC {a}");
+    }
+}

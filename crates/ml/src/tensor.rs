@@ -1,0 +1,187 @@
+//! Dense feature maps for the convolutional layers.
+
+/// A dense `channels × height × width` feature map, stored row-major per
+/// channel. This is the unit of data flowing through the CNN (one sample;
+/// batches are slices of maps).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FeatureMap {
+    c: usize,
+    h: usize,
+    w: usize,
+    data: Vec<f64>,
+}
+
+impl FeatureMap {
+    /// Creates a zero-filled map.
+    pub fn zeros(c: usize, h: usize, w: usize) -> Self {
+        assert!(c > 0 && h > 0 && w > 0, "feature map dimensions must be positive");
+        FeatureMap { c, h, w, data: vec![0.0; c * h * w] }
+    }
+
+    /// Wraps existing data laid out `[c][h][w]`.
+    pub fn from_vec(c: usize, h: usize, w: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), c * h * w, "data length must equal c*h*w");
+        assert!(c > 0 && h > 0 && w > 0, "feature map dimensions must be positive");
+        FeatureMap { c, h, w, data }
+    }
+
+    /// Builds a single-channel map from a grayscale image in `[0, 1]`.
+    pub fn from_image(width: usize, height: usize, pixels: &[f64]) -> Self {
+        assert_eq!(pixels.len(), width * height, "pixel count must equal width*height");
+        FeatureMap { c: 1, h: height, w: width, data: pixels.to_vec() }
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.c
+    }
+
+    /// Height.
+    pub fn height(&self) -> usize {
+        self.h
+    }
+
+    /// Width.
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// `(c, h, w)` tuple.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.c, self.h, self.w)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the map holds no elements (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrowed flat data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Element at `(c, y, x)` without bounds checks beyond debug assertions.
+    #[inline]
+    pub fn get(&self, c: usize, y: usize, x: usize) -> f64 {
+        debug_assert!(c < self.c && y < self.h && x < self.w);
+        self.data[(c * self.h + y) * self.w + x]
+    }
+
+    /// Sets the element at `(c, y, x)`.
+    #[inline]
+    pub fn set(&mut self, c: usize, y: usize, x: usize, v: f64) {
+        debug_assert!(c < self.c && y < self.h && x < self.w);
+        self.data[(c * self.h + y) * self.w + x] = v;
+    }
+
+    /// Adds `v` to the element at `(c, y, x)`.
+    #[inline]
+    pub fn add_at(&mut self, c: usize, y: usize, x: usize, v: f64) {
+        debug_assert!(c < self.c && y < self.h && x < self.w);
+        self.data[(c * self.h + y) * self.w + x] += v;
+    }
+
+    /// One channel as a flat `h × w` slice.
+    pub fn channel(&self, c: usize) -> &[f64] {
+        assert!(c < self.c, "channel {c} out of bounds");
+        &self.data[c * self.h * self.w..(c + 1) * self.h * self.w]
+    }
+
+    /// Element-wise sum with another map of identical shape.
+    pub fn add(&self, other: &FeatureMap) -> FeatureMap {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in add");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        FeatureMap { c: self.c, h: self.h, w: self.w, data }
+    }
+
+    /// In-place element-wise accumulate.
+    pub fn add_assign(&mut self, other: &FeatureMap) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in add_assign");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Mean over all elements of each channel: `c` values.
+    pub fn channel_means(&self) -> Vec<f64> {
+        let plane = (self.h * self.w) as f64;
+        (0..self.c).map(|c| self.channel(c).iter().sum::<f64>() / plane).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let mut m = FeatureMap::zeros(2, 3, 4);
+        assert_eq!(m.shape(), (2, 3, 4));
+        assert_eq!(m.len(), 24);
+        assert!(!m.is_empty());
+        m.set(1, 2, 3, 7.0);
+        assert_eq!(m.get(1, 2, 3), 7.0);
+        m.add_at(1, 2, 3, 1.0);
+        assert_eq!(m.get(1, 2, 3), 8.0);
+        // Last element of the flat layout.
+        assert_eq!(m.data()[23], 8.0);
+    }
+
+    #[test]
+    fn from_vec_layout_is_channel_major() {
+        let data: Vec<f64> = (0..12).map(|x| x as f64).collect();
+        let m = FeatureMap::from_vec(2, 2, 3, data);
+        assert_eq!(m.get(0, 0, 0), 0.0);
+        assert_eq!(m.get(0, 1, 2), 5.0);
+        assert_eq!(m.get(1, 0, 0), 6.0);
+        assert_eq!(m.channel(1), &[6.0, 7.0, 8.0, 9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn from_image_is_single_channel() {
+        let m = FeatureMap::from_image(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.shape(), (1, 2, 3));
+        assert_eq!(m.get(0, 1, 0), 4.0);
+    }
+
+    #[test]
+    fn add_and_add_assign() {
+        let a = FeatureMap::from_vec(1, 1, 3, vec![1.0, 2.0, 3.0]);
+        let b = FeatureMap::from_vec(1, 1, 3, vec![10.0, 20.0, 30.0]);
+        assert_eq!(a.add(&b).data(), &[11.0, 22.0, 33.0]);
+        let mut c = a.clone();
+        c.add_assign(&b);
+        assert_eq!(c.data(), &[11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn channel_means() {
+        let m = FeatureMap::from_vec(2, 1, 2, vec![1.0, 3.0, 10.0, 30.0]);
+        assert_eq!(m.channel_means(), vec![2.0, 20.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_shape_mismatch_panics() {
+        let a = FeatureMap::zeros(1, 2, 2);
+        let b = FeatureMap::zeros(1, 2, 3);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "c*h*w")]
+    fn from_vec_wrong_length_panics() {
+        let _ = FeatureMap::from_vec(1, 2, 2, vec![0.0; 5]);
+    }
+}

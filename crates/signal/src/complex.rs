@@ -1,0 +1,209 @@
+//! Minimal complex arithmetic for the FFT.
+//!
+//! A local 16-byte `Copy` type keeps the FFT kernel allocation-free and
+//! avoids pulling in `num-complex` for the handful of operations we need.
+
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// 0 + 0i.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// 1 + 0i.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// 0 + 1i.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Builds a complex number from parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// A purely real value.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// e^{iθ} = cos θ + i sin θ.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Complex { re: c, im: s }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude |z|².
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude |z|.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex { re: self.re * k, im: self.im * k }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex { re: -self.re, im: -self.im }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        // (1+2i)(3-i) = 3 - i + 6i - 2i² = 5 + 5i
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut z = Complex::ONE;
+        z += Complex::I;
+        assert_eq!(z, Complex::new(1.0, 1.0));
+        z -= Complex::ONE;
+        assert_eq!(z, Complex::I);
+        z *= Complex::I;
+        assert_eq!(z, Complex::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(Complex::I * Complex::I, Complex::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn cis_unit_circle() {
+        let z = Complex::cis(std::f64::consts::FRAC_PI_2);
+        assert!((z.re).abs() < EPS);
+        assert!((z.im - 1.0).abs() < EPS);
+        assert!((Complex::cis(1.234).abs() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn conj_and_norms() {
+        let z = Complex::new(3.0, 4.0);
+        assert_eq!(z.conj(), Complex::new(3.0, -4.0));
+        assert!((z.norm_sqr() - 25.0).abs() < EPS);
+        assert!((z.abs() - 5.0).abs() < EPS);
+        // z · z̄ = |z|²
+        let prod = z * z.conj();
+        assert!((prod.re - 25.0).abs() < EPS && prod.im.abs() < EPS);
+    }
+
+    #[test]
+    fn scale() {
+        assert_eq!(Complex::new(2.0, -4.0).scale(0.5), Complex::new(1.0, -2.0));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb() -> impl Strategy<Value = Complex> {
+            (-1e3f64..1e3, -1e3f64..1e3).prop_map(|(re, im)| Complex::new(re, im))
+        }
+
+        proptest! {
+            #[test]
+            fn multiplication_commutes(a in arb(), b in arb()) {
+                let ab = a * b;
+                let ba = b * a;
+                prop_assert!((ab.re - ba.re).abs() < 1e-6);
+                prop_assert!((ab.im - ba.im).abs() < 1e-6);
+            }
+
+            #[test]
+            fn abs_is_multiplicative(a in arb(), b in arb()) {
+                let lhs = (a * b).abs();
+                let rhs = a.abs() * b.abs();
+                prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + rhs));
+            }
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Labelled synthetic corpus generation.
+//!
+//! Stands in for the paper's 1647 labelled recordings. Clips are generated
+//! in parallel with rayon; determinism is preserved by deriving one RNG per
+//! clip from the corpus seed and the clip index, so the corpus is identical
+//! regardless of thread scheduling.
+
+use crate::audio::{BeeAudioSynth, ColonyState};
+use crate::image::Image;
+use crate::mel::{MelFilterbank, MelSpectrogram};
+use crate::stft::{SpectrogramParams, Stft};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// One labelled audio clip.
+#[derive(Clone, Debug)]
+pub struct LabeledClip {
+    /// Raw audio samples.
+    pub samples: Vec<f64>,
+    /// Ground-truth colony state.
+    pub state: ColonyState,
+}
+
+/// Corpus generation parameters.
+#[derive(Clone, Debug)]
+pub struct CorpusConfig {
+    /// Number of clips (the paper used 1647).
+    pub n_clips: usize,
+    /// Clip duration in seconds (the paper used 10 s).
+    pub duration_s: f64,
+    /// Master seed; clip `i` uses seed `master ⊕ i`-derived RNG.
+    pub seed: u64,
+    /// Synthesizer parameters.
+    pub synth: BeeAudioSynth,
+}
+
+impl Default for CorpusConfig {
+    /// A paper-sized corpus: 1647 clips of 10 s.
+    fn default() -> Self {
+        CorpusConfig { n_clips: 1647, duration_s: 10.0, seed: 0xBEE5, synth: BeeAudioSynth::default() }
+    }
+}
+
+impl CorpusConfig {
+    /// A small corpus for tests and quick examples.
+    pub fn small(n_clips: usize, duration_s: f64, seed: u64) -> Self {
+        CorpusConfig { n_clips, duration_s, seed, synth: BeeAudioSynth::default() }
+    }
+}
+
+/// A labelled corpus of synthetic hive audio.
+#[derive(Clone, Debug)]
+pub struct Corpus {
+    clips: Vec<LabeledClip>,
+}
+
+impl Corpus {
+    /// Generates the corpus described by `config`, alternating labels so the
+    /// classes are balanced (odd clip counts give queenless one extra).
+    pub fn generate(config: &CorpusConfig) -> Self {
+        assert!(config.n_clips > 0, "corpus must contain at least one clip");
+        let clips = (0..config.n_clips)
+            .into_par_iter()
+            .map(|i| {
+                let state = if i % 2 == 1 { ColonyState::Queenright } else { ColonyState::Queenless };
+                // splitmix-style index mixing keeps per-clip streams independent.
+                let seed = config
+                    .seed
+                    .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut rng = StdRng::seed_from_u64(seed);
+                let samples = config.synth.generate(state, config.duration_s, &mut rng);
+                LabeledClip { samples, state }
+            })
+            .collect();
+        Corpus { clips }
+    }
+
+    /// All clips in index order.
+    pub fn clips(&self) -> &[LabeledClip] {
+        &self.clips
+    }
+
+    /// Number of clips.
+    pub fn len(&self) -> usize {
+        self.clips.len()
+    }
+
+    /// True when the corpus holds no clips.
+    pub fn is_empty(&self) -> bool {
+        self.clips.is_empty()
+    }
+
+    /// Number of queenright clips.
+    pub fn n_positive(&self) -> usize {
+        self.clips.iter().filter(|c| c.state == ColonyState::Queenright).count()
+    }
+
+    /// Computes log-mel features for every clip (parallel), with the given
+    /// STFT parameters and filterbank.
+    pub fn mel_features(&self, params: SpectrogramParams, bank: &MelFilterbank) -> Vec<(MelSpectrogram, ColonyState)> {
+        let stft = Stft::new(params);
+        self.clips
+            .par_iter()
+            .map(|c| (MelSpectrogram::compute(&c.samples, &stft, bank), c.state))
+            .collect()
+    }
+
+    /// Renders every clip to a normalized `side × side` spectrogram image
+    /// (the CNN input of the Figure 5 sweep). Returns `(image, label)`.
+    pub fn spectrogram_images(
+        &self,
+        params: SpectrogramParams,
+        bank: &MelFilterbank,
+        side: usize,
+    ) -> Vec<(Image, ColonyState)> {
+        let stft = Stft::new(params);
+        self.clips
+            .par_iter()
+            .map(|c| {
+                let mel = MelSpectrogram::compute(&c.samples, &stft, bank);
+                let img = Image::from_mel(&mel).resize_bilinear(side, side).normalize();
+                (img, c.state)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_params() -> SpectrogramParams {
+        SpectrogramParams { n_fft: 1024, hop: 512, window: crate::window::WindowKind::Hann }
+    }
+
+    #[test]
+    fn balanced_labels() {
+        let corpus = Corpus::generate(&CorpusConfig::small(10, 0.1, 1));
+        assert_eq!(corpus.len(), 10);
+        assert_eq!(corpus.n_positive(), 5);
+        assert!(!corpus.is_empty());
+    }
+
+    #[test]
+    fn odd_count_gives_extra_negative() {
+        let corpus = Corpus::generate(&CorpusConfig::small(7, 0.1, 1));
+        assert_eq!(corpus.n_positive(), 3);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Corpus::generate(&CorpusConfig::small(4, 0.1, 99));
+        let b = Corpus::generate(&CorpusConfig::small(4, 0.1, 99));
+        for (ca, cb) in a.clips().iter().zip(b.clips()) {
+            assert_eq!(ca.samples, cb.samples);
+            assert_eq!(ca.state, cb.state);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Corpus::generate(&CorpusConfig::small(2, 0.1, 1));
+        let b = Corpus::generate(&CorpusConfig::small(2, 0.1, 2));
+        assert_ne!(a.clips()[0].samples, b.clips()[0].samples);
+    }
+
+    #[test]
+    fn mel_features_cover_corpus() {
+        let corpus = Corpus::generate(&CorpusConfig::small(4, 0.2, 5));
+        let bank = MelFilterbank::new(32, 1024, crate::SAMPLE_RATE_HZ, 0.0, crate::SAMPLE_RATE_HZ / 2.0);
+        let feats = corpus.mel_features(tiny_params(), &bank);
+        assert_eq!(feats.len(), 4);
+        for (mel, _) in &feats {
+            assert_eq!(mel.n_mels(), 32);
+            assert!(mel.n_frames() > 0);
+        }
+    }
+
+    #[test]
+    fn spectrogram_images_have_requested_side() {
+        let corpus = Corpus::generate(&CorpusConfig::small(2, 0.2, 5));
+        let bank = MelFilterbank::new(32, 1024, crate::SAMPLE_RATE_HZ, 0.0, crate::SAMPLE_RATE_HZ / 2.0);
+        let imgs = corpus.spectrogram_images(tiny_params(), &bank, 24);
+        assert_eq!(imgs.len(), 2);
+        for (img, _) in &imgs {
+            assert_eq!(img.width(), 24);
+            assert_eq!(img.height(), 24);
+            // Normalized to [0, 1].
+            assert!(img.pixels().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one clip")]
+    fn empty_corpus_panics() {
+        let _ = Corpus::generate(&CorpusConfig::small(0, 0.1, 1));
+    }
+}

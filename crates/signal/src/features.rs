@@ -1,0 +1,197 @@
+//! Scalar spectral features.
+//!
+//! Classical bioacoustic descriptors computed per power-spectrum frame:
+//! centroid, rolloff, bandwidth, flatness and flux. They complement the
+//! mel/MFCC features as a third, very cheap feature family for the SVM —
+//! relevant to an edge device where every multiply costs joules.
+
+use crate::stft::Spectrogram;
+
+/// Spectral centroid of one power frame, in Hz.
+pub fn spectral_centroid(frame: &[f64], sample_rate: f64, n_fft: usize) -> f64 {
+    let total: f64 = frame.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let bin_hz = sample_rate / n_fft as f64;
+    frame.iter().enumerate().map(|(k, &p)| k as f64 * bin_hz * p).sum::<f64>() / total
+}
+
+/// Frequency below which `fraction` of the frame's power lies, in Hz.
+pub fn spectral_rolloff(frame: &[f64], sample_rate: f64, n_fft: usize, fraction: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    let total: f64 = frame.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let target = total * fraction;
+    let bin_hz = sample_rate / n_fft as f64;
+    let mut acc = 0.0;
+    for (k, &p) in frame.iter().enumerate() {
+        acc += p;
+        if acc >= target {
+            return k as f64 * bin_hz;
+        }
+    }
+    (frame.len() - 1) as f64 * bin_hz
+}
+
+/// Power-weighted standard deviation around the centroid, in Hz.
+pub fn spectral_bandwidth(frame: &[f64], sample_rate: f64, n_fft: usize) -> f64 {
+    let total: f64 = frame.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let centroid = spectral_centroid(frame, sample_rate, n_fft);
+    let bin_hz = sample_rate / n_fft as f64;
+    let var = frame
+        .iter()
+        .enumerate()
+        .map(|(k, &p)| (k as f64 * bin_hz - centroid).powi(2) * p)
+        .sum::<f64>()
+        / total;
+    var.sqrt()
+}
+
+/// Spectral flatness: geometric mean / arithmetic mean of the power frame,
+/// in `[0, 1]` (1 = white noise, → 0 = pure tone).
+pub fn spectral_flatness(frame: &[f64]) -> f64 {
+    if frame.is_empty() {
+        return 0.0;
+    }
+    let n = frame.len() as f64;
+    let arith = frame.iter().sum::<f64>() / n;
+    if arith <= 0.0 {
+        return 0.0;
+    }
+    let log_geo = frame.iter().map(|&p| p.max(1e-30).ln()).sum::<f64>() / n;
+    (log_geo.exp() / arith).min(1.0)
+}
+
+/// Spectral flux between consecutive frames: L2 norm of the positive
+/// power differences, one value per frame transition.
+pub fn spectral_flux(spec: &Spectrogram) -> Vec<f64> {
+    spec.frames
+        .windows(2)
+        .map(|w| {
+            w[1].iter()
+                .zip(&w[0])
+                .map(|(&b, &a)| (b - a).max(0.0).powi(2))
+                .sum::<f64>()
+                .sqrt()
+        })
+        .collect()
+}
+
+/// Clip-level summary: mean centroid, rolloff(0.85), bandwidth, flatness
+/// and flux over all frames — a 5-dimensional feature vector.
+pub fn clip_summary(spec: &Spectrogram, sample_rate: f64, n_fft: usize) -> [f64; 5] {
+    if spec.n_frames() == 0 {
+        return [0.0; 5];
+    }
+    let n = spec.n_frames() as f64;
+    let mut centroid = 0.0;
+    let mut rolloff = 0.0;
+    let mut bandwidth = 0.0;
+    let mut flatness = 0.0;
+    for f in &spec.frames {
+        centroid += spectral_centroid(f, sample_rate, n_fft);
+        rolloff += spectral_rolloff(f, sample_rate, n_fft, 0.85);
+        bandwidth += spectral_bandwidth(f, sample_rate, n_fft);
+        flatness += spectral_flatness(f);
+    }
+    let flux = spectral_flux(spec);
+    let mean_flux =
+        if flux.is_empty() { 0.0 } else { flux.iter().sum::<f64>() / flux.len() as f64 };
+    [centroid / n, rolloff / n, bandwidth / n, flatness / n, mean_flux]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stft::{SpectrogramParams, Stft};
+    use crate::window::WindowKind;
+
+    const SR: f64 = 22_050.0;
+    const NFFT: usize = 2048;
+
+    fn tone_frame(bin: usize) -> Vec<f64> {
+        let mut f = vec![0.0; NFFT / 2 + 1];
+        f[bin] = 1.0;
+        f
+    }
+
+    #[test]
+    fn centroid_of_pure_tone_is_its_frequency() {
+        let bin = 100;
+        let c = spectral_centroid(&tone_frame(bin), SR, NFFT);
+        assert!((c - bin as f64 * SR / NFFT as f64).abs() < 1e-9);
+        assert_eq!(spectral_centroid(&[0.0; 10], SR, NFFT), 0.0);
+    }
+
+    #[test]
+    fn rolloff_of_pure_tone() {
+        let bin = 100;
+        let r = spectral_rolloff(&tone_frame(bin), SR, NFFT, 0.85);
+        assert!((r - bin as f64 * SR / NFFT as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rolloff_fraction_orders() {
+        // Flat spectrum: rolloff grows with the fraction.
+        let flat = vec![1.0; 1025];
+        let r50 = spectral_rolloff(&flat, SR, NFFT, 0.5);
+        let r95 = spectral_rolloff(&flat, SR, NFFT, 0.95);
+        assert!(r95 > r50);
+    }
+
+    #[test]
+    fn bandwidth_zero_for_tone_positive_for_noise() {
+        assert!(spectral_bandwidth(&tone_frame(50), SR, NFFT) < 1e-9);
+        let flat = vec![1.0; 1025];
+        assert!(spectral_bandwidth(&flat, SR, NFFT) > 1000.0);
+    }
+
+    #[test]
+    fn flatness_extremes() {
+        // Pure tone → ≈0; white spectrum → 1.
+        assert!(spectral_flatness(&tone_frame(10)) < 1e-6);
+        assert!((spectral_flatness(&vec![0.7; 64]) - 1.0).abs() < 1e-12);
+        assert_eq!(spectral_flatness(&[]), 0.0);
+    }
+
+    #[test]
+    fn flux_detects_spectral_change() {
+        let spec = Spectrogram {
+            frames: vec![tone_frame(50), tone_frame(50), tone_frame(200)],
+        };
+        let flux = spectral_flux(&spec);
+        assert_eq!(flux.len(), 2);
+        assert!(flux[0] < 1e-12, "identical frames have zero flux");
+        assert!(flux[1] > 0.9, "tone jump must register");
+    }
+
+    #[test]
+    fn clip_summary_separates_hum_from_noise() {
+        use crate::audio::{BeeAudioSynth, ColonyState};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let synth = BeeAudioSynth::default();
+        let stft = Stft::new(SpectrogramParams { n_fft: 2048, hop: 1024, window: WindowKind::Hann });
+        let clip = synth.generate(ColonyState::Queenright, 0.5, &mut StdRng::seed_from_u64(1));
+        let spec = stft.power_spectrogram(&clip);
+        let summary = clip_summary(&spec, SR, 2048);
+        // A harmonic hum concentrates energy low: centroid well below 2 kHz,
+        // flatness near zero.
+        assert!(summary[0] < 2000.0, "centroid {}", summary[0]);
+        assert!(summary[3] < 0.2, "flatness {}", summary[3]);
+        // Empty clip gives zeros.
+        assert_eq!(clip_summary(&Spectrogram { frames: vec![] }, SR, 2048), [0.0; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_rolloff_fraction_panics() {
+        let _ = spectral_rolloff(&[1.0], SR, NFFT, 1.5);
+    }
+}

@@ -1,0 +1,290 @@
+//! Iterative radix-2 FFT.
+//!
+//! The feature pipeline runs hundreds of 2048-point transforms per clip, so
+//! the kernel is the classic in-place iterative Cooley–Tukey with a
+//! precomputed twiddle table. Power-of-two lengths only — the paper's
+//! n_fft = 2048 qualifies.
+
+use crate::complex::Complex;
+
+/// A planned FFT of a fixed power-of-two size.
+///
+/// Planning precomputes the bit-reversal permutation and twiddle factors so
+/// repeated transforms (one per STFT frame) do no trigonometry.
+#[derive(Clone, Debug)]
+pub struct Fft {
+    n: usize,
+    rev: Vec<u32>,
+    /// Twiddles for the forward transform: w[k] = e^{-2πik/n}, k < n/2.
+    twiddles: Vec<Complex>,
+}
+
+impl Fft {
+    /// Plans an FFT of size `n` (must be a power of two ≥ 1).
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "FFT size must be a power of two, got {n}");
+        let bits = n.trailing_zeros();
+        let rev = (0..n as u32).map(|i| i.reverse_bits() >> (32 - bits.max(1))).collect::<Vec<_>>();
+        let rev = if n == 1 { vec![0] } else { rev };
+        let twiddles = (0..n / 2)
+            .map(|k| Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
+            .collect();
+        Fft { n, rev, twiddles }
+    }
+
+    /// Transform size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the degenerate size-1 plan.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward DFT: `X[k] = Σ x[j]·e^{-2πijk/n}`.
+    pub fn forward(&self, data: &mut [Complex]) {
+        assert_eq!(data.len(), self.n, "buffer length must equal FFT size");
+        self.permute(data);
+        self.butterflies(data, false);
+    }
+
+    /// In-place inverse DFT (normalized by 1/n).
+    pub fn inverse(&self, data: &mut [Complex]) {
+        assert_eq!(data.len(), self.n, "buffer length must equal FFT size");
+        self.permute(data);
+        self.butterflies(data, true);
+        let k = 1.0 / self.n as f64;
+        for z in data.iter_mut() {
+            *z = z.scale(k);
+        }
+    }
+
+    /// Forward DFT of a real signal; returns the `n/2 + 1` non-redundant
+    /// bins (DC through Nyquist).
+    pub fn forward_real(&self, signal: &[f64]) -> Vec<Complex> {
+        assert_eq!(signal.len(), self.n, "signal length must equal FFT size");
+        let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
+        self.forward(&mut buf);
+        buf.truncate(self.n / 2 + 1);
+        buf
+    }
+
+    fn permute(&self, data: &mut [Complex]) {
+        for i in 0..self.n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+    }
+
+    fn butterflies(&self, data: &mut [Complex], inverse: bool) {
+        let n = self.n;
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let stride = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let w = if inverse {
+                        self.twiddles[k * stride].conj()
+                    } else {
+                        self.twiddles[k * stride]
+                    };
+                    let a = data[start + k];
+                    let b = data[start + k + half] * w;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+            }
+            len <<= 1;
+        }
+    }
+}
+
+/// Convenience one-shot forward FFT (plans internally).
+pub fn fft(data: &mut [Complex]) {
+    Fft::new(data.len()).forward(data);
+}
+
+/// Convenience one-shot inverse FFT (plans internally).
+pub fn ifft(data: &mut [Complex]) {
+    Fft::new(data.len()).inverse(data);
+}
+
+/// Naive O(n²) DFT used as a test oracle.
+#[cfg(test)]
+pub fn dft_naive(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (j, &x) in input.iter().enumerate() {
+                acc += x * Complex::cis(-2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn close(a: Complex, b: Complex, eps: f64) -> bool {
+        (a.re - b.re).abs() < eps && (a.im - b.im).abs() < eps
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut data = vec![Complex::ZERO; 8];
+        data[0] = Complex::ONE;
+        fft(&mut data);
+        for z in &data {
+            assert!(close(*z, Complex::ONE, 1e-12));
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 64;
+        let bin = 5;
+        let mut data: Vec<Complex> = (0..n)
+            .map(|j| Complex::cis(2.0 * std::f64::consts::PI * (bin * j) as f64 / n as f64))
+            .collect();
+        fft(&mut data);
+        for (k, z) in data.iter().enumerate() {
+            if k == bin {
+                assert!((z.abs() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(z.abs() < 1e-9, "leakage at bin {k}: {}", z.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [1usize, 2, 4, 16, 128] {
+            let input: Vec<Complex> =
+                (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect();
+            let expect = dft_naive(&input);
+            let mut got = input.clone();
+            fft(&mut got);
+            for (g, e) in got.iter().zip(&expect) {
+                assert!(close(*g, *e, 1e-8), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 256;
+        let original: Vec<Complex> =
+            (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect();
+        let mut data = original.clone();
+        fft(&mut data);
+        ifft(&mut data);
+        for (a, b) in data.iter().zip(&original) {
+            assert!(close(*a, *b, 1e-10));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 512;
+        let input: Vec<Complex> =
+            (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), 0.0)).collect();
+        let time_energy: f64 = input.iter().map(|z| z.norm_sqr()).sum();
+        let mut data = input;
+        fft(&mut data);
+        let freq_energy: f64 = data.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy);
+    }
+
+    #[test]
+    fn forward_real_matches_full_fft() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 128;
+        let signal: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let plan = Fft::new(n);
+        let half = plan.forward_real(&signal);
+        assert_eq!(half.len(), n / 2 + 1);
+        let mut full: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
+        plan.forward(&mut full);
+        for (k, z) in half.iter().enumerate() {
+            assert!(close(*z, full[k], 1e-10));
+        }
+        // Hermitian symmetry of the real transform.
+        for k in 1..n / 2 {
+            assert!(close(full[n - k], full[k].conj(), 1e-9));
+        }
+    }
+
+    #[test]
+    fn size_one_is_identity() {
+        let plan = Fft::new(1);
+        let mut data = vec![Complex::new(3.0, 4.0)];
+        plan.forward(&mut data);
+        assert_eq!(data[0], Complex::new(3.0, 4.0));
+        plan.inverse(&mut data);
+        assert_eq!(data[0], Complex::new(3.0, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let _ = Fft::new(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn wrong_buffer_length_panics() {
+        let plan = Fft::new(8);
+        let mut data = vec![Complex::ZERO; 4];
+        plan.forward(&mut data);
+    }
+
+    #[test]
+    fn linearity() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 64;
+        let a: Vec<Complex> = (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), 0.0)).collect();
+        let b: Vec<Complex> = (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), 0.0)).collect();
+        let plan = Fft::new(n);
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        plan.forward(&mut fa);
+        plan.forward(&mut fb);
+        let mut sum: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        plan.forward(&mut sum);
+        for k in 0..n {
+            assert!(close(sum[k], fa[k] + fb[k], 1e-9));
+        }
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(proptest::test_runner::Config::with_cases(32))]
+            #[test]
+            fn round_trip_any_signal(values in proptest::collection::vec(-1.0f64..1.0, 64)) {
+                let original: Vec<Complex> = values.iter().map(|&x| Complex::from_real(x)).collect();
+                let mut data = original.clone();
+                fft(&mut data);
+                ifft(&mut data);
+                for (a, b) in data.iter().zip(&original) {
+                    prop_assert!((a.re - b.re).abs() < 1e-9);
+                    prop_assert!(a.im.abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Goertzel single-bin spectral detection.
+//!
+//! An edge device that only needs the power near one frequency (the
+//! ≈400 Hz queen-piping band) doesn't need a full FFT: the Goertzel
+//! algorithm computes one DFT bin in 1 MAC per sample — two orders of
+//! magnitude cheaper than the 2048-point FFT pipeline, which matters on a
+//! joule budget. Used by the threshold-detector baseline.
+
+use std::f64::consts::TAU;
+
+/// Power of the DFT bin nearest `freq` over `signal` at `sample_rate`,
+/// normalized by the block length so block size doesn't change the scale.
+pub fn goertzel_power(signal: &[f64], freq: f64, sample_rate: f64) -> f64 {
+    assert!(freq >= 0.0 && freq <= sample_rate / 2.0, "frequency must be in [0, Nyquist]");
+    assert!(!signal.is_empty(), "signal must be non-empty");
+    let n = signal.len();
+    let k = (freq * n as f64 / sample_rate).round();
+    let w = TAU * k / n as f64;
+    let coeff = 2.0 * w.cos();
+    let (mut s1, mut s2) = (0.0f64, 0.0f64);
+    for &x in signal {
+        let s0 = x + coeff * s1 - s2;
+        s2 = s1;
+        s1 = s0;
+    }
+    let power = s1 * s1 + s2 * s2 - coeff * s1 * s2;
+    power / (n as f64 * n as f64 / 4.0)
+}
+
+/// Mean band power: averages [`goertzel_power`] over `n_probes` equally
+/// spaced probe frequencies in `[f_lo, f_hi]`.
+pub fn band_power(signal: &[f64], f_lo: f64, f_hi: f64, n_probes: usize, sample_rate: f64) -> f64 {
+    assert!(f_lo < f_hi, "need f_lo < f_hi");
+    assert!(n_probes >= 1, "need at least one probe");
+    (0..n_probes)
+        .map(|i| {
+            let f = f_lo + (f_hi - f_lo) * i as f64 / (n_probes.max(2) - 1).max(1) as f64;
+            goertzel_power(signal, f, sample_rate)
+        })
+        .sum::<f64>()
+        / n_probes as f64
+}
+
+/// MAC count of one Goertzel evaluation over `n` samples (1 MAC/sample
+/// plus the constant epilogue).
+pub fn goertzel_macs(n: usize) -> u64 {
+    n as u64 + 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SR: f64 = 22_050.0;
+
+    fn tone(freq: f64, amp: f64, len: usize) -> Vec<f64> {
+        (0..len).map(|i| amp * (TAU * freq * i as f64 / SR).sin()).collect()
+    }
+
+    #[test]
+    fn detects_matching_tone() {
+        let x = tone(440.0, 1.0, 2048);
+        let on = goertzel_power(&x, 440.0, SR);
+        let off = goertzel_power(&x, 1000.0, SR);
+        assert!(on > 100.0 * off, "on {on}, off {off}");
+        // A unit-amplitude tone has bin power ≈ 1 under this normalization.
+        assert!((on - 1.0).abs() < 0.1, "normalized power {on}");
+    }
+
+    #[test]
+    fn power_scales_with_amplitude_squared() {
+        let a1 = goertzel_power(&tone(500.0, 1.0, 4096), 500.0, SR);
+        let a3 = goertzel_power(&tone(500.0, 3.0, 4096), 500.0, SR);
+        assert!((a3 / a1 - 9.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn matches_fft_bin() {
+        use crate::complex::Complex;
+        use crate::fft::fft;
+        let x = tone(430.0, 0.8, 2048);
+        let g = goertzel_power(&x, 430.0, SR);
+        let mut buf: Vec<Complex> = x.iter().map(|&v| Complex::from_real(v)).collect();
+        fft(&mut buf);
+        let bin = (430.0 * 2048.0 / SR).round() as usize;
+        let f = buf[bin].norm_sqr() / (2048.0f64 * 2048.0 / 4.0);
+        assert!((g - f).abs() < 1e-9 * (1.0 + f), "goertzel {g} vs fft {f}");
+    }
+
+    #[test]
+    fn band_power_covers_the_band() {
+        let x = tone(400.0, 1.0, 4096);
+        let in_band = band_power(&x, 380.0, 420.0, 5, SR);
+        let out_band = band_power(&x, 800.0, 900.0, 5, SR);
+        assert!(in_band > 20.0 * out_band);
+    }
+
+    #[test]
+    fn silence_is_zero() {
+        let x = vec![0.0; 1024];
+        assert!(goertzel_power(&x, 440.0, SR) < 1e-20);
+    }
+
+    #[test]
+    fn mac_count_is_linear() {
+        assert_eq!(goertzel_macs(2048), 2052);
+        // vs the full FFT pipeline: n/2·log2(n) complex butterflies ≈
+        // 4 MACs each — two orders of magnitude more.
+        let fft_macs = (2048 / 2) * 11 * 4;
+        assert!(goertzel_macs(2048) * 20 < fft_macs as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "Nyquist")]
+    fn beyond_nyquist_panics() {
+        let _ = goertzel_power(&[1.0, 2.0], 20_000.0, SR);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_signal_panics() {
+        let _ = goertzel_power(&[], 440.0, SR);
+    }
+}

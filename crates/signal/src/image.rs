@@ -1,0 +1,235 @@
+//! Grayscale images and bilinear resizing.
+//!
+//! The paper converts mel spectrograms to images and sweeps the CNN input
+//! side length (Figure 5); [`Image`] carries the spectrogram in image form
+//! and [`Image::resize_bilinear`] produces the S×S inputs of the sweep.
+
+/// A row-major grayscale image of `f64` pixels.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    pixels: Vec<f64>,
+}
+
+impl Image {
+    /// Creates an image filled with `value`.
+    pub fn filled(width: usize, height: usize, value: f64) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        Image { width, height, pixels: vec![value; width * height] }
+    }
+
+    /// Wraps existing row-major pixel data.
+    pub fn from_pixels(width: usize, height: usize, pixels: Vec<f64>) -> Self {
+        assert_eq!(pixels.len(), width * height, "pixel count must equal width*height");
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        Image { width, height, pixels }
+    }
+
+    /// Builds an image from a mel spectrogram: `x` = time frame,
+    /// `y` = mel band (band 0 at the top row).
+    pub fn from_mel(mel: &crate::mel::MelSpectrogram) -> Self {
+        let width = mel.n_frames();
+        let height = mel.n_mels();
+        assert!(width > 0 && height > 0, "cannot image an empty spectrogram");
+        let mut pixels = vec![0.0; width * height];
+        for (x, frame) in mel.frames.iter().enumerate() {
+            for (y, &v) in frame.iter().enumerate() {
+                pixels[y * width + x] = v;
+            }
+        }
+        Image { width, height, pixels }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Borrowed row-major pixels.
+    pub fn pixels(&self) -> &[f64] {
+        &self.pixels
+    }
+
+    /// Pixel at `(x, y)`; panics when out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> f64 {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.pixels[y * self.width + x]
+    }
+
+    /// Sets the pixel at `(x, y)`; panics when out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, v: f64) {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.pixels[y * self.width + x] = v;
+    }
+
+    /// Bilinear resample to `new_width × new_height`.
+    pub fn resize_bilinear(&self, new_width: usize, new_height: usize) -> Image {
+        assert!(new_width > 0 && new_height > 0, "target dimensions must be positive");
+        let mut out = vec![0.0; new_width * new_height];
+        let sx = self.width as f64 / new_width as f64;
+        let sy = self.height as f64 / new_height as f64;
+        for ny in 0..new_height {
+            // Sample at pixel centres to stay inside the source grid.
+            let fy = ((ny as f64 + 0.5) * sy - 0.5).clamp(0.0, self.height as f64 - 1.0);
+            let y0 = fy.floor() as usize;
+            let y1 = (y0 + 1).min(self.height - 1);
+            let wy = fy - y0 as f64;
+            for nx in 0..new_width {
+                let fx = ((nx as f64 + 0.5) * sx - 0.5).clamp(0.0, self.width as f64 - 1.0);
+                let x0 = fx.floor() as usize;
+                let x1 = (x0 + 1).min(self.width - 1);
+                let wx = fx - x0 as f64;
+                let top = self.get(x0, y0) * (1.0 - wx) + self.get(x1, y0) * wx;
+                let bot = self.get(x0, y1) * (1.0 - wx) + self.get(x1, y1) * wx;
+                out[ny * new_width + nx] = top * (1.0 - wy) + bot * wy;
+            }
+        }
+        Image { width: new_width, height: new_height, pixels: out }
+    }
+
+    /// Rescales pixel values linearly onto `[0, 1]`. A constant image maps
+    /// to all zeros.
+    pub fn normalize(&self) -> Image {
+        let (lo, hi) = self.pixels.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &p| {
+            (lo.min(p), hi.max(p))
+        });
+        let span = hi - lo;
+        let pixels = if span > 0.0 {
+            self.pixels.iter().map(|&p| (p - lo) / span).collect()
+        } else {
+            vec![0.0; self.pixels.len()]
+        };
+        Image { width: self.width, height: self.height, pixels }
+    }
+
+    /// Mean pixel value.
+    pub fn mean(&self) -> f64 {
+        self.pixels.iter().sum::<f64>() / self.pixels.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut img = Image::filled(4, 3, 0.5);
+        assert_eq!(img.width(), 4);
+        assert_eq!(img.height(), 3);
+        assert_eq!(img.get(3, 2), 0.5);
+        img.set(1, 1, 2.0);
+        assert_eq!(img.get(1, 1), 2.0);
+        assert_eq!(img.pixels().len(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_get_panics() {
+        let img = Image::filled(2, 2, 0.0);
+        img.get(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width*height")]
+    fn bad_pixel_count_panics() {
+        let _ = Image::from_pixels(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn resize_identity() {
+        let img = Image::from_pixels(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let same = img.resize_bilinear(2, 2);
+        assert_eq!(same, img);
+    }
+
+    #[test]
+    fn resize_constant_stays_constant() {
+        let img = Image::filled(10, 7, 0.42);
+        let out = img.resize_bilinear(33, 15);
+        assert!(out.pixels().iter().all(|&p| (p - 0.42).abs() < 1e-12));
+    }
+
+    #[test]
+    fn resize_preserves_mean_approximately() {
+        let pixels: Vec<f64> = (0..64 * 64).map(|i| ((i * 31) % 97) as f64 / 97.0).collect();
+        let img = Image::from_pixels(64, 64, pixels);
+        let out = img.resize_bilinear(100, 100);
+        assert!((out.mean() - img.mean()).abs() < 0.02);
+    }
+
+    #[test]
+    fn downscale_averages_gradient() {
+        // Horizontal ramp 0..1; downscaled image must stay a ramp.
+        let mut img = Image::filled(100, 10, 0.0);
+        for x in 0..100 {
+            for y in 0..10 {
+                img.set(x, y, x as f64 / 99.0);
+            }
+        }
+        let out = img.resize_bilinear(10, 10);
+        for x in 1..10 {
+            assert!(out.get(x, 5) > out.get(x - 1, 5));
+        }
+    }
+
+    #[test]
+    fn normalize_maps_to_unit_interval() {
+        let img = Image::from_pixels(2, 2, vec![-80.0, -40.0, -20.0, 0.0]);
+        let n = img.normalize();
+        assert_eq!(n.get(0, 0), 0.0);
+        assert_eq!(n.get(1, 1), 1.0);
+        assert!((n.get(1, 0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_constant_image_is_zero() {
+        let img = Image::filled(3, 3, 5.0);
+        assert!(img.normalize().pixels().iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn from_mel_orientation() {
+        use crate::mel::MelSpectrogram;
+        // 3 frames × 2 mel bands.
+        let mel = MelSpectrogram {
+            frames: vec![vec![1.0, 4.0], vec![2.0, 5.0], vec![3.0, 6.0]],
+        };
+        let img = Image::from_mel(&mel);
+        assert_eq!(img.width(), 3);
+        assert_eq!(img.height(), 2);
+        // Band 0 across time is the top row.
+        assert_eq!(img.get(0, 0), 1.0);
+        assert_eq!(img.get(2, 0), 3.0);
+        assert_eq!(img.get(0, 1), 4.0);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(proptest::test_runner::Config::with_cases(32))]
+            #[test]
+            fn resize_output_within_input_range(
+                pixels in proptest::collection::vec(0.0f64..1.0, 36),
+                w in 1usize..20,
+                h in 1usize..20,
+            ) {
+                let img = Image::from_pixels(6, 6, pixels.clone());
+                let out = img.resize_bilinear(w, h);
+                let lo = pixels.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = pixels.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                for &p in out.pixels() {
+                    prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+                }
+            }
+        }
+    }
+}

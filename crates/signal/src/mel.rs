@@ -1,0 +1,296 @@
+//! Mel filterbank and log-mel spectrogram features.
+//!
+//! The paper's features are "mel-scaled spectrogram features computed from
+//! 10-second audio recordings of bees sampled at 22 050 hertz", with
+//! n_fft = 2048, hop = 512 and 128 mel bands. This module implements the
+//! HTK mel scale and triangular filterbank, applied to the power
+//! spectrograms from [`crate::stft`].
+
+use crate::stft::{SpectrogramParams, Stft};
+
+/// Converts frequency in hertz to mels (HTK formula).
+pub fn hz_to_mel(hz: f64) -> f64 {
+    2595.0 * (1.0 + hz / 700.0).log10()
+}
+
+/// Converts mels to frequency in hertz (HTK formula).
+pub fn mel_to_hz(mel: f64) -> f64 {
+    700.0 * (10f64.powf(mel / 2595.0) - 1.0)
+}
+
+/// A bank of triangular mel filters over FFT bins.
+#[derive(Clone, Debug)]
+pub struct MelFilterbank {
+    /// `weights[m][k]`: contribution of FFT bin `k` to mel band `m`.
+    weights: Vec<Vec<f64>>,
+    n_fft: usize,
+}
+
+impl MelFilterbank {
+    /// Builds a filterbank of `n_mels` bands for spectra of `n_fft/2 + 1`
+    /// bins at `sample_rate`, spanning `f_min..f_max` Hz.
+    pub fn new(n_mels: usize, n_fft: usize, sample_rate: f64, f_min: f64, f_max: f64) -> Self {
+        assert!(n_mels > 0, "need at least one mel band");
+        assert!(f_min >= 0.0 && f_max > f_min, "need 0 <= f_min < f_max");
+        assert!(f_max <= sample_rate / 2.0 + 1e-9, "f_max must not exceed Nyquist");
+        let n_bins = n_fft / 2 + 1;
+
+        // n_mels + 2 equally spaced points on the mel axis.
+        let mel_lo = hz_to_mel(f_min);
+        let mel_hi = hz_to_mel(f_max);
+        let mel_points: Vec<f64> = (0..n_mels + 2)
+            .map(|i| mel_lo + (mel_hi - mel_lo) * i as f64 / (n_mels + 1) as f64)
+            .collect();
+        let hz_points: Vec<f64> = mel_points.iter().map(|&m| mel_to_hz(m)).collect();
+
+        let bin_hz = sample_rate / n_fft as f64;
+        let mut weights = vec![vec![0.0; n_bins]; n_mels];
+        for m in 0..n_mels {
+            let (lo, mid, hi) = (hz_points[m], hz_points[m + 1], hz_points[m + 2]);
+            for (k, w) in weights[m].iter_mut().enumerate() {
+                let f = k as f64 * bin_hz;
+                if f > lo && f < hi {
+                    *w = if f <= mid { (f - lo) / (mid - lo) } else { (hi - f) / (hi - mid) };
+                }
+            }
+        }
+        MelFilterbank { weights, n_fft }
+    }
+
+    /// The paper's filterbank: 128 mels, n_fft 2048, 22 050 Hz, full band.
+    pub fn paper_default() -> Self {
+        MelFilterbank::new(
+            crate::N_MELS,
+            crate::N_FFT,
+            crate::SAMPLE_RATE_HZ,
+            0.0,
+            crate::SAMPLE_RATE_HZ / 2.0,
+        )
+    }
+
+    /// Number of mel bands.
+    pub fn n_mels(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// FFT size the bank was built for.
+    pub fn n_fft(&self) -> usize {
+        self.n_fft
+    }
+
+    /// Applies the bank to one power-spectrum frame.
+    pub fn apply(&self, power_frame: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            power_frame.len(),
+            self.n_fft / 2 + 1,
+            "frame length must match filterbank bins"
+        );
+        self.weights
+            .iter()
+            .map(|band| band.iter().zip(power_frame).map(|(w, p)| w * p).sum())
+            .collect()
+    }
+}
+
+/// A log-mel spectrogram: `data[frame][mel]`, in decibels relative to the
+/// clip maximum (librosa `power_to_db` convention with `ref=max`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MelSpectrogram {
+    /// dB values per frame per mel band.
+    pub frames: Vec<Vec<f64>>,
+}
+
+impl MelSpectrogram {
+    /// Dynamic range floor applied after referencing to the maximum.
+    pub const TOP_DB: f64 = 80.0;
+
+    /// Computes the log-mel spectrogram of `signal` with the paper's
+    /// parameters.
+    pub fn paper_default(signal: &[f64]) -> Self {
+        Self::compute(signal, &Stft::new(SpectrogramParams::default()), &MelFilterbank::paper_default())
+    }
+
+    /// Computes a log-mel spectrogram with explicit STFT and filterbank.
+    pub fn compute(signal: &[f64], stft: &Stft, bank: &MelFilterbank) -> Self {
+        let power = stft.power_spectrogram(signal);
+        let mel: Vec<Vec<f64>> = power.frames.iter().map(|f| bank.apply(f)).collect();
+
+        // power → dB referenced to the clip maximum, floored at −TOP_DB.
+        let max = mel
+            .iter()
+            .flat_map(|f| f.iter())
+            .fold(f64::MIN_POSITIVE, |a, &b| a.max(b));
+        let frames = mel
+            .into_iter()
+            .map(|f| {
+                f.into_iter()
+                    .map(|p| {
+                        let db = 10.0 * (p.max(1e-30) / max).log10();
+                        db.max(-Self::TOP_DB)
+                    })
+                    .collect()
+            })
+            .collect();
+        MelSpectrogram { frames }
+    }
+
+    /// Number of time frames.
+    pub fn n_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Number of mel bands (zero when empty).
+    pub fn n_mels(&self) -> usize {
+        self.frames.first().map_or(0, Vec::len)
+    }
+
+    /// Flattens to a single feature vector (frame-major), as fed to the SVM.
+    pub fn to_feature_vector(&self) -> Vec<f64> {
+        self.frames.iter().flat_map(|f| f.iter().copied()).collect()
+    }
+
+    /// Per-band mean over time — a compact summary feature used by tests
+    /// and the corpus separability checks.
+    pub fn band_means(&self) -> Vec<f64> {
+        if self.frames.is_empty() {
+            return Vec::new();
+        }
+        let n = self.n_mels();
+        let mut acc = vec![0.0; n];
+        for f in &self.frames {
+            for (a, v) in acc.iter_mut().zip(f) {
+                *a += v;
+            }
+        }
+        for a in &mut acc {
+            *a /= self.frames.len() as f64;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::WindowKind;
+
+    #[test]
+    fn mel_scale_round_trip() {
+        for hz in [0.0, 100.0, 440.0, 1000.0, 8000.0, 11_025.0] {
+            assert!((mel_to_hz(hz_to_mel(hz)) - hz).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mel_scale_reference_point() {
+        // 1000 Hz ≈ 1000 mel by construction of the HTK formula.
+        assert!((hz_to_mel(1000.0) - 999.985).abs() < 0.01);
+    }
+
+    #[test]
+    fn mel_scale_is_monotonic() {
+        let mut prev = -1.0;
+        for i in 0..200 {
+            let m = hz_to_mel(i as f64 * 50.0);
+            assert!(m > prev);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn filterbank_shape() {
+        let bank = MelFilterbank::paper_default();
+        assert_eq!(bank.n_mels(), 128);
+        assert_eq!(bank.n_fft(), 2048);
+    }
+
+    #[test]
+    fn filters_are_nonnegative_and_bounded() {
+        let bank = MelFilterbank::new(32, 512, 22_050.0, 0.0, 11_025.0);
+        for band in &bank.weights {
+            for &w in band {
+                assert!((0.0..=1.0).contains(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn every_filter_has_support() {
+        let bank = MelFilterbank::new(32, 1024, 22_050.0, 0.0, 11_025.0);
+        for (m, band) in bank.weights.iter().enumerate() {
+            assert!(band.iter().any(|&w| w > 0.0), "band {m} is empty");
+        }
+    }
+
+    #[test]
+    fn tone_energy_lands_in_matching_band() {
+        let sr = 22_050.0;
+        let n_fft = 2048;
+        let bank = MelFilterbank::new(64, n_fft, sr, 0.0, sr / 2.0);
+        // Put all power in the bin nearest 500 Hz.
+        let mut frame = vec![0.0; n_fft / 2 + 1];
+        let bin = (500.0 / sr * n_fft as f64).round() as usize;
+        frame[bin] = 1.0;
+        let mel = bank.apply(&frame);
+        let peak_band =
+            mel.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        // The band whose centre is nearest 500 Hz must win.
+        let centre = |m: usize| {
+            let lo = hz_to_mel(0.0);
+            let hi = hz_to_mel(sr / 2.0);
+            mel_to_hz(lo + (hi - lo) * (m + 1) as f64 / 65.0)
+        };
+        let dist = (centre(peak_band) - 500.0).abs();
+        assert!(dist < 120.0, "peak band centre {} Hz", centre(peak_band));
+    }
+
+    #[test]
+    fn apply_rejects_wrong_length() {
+        let bank = MelFilterbank::new(8, 256, 22_050.0, 0.0, 11_025.0);
+        let result = std::panic::catch_unwind(|| bank.apply(&[0.0; 10]));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn log_mel_of_tone_has_expected_shape() {
+        let sr = 22_050.0;
+        let signal: Vec<f64> = (0..8192)
+            .map(|i| (2.0 * std::f64::consts::PI * 300.0 * i as f64 / sr).sin())
+            .collect();
+        let stft = Stft::new(SpectrogramParams { n_fft: 1024, hop: 512, window: WindowKind::Hann });
+        let bank = MelFilterbank::new(64, 1024, sr, 0.0, sr / 2.0);
+        let mel = MelSpectrogram::compute(&signal, &stft, &bank);
+        assert_eq!(mel.n_mels(), 64);
+        assert!(mel.n_frames() > 10);
+        // dB values referenced to max: all ≤ 0, floored at −80.
+        for f in &mel.frames {
+            for &v in f {
+                assert!((-MelSpectrogram::TOP_DB - 1e-9..=1e-9).contains(&v));
+            }
+        }
+        // The 300 Hz band must be the loudest on average.
+        let means = mel.band_means();
+        let peak = means.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        assert!(peak < 16, "300 Hz should fall in a low mel band, got {peak}");
+    }
+
+    #[test]
+    fn feature_vector_flattens_frame_major() {
+        let mel = MelSpectrogram { frames: vec![vec![1.0, 2.0], vec![3.0, 4.0]] };
+        assert_eq!(mel.to_feature_vector(), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(mel.band_means(), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn band_means_of_empty() {
+        let mel = MelSpectrogram { frames: vec![] };
+        assert!(mel.band_means().is_empty());
+        assert_eq!(mel.n_mels(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Nyquist")]
+    fn f_max_beyond_nyquist_panics() {
+        let _ = MelFilterbank::new(8, 256, 22_050.0, 0.0, 20_000.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Mel-frequency cepstral coefficients.
+//!
+//! The queen-detection literature the paper builds on frequently uses
+//! MFCCs as the classical feature set alongside raw mel spectrograms.
+//! This module derives MFCCs from [`crate::mel::MelSpectrogram`] via a
+//! type-II DCT, giving the SVM path a compact alternative feature space
+//! (and the repo an extra ablation axis).
+
+use crate::mel::MelSpectrogram;
+
+/// Type-II DCT with orthonormal scaling of one frame.
+pub fn dct_ii(input: &[f64]) -> Vec<f64> {
+    let n = input.len();
+    assert!(n > 0, "DCT input must be non-empty");
+    let nf = n as f64;
+    (0..n)
+        .map(|k| {
+            let sum: f64 = input
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| x * (std::f64::consts::PI * (i as f64 + 0.5) * k as f64 / nf).cos())
+                .sum();
+            let scale = if k == 0 { (1.0 / nf).sqrt() } else { (2.0 / nf).sqrt() };
+            scale * sum
+        })
+        .collect()
+}
+
+/// MFCC features: `frames × n_coeffs` (the first coefficient — overall
+/// log-energy — is retained at index 0).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mfcc {
+    /// Coefficients per frame.
+    pub frames: Vec<Vec<f64>>,
+}
+
+impl Mfcc {
+    /// Computes `n_coeffs` MFCCs per frame from a log-mel spectrogram.
+    pub fn from_mel(mel: &MelSpectrogram, n_coeffs: usize) -> Self {
+        assert!(n_coeffs > 0, "need at least one coefficient");
+        let frames = mel
+            .frames
+            .iter()
+            .map(|f| {
+                assert!(
+                    n_coeffs <= f.len(),
+                    "cannot take {n_coeffs} coefficients from {} mel bands",
+                    f.len()
+                );
+                let mut c = dct_ii(f);
+                c.truncate(n_coeffs);
+                c
+            })
+            .collect();
+        Mfcc { frames }
+    }
+
+    /// Number of frames.
+    pub fn n_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Number of coefficients per frame (zero when empty).
+    pub fn n_coeffs(&self) -> usize {
+        self.frames.first().map_or(0, Vec::len)
+    }
+
+    /// Per-coefficient temporal means — a compact clip-level feature
+    /// vector for the SVM path.
+    pub fn coeff_means(&self) -> Vec<f64> {
+        if self.frames.is_empty() {
+            return Vec::new();
+        }
+        let n = self.n_coeffs();
+        let mut acc = vec![0.0; n];
+        for f in &self.frames {
+            for (a, v) in acc.iter_mut().zip(f) {
+                *a += v;
+            }
+        }
+        for a in &mut acc {
+            *a /= self.frames.len() as f64;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audio::{BeeAudioSynth, ColonyState};
+    use crate::mel::MelFilterbank;
+    use crate::stft::{SpectrogramParams, Stft};
+    use crate::window::WindowKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dct_of_constant_is_dc_only() {
+        let c = dct_ii(&[1.0; 8]);
+        // DC = √(1/8)·8 = √8; all other coefficients vanish.
+        assert!((c[0] - (8.0f64).sqrt()).abs() < 1e-12);
+        for &v in &c[1..] {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dct_is_orthonormal() {
+        // Parseval: ‖DCT(x)‖² = ‖x‖² for the orthonormal type-II DCT.
+        let x = [0.3, -1.2, 2.0, 0.7, -0.5, 1.1];
+        let c = dct_ii(&x);
+        let ex: f64 = x.iter().map(|v| v * v).sum();
+        let ec: f64 = c.iter().map(|v| v * v).sum();
+        assert!((ex - ec).abs() < 1e-10);
+    }
+
+    #[test]
+    fn dct_resolves_cosine_modes() {
+        // x_i = cos(π(i+0.5)k/N) concentrates in coefficient k.
+        let n = 16;
+        let k = 3;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::PI * (i as f64 + 0.5) * k as f64 / n as f64).cos())
+            .collect();
+        let c = dct_ii(&x);
+        let peak = c.iter().enumerate().max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap()).unwrap().0;
+        assert_eq!(peak, k);
+    }
+
+    fn small_mel(state: ColonyState, seed: u64) -> MelSpectrogram {
+        let synth = BeeAudioSynth::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let clip = synth.generate(state, 0.5, &mut rng);
+        let stft = Stft::new(SpectrogramParams { n_fft: 1024, hop: 512, window: WindowKind::Hann });
+        let bank = MelFilterbank::new(32, 1024, crate::SAMPLE_RATE_HZ, 0.0, crate::SAMPLE_RATE_HZ / 2.0);
+        MelSpectrogram::compute(&clip, &stft, &bank)
+    }
+
+    #[test]
+    fn mfcc_shape() {
+        let mel = small_mel(ColonyState::Queenright, 1);
+        let mfcc = Mfcc::from_mel(&mel, 13);
+        assert_eq!(mfcc.n_frames(), mel.n_frames());
+        assert_eq!(mfcc.n_coeffs(), 13);
+        assert_eq!(mfcc.coeff_means().len(), 13);
+    }
+
+    #[test]
+    fn mfcc_separates_the_classes() {
+        let d = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt()
+        };
+        let qr1 = Mfcc::from_mel(&small_mel(ColonyState::Queenright, 1), 13).coeff_means();
+        let qr2 = Mfcc::from_mel(&small_mel(ColonyState::Queenright, 2), 13).coeff_means();
+        let ql = Mfcc::from_mel(&small_mel(ColonyState::Queenless, 3), 13).coeff_means();
+        assert!(d(&qr1, &ql) > d(&qr1, &qr2), "MFCC space must separate the classes");
+    }
+
+    #[test]
+    fn empty_mel_gives_empty_mfcc() {
+        let mel = MelSpectrogram { frames: vec![] };
+        let mfcc = Mfcc::from_mel(&mel, 13);
+        assert_eq!(mfcc.n_frames(), 0);
+        assert!(mfcc.coeff_means().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot take")]
+    fn too_many_coeffs_panics() {
+        let mel = MelSpectrogram { frames: vec![vec![0.0; 8]] };
+        let _ = Mfcc::from_mel(&mel, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_dct_panics() {
+        let _ = dct_ii(&[]);
+    }
+}

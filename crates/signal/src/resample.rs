@@ -1,0 +1,102 @@
+//! Sample-rate conversion.
+//!
+//! The deployed hives mix hardware with different native rates (USB
+//! microphones up to 16 kHz bandwidth, the feature pipeline at 22 050 Hz);
+//! this linear-interpolation resampler converts between them. Linear
+//! interpolation is adequate here because the features downstream are
+//! 128-band mel energies — far coarser than the interpolation error.
+
+/// Resamples `input` from `from_hz` to `to_hz` by linear interpolation.
+///
+/// The output length is `ceil(len · to/from)`; the final fractional
+/// position clamps to the last input sample.
+pub fn resample_linear(input: &[f64], from_hz: f64, to_hz: f64) -> Vec<f64> {
+    assert!(from_hz > 0.0 && to_hz > 0.0, "sample rates must be positive");
+    if input.is_empty() {
+        return Vec::new();
+    }
+    let ratio = from_hz / to_hz;
+    let out_len = (input.len() as f64 * to_hz / from_hz).ceil() as usize;
+    (0..out_len)
+        .map(|i| {
+            let pos = i as f64 * ratio;
+            let i0 = pos.floor() as usize;
+            if i0 + 1 >= input.len() {
+                input[input.len() - 1]
+            } else {
+                let frac = pos - i0 as f64;
+                input[i0] * (1.0 - frac) + input[i0 + 1] * frac
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stft::{SpectrogramParams, Stft};
+    use crate::window::WindowKind;
+
+    fn tone(freq: f64, sr: f64, len: usize) -> Vec<f64> {
+        (0..len).map(|i| (std::f64::consts::TAU * freq * i as f64 / sr).sin()).collect()
+    }
+
+    #[test]
+    fn identity_rate_is_identity() {
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(resample_linear(&x, 8000.0, 8000.0), x);
+    }
+
+    #[test]
+    fn output_length_scales_with_ratio() {
+        let x = vec![0.0; 1000];
+        assert_eq!(resample_linear(&x, 16_000.0, 22_050.0).len(), 1379); // ceil(1000·22050/16000)
+        assert_eq!(resample_linear(&x, 22_050.0, 16_000.0).len(), 726);
+        assert!(resample_linear(&[], 1.0, 2.0).is_empty());
+    }
+
+    #[test]
+    fn upsampling_preserves_tone_frequency() {
+        // A 440 Hz tone at 16 kHz upsampled to 22 050 Hz must still peak
+        // at the 440 Hz bin.
+        let sr_in = 16_000.0;
+        let sr_out = 22_050.0;
+        let x = tone(440.0, sr_in, 16_000);
+        let y = resample_linear(&x, sr_in, sr_out);
+        let stft = Stft::new(SpectrogramParams { n_fft: 4096, hop: 2048, window: WindowKind::Hann });
+        let spec = stft.power_spectrogram(&y);
+        let mut avg = vec![0.0; spec.n_bins()];
+        for f in &spec.frames {
+            for (a, &p) in avg.iter_mut().zip(f) {
+                *a += p;
+            }
+        }
+        let peak = avg.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let peak_hz = peak as f64 * sr_out / 4096.0;
+        assert!((peak_hz - 440.0).abs() < 10.0, "peak at {peak_hz} Hz");
+    }
+
+    #[test]
+    fn dc_survives_resampling() {
+        let x = vec![0.7; 500];
+        let y = resample_linear(&x, 8000.0, 12_345.0);
+        assert!(y.iter().all(|&v| (v - 0.7).abs() < 1e-12));
+    }
+
+    #[test]
+    fn interpolation_is_between_neighbours() {
+        let x = vec![0.0, 1.0];
+        let y = resample_linear(&x, 1000.0, 4000.0);
+        for &v in &y {
+            assert!((0.0..=1.0).contains(&v));
+        }
+        // Strictly increasing until the clamp region.
+        assert!(y[1] > y[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        let _ = resample_linear(&[1.0], 0.0, 100.0);
+    }
+}

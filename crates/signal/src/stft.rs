@@ -1,0 +1,208 @@
+//! Short-time Fourier transform and power spectrograms.
+//!
+//! Frames the signal with a hop, windows each frame, transforms it and keeps
+//! the non-redundant half-spectrum. With the paper's parameters
+//! (n_fft = 2048, hop = 512) a 10 s clip at 22 050 Hz yields ≈427 frames of
+//! 1025 bins each.
+
+use crate::complex::Complex;
+use crate::fft::Fft;
+use crate::window::WindowKind;
+
+/// STFT parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SpectrogramParams {
+    /// FFT window length in samples (power of two).
+    pub n_fft: usize,
+    /// Samples between adjacent frames.
+    pub hop: usize,
+    /// Analysis window shape.
+    pub window: WindowKind,
+}
+
+impl Default for SpectrogramParams {
+    /// The paper's configuration: n_fft 2048, hop 512, Hann window.
+    fn default() -> Self {
+        SpectrogramParams { n_fft: crate::N_FFT, hop: crate::HOP_LENGTH, window: WindowKind::Hann }
+    }
+}
+
+impl SpectrogramParams {
+    /// Number of frames produced for a signal of `len` samples
+    /// (no centering/padding; zero if the signal is shorter than one frame).
+    pub fn frames_for(&self, len: usize) -> usize {
+        if len < self.n_fft {
+            0
+        } else {
+            1 + (len - self.n_fft) / self.hop
+        }
+    }
+
+    /// Number of non-redundant frequency bins per frame.
+    pub fn bins(&self) -> usize {
+        self.n_fft / 2 + 1
+    }
+}
+
+/// A planned STFT: reusable FFT plan plus window coefficients.
+#[derive(Clone, Debug)]
+pub struct Stft {
+    params: SpectrogramParams,
+    plan: Fft,
+    window: Vec<f64>,
+}
+
+/// A column-major spectrogram: `data[frame][bin]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Spectrogram {
+    /// Power values, one `Vec` per frame.
+    pub frames: Vec<Vec<f64>>,
+}
+
+impl Spectrogram {
+    /// Number of time frames.
+    pub fn n_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Number of frequency bins (zero when there are no frames).
+    pub fn n_bins(&self) -> usize {
+        self.frames.first().map_or(0, Vec::len)
+    }
+
+    /// Total spectral power summed over all frames and bins.
+    pub fn total_power(&self) -> f64 {
+        self.frames.iter().flat_map(|f| f.iter()).sum()
+    }
+}
+
+impl Stft {
+    /// Plans an STFT with the given parameters.
+    pub fn new(params: SpectrogramParams) -> Self {
+        assert!(params.hop > 0, "hop must be positive");
+        let plan = Fft::new(params.n_fft);
+        let window = params.window.coefficients(params.n_fft);
+        Stft { params, plan, window }
+    }
+
+    /// Planning parameters.
+    pub fn params(&self) -> &SpectrogramParams {
+        &self.params
+    }
+
+    /// Complex STFT of `signal`: one `Vec<Complex>` of `n_fft/2 + 1` bins
+    /// per frame.
+    pub fn transform(&self, signal: &[f64]) -> Vec<Vec<Complex>> {
+        let n_frames = self.params.frames_for(signal.len());
+        let mut out = Vec::with_capacity(n_frames);
+        let mut buf = vec![Complex::ZERO; self.params.n_fft];
+        for f in 0..n_frames {
+            let start = f * self.params.hop;
+            for (i, z) in buf.iter_mut().enumerate() {
+                *z = Complex::from_real(signal[start + i] * self.window[i]);
+            }
+            self.plan.forward(&mut buf);
+            out.push(buf[..self.params.bins()].to_vec());
+        }
+        out
+    }
+
+    /// Power spectrogram: |STFT|² per bin.
+    pub fn power_spectrogram(&self, signal: &[f64]) -> Spectrogram {
+        let frames = self
+            .transform(signal)
+            .into_iter()
+            .map(|frame| frame.into_iter().map(Complex::norm_sqr).collect())
+            .collect();
+        Spectrogram { frames }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(freq: f64, sr: f64, len: usize) -> Vec<f64> {
+        (0..len).map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / sr).sin()).collect()
+    }
+
+    #[test]
+    fn frame_count_matches_formula() {
+        let p = SpectrogramParams::default();
+        // 10 s at 22 050 Hz = 220 500 samples.
+        assert_eq!(p.frames_for(220_500), 1 + (220_500 - 2048) / 512);
+        assert_eq!(p.frames_for(2048), 1);
+        assert_eq!(p.frames_for(2047), 0);
+        assert_eq!(p.bins(), 1025);
+    }
+
+    #[test]
+    fn tone_peaks_at_expected_bin() {
+        let sr = 22_050.0;
+        let freq = 440.0;
+        let p = SpectrogramParams { n_fft: 2048, hop: 512, window: WindowKind::Hann };
+        let stft = Stft::new(p);
+        let spec = stft.power_spectrogram(&tone(freq, sr, 8192));
+        assert!(spec.n_frames() > 0);
+        let expected_bin = (freq / sr * 2048.0).round() as usize;
+        for frame in &spec.frames {
+            let peak = frame
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap();
+            assert!(
+                (peak as i64 - expected_bin as i64).abs() <= 1,
+                "peak bin {peak}, expected ≈{expected_bin}"
+            );
+        }
+    }
+
+    #[test]
+    fn silence_has_zero_power() {
+        let stft = Stft::new(SpectrogramParams { n_fft: 256, hop: 128, window: WindowKind::Hann });
+        let spec = stft.power_spectrogram(&vec![0.0; 1024]);
+        assert!(spec.total_power() < 1e-20);
+        assert_eq!(spec.n_bins(), 129);
+    }
+
+    #[test]
+    fn short_signal_yields_no_frames() {
+        let stft = Stft::new(SpectrogramParams { n_fft: 256, hop: 128, window: WindowKind::Hann });
+        let spec = stft.power_spectrogram(&vec![1.0; 100]);
+        assert_eq!(spec.n_frames(), 0);
+        assert_eq!(spec.n_bins(), 0);
+    }
+
+    #[test]
+    fn louder_signal_has_more_power() {
+        let stft = Stft::new(SpectrogramParams { n_fft: 256, hop: 128, window: WindowKind::Hann });
+        let quiet = stft.power_spectrogram(&tone(500.0, 22_050.0, 1024));
+        let loud_signal: Vec<f64> = tone(500.0, 22_050.0, 1024).iter().map(|x| x * 3.0).collect();
+        let loud = stft.power_spectrogram(&loud_signal);
+        // Power scales with amplitude²: 9×.
+        let ratio = loud.total_power() / quiet.total_power();
+        assert!((ratio - 9.0).abs() < 1e-6, "ratio {ratio}");
+    }
+
+    #[test]
+    fn transform_and_power_agree() {
+        let stft = Stft::new(SpectrogramParams { n_fft: 256, hop: 256, window: WindowKind::Hamming });
+        let signal = tone(1000.0, 22_050.0, 512);
+        let complex = stft.transform(&signal);
+        let power = stft.power_spectrogram(&signal);
+        assert_eq!(complex.len(), power.n_frames());
+        for (cf, pf) in complex.iter().zip(&power.frames) {
+            for (c, &p) in cf.iter().zip(pf) {
+                assert!((c.norm_sqr() - p).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "hop must be positive")]
+    fn zero_hop_panics() {
+        let _ = Stft::new(SpectrogramParams { n_fft: 256, hop: 0, window: WindowKind::Hann });
+    }
+}

@@ -1,0 +1,224 @@
+//! Minimal WAV (RIFF/PCM-16) reading and writing.
+//!
+//! The deployed system stores and uploads its microphone captures as audio
+//! files; this module provides a dependency-free encoder/decoder so the
+//! synthetic corpus can be exported for listening or external tooling and
+//! re-imported bit-exactly. Only what the pipeline needs is supported:
+//! mono or multi-channel 16-bit PCM.
+
+use std::io::{self, Read, Write};
+
+/// A decoded PCM-16 WAV file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WavFile {
+    /// Sample rate in hertz.
+    pub sample_rate: u32,
+    /// Number of interleaved channels.
+    pub channels: u16,
+    /// Interleaved samples normalized to `[-1, 1]`.
+    pub samples: Vec<f64>,
+}
+
+impl WavFile {
+    /// Wraps mono samples at `sample_rate`.
+    pub fn mono(sample_rate: u32, samples: Vec<f64>) -> Self {
+        WavFile { sample_rate, channels: 1, samples }
+    }
+
+    /// Number of frames (samples per channel).
+    pub fn frames(&self) -> usize {
+        self.samples.len() / self.channels.max(1) as usize
+    }
+
+    /// Duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.frames() as f64 / self.sample_rate as f64
+    }
+
+    /// Encodes to a RIFF/PCM-16 byte stream. Samples are clamped to
+    /// `[-1, 1]` before quantization.
+    pub fn encode<W: Write>(&self, mut out: W) -> io::Result<()> {
+        let n = self.samples.len() as u32;
+        let byte_rate = self.sample_rate * u32::from(self.channels) * 2;
+        let block_align = self.channels * 2;
+        let data_len = n * 2;
+
+        out.write_all(b"RIFF")?;
+        out.write_all(&(36 + data_len).to_le_bytes())?;
+        out.write_all(b"WAVE")?;
+        out.write_all(b"fmt ")?;
+        out.write_all(&16u32.to_le_bytes())?;
+        out.write_all(&1u16.to_le_bytes())?; // PCM
+        out.write_all(&self.channels.to_le_bytes())?;
+        out.write_all(&self.sample_rate.to_le_bytes())?;
+        out.write_all(&byte_rate.to_le_bytes())?;
+        out.write_all(&block_align.to_le_bytes())?;
+        out.write_all(&16u16.to_le_bytes())?; // bits per sample
+        out.write_all(b"data")?;
+        out.write_all(&data_len.to_le_bytes())?;
+        for &s in &self.samples {
+            let q = (s.clamp(-1.0, 1.0) * 32767.0).round() as i16;
+            out.write_all(&q.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Encodes to an in-memory byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(44 + self.samples.len() * 2);
+        self.encode(&mut buf).expect("writing to a Vec cannot fail");
+        buf
+    }
+
+    /// Decodes a RIFF/PCM-16 byte stream.
+    pub fn decode<R: Read>(mut input: R) -> io::Result<Self> {
+        let mut bytes = Vec::new();
+        input.read_to_end(&mut bytes)?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// Decodes from an in-memory byte slice.
+    pub fn from_bytes(bytes: &[u8]) -> io::Result<Self> {
+        let err = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+        if bytes.len() < 44 || &bytes[0..4] != b"RIFF" || &bytes[8..12] != b"WAVE" {
+            return Err(err("not a RIFF/WAVE stream"));
+        }
+        // Walk chunks to find fmt and data (robust to extra chunks).
+        let mut pos = 12;
+        let mut fmt: Option<(u16, u16, u32, u16)> = None;
+        let mut data: Option<&[u8]> = None;
+        while pos + 8 <= bytes.len() {
+            let id = &bytes[pos..pos + 4];
+            let len = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap()) as usize;
+            let body_end = (pos + 8 + len).min(bytes.len());
+            let body = &bytes[pos + 8..body_end];
+            match id {
+                b"fmt " => {
+                    if body.len() < 16 {
+                        return Err(err("fmt chunk too short"));
+                    }
+                    let format = u16::from_le_bytes(body[0..2].try_into().unwrap());
+                    let channels = u16::from_le_bytes(body[2..4].try_into().unwrap());
+                    let rate = u32::from_le_bytes(body[4..8].try_into().unwrap());
+                    let bits = u16::from_le_bytes(body[14..16].try_into().unwrap());
+                    fmt = Some((format, channels, rate, bits));
+                }
+                b"data" => data = Some(body),
+                _ => {}
+            }
+            pos = body_end + (len & 1); // chunks are word-aligned
+        }
+        let (format, channels, sample_rate, bits) = fmt.ok_or_else(|| err("missing fmt chunk"))?;
+        if format != 1 || bits != 16 {
+            return Err(err("only PCM-16 is supported"));
+        }
+        if channels == 0 {
+            return Err(err("zero channels"));
+        }
+        let data = data.ok_or_else(|| err("missing data chunk"))?;
+        let samples = data
+            .chunks_exact(2)
+            .map(|c| f64::from(i16::from_le_bytes([c[0], c[1]])) / 32767.0)
+            .collect();
+        Ok(WavFile { sample_rate, channels, samples })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audio::{BeeAudioSynth, ColonyState};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_preserves_samples_within_quantization() {
+        let synth = BeeAudioSynth::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let clip = synth.generate(ColonyState::Queenright, 0.1, &mut rng);
+        let wav = WavFile::mono(22_050, clip.clone());
+        let decoded = WavFile::from_bytes(&wav.to_bytes()).unwrap();
+        assert_eq!(decoded.sample_rate, 22_050);
+        assert_eq!(decoded.channels, 1);
+        assert_eq!(decoded.samples.len(), clip.len());
+        for (a, b) in decoded.samples.iter().zip(&clip) {
+            assert!((a - b).abs() < 1.5 / 32767.0, "quantization error too large");
+        }
+    }
+
+    #[test]
+    fn double_round_trip_is_bit_exact() {
+        // Once quantized, further round trips are lossless.
+        let wav = WavFile::mono(8000, vec![0.0, 0.5, -0.5, 1.0, -1.0]);
+        let once = WavFile::from_bytes(&wav.to_bytes()).unwrap();
+        let twice = WavFile::from_bytes(&once.to_bytes()).unwrap();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn header_fields() {
+        let wav = WavFile::mono(22_050, vec![0.0; 2205]);
+        assert_eq!(wav.frames(), 2205);
+        assert!((wav.duration_s() - 0.1).abs() < 1e-12);
+        let bytes = wav.to_bytes();
+        assert_eq!(&bytes[0..4], b"RIFF");
+        assert_eq!(&bytes[8..12], b"WAVE");
+        assert_eq!(bytes.len(), 44 + 2205 * 2);
+    }
+
+    #[test]
+    fn stereo_frames() {
+        let wav = WavFile { sample_rate: 44_100, channels: 2, samples: vec![0.0; 8] };
+        assert_eq!(wav.frames(), 4);
+        let decoded = WavFile::from_bytes(&wav.to_bytes()).unwrap();
+        assert_eq!(decoded.channels, 2);
+        assert_eq!(decoded.frames(), 4);
+    }
+
+    #[test]
+    fn clamps_out_of_range_samples() {
+        let wav = WavFile::mono(8000, vec![3.0, -3.0]);
+        let decoded = WavFile::from_bytes(&wav.to_bytes()).unwrap();
+        assert!((decoded.samples[0] - 1.0).abs() < 1e-4);
+        assert!((decoded.samples[1] + 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(WavFile::from_bytes(b"not a wav").is_err());
+        assert!(WavFile::from_bytes(&[0u8; 100]).is_err());
+    }
+
+    #[test]
+    fn rejects_unsupported_formats() {
+        let mut bytes = WavFile::mono(8000, vec![0.0; 4]).to_bytes();
+        bytes[20] = 3; // IEEE float format tag
+        assert!(WavFile::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn tolerates_extra_chunks() {
+        // Insert a LIST chunk between fmt and data.
+        let wav = WavFile::mono(8000, vec![0.25; 4]);
+        let bytes = wav.to_bytes();
+        let mut patched = Vec::new();
+        patched.extend_from_slice(&bytes[..36]); // RIFF header + fmt
+        patched.extend_from_slice(b"LIST");
+        patched.extend_from_slice(&4u32.to_le_bytes());
+        patched.extend_from_slice(b"INFO");
+        patched.extend_from_slice(&bytes[36..]); // data chunk
+        // Fix the RIFF size.
+        let riff_len = (patched.len() - 8) as u32;
+        patched[4..8].copy_from_slice(&riff_len.to_le_bytes());
+        let decoded = WavFile::from_bytes(&patched).unwrap();
+        assert_eq!(decoded.samples.len(), 4);
+    }
+
+    #[test]
+    fn decode_via_reader() {
+        let wav = WavFile::mono(8000, vec![0.1, 0.2]);
+        let bytes = wav.to_bytes();
+        let decoded = WavFile::decode(&bytes[..]).unwrap();
+        assert_eq!(decoded.frames(), 2);
+    }
+}

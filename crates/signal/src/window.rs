@@ -1,0 +1,83 @@
+//! Analysis windows for the STFT.
+
+/// Supported analysis window shapes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WindowKind {
+    /// All-ones window (no tapering).
+    Rectangular,
+    /// Hann window — the librosa default the paper's pipeline uses.
+    Hann,
+    /// Hamming window.
+    Hamming,
+}
+
+impl WindowKind {
+    /// Generates the window coefficients for a frame of `n` samples
+    /// (periodic form, as used for spectral analysis).
+    pub fn coefficients(self, n: usize) -> Vec<f64> {
+        assert!(n > 0, "window length must be positive");
+        match self {
+            WindowKind::Rectangular => vec![1.0; n],
+            WindowKind::Hann => raised_cosine(n, 0.5, 0.5),
+            WindowKind::Hamming => raised_cosine(n, 0.54, 0.46),
+        }
+    }
+
+    /// Sum of squared coefficients (used for power normalization).
+    pub fn power(self, n: usize) -> f64 {
+        self.coefficients(n).iter().map(|w| w * w).sum()
+    }
+}
+
+fn raised_cosine(n: usize, a: f64, b: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| a - b * (2.0 * std::f64::consts::PI * i as f64 / n as f64).cos())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        assert!(WindowKind::Rectangular.coefficients(16).iter().all(|&w| w == 1.0));
+        assert_eq!(WindowKind::Rectangular.power(16), 16.0);
+    }
+
+    #[test]
+    fn hann_starts_at_zero_and_peaks_mid() {
+        let w = WindowKind::Hann.coefficients(64);
+        assert!(w[0].abs() < 1e-12);
+        assert!((w[32] - 1.0).abs() < 1e-12);
+        assert!(w.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn hamming_has_nonzero_endpoints() {
+        let w = WindowKind::Hamming.coefficients(64);
+        assert!((w[0] - 0.08).abs() < 1e-12);
+        assert!((w[32] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hann_is_symmetric_in_periodic_sense() {
+        let w = WindowKind::Hann.coefficients(128);
+        for i in 1..128 {
+            assert!((w[i] - w[128 - i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hann_power_is_three_eighths_n() {
+        // Σ hann² = 3n/8 for periodic Hann.
+        let n = 2048;
+        assert!((WindowKind::Hann.power(n) - 3.0 * n as f64 / 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_length_panics() {
+        let _ = WindowKind::Hann.coefficients(0);
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Typed physical quantities for the precision-beekeeping workspace.
+//!
+//! Every energy figure in the reproduced paper is a product of a power and a
+//! duration; mixing the three up is the easiest way to corrupt a simulation
+//! silently. This crate wraps each dimension in a newtype over `f64` and only
+//! implements the physically meaningful operations:
+//!
+//! ```
+//! use pb_units::{Watts, Seconds, Joules};
+//!
+//! let routine = Watts(2.14) * Seconds(89.0);
+//! assert!((routine - Joules(190.46)).abs() < Joules(0.1));
+//! assert_eq!(Joules(190.1) / Seconds(89.0), Watts(190.1 / 89.0));
+//! ```
+//!
+//! All types are `Copy` and ordered. Values are plain SI: joules, watts,
+//! seconds, hertz, volts, amperes, degrees Celsius.
+
+mod quantity;
+mod time;
+
+pub use quantity::{Amperes, Celsius, Hertz, Joules, Percent, Volts, WattHours, Watts};
+pub use time::{Seconds, TimeOfDay};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,313 @@
+//! Scalar physical quantities and the arithmetic that relates them.
+
+use crate::Seconds;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Implements the boilerplate shared by every scalar quantity: same-type
+/// addition/subtraction, scaling by `f64`, comparison helpers and display.
+macro_rules! scalar_quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero value of this quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Raw `f64` value in base SI units.
+            #[inline]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Clamps to `[lo, hi]`.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// True when the contained value is finite (not NaN/inf).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl MulAssign<f64> for $name {
+            #[inline]
+            fn mul_assign(&mut self, rhs: f64) {
+                self.0 *= rhs;
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl DivAssign<f64> for $name {
+            #[inline]
+            fn div_assign(&mut self, rhs: f64) {
+                self.0 /= rhs;
+            }
+        }
+
+        /// Ratio of two like quantities is dimensionless.
+        impl Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl<'a> Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:?} {}", self.0, $unit)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                match f.precision() {
+                    Some(p) => write!(f, "{:.*} {}", p, self.0, $unit),
+                    None => write!(f, "{:.3} {}", self.0, $unit),
+                }
+            }
+        }
+    };
+}
+
+scalar_quantity!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+scalar_quantity!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+scalar_quantity!(
+    /// Energy in watt-hours (used for battery capacities and daily budgets).
+    WattHours,
+    "Wh"
+);
+scalar_quantity!(
+    /// Frequency in hertz.
+    Hertz,
+    "Hz"
+);
+scalar_quantity!(
+    /// Electric potential in volts.
+    Volts,
+    "V"
+);
+scalar_quantity!(
+    /// Electric current in amperes.
+    Amperes,
+    "A"
+);
+scalar_quantity!(
+    /// Temperature in degrees Celsius.
+    Celsius,
+    "°C"
+);
+scalar_quantity!(
+    /// Dimensionless ratio expressed in percent (0–100).
+    Percent,
+    "%"
+);
+
+impl Joules {
+    /// Converts to watt-hours (1 Wh = 3600 J).
+    #[inline]
+    pub fn to_watt_hours(self) -> WattHours {
+        WattHours(self.0 / 3600.0)
+    }
+}
+
+impl WattHours {
+    /// Converts to joules (1 Wh = 3600 J).
+    #[inline]
+    pub fn to_joules(self) -> Joules {
+        Joules(self.0 * 3600.0)
+    }
+}
+
+impl Percent {
+    /// Builds a percentage from a fraction in `[0, 1]`.
+    #[inline]
+    pub fn from_fraction(f: f64) -> Self {
+        Percent(f * 100.0)
+    }
+
+    /// Fraction in `[0, 1]` corresponding to this percentage.
+    #[inline]
+    pub fn fraction(self) -> f64 {
+        self.0 / 100.0
+    }
+}
+
+impl Hertz {
+    /// Period of one cycle at this frequency.
+    #[inline]
+    pub fn period(self) -> Seconds {
+        Seconds(1.0 / self.0)
+    }
+}
+
+// --- Cross-dimension arithmetic -----------------------------------------
+
+/// Power × time = energy.
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.value())
+    }
+}
+
+/// Time × power = energy.
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Watts) -> Joules {
+        Joules(self.value() * rhs.0)
+    }
+}
+
+/// Energy ÷ time = mean power.
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    #[inline]
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.value())
+    }
+}
+
+/// Energy ÷ power = time.
+impl Div<Watts> for Joules {
+    type Output = Seconds;
+    #[inline]
+    fn div(self, rhs: Watts) -> Seconds {
+        Seconds(self.0 / rhs.0)
+    }
+}
+
+/// Voltage × current = power.
+impl Mul<Amperes> for Volts {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Amperes) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+/// Current × voltage = power.
+impl Mul<Volts> for Amperes {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Volts) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+/// Power ÷ voltage = current.
+impl Div<Volts> for Watts {
+    type Output = Amperes;
+    #[inline]
+    fn div(self, rhs: Volts) -> Amperes {
+        Amperes(self.0 / rhs.0)
+    }
+}

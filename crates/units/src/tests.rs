@@ -1,0 +1,206 @@
+use crate::*;
+
+const EPS: f64 = 1e-12;
+
+#[test]
+fn power_times_time_is_energy() {
+    assert!(((Watts(2.14) * Seconds(89.0)).value() - 190.46).abs() < 1e-9);
+    assert!(((Seconds(89.0) * Watts(2.14)).value() - 190.46).abs() < 1e-9);
+}
+
+#[test]
+fn energy_over_time_is_power() {
+    let p = Joules(190.1) / Seconds(89.0);
+    assert!((p.value() - 190.1 / 89.0).abs() < EPS);
+}
+
+#[test]
+fn energy_over_power_is_time() {
+    let t = Joules(190.1) / Watts(2.14);
+    assert!((t.value() - 190.1 / 2.14).abs() < EPS);
+}
+
+#[test]
+fn volts_times_amps_is_watts() {
+    assert_eq!(Volts(5.0) * Amperes(0.6), Watts(3.0));
+    assert_eq!(Amperes(0.6) * Volts(5.0), Watts(3.0));
+    assert_eq!(Watts(3.0) / Volts(5.0), Amperes(0.6));
+}
+
+#[test]
+fn watt_hour_round_trip() {
+    let e = Joules(7200.0);
+    assert_eq!(e.to_watt_hours(), WattHours(2.0));
+    assert_eq!(WattHours(2.0).to_joules(), e);
+}
+
+#[test]
+fn additive_ops() {
+    let mut e = Joules(1.0);
+    e += Joules(2.0);
+    assert_eq!(e, Joules(3.0));
+    e -= Joules(0.5);
+    assert_eq!(e, Joules(2.5));
+    assert_eq!(-e, Joules(-2.5));
+    assert_eq!(e.abs(), Joules(2.5));
+    assert_eq!((-e).abs(), Joules(2.5));
+}
+
+#[test]
+fn scaling_ops() {
+    let mut p = Watts(2.0);
+    p *= 3.0;
+    assert_eq!(p, Watts(6.0));
+    p /= 2.0;
+    assert_eq!(p, Watts(3.0));
+    assert_eq!(2.0 * p, Watts(6.0));
+    assert_eq!(p * 2.0, Watts(6.0));
+}
+
+#[test]
+fn like_ratio_is_dimensionless() {
+    let r: f64 = Joules(10.0) / Joules(4.0);
+    assert!((r - 2.5).abs() < EPS);
+    let r: f64 = Seconds(300.0) / Seconds(60.0);
+    assert!((r - 5.0).abs() < EPS);
+}
+
+#[test]
+fn sums() {
+    let total: Joules = [Joules(1.0), Joules(2.0), Joules(3.0)].iter().sum();
+    assert_eq!(total, Joules(6.0));
+    let total: Seconds = vec![Seconds(1.5), Seconds(2.5)].into_iter().sum();
+    assert_eq!(total, Seconds(4.0));
+}
+
+#[test]
+fn min_max_clamp() {
+    assert_eq!(Watts(1.0).max(Watts(2.0)), Watts(2.0));
+    assert_eq!(Watts(1.0).min(Watts(2.0)), Watts(1.0));
+    assert_eq!(Watts(5.0).clamp(Watts(0.0), Watts(2.0)), Watts(2.0));
+    assert_eq!(Watts(-5.0).clamp(Watts(0.0), Watts(2.0)), Watts(0.0));
+}
+
+#[test]
+fn percent_fraction_round_trip() {
+    assert_eq!(Percent::from_fraction(0.121), Percent(12.1));
+    assert!((Percent(12.1).fraction() - 0.121).abs() < EPS);
+}
+
+#[test]
+fn hertz_period() {
+    assert_eq!(Hertz(2.0).period(), Seconds(0.5));
+}
+
+#[test]
+fn seconds_constructors_and_views() {
+    assert_eq!(Seconds::from_minutes(5.0), Seconds(300.0));
+    assert_eq!(Seconds::from_hours(2.0), Seconds(7200.0));
+    assert_eq!(Seconds::from_days(1.0), Seconds(86_400.0));
+    assert!((Seconds(300.0).as_minutes() - 5.0).abs() < EPS);
+    assert!((Seconds(7200.0).as_hours() - 2.0).abs() < EPS);
+    assert!((Seconds(43_200.0).as_days() - 0.5).abs() < EPS);
+}
+
+#[test]
+fn seconds_rem_wraps_like_modulo() {
+    let day = Seconds::from_days(1.0);
+    let t = Seconds::from_days(2.0) + Seconds(17.0);
+    assert!(((t % day).value() - 17.0).abs() < EPS);
+    // rem_euclid semantics: negative timestamps fold into [0, day).
+    let neg = Seconds(-10.0);
+    assert!(((neg % day).value() - 86_390.0).abs() < EPS);
+}
+
+#[test]
+fn time_of_day_wraps() {
+    let t = TimeOfDay::from_seconds(86_400.0 + 30.0);
+    assert!((t.seconds() - 30.0).abs() < EPS);
+    assert_eq!(TimeOfDay::from_hm(25, 0), TimeOfDay::from_hm(1, 0));
+}
+
+#[test]
+fn time_of_day_within_plain_window() {
+    let start = TimeOfDay::from_hm(9, 0);
+    let end = TimeOfDay::from_hm(17, 0);
+    assert!(TimeOfDay::NOON.within(start, end));
+    assert!(!TimeOfDay::MIDNIGHT.within(start, end));
+    // start is inclusive, end exclusive
+    assert!(start.within(start, end));
+    assert!(!end.within(start, end));
+}
+
+#[test]
+fn time_of_day_within_wrapping_window() {
+    let night_start = TimeOfDay::from_hm(21, 0);
+    let night_end = TimeOfDay::from_hm(6, 0);
+    assert!(TimeOfDay::MIDNIGHT.within(night_start, night_end));
+    assert!(TimeOfDay::from_hm(23, 59).within(night_start, night_end));
+    assert!(TimeOfDay::from_hm(5, 59).within(night_start, night_end));
+    assert!(!TimeOfDay::NOON.within(night_start, night_end));
+}
+
+#[test]
+fn time_of_day_at_timestamp() {
+    let t = TimeOfDay::at(Seconds::from_days(3.0) + Seconds::from_hours(14.0));
+    assert!((t.hours() - 14.0).abs() < EPS);
+}
+
+#[test]
+fn display_formats() {
+    assert_eq!(format!("{}", Joules(190.1)), "190.100 J");
+    assert_eq!(format!("{:.1}", Watts(0.62)), "0.6 W");
+    assert_eq!(format!("{}", TimeOfDay::from_hm(9, 5)), "09:05:00");
+    assert_eq!(format!("{}", Seconds(1.5)), "1.500 s");
+}
+
+#[test]
+fn finite_checks() {
+    assert!(Joules(1.0).is_finite());
+    assert!(!Joules(f64::NAN).is_finite());
+    assert!(!Seconds(f64::INFINITY).is_finite());
+}
+
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn energy_power_time_triangle(p in 0.01f64..1e4, t in 0.01f64..1e6) {
+            let e = Watts(p) * Seconds(t);
+            let p_back = e / Seconds(t);
+            let t_back = e / Watts(p);
+            prop_assert!((p_back.value() - p).abs() / p < 1e-12);
+            prop_assert!((t_back.value() - t).abs() / t < 1e-12);
+        }
+
+        #[test]
+        fn addition_commutes(a in -1e9f64..1e9, b in -1e9f64..1e9) {
+            prop_assert_eq!(Joules(a) + Joules(b), Joules(b) + Joules(a));
+        }
+
+        #[test]
+        fn watt_hours_round_trip(j in -1e12f64..1e12) {
+            let back = Joules(j).to_watt_hours().to_joules();
+            prop_assert!((back.value() - j).abs() <= j.abs() * 1e-12);
+        }
+
+        #[test]
+        fn time_of_day_always_in_range(s in -1e9f64..1e9) {
+            let t = TimeOfDay::from_seconds(s);
+            prop_assert!(t.seconds() >= 0.0 && t.seconds() < 86_400.0);
+        }
+
+        #[test]
+        fn within_full_day_window_is_always_true(s in 0f64..86_400.0) {
+            let t = TimeOfDay::from_seconds(s);
+            // A [start, start) window wraps the whole day except nothing:
+            // within() treats equal endpoints as wrap-around covering nothing
+            // on the same-second boundary only.
+            let win_all = t.within(TimeOfDay::MIDNIGHT, TimeOfDay::from_seconds(86_399.999));
+            let late = t.seconds() >= 86_399.999;
+            prop_assert_eq!(win_all, !late);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Time quantities: durations and wall-clock time-of-day.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Rem, Sub, SubAssign};
+
+/// A duration (or timestamp relative to a simulation origin) in seconds.
+///
+/// The simulator works in continuous time with `f64` seconds; sub-second task
+/// durations appear throughout the paper's tables (e.g. the 0.1 s SVM
+/// execution in Table II), so an integer tick type would be lossy.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Seconds(pub f64);
+
+impl Seconds {
+    /// The zero duration.
+    pub const ZERO: Self = Seconds(0.0);
+
+    /// Builds a duration from whole minutes.
+    #[inline]
+    pub fn from_minutes(minutes: f64) -> Self {
+        Seconds(minutes * 60.0)
+    }
+
+    /// Builds a duration from whole hours.
+    #[inline]
+    pub fn from_hours(hours: f64) -> Self {
+        Seconds(hours * 3600.0)
+    }
+
+    /// Builds a duration from whole days.
+    #[inline]
+    pub fn from_days(days: f64) -> Self {
+        Seconds(days * 86_400.0)
+    }
+
+    /// Raw value in seconds.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Duration expressed in minutes.
+    #[inline]
+    pub fn as_minutes(self) -> f64 {
+        self.0 / 60.0
+    }
+
+    /// Duration expressed in hours.
+    #[inline]
+    pub fn as_hours(self) -> f64 {
+        self.0 / 3600.0
+    }
+
+    /// Duration expressed in days.
+    #[inline]
+    pub fn as_days(self) -> f64 {
+        self.0 / 86_400.0
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub fn abs(self) -> Self {
+        Seconds(self.0.abs())
+    }
+
+    /// Larger of the two durations.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        Seconds(self.0.max(other.0))
+    }
+
+    /// Smaller of the two durations.
+    #[inline]
+    pub fn min(self, other: Self) -> Self {
+        Seconds(self.0.min(other.0))
+    }
+
+    /// Clamps to `[lo, hi]`.
+    #[inline]
+    pub fn clamp(self, lo: Self, hi: Self) -> Self {
+        Seconds(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// True when the contained value is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl Add for Seconds {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Seconds(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Seconds {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Seconds {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Seconds(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Seconds {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for Seconds {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        Seconds(self.0 * rhs)
+    }
+}
+
+impl Mul<Seconds> for f64 {
+    type Output = Seconds;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Seconds {
+        Seconds(self * rhs.0)
+    }
+}
+
+impl MulAssign<f64> for Seconds {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        self.0 *= rhs;
+    }
+}
+
+impl Div<f64> for Seconds {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: f64) -> Self {
+        Seconds(self.0 / rhs)
+    }
+}
+
+impl DivAssign<f64> for Seconds {
+    #[inline]
+    fn div_assign(&mut self, rhs: f64) {
+        self.0 /= rhs;
+    }
+}
+
+/// Ratio of two durations is dimensionless.
+impl Div for Seconds {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: Self) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+/// Remainder, used to fold simulation time onto a daily cycle.
+impl Rem for Seconds {
+    type Output = Self;
+    #[inline]
+    fn rem(self, rhs: Self) -> Self {
+        Seconds(self.0.rem_euclid(rhs.0))
+    }
+}
+
+impl Sum for Seconds {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        Seconds(iter.map(|s| s.0).sum())
+    }
+}
+
+impl<'a> Sum<&'a Seconds> for Seconds {
+    fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+        Seconds(iter.map(|s| s.0).sum())
+    }
+}
+
+impl fmt::Debug for Seconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} s", self.0)
+    }
+}
+
+impl fmt::Display for Seconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match f.precision() {
+            Some(p) => write!(f, "{:.*} s", p, self.0),
+            None => write!(f, "{:.3} s", self.0),
+        }
+    }
+}
+
+/// Wall-clock time of day, wrapped to `[0, 86 400)` seconds after midnight.
+///
+/// Used by the solar model to decide whether the sun is up and by the
+/// deployment simulation to align wake-ups with Figure 2's day/night bands.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug)]
+pub struct TimeOfDay(f64);
+
+impl TimeOfDay {
+    /// Midnight.
+    pub const MIDNIGHT: Self = TimeOfDay(0.0);
+    /// Solar noon (12:00).
+    pub const NOON: Self = TimeOfDay(43_200.0);
+
+    /// Builds from seconds after midnight (wraps modulo 24 h).
+    #[inline]
+    pub fn from_seconds(s: f64) -> Self {
+        TimeOfDay(s.rem_euclid(86_400.0))
+    }
+
+    /// Builds from `hh:mm` (wraps modulo 24 h).
+    #[inline]
+    pub fn from_hm(hours: u32, minutes: u32) -> Self {
+        Self::from_seconds(f64::from(hours) * 3600.0 + f64::from(minutes) * 60.0)
+    }
+
+    /// Time of day at an absolute simulation timestamp.
+    #[inline]
+    pub fn at(timestamp: Seconds) -> Self {
+        Self::from_seconds(timestamp.value())
+    }
+
+    /// Seconds after midnight, in `[0, 86 400)`.
+    #[inline]
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+
+    /// Hour of day as a fraction, in `[0, 24)`.
+    #[inline]
+    pub fn hours(self) -> f64 {
+        self.0 / 3600.0
+    }
+
+    /// True if this time falls in `[start, end)`, handling windows that wrap
+    /// past midnight (e.g. 21:00–06:00).
+    pub fn within(self, start: TimeOfDay, end: TimeOfDay) -> bool {
+        if start.0 <= end.0 {
+            self.0 >= start.0 && self.0 < end.0
+        } else {
+            self.0 >= start.0 || self.0 < end.0
+        }
+    }
+}
+
+impl fmt::Display for TimeOfDay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.0 as u64;
+        write!(f, "{:02}:{:02}:{:02}", total / 3600, (total / 60) % 60, total % 60)
+    }
+}

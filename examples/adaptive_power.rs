@@ -1,0 +1,45 @@
+//! Fixed vs adaptive duty cycling on a constrained battery.
+//!
+//! The Figure 2a hive loses every night-time routine to brown-outs. An
+//! energy-aware controller (the paper's future-work "intelligence to tune
+//! its parameters") slows down before the battery dies, converting
+//! uncontrolled failures into planned skips.
+//!
+//! Run with: `cargo run --release --example adaptive_power`
+
+use precision_beekeeping::beehive::adaptive::{run_adaptive, AdaptivePolicy};
+use precision_beekeeping::beehive::hive::SmartBeehive;
+use precision_beekeeping::energy::battery::Battery;
+use precision_beekeeping::energy::harvest::PowerSystemConfig;
+use precision_beekeeping::units::{Seconds, WattHours};
+
+fn main() {
+    let week = Seconds::from_days(7.0);
+    let step = Seconds(60.0);
+
+    println!("battery_Wh  policy    completed  failed  skipped  reliability  brownout_h");
+    for wh in [6.0, 10.0, 20.0] {
+        let hive = SmartBeehive::deployed("ctl", Seconds::from_minutes(10.0)).with_power_system(
+            PowerSystemConfig {
+                battery: Battery::new(WattHours(wh), 0.6),
+                ..PowerSystemConfig::default()
+            },
+        );
+        for (name, policy) in
+            [("fixed", None), ("adaptive", Some(AdaptivePolicy::default()))]
+        {
+            let s = run_adaptive(&hive, policy.as_ref(), week, step, 11);
+            println!(
+                "{wh:>10.0}  {name:<8}  {:>9}  {:>6}  {:>7}  {:>10.1}%  {:>9.1}",
+                s.routines_completed,
+                s.routines_failed,
+                s.routines_skipped,
+                s.reliability() * 100.0,
+                s.brown_out_time.as_hours(),
+            );
+        }
+    }
+    println!("\nThe adaptive policy trades scheduled skips for reliability: almost no");
+    println!("routine that *starts* is lost to a brown-out, and the node keeps its");
+    println!("always-on logger alive through the night.");
+}

@@ -1,0 +1,56 @@
+//! Apiary scaling study: at what population does the cloud start paying
+//! for itself? Reproduces the Figure 7 analysis and the scenario
+//! recommender, with and without the paper's loss models.
+//!
+//! Run with: `cargo run --release --example apiary_scaling`
+
+use precision_beekeeping::beehive::apiary::Apiary;
+use precision_beekeeping::orchestra::loss::LossModel;
+use precision_beekeeping::orchestra::prelude::*;
+use precision_beekeeping::orchestra::report::comparison_table;
+use precision_beekeeping::orchestra::sweep::{analyze_crossover, SweepConfig};
+
+fn main() {
+    let service = ServiceKind::Cnn;
+    let sweep = SweepConfig {
+        edge_client: presets::edge_client(service),
+        cloud_client: presets::edge_cloud_client(),
+        server: presets::cloud_server(service, 35),
+        loss: LossModel::NONE,
+        policy: FillPolicy::PackSlots,
+        seed: 0xBEE,
+    };
+
+    println!("== Ideal model, 35 clients per slot (Figure 7b) ==\n");
+    let points = sweep.run_range(100, 2000, 100);
+    println!("{}", comparison_table(&points).render());
+
+    let fine = sweep.run_range(100, 2000, 1);
+    let report = analyze_crossover(&fine);
+    if let Some(n) = report.first_crossover {
+        println!("first crossover: {n} clients (paper: 406)");
+    }
+    if let Some((n, adv)) = report.max_advantage {
+        println!("max advantage : {:.1} J/client at {n} clients (paper: 12.5 J at 630)", adv.value());
+    }
+    if let Some(n) = report.always_after {
+        println!("stable win    : from {n} clients (paper: 803)");
+    }
+
+    println!("\n== Scenario recommendations ==\n");
+    for (n, cap, loss, label) in [
+        (5usize, 10usize, LossModel::NONE, "deployed apiary, ideal"),
+        (630, 35, LossModel::NONE, "cooperative, ideal"),
+        (630, 35, LossModel::all(), "cooperative, with losses"),
+        (1700, 35, LossModel::fig9(), "large co-op, Fig-9 losses"),
+    ] {
+        let rec = Apiary::new("apiary", n).recommend(service, cap, loss);
+        println!(
+            "{label:>28} ({n:>4} hives, cap {cap:>2}): {:<18} edge {:.1} J vs cloud {:.1} J ({} server(s))",
+            rec.scenario.name(),
+            rec.edge_per_hive.value(),
+            rec.cloud_per_hive.value(),
+            rec.servers_needed,
+        );
+    }
+}

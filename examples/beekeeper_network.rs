@@ -1,0 +1,59 @@
+//! A shared network of several beekeepers — the fleet extension.
+//!
+//! Three beekeepers with different wake-up cadences share one cloud
+//! deployment. Aligning everyone on the same phase makes their uploads
+//! collide (more servers, more idle burn); staggering the phases smooths
+//! the load. The fleet simulator quantifies the difference.
+//!
+//! Run with: `cargo run --example beekeeper_network`
+
+use precision_beekeeping::orchestra::fleet::{simulate_fleet, FleetGroup};
+use precision_beekeeping::orchestra::loss::LossModel;
+use precision_beekeeping::orchestra::prelude::*;
+use precision_beekeeping::units::Seconds;
+
+fn group(name: &str, hives: usize, period_min: f64, phase: usize) -> FleetGroup {
+    FleetGroup {
+        name: name.to_string(),
+        client: presets::edge_cloud_client_with_period(Seconds::from_minutes(period_min)),
+        count: hives,
+        phase,
+    }
+}
+
+fn main() {
+    let server = presets::cloud_server(ServiceKind::Cnn, 10);
+
+    // Three beekeepers: a research apiary on 5-minute cycles, a commercial
+    // operation on 10-minute cycles, a hobbyist on 20-minute cycles. One
+    // server holds 18 slots × 10 = 180 hives per cycle.
+    let aligned = [
+        group("research (5 min)", 100, 5.0, 0),
+        group("commercial (10 min)", 70, 10.0, 0),
+        group("hobbyist (20 min)", 80, 20.0, 0),
+    ];
+    let staggered = [
+        group("research (5 min)", 100, 5.0, 0),
+        group("commercial (10 min)", 70, 10.0, 1), // odd cycles
+        group("hobbyist (20 min)", 80, 20.0, 2),   // cycle 2 of 4 — clear of both
+    ];
+
+    for (label, groups) in [("aligned phases", &aligned), ("staggered phases", &staggered)] {
+        let report = simulate_fleet(groups, &server, &LossModel::NONE, FillPolicy::PackSlots);
+        println!("== {label} ==");
+        println!("  hyper-period          : {} base cycles", report.hyper_period);
+        println!("  peak upload population: {} hives", report.peak_clients);
+        println!("  servers provisioned   : {}", report.servers_provisioned);
+        println!(
+            "  mean server energy    : {:.0} J per 5-minute cycle",
+            report.mean_server_energy_per_cycle.value()
+        );
+        println!(
+            "  total per hive        : {:.1} J per cycle\n",
+            report.total_per_hive_per_cycle.value()
+        );
+    }
+
+    println!("Staggering the beekeepers' wake-up phases trims the collision peak,");
+    println!("which is exactly the knob the paper's synchronized time slots expose.");
+}

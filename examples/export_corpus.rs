@@ -1,0 +1,50 @@
+//! Exports a small synthetic corpus as WAV files for listening or
+//! external tooling, then re-imports one file and verifies it still
+//! classifies correctly with the trained detector.
+//!
+//! Run with: `cargo run --release --example export_corpus`
+
+use precision_beekeeping::beehive::baseline::PipingDetector;
+use precision_beekeeping::signal::corpus::{Corpus, CorpusConfig};
+use precision_beekeeping::signal::wav::WavFile;
+use std::fs;
+use std::path::Path;
+
+fn main() -> std::io::Result<()> {
+    let out_dir = Path::new("results/corpus");
+    fs::create_dir_all(out_dir)?;
+
+    let corpus = Corpus::generate(&CorpusConfig::small(12, 3.0, 2024));
+    let mut written = Vec::new();
+    for (i, clip) in corpus.clips().iter().enumerate() {
+        let name = format!(
+            "{i:02}_{}.wav",
+            match clip.state {
+                precision_beekeeping::signal::audio::ColonyState::Queenright => "queenright",
+                precision_beekeeping::signal::audio::ColonyState::Queenless => "queenless",
+            }
+        );
+        let path = out_dir.join(&name);
+        fs::write(&path, WavFile::mono(22_050, clip.samples.clone()).to_bytes())?;
+        written.push((path, clip.state));
+    }
+    println!("wrote {} WAV files to {}", written.len(), out_dir.display());
+
+    // Train the cheap detector on the in-memory corpus…
+    let labelled: Vec<(Vec<f64>, _)> =
+        corpus.clips().iter().map(|c| (c.samples.clone(), c.state)).collect();
+    let detector = PipingDetector::train(&labelled, 22_050.0);
+
+    // …and classify a clip re-imported from disk.
+    let (path, truth) = &written[1];
+    let restored = WavFile::from_bytes(&fs::read(path)?)?;
+    let prediction = detector.predict(&restored.samples);
+    println!(
+        "re-imported {}: truth {:?}, prediction {:?} — {}",
+        path.display(),
+        truth,
+        prediction,
+        if prediction == *truth { "match" } else { "MISMATCH" }
+    );
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Wake-up frequency auto-tuning — the paper's future-work item.
+//!
+//! For a range of battery sizes, the tuner picks the fastest wake-up
+//! period whose daily and overnight energy balances both close, then
+//! checks whether that satisfies each service's freshness requirement.
+//!
+//! Run with: `cargo run --example frequency_tuning`
+
+use precision_beekeeping::beehive::hive::SmartBeehive;
+use precision_beekeeping::beehive::tuner::{FrequencyTuner, ServiceRequirement};
+use precision_beekeeping::energy::battery::Battery;
+use precision_beekeeping::energy::harvest::PowerSystemConfig;
+use precision_beekeeping::units::{Seconds, WattHours};
+
+fn main() {
+    let tuner = FrequencyTuner::default();
+
+    println!("battery_Wh  fastest_period  daily_demand_Wh  daily_budget_Wh  night_need_Wh  queen_detection  temp_tracking");
+    for wh in [3.0, 8.0, 15.0, 30.0, 100.0] {
+        let hive = SmartBeehive::deployed("tuned", Seconds::from_minutes(10.0)).with_power_system(
+            PowerSystemConfig {
+                battery: Battery::new(WattHours(wh), 1.0),
+                ..PowerSystemConfig::default()
+            },
+        );
+        match tuner.fastest_sustainable(&hive) {
+            Some(a) => {
+                let queen =
+                    tuner.recommend(&hive, ServiceRequirement::queen_detection()).is_some();
+                let temp =
+                    tuner.recommend(&hive, ServiceRequirement::temperature_tracking()).is_some();
+                println!(
+                    "{wh:>10.0}  {:>11.0} min  {:>15.1}  {:>15.1}  {:>13.1}  {:>15}  {:>13}",
+                    a.period.as_minutes(),
+                    a.daily_demand.to_watt_hours().value(),
+                    a.daily_budget.to_watt_hours().value(),
+                    a.night_demand.to_watt_hours().value(),
+                    if queen { "yes" } else { "no" },
+                    if temp { "yes" } else { "no" },
+                );
+            }
+            None => println!("{wh:>10.0}  unsustainable at every candidate period"),
+        }
+    }
+
+    println!("\nSmall batteries cannot bridge the ~9 h night even at the 2-hour");
+    println!("frequency; the deployed 100 Wh power bank sustains 5-minute cycles,");
+    println!("which is why the paper could run its queen-detection campaign at all.");
+}

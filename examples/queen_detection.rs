@@ -1,0 +1,51 @@
+//! Queen detection end to end: synthesize hive audio, extract mel
+//! features, train both the SVM and the CNN, and price their inference on
+//! the Raspberry Pi and the cloud server.
+//!
+//! Run with: `cargo run --release --example queen_detection`
+
+use precision_beekeeping::beehive::service::{PipelineConfig, QueenDetectionPipeline};
+use precision_beekeeping::device::compute::ComputeModel;
+use precision_beekeeping::ml::nn::resnet::{ResNetConfig, ResNetLite};
+
+fn main() {
+    // 160 clips of 2 s keep this example under a minute; scale up toward
+    // the paper's 1647 × 10 s with `PipelineConfig::default()`.
+    let pipeline = QueenDetectionPipeline::new(PipelineConfig::small(160, 2.0, 7));
+    println!(
+        "corpus: {} clips ({} queenright)",
+        pipeline.corpus().len(),
+        pipeline.corpus().n_positive()
+    );
+
+    let (svm, svm_acc) = pipeline.train_svm();
+    println!(
+        "SVM  (C=20, gamma=1e-5): held-out accuracy {:.1}% with {} support vectors",
+        svm_acc * 100.0,
+        svm.n_support_vectors()
+    );
+
+    let side = 32;
+    let (cnn, cnn_acc) = pipeline.train_cnn(side);
+    println!(
+        "CNN  ({side}x{side} input, {} parameters): held-out accuracy {:.1}%",
+        cnn.n_parameters(),
+        cnn_acc * 100.0
+    );
+
+    // Price the CNN inference on both substrates, anchored to the paper's
+    // measurements (94.8 J / 37.6 s on the Pi, 108 J / 1.0 s on the server
+    // for the 100x100 input).
+    let anchor = ResNetLite::new(ResNetConfig::default()).forward_macs(100, 100);
+    let pi = ComputeModel::pi3b_cnn(anchor);
+    let server = ComputeModel::cloud_cnn(anchor);
+    println!("\ninference cost of the trained CNN ({} MACs):", cnn.forward_macs(side, side));
+    let macs = cnn.forward_macs(side, side);
+    let on_pi = pi.execute(macs);
+    let on_server = server.execute(macs);
+    println!("  Raspberry Pi 3b+ : {:.1} over {:.1}", on_pi.energy, on_pi.duration);
+    println!("  i7 + RTX2070     : {:.1} over {:.2}", on_server.energy, on_server.duration);
+    println!("\nThe Pi is slower but sips power; the server gulps power but finishes fast —");
+    println!("which placement wins depends on how many hives share the server (see");
+    println!("`cargo run --example apiary_scaling`).");
+}

@@ -1,0 +1,54 @@
+//! Quickstart: where should a smart-beehive service run?
+//!
+//! Simulates one 5-minute cycle of the paper's two placements for a
+//! 200-hive apiary and prints the per-task energy tables.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use precision_beekeeping::device::constants::CYCLE_PERIOD;
+use precision_beekeeping::device::routine::RoutineBuilder;
+use precision_beekeeping::orchestra::loss::LossModel;
+use precision_beekeeping::orchestra::prelude::*;
+
+fn main() {
+    let n_hives = 200;
+    let service = ServiceKind::Cnn;
+
+    println!("== Per-cycle task breakdown (Table I / Table II) ==\n");
+    let builder = RoutineBuilder::deployed();
+    println!("Edge scenario ({}):", service.name());
+    println!("{}\n", builder.edge_cycle(service, CYCLE_PERIOD).to_ledger());
+    println!("Edge+cloud scenario, edge side:");
+    println!("{}\n", builder.edge_cloud_cycle(CYCLE_PERIOD).to_ledger());
+
+    println!("== Placement comparison for {n_hives} hives ==\n");
+    let edge = simulate_edge(
+        n_hives,
+        &presets::edge_client(service),
+        &LossModel::NONE,
+        &mut seeded_rng(42),
+    );
+    let cloud = simulate_edge_cloud(
+        n_hives,
+        &presets::edge_cloud_client(),
+        &presets::cloud_server(service, 10),
+        &LossModel::NONE,
+        FillPolicy::PackSlots,
+        &mut seeded_rng(42),
+    );
+
+    println!("edge       : {:>8.1} J/hive/cycle (no servers)", edge.total_per_client.value());
+    println!(
+        "edge+cloud : {:>8.1} J/hive/cycle ({} server(s): {:.1} J edge + {:.1} J server share)",
+        cloud.total_per_client.value(),
+        cloud.n_servers,
+        cloud.edge_energy_per_client.value(),
+        cloud.server_energy_per_client.value(),
+    );
+    let winner = if cloud.total_per_client < edge.total_per_client { "edge+cloud" } else { "edge" };
+    println!("\nWinner at {n_hives} hives: {winner}");
+    println!(
+        "(but the edge device itself saves {:.1}% by offloading — the paper's Section V trade-off)",
+        (1.0 - cloud.edge_energy_per_client / edge.total_per_client) * 100.0
+    );
+}

@@ -1,0 +1,60 @@
+//! A simulated week of one solar-powered smart beehive — the Figure 2
+//! dynamics: daytime charging, night discharge, brown-outs, and the
+//! wake-up routine spikes, next to the hive climate.
+//!
+//! Run with: `cargo run --release --example solar_deployment`
+
+use precision_beekeeping::beehive::deployment::{simulate, DeploymentConfig};
+use precision_beekeeping::beehive::hive::SmartBeehive;
+use precision_beekeeping::energy::battery::Battery;
+use precision_beekeeping::energy::harvest::PowerSystemConfig;
+use precision_beekeeping::units::{Seconds, WattHours};
+
+fn main() {
+    // The deployed hive, but with a battery small enough to die overnight
+    // (the regime Figure 2a records).
+    let hive = SmartBeehive::deployed("demo", Seconds::from_minutes(10.0)).with_power_system(
+        PowerSystemConfig {
+            battery: Battery::new(WattHours(10.0), 0.6),
+            ..PowerSystemConfig::default()
+        },
+    );
+
+    let config = DeploymentConfig::default(); // one week at 1-minute steps
+    let (records, summary) = simulate(&hive, &config);
+
+    println!("== One simulated week of hive '{}' ==\n", hive.id);
+    println!("harvested        : {:.1} Wh", summary.harvested.to_watt_hours().value());
+    println!("delivered        : {:.1} Wh", summary.delivered.to_watt_hours().value());
+    println!("brown-out time   : {:.1} h", summary.brown_out_time.as_hours());
+    println!("routines ok      : {}", summary.routines_completed);
+    println!("routines missed  : {}", summary.routines_missed);
+
+    // A Figure 2-style daily digest.
+    println!("\nday  outage_h  min_soc  max_load_W  hive_T_range      ambient_T_range");
+    for day in 0..7 {
+        let day_records: Vec<_> = records
+            .iter()
+            .filter(|r| (r.at.as_days() as usize) == day)
+            .collect();
+        let outage_minutes = day_records.iter().filter(|r| r.brown_out).count();
+        let min_soc = day_records.iter().map(|r| r.soc).fold(1.0, f64::min);
+        let max_load = day_records.iter().map(|r| r.load.value()).fold(0.0, f64::max);
+        let (tmin, tmax) = day_records.iter().fold((f64::MAX, f64::MIN), |(lo, hi), r| {
+            (lo.min(r.hive_temp.value()), hi.max(r.hive_temp.value()))
+        });
+        let (amin, amax) = day_records.iter().fold((f64::MAX, f64::MIN), |(lo, hi), r| {
+            (lo.min(r.ambient_temp.value()), hi.max(r.ambient_temp.value()))
+        });
+        println!(
+            "{day:>3}  {:>8.1}  {:>7.2}  {:>10.2}  {tmin:>5.1}..{tmax:>5.1} degC  {amin:>5.1}..{amax:>5.1} degC",
+            outage_minutes as f64 / 60.0,
+            min_soc,
+            max_load,
+        );
+    }
+
+    println!("\nThe colony holds the brood nest near 35 degC while ambient swings —");
+    println!("and the node goes dark after the battery empties each night, exactly");
+    println!("the gaps visible in the paper's Figure 2a.");
+}

@@ -1,0 +1,190 @@
+//! `pb` — the precision-beekeeping command-line tool.
+//!
+//! A thin operational front-end over the library for beekeepers and
+//! researchers:
+//!
+//! ```console
+//! $ pb tables                      # the paper's Table I / Table II
+//! $ pb recommend --hives 630 --cap 35 [--losses] [--service svm]
+//! $ pb tune --battery-wh 15       # fastest sustainable wake-up period
+//! $ pb alert --accuracy 0.99 --k 3 # alerting trade-off at a given k
+//! ```
+
+use precision_beekeeping::beehive::apiary::Apiary;
+use precision_beekeeping::beehive::alert::AlertPolicy;
+use precision_beekeeping::beehive::hive::SmartBeehive;
+use precision_beekeeping::beehive::tuner::{FrequencyTuner, ServiceRequirement};
+use precision_beekeeping::device::constants::CYCLE_PERIOD;
+use precision_beekeeping::device::routine::{RoutineBuilder, ServiceKind};
+use precision_beekeeping::energy::battery::Battery;
+use precision_beekeeping::energy::harvest::PowerSystemConfig;
+use precision_beekeeping::orchestra::loss::LossModel;
+use precision_beekeeping::units::{Seconds, WattHours};
+use std::collections::HashMap;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        usage();
+        return;
+    };
+    let flags = parse_flags(args);
+    match command.as_str() {
+        "tables" => tables(),
+        "recommend" => recommend(&flags),
+        "tune" => tune(&flags),
+        "alert" => alert(&flags),
+        "help" | "--help" | "-h" => usage(),
+        other => {
+            eprintln!("unknown command: {other}\n");
+            usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage() {
+    println!("pb — energy-aware precision beekeeping toolkit\n");
+    println!("commands:");
+    println!("  tables                          print the per-cycle energy tables");
+    println!("  recommend --hives N [--cap N] [--service svm|cnn] [--losses]");
+    println!("                                  edge vs edge+cloud for an apiary");
+    println!("  tune [--battery-wh W]           fastest sustainable wake-up period");
+    println!("  alert [--accuracy A] [--k K]    queen-loss alerting trade-off");
+}
+
+fn parse_flags(args: impl Iterator<Item = String>) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        if let Some(key) = arg.strip_prefix("--") {
+            let value = if args.peek().is_some_and(|v| !v.starts_with("--")) {
+                args.next().unwrap()
+            } else {
+                "true".to_string()
+            };
+            flags.insert(key.to_string(), value);
+        } else {
+            eprintln!("ignoring stray argument: {arg}");
+        }
+    }
+    flags
+}
+
+/// Typed flag lookup: absent → default, present-but-unparsable → clean
+/// error (a silent fallback would hand the user the wrong analysis).
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    match flags.get(key) {
+        None => default,
+        Some(raw) => raw.parse().unwrap_or_else(|_| fail(&format!("--{key}: cannot parse '{raw}'"))),
+    }
+}
+
+/// Prints an error and exits with status 2.
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}
+
+fn service_of(flags: &HashMap<String, String>) -> ServiceKind {
+    match flags.get("service").map(String::as_str) {
+        Some("svm") => ServiceKind::Svm,
+        _ => ServiceKind::Cnn,
+    }
+}
+
+fn tables() {
+    let b = RoutineBuilder::deployed();
+    for service in [ServiceKind::Svm, ServiceKind::Cnn] {
+        println!("Scenario: Edge ({})", service.name());
+        println!("{}\n", b.edge_cycle(service, CYCLE_PERIOD).to_ledger());
+    }
+    println!("Scenario: Edge+Cloud (edge side)");
+    println!("{}", b.edge_cloud_cycle(CYCLE_PERIOD).to_ledger());
+}
+
+fn recommend(flags: &HashMap<String, String>) {
+    let hives = get(flags, "hives", 5usize);
+    let cap = get(flags, "cap", 10usize);
+    if cap == 0 {
+        fail("--cap must be at least 1 client per slot");
+    }
+    if hives == 0 {
+        fail("--hives must be at least 1");
+    }
+    let service = service_of(flags);
+    let losses = flags.contains_key("losses");
+    let loss = if losses { LossModel::all() } else { LossModel::NONE };
+    let rec = Apiary::new("cli", hives).recommend(service, cap, loss);
+    println!(
+        "{} hives, {} service, {} clients/slot{}:",
+        hives,
+        service.name(),
+        cap,
+        if losses { ", with losses" } else { "" }
+    );
+    println!("  edge       : {:.1} J per hive per cycle", rec.edge_per_hive.value());
+    println!(
+        "  edge+cloud : {:.1} J per hive per cycle ({} server(s))",
+        rec.cloud_per_hive.value(),
+        rec.servers_needed
+    );
+    println!("  recommend  : {}", rec.scenario.name());
+}
+
+fn tune(flags: &HashMap<String, String>) {
+    let wh = get(flags, "battery-wh", 100.0f64);
+    if wh <= 0.0 || !wh.is_finite() {
+        fail("--battery-wh must be a positive number of watt-hours");
+    }
+    let hive = SmartBeehive::deployed("cli", Seconds::from_minutes(10.0)).with_power_system(
+        PowerSystemConfig {
+            battery: Battery::new(WattHours(wh), 1.0),
+            ..PowerSystemConfig::default()
+        },
+    );
+    let tuner = FrequencyTuner::default();
+    match tuner.fastest_sustainable(&hive) {
+        Some(a) => {
+            println!("battery {wh} Wh → fastest sustainable period: {:.0} min", a.period.as_minutes());
+            println!(
+                "  daily: {:.1} Wh demand vs {:.1} Wh budget; night: {:.1} Wh vs {:.1} Wh deliverable",
+                a.daily_demand.to_watt_hours().value(),
+                a.daily_budget.to_watt_hours().value(),
+                a.night_demand.to_watt_hours().value(),
+                a.night_budget.to_watt_hours().value(),
+            );
+            let queen = tuner.recommend(&hive, ServiceRequirement::queen_detection()).is_some();
+            println!("  queen detection (needs ≤ 5 min): {}", if queen { "supported" } else { "NOT supported" });
+        }
+        None => println!("battery {wh} Wh cannot sustain any candidate period — enlarge the panel or battery"),
+    }
+}
+
+fn alert(flags: &HashMap<String, String>) {
+    let accuracy = get(flags, "accuracy", 0.99f64);
+    if !(accuracy > 0.0 && accuracy <= 1.0) {
+        fail("--accuracy must be in (0, 1]");
+    }
+    let k = get(flags, "k", 3usize);
+    if k == 0 {
+        fail("--k must be at least 1");
+    }
+    let policy = AlertPolicy::new(k);
+    let p_false = 1.0 - accuracy;
+    let day = 288; // 5-minute cycles per day
+    println!("classifier accuracy {accuracy}, alarm after {k} consecutive queenless readings:");
+    println!(
+        "  false alarm within a day : {:.4}%",
+        policy.false_alarm_probability(p_false, day) * 100.0
+    );
+    println!(
+        "  false alarm within a year: {:.2}%",
+        policy.false_alarm_probability(p_false, day * 365) * 100.0
+    );
+    println!(
+        "  expected detection delay : {:.1} cycles ({:.0} minutes at 5-minute cycles)",
+        policy.expected_detection_delay(accuracy),
+        policy.expected_detection_latency(accuracy, Seconds::from_minutes(5.0)).as_minutes(),
+    );
+}

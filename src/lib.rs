@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! Energy-aware precision beekeeping: edge/cloud service orchestration.
+//!
+//! A full reproduction of *"Services Orchestration at the Edge and in the
+//! Cloud on Energy-Aware Precision Beekeeping Systems"* (Hadjur, Lefèvre,
+//! Ammar — PAISE @ IPDPS 2023), built from scratch in Rust. This crate
+//! re-exports the workspace's public API:
+//!
+//! * [`units`] — typed physical quantities,
+//! * [`energy`] — metering, traces, battery and solar-harvest models,
+//! * [`signal`] — FFT/STFT/mel DSP and the synthetic bee-audio corpus,
+//! * [`ml`] — RBF-SVM (SMO) and a residual CNN with backprop,
+//! * [`device`] — Raspberry Pi / cloud-server power profiles calibrated to
+//!   the paper's Tables I and II,
+//! * [`orchestra`] — the client/server/allocator placement simulator (the
+//!   paper's contribution),
+//! * [`beehive`] — smart beehives, apiaries and the queen-detection
+//!   pipeline.
+//!
+//! # Quick start
+//!
+//! ```
+//! use precision_beekeeping::orchestra::prelude::*;
+//!
+//! // Should 200 smart beehives run queen detection on-device or in the
+//! // cloud? Simulate one 5-minute cycle of each placement.
+//! let edge = simulate_edge(200, &presets::edge_client(ServiceKind::Cnn),
+//!                          &LossModel::NONE, &mut seeded_rng(1));
+//! let cloud = simulate_edge_cloud(200, &presets::edge_cloud_client(),
+//!                                 &presets::cloud_server(ServiceKind::Cnn, 10),
+//!                                 &LossModel::NONE, FillPolicy::PackSlots,
+//!                                 &mut seeded_rng(1));
+//! // At this scale the edge placement wins (the paper's Figure 7a).
+//! assert!(edge.total_per_client < cloud.total_per_client);
+//! ```
+
+pub use pb_beehive as beehive;
+pub use pb_device as device;
+pub use pb_energy as energy;
+pub use pb_ml as ml;
+pub use pb_orchestra as orchestra;
+pub use pb_signal as signal;
+pub use pb_units as units;

@@ -1,0 +1,77 @@
+//! End-to-end integration: audio synthesis → features → models → energy →
+//! placement decision, spanning every crate in the workspace.
+
+use precision_beekeeping::beehive::apiary::Apiary;
+use precision_beekeeping::beehive::deployment::{simulate, DeploymentConfig};
+use precision_beekeeping::beehive::hive::SmartBeehive;
+use precision_beekeeping::beehive::service::{PipelineConfig, QueenDetectionPipeline};
+use precision_beekeeping::device::compute::ComputeModel;
+use precision_beekeeping::ml::nn::resnet::{ResNetConfig, ResNetLite};
+use precision_beekeeping::orchestra::loss::LossModel;
+use precision_beekeeping::orchestra::Scenario;
+use precision_beekeeping::orchestra::ServiceKind;
+use precision_beekeeping::units::{Joules, Seconds};
+
+/// The full queen-detection story: synthesize a corpus, train both models,
+/// check both detect the queen, and check the energy ordering the paper
+/// reports (cloud inference ≫ faster, edge inference ≪ cheaper in power).
+#[test]
+fn full_queen_detection_pipeline() {
+    let pipeline = QueenDetectionPipeline::new(PipelineConfig::small(48, 1.0, 3));
+
+    let (svm, svm_acc) = pipeline.train_svm();
+    assert!(svm_acc >= 0.9, "SVM accuracy {svm_acc}");
+    assert!(svm.n_support_vectors() > 0);
+
+    let (cnn, cnn_acc) = pipeline.train_cnn(32);
+    assert!(cnn_acc >= 0.85, "CNN accuracy {cnn_acc}");
+
+    // Energy accounting for the trained CNN on both substrates.
+    let macs_100 = ResNetLite::new(ResNetConfig::default()).forward_macs(100, 100);
+    let edge = ComputeModel::pi3b_cnn(macs_100);
+    let cloud = ComputeModel::cloud_cnn(macs_100);
+    let macs = cnn.forward_macs(32, 32);
+    let on_pi = edge.execute(macs);
+    let on_server = cloud.execute(macs);
+    assert!(on_server.duration < on_pi.duration, "cloud must be faster");
+    assert!(on_pi.energy < Joules(94.8), "32×32 inference cheaper than the 100×100 anchor");
+}
+
+/// The deployment loop feeds the orchestration decision: simulate a week of
+/// one hive, confirm it survives, then ask the recommender where a
+/// cooperative of that hive design should run its service.
+#[test]
+fn deployment_to_recommendation() {
+    let hive = SmartBeehive::deployed("it-hive", Seconds::from_minutes(10.0));
+    let (records, summary) = simulate(
+        &hive,
+        &DeploymentConfig { duration: Seconds::from_days(2.0), ..DeploymentConfig::default() },
+    );
+    assert_eq!(records.len(), 2 * 24 * 60);
+    assert_eq!(summary.routines_missed, 0, "the full power bank must last two days");
+
+    // Five deployed hives: stay at the edge.
+    let small = Apiary::new("deployed", 5).recommend(ServiceKind::Cnn, 10, LossModel::NONE);
+    assert!(matches!(small.scenario, Scenario::Edge(_)));
+
+    // A 630-hive cooperative with big slots: go to the cloud.
+    let coop = Apiary::new("coop", 630).recommend(ServiceKind::Cnn, 35, LossModel::NONE);
+    assert!(matches!(coop.scenario, Scenario::EdgeCloud(_)));
+
+    // Under real-world losses the same cooperative decision flips back —
+    // the Figure 9 caution.
+    let lossy = Apiary::new("coop", 630).recommend(ServiceKind::Cnn, 35, LossModel::all());
+    assert!(matches!(lossy.scenario, Scenario::Edge(_)));
+}
+
+/// Device energy ledgers render the paper's tables through the public API.
+#[test]
+fn tables_render_from_public_api() {
+    use precision_beekeeping::device::constants::CYCLE_PERIOD;
+    use precision_beekeeping::device::routine::RoutineBuilder;
+    let cycle = RoutineBuilder::deployed().edge_cycle(ServiceKind::Svm, CYCLE_PERIOD);
+    let table = format!("{}", cycle.to_ledger());
+    assert!(table.contains("Queen detection model (SVM)"));
+    assert!(table.contains("366.3"));
+    assert!(table.contains("Total"));
+}

@@ -1,0 +1,126 @@
+//! Cross-crate property tests: invariants that must hold for any input,
+//! spanning module boundaries.
+
+use precision_beekeeping::orchestra::loss::LossModel;
+use precision_beekeeping::orchestra::prelude::*;
+use precision_beekeeping::orchestra::sweep::SweepConfig;
+use precision_beekeeping::signal::fft::{fft, ifft};
+use precision_beekeeping::signal::mel::{MelFilterbank, MelSpectrogram};
+use precision_beekeeping::signal::stft::{SpectrogramParams, Stft};
+use precision_beekeeping::signal::wav::WavFile;
+use precision_beekeeping::signal::Complex;
+use precision_beekeeping::units::Joules;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(proptest::test_runner::Config::with_cases(24))]
+
+    /// Audio → WAV → audio → mel features: the full storage round trip
+    /// changes mel dB features by less than the 16-bit quantization floor.
+    #[test]
+    fn wav_round_trip_bounds_feature_drift(
+        freq in 100.0f64..2000.0,
+        amp in 0.1f64..0.9,
+    ) {
+        let sr = 22_050.0;
+        let clip: Vec<f64> = (0..8192)
+            .map(|i| amp * (std::f64::consts::TAU * freq * i as f64 / sr).sin())
+            .collect();
+        let restored =
+            WavFile::from_bytes(&WavFile::mono(22_050, clip.clone()).to_bytes()).unwrap().samples;
+        let stft = Stft::new(SpectrogramParams { n_fft: 1024, hop: 512, ..Default::default() });
+        let bank = MelFilterbank::new(32, 1024, sr, 0.0, sr / 2.0);
+        let a = MelSpectrogram::compute(&clip, &stft, &bank).band_means();
+        let b = MelSpectrogram::compute(&restored, &stft, &bank).band_means();
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1.0, "band drift {x} vs {y}");
+        }
+    }
+
+    /// FFT round trip is the identity for arbitrary real signals.
+    #[test]
+    fn fft_round_trip(values in proptest::collection::vec(-2.0f64..2.0, 128)) {
+        let mut buf: Vec<Complex> = values.iter().map(|&x| Complex::from_real(x)).collect();
+        fft(&mut buf);
+        ifft(&mut buf);
+        for (z, &x) in buf.iter().zip(&values) {
+            prop_assert!((z.re - x).abs() < 1e-9 && z.im.abs() < 1e-9);
+        }
+    }
+
+    /// For any population and capacity, the edge+cloud scenario's edge
+    /// side never exceeds the edge scenario's per-client cost (offloading
+    /// always relieves the hive), while the grand total can go either way.
+    #[test]
+    fn offloading_always_relieves_the_hive(
+        n in 1usize..1500,
+        cap in 1usize..50,
+    ) {
+        let sweep = SweepConfig {
+            edge_client: presets::edge_client(ServiceKind::Cnn),
+            cloud_client: presets::edge_cloud_client(),
+            server: presets::cloud_server(ServiceKind::Cnn, cap),
+            loss: LossModel::NONE,
+            policy: FillPolicy::PackSlots,
+            seed: 0,
+        };
+        let p = sweep.compare_at(n);
+        prop_assert!(p.cloud.edge_energy_per_client < p.edge.total_per_client);
+        // Conservation: totals recombine.
+        prop_assert!(
+            (p.cloud.total_energy - (p.cloud.edge_energy_total + p.cloud.server_energy_total))
+                .abs()
+                < Joules(1e-6)
+        );
+    }
+
+    /// Server count is monotone non-decreasing in the population for any
+    /// capacity and loss-free setting, and per-client server cost is
+    /// minimal exactly at full-capacity multiples.
+    #[test]
+    fn server_count_monotone(cap in 1usize..40) {
+        let sweep = SweepConfig {
+            edge_client: presets::edge_client(ServiceKind::Cnn),
+            cloud_client: presets::edge_cloud_client(),
+            server: presets::cloud_server(ServiceKind::Cnn, cap),
+            loss: LossModel::NONE,
+            policy: FillPolicy::PackSlots,
+            seed: 0,
+        };
+        let capacity = presets::cloud_server(ServiceKind::Cnn, cap).capacity(None);
+        let mut prev = 0usize;
+        for n in (50..1000).step_by(97) {
+            let p = sweep.compare_at(n);
+            prop_assert!(p.cloud.n_servers >= prev);
+            prop_assert_eq!(p.cloud.n_servers, n.div_ceil(capacity));
+            prev = p.cloud.n_servers;
+        }
+    }
+
+    /// The tipping capacity from the closed form agrees with brute-force
+    /// full-server simulation for the service it was derived from.
+    #[test]
+    fn tipping_agrees_with_simulation(cap in 20usize..40) {
+        use precision_beekeeping::orchestra::sweep::tipping_slot_capacity;
+        let tip = tipping_slot_capacity(
+            &presets::edge_client(ServiceKind::Cnn),
+            &presets::edge_cloud_client(),
+            |c| presets::cloud_server(ServiceKind::Cnn, c),
+        )
+        .unwrap();
+        // Simulate a full server at `cap` and check the win/lose side
+        // matches the closed form's verdict.
+        let server = presets::cloud_server(ServiceKind::Cnn, cap);
+        let full = server.capacity(None);
+        let sweep = SweepConfig {
+            edge_client: presets::edge_client(ServiceKind::Cnn),
+            cloud_client: presets::edge_cloud_client(),
+            server,
+            loss: LossModel::NONE,
+            policy: FillPolicy::PackSlots,
+            seed: 0,
+        };
+        let p = sweep.compare_at(full);
+        prop_assert_eq!(cap >= tip, p.cloud_wins(), "cap {} tip {}", cap, tip);
+    }
+}
