@@ -10,9 +10,8 @@
 //! comparison harness quantifies the trade against a fixed schedule.
 
 use crate::hive::SmartBeehive;
+use pb_orchestra::engine::SimContext;
 use pb_units::{Joules, Seconds, TimeOfDay, Watts};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// A state-of-charge-driven wake-period controller.
 #[derive(Clone, Debug)]
@@ -60,8 +59,10 @@ impl AdaptivePolicy {
         low_threshold: f64,
         critical_threshold: f64,
     ) -> Self {
-        assert!(normal_period.value() > 0.0 && low_power_period >= normal_period,
-            "low-power period must not be shorter than the normal one");
+        assert!(
+            normal_period.value() > 0.0 && low_power_period >= normal_period,
+            "low-power period must not be shorter than the normal one"
+        );
         assert!((0.0..=1.0).contains(&low_threshold) && (0.0..=1.0).contains(&critical_threshold));
         assert!(critical_threshold <= low_threshold, "critical must be below low threshold");
         AdaptivePolicy { normal_period, low_power_period, low_threshold, critical_threshold }
@@ -126,7 +127,9 @@ pub fn run_adaptive(
 ) -> AdaptiveRunSummary {
     assert!(step.value() > 0.0, "step must be positive");
     let mut hive = hive.clone();
-    let mut rng = StdRng::seed_from_u64(seed);
+    // Point 0 of the context is the master seed itself, so this preserves
+    // the streams of the former direct StdRng::seed_from_u64(seed).
+    let mut rng = SimContext::new(seed).point_rng(0);
     let routine = hive.routine_duration();
     let routine_power = hive.pi3b.base_routine_energy() / routine;
     let base_load = hive.pi_zero.sleep_power;
@@ -239,23 +242,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "must not be shorter")]
     fn inverted_periods_panic() {
-        let _ = AdaptivePolicy::new(
-            Seconds::from_minutes(60.0),
-            Seconds::from_minutes(10.0),
-            0.4,
-            0.1,
-        );
+        let _ =
+            AdaptivePolicy::new(Seconds::from_minutes(60.0), Seconds::from_minutes(10.0), 0.4, 0.1);
     }
 
     #[test]
     #[should_panic(expected = "critical must be below")]
     fn inverted_thresholds_panic() {
-        let _ = AdaptivePolicy::new(
-            Seconds::from_minutes(10.0),
-            Seconds::from_minutes(60.0),
-            0.2,
-            0.5,
-        );
+        let _ =
+            AdaptivePolicy::new(Seconds::from_minutes(10.0), Seconds::from_minutes(60.0), 0.2, 0.5);
     }
 
     #[test]

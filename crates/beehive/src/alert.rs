@@ -162,9 +162,7 @@ mod tests {
         let n = 288;
         let trials = 20_000;
         let mut rng = StdRng::seed_from_u64(13);
-        let fired = (0..trials)
-            .filter(|_| policy.simulate(p, n, &mut rng).is_some())
-            .count();
+        let fired = (0..trials).filter(|_| policy.simulate(p, n, &mut rng).is_some()).count();
         let simulated = fired as f64 / trials as f64;
         let analytic = policy.false_alarm_probability(p, n);
         assert!(

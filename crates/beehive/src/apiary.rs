@@ -6,10 +6,9 @@
 //! setting and a loss model, it simulates both placements and recommends
 //! the more energy-efficient one.
 
-use pb_orchestra::allocator::FillPolicy;
+use pb_orchestra::engine::{Backend, CycleEngine, ScenarioSpec, SimContext};
 use pb_orchestra::loss::LossModel;
-use pb_orchestra::scenario::{presets, Scenario};
-use pb_orchestra::sweep::SweepConfig;
+use pb_orchestra::scenario::Scenario;
 use pb_orchestra::ServiceKind;
 use pb_units::{Joules, Seconds};
 
@@ -45,27 +44,30 @@ impl Apiary {
 
     /// Recommends the more energy-efficient placement for this apiary,
     /// running `service` with `max_parallel` clients per server slot under
-    /// `loss`.
+    /// `loss`, using the default (closed-form) cycle backend.
     pub fn recommend(
         &self,
         service: ServiceKind,
         max_parallel: usize,
         loss: LossModel,
     ) -> ScenarioRecommendation {
-        let sweep = SweepConfig {
-            edge_client: presets::edge_client(service),
-            cloud_client: presets::edge_cloud_client(),
-            server: presets::cloud_server(service, max_parallel),
-            loss,
-            policy: FillPolicy::PackSlots,
-            seed: 0xAB1A,
-        };
-        let point = sweep.compare_at(self.n_hives);
-        let scenario = if point.cloud_wins() {
-            Scenario::EdgeCloud(service)
-        } else {
-            Scenario::Edge(service)
-        };
+        self.recommend_with(Backend::ClosedForm, service, max_parallel, loss)
+    }
+
+    /// [`Apiary::recommend`] through an explicit cycle backend — e.g.
+    /// [`Backend::Des`] to price the cloud side without the paper's
+    /// synchronized-slot assumption.
+    pub fn recommend_with(
+        &self,
+        backend: Backend,
+        service: ServiceKind,
+        max_parallel: usize,
+        loss: LossModel,
+    ) -> ScenarioRecommendation {
+        let spec = ScenarioSpec::paper(service, max_parallel, loss);
+        let point = backend.compare(&spec, self.n_hives, &SimContext::new(0xAB1A));
+        let scenario =
+            if point.cloud_wins() { Scenario::EdgeCloud(service) } else { Scenario::Edge(service) };
         ScenarioRecommendation {
             scenario,
             edge_per_hive: point.edge.total_per_client,
@@ -103,6 +105,19 @@ mod tests {
         let rec = Apiary::new("x", 100).recommend(ServiceKind::Svm, 10, LossModel::NONE);
         assert!(rec.edge_per_hive > Joules(300.0));
         assert!(rec.cloud_per_hive > Joules(300.0));
+    }
+
+    #[test]
+    fn backends_are_runtime_selectable() {
+        // Five hives never justify a 44.6 W-idle server under any backend
+        // — including the asynchronous ablation, whose per-upload receive
+        // billing makes the server side even pricier.
+        for backend in Backend::ALL {
+            let rec =
+                Apiary::new("b", 5).recommend_with(backend, ServiceKind::Cnn, 10, LossModel::NONE);
+            assert!(matches!(rec.scenario, Scenario::Edge(_)), "{backend:?}");
+            assert!(rec.cloud_per_hive > rec.edge_per_hive, "{backend:?}");
+        }
     }
 
     #[test]

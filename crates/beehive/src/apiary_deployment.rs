@@ -10,9 +10,9 @@
 
 use crate::hive::SmartBeehive;
 use crate::region::RegionalWeather;
+use pb_orchestra::engine::SimContext;
 use pb_units::{Joules, Seconds, TimeOfDay, Watts};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use rayon::prelude::*;
 
 /// Configuration of an apiary-wide run.
@@ -71,11 +71,7 @@ impl ApiaryDeploymentReport {
     /// Standard deviation of simultaneous outages per step.
     pub fn std_outages(&self) -> f64 {
         let mean = self.mean_outages();
-        let var = self
-            .outages_per_step
-            .iter()
-            .map(|&o| (o as f64 - mean).powi(2))
-            .sum::<f64>()
+        let var = self.outages_per_step.iter().map(|&o| (o as f64 - mean).powi(2)).sum::<f64>()
             / self.n_steps.max(1) as f64;
         var.sqrt()
     }
@@ -84,13 +80,21 @@ impl ApiaryDeploymentReport {
 /// Runs `config.n_hives` copies of `hive` under one shared cloudiness
 /// stream. Per-hive load noise and battery trajectories stay independent;
 /// only the sky is common.
-pub fn simulate_apiary(hive: &SmartBeehive, config: &ApiaryDeploymentConfig) -> ApiaryDeploymentReport {
+pub fn simulate_apiary(
+    hive: &SmartBeehive,
+    config: &ApiaryDeploymentConfig,
+) -> ApiaryDeploymentReport {
     assert!(config.n_hives > 0, "apiary needs at least one hive");
     assert!(config.step.value() > 0.0, "step must be positive");
     let n_steps = (config.duration.value() / config.step.value()).round() as usize;
 
+    // Shared master-seed context: point 0 drives the common sky, point
+    // h+1 the per-hive noise — the `seed ^ n·φ` convention from the
+    // orchestration engine, stated once instead of hand-rolled here.
+    let ctx = SimContext::new(config.seed);
+
     // One shared cloudiness sample per step (clearness multiplier).
-    let mut weather_rng = StdRng::seed_from_u64(config.seed);
+    let mut weather_rng = ctx.point_rng(0);
     let cloudiness = config.weather.simulate(n_steps, &mut weather_rng);
 
     // Each hive holds its own power system; harvest = clear-sky output ×
@@ -99,11 +103,13 @@ pub fn simulate_apiary(hive: &SmartBeehive, config: &ApiaryDeploymentConfig) -> 
     let per_hive: Vec<(Vec<bool>, Seconds, Joules)> = (0..config.n_hives)
         .into_par_iter()
         .map(|h| {
-            let mut rng = StdRng::seed_from_u64(
-                config.seed ^ (h as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            );
+            let mut rng = ctx.point_rng(h as u64 + 1);
             let mut hive = hive.clone();
-            let irradiance = pb_energy::solar::Irradiance { cloud_std: 0.0, clearness: 1.0, ..Default::default() };
+            let irradiance = pb_energy::solar::Irradiance {
+                cloud_std: 0.0,
+                clearness: 1.0,
+                ..Default::default()
+            };
             let panel = pb_energy::solar::SolarPanel::mono_30w();
             let converter = pb_energy::solar::DcDcConverter::default();
             let mut outages = Vec::with_capacity(n_steps);
@@ -113,7 +119,8 @@ pub fn simulate_apiary(hive: &SmartBeehive, config: &ApiaryDeploymentConfig) -> 
                 let at = config.step * i as f64;
                 let t = TimeOfDay::at(at);
                 let clearness = (1.0 - cloud).clamp(0.0, 1.0);
-                let harvested = converter.convert(panel.output(irradiance.clear_sky(t) * clearness));
+                let harvested =
+                    converter.convert(panel.output(irradiance.clear_sky(t) * clearness));
                 // Small per-hive load jitter (sensor duty variation).
                 let load = hive.load_at(at) * (1.0 + 0.02 * (rng.gen::<f64>() - 0.5));
                 let requested = load * config.step;
@@ -135,9 +142,8 @@ pub fn simulate_apiary(hive: &SmartBeehive, config: &ApiaryDeploymentConfig) -> 
         })
         .collect();
 
-    let outages_per_step: Vec<usize> = (0..n_steps)
-        .map(|i| per_hive.iter().filter(|(o, _, _)| o[i]).count())
-        .collect();
+    let outages_per_step: Vec<usize> =
+        (0..n_steps).map(|i| per_hive.iter().filter(|(o, _, _)| o[i]).count()).collect();
     ApiaryDeploymentReport {
         n_steps,
         outages_per_step,

@@ -9,14 +9,19 @@
 //! joule budget.
 
 use pb_signal::audio::ColonyState;
-use pb_signal::goertzel::{band_power, goertzel_macs};
+use pb_signal::goertzel::{band_power_framed, goertzel_macs};
 
 /// The queen-piping band probed by the detector (Hz).
 pub const PIPING_BAND: (f64, f64) = (380.0, 420.0);
 /// The colony-hum reference band (Hz).
 pub const HUM_BAND: (f64, f64) = (200.0, 320.0);
 /// Goertzel probes per band.
-pub const PROBES_PER_BAND: usize = 5;
+pub const PROBES_PER_BAND: usize = 6;
+/// Goertzel frame length: frames of this size give each probe an
+/// effective bandwidth of ≈ 21 Hz at 22 050 Hz, wide enough that the
+/// probe grid covers both bands without gaps (a whole-clip pass has
+/// sub-hertz bandwidth and misses drifting tones between probes).
+pub const GOERTZEL_FRAME: usize = 1024;
 
 /// A trained threshold detector on the piping/hum band-power ratio.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -31,9 +36,22 @@ impl PipingDetector {
     /// The detector's scalar feature: log ratio of piping-band power to
     /// hum-band power.
     pub fn feature(samples: &[f64], sample_rate: f64) -> f64 {
-        let piping =
-            band_power(samples, PIPING_BAND.0, PIPING_BAND.1, PROBES_PER_BAND, sample_rate);
-        let hum = band_power(samples, HUM_BAND.0, HUM_BAND.1, PROBES_PER_BAND, sample_rate);
+        let piping = band_power_framed(
+            samples,
+            PIPING_BAND.0,
+            PIPING_BAND.1,
+            PROBES_PER_BAND,
+            GOERTZEL_FRAME,
+            sample_rate,
+        );
+        let hum = band_power_framed(
+            samples,
+            HUM_BAND.0,
+            HUM_BAND.1,
+            PROBES_PER_BAND,
+            GOERTZEL_FRAME,
+            sample_rate,
+        );
         ((piping + 1e-30) / (hum + 1e-30)).ln()
     }
 

@@ -82,10 +82,8 @@ impl CascadePlacement {
     pub fn server_energy_per_client(&self, n: usize, cap: usize) -> Joules {
         assert!(n > 0, "need at least one client");
         let uploads = ((n as f64 * self.upload_fraction).ceil()) as usize;
-        let server = pb_orchestra::scenario::presets::cloud_server(
-            pb_orchestra::ServiceKind::Cnn,
-            cap,
-        );
+        let server =
+            pb_orchestra::scenario::presets::cloud_server(pb_orchestra::ServiceKind::Cnn, cap);
         let allocation = pb_orchestra::allocator::allocate(
             uploads,
             &server,

@@ -53,7 +53,8 @@ impl AmbientWeather {
     pub fn humidity<R: Rng + ?Sized>(&self, t: TimeOfDay, rng: &mut R) -> Percent {
         let phase = (t.hours() - 5.0) / 24.0 * std::f64::consts::TAU;
         Percent(
-            (self.mean_humidity.value() + self.humidity_amplitude.value() * phase.cos()
+            (self.mean_humidity.value()
+                + self.humidity_amplitude.value() * phase.cos()
                 + 2.0 * self.noise * gaussian(rng))
             .clamp(0.0, 100.0),
         )
@@ -88,8 +89,7 @@ impl HiveClimate {
     pub fn temperature(&self, ambient: Celsius) -> Celsius {
         if self.colonized {
             Celsius(
-                ambient.value()
-                    + self.regulation * (self.brood_setpoint.value() - ambient.value()),
+                ambient.value() + self.regulation * (self.brood_setpoint.value() - ambient.value()),
             )
         } else {
             // Empty hive: mild thermal inertia only.

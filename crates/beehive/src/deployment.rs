@@ -78,7 +78,10 @@ pub struct DeploymentSummary {
 }
 
 /// Runs the deployment simulation.
-pub fn simulate(hive: &SmartBeehive, config: &DeploymentConfig) -> (Vec<DeploymentRecord>, DeploymentSummary) {
+pub fn simulate(
+    hive: &SmartBeehive,
+    config: &DeploymentConfig,
+) -> (Vec<DeploymentRecord>, DeploymentSummary) {
     assert!(config.step.value() > 0.0, "step must be positive");
     let mut hive = hive.clone();
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -233,8 +236,11 @@ mod tests {
         assert_eq!(summary.routines_missed, 0);
         assert_eq!(summary.brown_out_time, Seconds::ZERO);
         // ~1008 ten-minute wake-ups in a week.
-        assert!((990..=1010).contains(&summary.routines_completed),
-            "completed {}", summary.routines_completed);
+        assert!(
+            (990..=1010).contains(&summary.routines_completed),
+            "completed {}",
+            summary.routines_completed
+        );
     }
 
     #[test]

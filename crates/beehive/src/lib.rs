@@ -22,10 +22,10 @@
 
 pub mod adaptive;
 pub mod alert;
-pub mod baseline;
-pub mod cascade;
 pub mod apiary;
 pub mod apiary_deployment;
+pub mod baseline;
+pub mod cascade;
 pub mod climate;
 pub mod deployment;
 pub mod hive;
@@ -35,10 +35,10 @@ pub mod tuner;
 
 pub use adaptive::{run_adaptive, AdaptivePolicy, AdaptiveRunSummary, Decision};
 pub use alert::AlertPolicy;
-pub use baseline::PipingDetector;
-pub use cascade::CascadePlacement;
 pub use apiary::{Apiary, ScenarioRecommendation};
 pub use apiary_deployment::{simulate_apiary, ApiaryDeploymentConfig, ApiaryDeploymentReport};
+pub use baseline::PipingDetector;
+pub use cascade::CascadePlacement;
 pub use climate::{AmbientWeather, HiveClimate};
 pub use deployment::{DeploymentConfig, DeploymentRecord, DeploymentSummary};
 pub use hive::SmartBeehive;

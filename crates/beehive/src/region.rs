@@ -141,8 +141,8 @@ mod tests {
         let s = w.simulate(20_000, &mut rng);
         let mean = s.iter().sum::<f64>() / s.len() as f64;
         let var = s.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / s.len() as f64;
-        let cov = s.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum::<f64>()
-            / (s.len() - 1) as f64;
+        let cov =
+            s.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum::<f64>() / (s.len() - 1) as f64;
         let rho = cov / var;
         assert!(rho > 0.85, "autocorrelation {rho}");
     }

@@ -111,10 +111,8 @@ impl QueenDetectionPipeline {
     /// the synthesizer.
     pub fn svm_dataset(&self) -> Dataset {
         let feats = self.corpus.mel_features(self.config.stft, &self.bank);
-        let (features, labels) = feats
-            .into_iter()
-            .map(|(mel, state)| (mel.band_means(), state.label()))
-            .unzip();
+        let (features, labels) =
+            feats.into_iter().map(|(mel, state)| (mel.band_means(), state.label())).unzip();
         Dataset::from_pairs(features, labels)
     }
 

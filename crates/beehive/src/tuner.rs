@@ -227,9 +227,6 @@ mod tests {
             Seconds::from_minutes(120.0)
         );
         assert_eq!(ServiceRequirement::queen_detection().max_period, Seconds::from_minutes(5.0));
-        assert_eq!(
-            ServiceRequirement::dataset_collection().max_period,
-            Seconds::from_minutes(5.0)
-        );
+        assert_eq!(ServiceRequirement::dataset_collection().max_period, Seconds::from_minutes(5.0));
     }
 }

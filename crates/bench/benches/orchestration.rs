@@ -18,27 +18,47 @@ fn cnn_sweep(cap: usize, loss: LossModel) -> SweepConfig {
 }
 
 fn bench_single_cycle(c: &mut Criterion) {
-    let client = presets::edge_cloud_client();
-    let server = presets::cloud_server(ServiceKind::Cnn, 10);
+    let spec = ScenarioSpec::paper(ServiceKind::Cnn, 10, LossModel::all());
     let mut group = c.benchmark_group("simulate_cycle");
     for n in [100usize, 1000, 10_000] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut rng = seeded_rng(1);
-            b.iter(|| {
-                black_box(
-                    simulate_edge_cloud(
-                        n,
-                        &client,
-                        &server,
-                        &LossModel::all(),
-                        FillPolicy::PackSlots,
-                        &mut rng,
-                    )
-                    .total_energy,
-                )
-            })
+            let ctx = SimContext::new(1);
+            b.iter(|| black_box(Backend::ClosedForm.evaluate(&spec, n, &ctx).total_energy))
         });
     }
+    group.finish();
+}
+
+/// Satellite benchmark for the engine layer: the same Fig. 7-shaped sweep
+/// (100–2000 clients at cap 35) evaluated with a cold allocation cache
+/// (fresh [`SimContext`] every iteration) versus a pre-warmed shared one.
+fn bench_engine_cache(c: &mut Criterion) {
+    let spec = cnn_sweep(35, LossModel::NONE).spec();
+    let ns: Vec<usize> = (100..=2000).collect();
+    let mut group = c.benchmark_group("engine_cache");
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let ctx = SimContext::new(99); // fresh, empty cache
+            black_box(
+                ns.iter()
+                    .map(|&n| Backend::ClosedForm.evaluate(&spec, n, &ctx).total_energy.value())
+                    .sum::<f64>(),
+            )
+        })
+    });
+    group.bench_function("warm", |b| {
+        let ctx = SimContext::new(99);
+        for &n in &ns {
+            Backend::ClosedForm.evaluate(&spec, n, &ctx); // pre-warm every point
+        }
+        b.iter(|| {
+            black_box(
+                ns.iter()
+                    .map(|&n| Backend::ClosedForm.evaluate(&spec, n, &ctx).total_energy.value())
+                    .sum::<f64>(),
+            )
+        })
+    });
     group.finish();
 }
 
@@ -64,10 +84,8 @@ fn bench_fig8_lossy_sweep(c: &mut Criterion) {
 }
 
 fn bench_fig9_sweep(c: &mut Criterion) {
-    let sweep = SweepConfig {
-        policy: FillPolicy::BalanceSlots,
-        ..cnn_sweep(35, LossModel::fig9())
-    };
+    let sweep =
+        SweepConfig { policy: FillPolicy::BalanceSlots, ..cnn_sweep(35, LossModel::fig9()) };
     c.bench_function("fig9_sweep_100_2000", |b| {
         b.iter(|| black_box(sweep.run_range(100, 2000, 10).len()))
     });
@@ -129,6 +147,7 @@ fn bench_fleet(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_single_cycle,
+    bench_engine_cache,
     bench_fig6_sweep,
     bench_fig7_sweep,
     bench_fig8_lossy_sweep,

@@ -85,7 +85,10 @@ fn main() {
             "\nstage-1 detector: validation accuracy {:.0}%, uncertainty band ±{band},",
             detector.accuracy(&validation) * 100.0
         );
-        println!("stage-1 energy {:.1} J per clip (vs 94.8 J for the on-device CNN).", cascade.stage1_energy.value());
+        println!(
+            "stage-1 energy {:.1} J per clip (vs 94.8 J for the on-device CNN).",
+            cascade.stage1_energy.value()
+        );
         println!("The cascade pays the upload only on uncertain clips: once the apiary");
         println!("is large enough to keep a server busy, it undercuts both of the");
         println!("paper's placements (small apiaries still belong at the edge).");

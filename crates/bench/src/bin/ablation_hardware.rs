@@ -40,9 +40,8 @@ fn main() {
 
     if !args.csv {
         println!("\nRanking at the paper's 5-minute cycle:");
-        for (i, (name, energy)) in pb_device::catalog::rank_hardware(Seconds::from_minutes(5.0))
-            .into_iter()
-            .enumerate()
+        for (i, (name, energy)) in
+            pb_device::catalog::rank_hardware(Seconds::from_minutes(5.0)).into_iter().enumerate()
         {
             println!("  {}. {name}: {:.1} J/cycle", i + 1, energy.value());
         }

@@ -41,7 +41,9 @@ fn main() {
         "worst_cycle_lost",
         "mean_server_J_per_cycle",
     ]);
-    for (label, losses) in [("independent (paper)", &independent), ("weather-correlated", &correlated)] {
+    for (label, losses) in
+        [("independent (paper)", &independent), ("weather-correlated", &correlated)]
+    {
         let stats = loss_statistics(losses, n_hives);
         // Server energy per cycle with the actual active population.
         let total: f64 = losses

@@ -69,7 +69,8 @@ fn main() {
         },
     );
     let (records, _) = simulate(&hive, &DeploymentConfig::default());
-    let mut t = TextTable::new(vec!["t_hours", "load_W", "soc", "brown_out", "hive_T_C", "ambient_T_C"]);
+    let mut t =
+        TextTable::new(vec!["t_hours", "load_W", "soc", "brown_out", "hive_T_C", "ambient_T_C"]);
     for r in records.iter().step_by(60) {
         t.row(vec![
             format!("{:.2}", r.at.as_hours()),
@@ -100,15 +101,21 @@ fn main() {
     };
     write(
         "fig6.csv",
-        &comparison_table(&sweep(10, LossModel::NONE, FillPolicy::PackSlots).run_range(10, 400, 10)),
+        &comparison_table(
+            &sweep(10, LossModel::NONE, FillPolicy::PackSlots).run_range(10, 400, 10),
+        ),
     );
     write(
         "fig7a.csv",
-        &comparison_table(&sweep(10, LossModel::NONE, FillPolicy::PackSlots).run_range(100, 2000, 25)),
+        &comparison_table(
+            &sweep(10, LossModel::NONE, FillPolicy::PackSlots).run_range(100, 2000, 25),
+        ),
     );
     write(
         "fig7b.csv",
-        &comparison_table(&sweep(35, LossModel::NONE, FillPolicy::PackSlots).run_range(100, 2000, 25)),
+        &comparison_table(
+            &sweep(35, LossModel::NONE, FillPolicy::PackSlots).run_range(100, 2000, 25),
+        ),
     );
     for (name, loss) in [
         ("fig8a.csv", LossModel::saturation_only()),
@@ -116,11 +123,16 @@ fn main() {
         ("fig8c.csv", LossModel::client_loss_only()),
         ("fig8d.csv", LossModel::all()),
     ] {
-        write(name, &comparison_table(&sweep(10, loss, FillPolicy::PackSlots).run_range(10, 400, 10)));
+        write(
+            name,
+            &comparison_table(&sweep(10, loss, FillPolicy::PackSlots).run_range(10, 400, 10)),
+        );
     }
     write(
         "fig9.csv",
-        &comparison_table(&sweep(35, LossModel::fig9(), FillPolicy::BalanceSlots).run_range(100, 2000, 25)),
+        &comparison_table(
+            &sweep(35, LossModel::fig9(), FillPolicy::BalanceSlots).run_range(100, 2000, 25),
+        ),
     );
 
     println!("\nAll CSVs written to {}/ (fig5 excluded: run `--bin fig5` separately).", out_dir);

@@ -31,7 +31,9 @@ fn main() {
         "at_cap_10",
         "at_cap_35",
     ]);
-    for (label, loss) in [("no loss", LossModel::NONE), ("transfer contention", LossModel::transfer_only())] {
+    for (label, loss) in
+        [("no loss", LossModel::NONE), ("transfer contention", LossModel::transfer_only())]
+    {
         for n in [100usize, 406, 630, 1200, 2000] {
             let plan = plan_slot_capacity(
                 n,

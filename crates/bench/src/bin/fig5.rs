@@ -27,7 +27,10 @@ fn main() {
         .map(|s| s.trim().parse().expect("--sides expects comma-separated integers"))
         .collect();
 
-    eprintln!("synthesizing {clips} clips of {secs} s and training at {} resolutions…", sides.len());
+    eprintln!(
+        "synthesizing {clips} clips of {secs} s and training at {} resolutions…",
+        sides.len()
+    );
     // The paper's feature pipeline (n_fft 2048, hop 512, 128 mels) so the
     // spectrogram has fine structure for the high-resolution inputs to keep.
     let config = PipelineConfig {

@@ -45,7 +45,10 @@ fn main() {
             println!("\nJ/client vs clients — e = edge, c = edge+cloud:\n");
             println!(
                 "{}",
-                pb_orchestra::plot::AsciiChart::new(72, 16).series('e', edge).series('c', cloud).render()
+                pb_orchestra::plot::AsciiChart::new(72, 16)
+                    .series('e', edge)
+                    .series('c', cloud)
+                    .render()
             );
         }
 

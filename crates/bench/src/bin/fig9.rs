@@ -40,7 +40,10 @@ fn main() {
         println!("\nJ/client vs clients — e = edge, c = edge+cloud (all losses):\n");
         println!(
             "{}",
-            pb_orchestra::plot::AsciiChart::new(72, 16).series('e', edge).series('c', cloud).render()
+            pb_orchestra::plot::AsciiChart::new(72, 16)
+                .series('e', edge)
+                .series('c', cloud)
+                .render()
         );
     }
 

@@ -37,9 +37,8 @@ impl Args {
                 "--help" | "-h" => out.help = true,
                 flag if flag.starts_with("--") => {
                     let key = flag.trim_start_matches("--").to_string();
-                    let value = iter.next().unwrap_or_else(|| {
-                        panic!("flag --{key} expects a value")
-                    });
+                    let value =
+                        iter.next().unwrap_or_else(|| panic!("flag --{key} expects a value"));
                     out.values.insert(key, value);
                 }
                 other => panic!("unexpected argument: {other}"),
@@ -75,9 +74,7 @@ mod tests {
 
     #[test]
     fn parses_flags_and_values() {
-        let a = Args::parse_from(
-            ["--clips", "64", "--csv", "--secs", "1.5"].map(String::from),
-        );
+        let a = Args::parse_from(["--clips", "64", "--csv", "--secs", "1.5"].map(String::from));
         assert!(a.csv);
         assert!(!a.help);
         assert_eq!(a.get("clips", 0usize), 64);

@@ -16,7 +16,7 @@ use crate::loss::TransferPenalty;
 use crate::server::ServerModel;
 
 /// How clients are distributed over a server's time slots.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum FillPolicy {
     /// The paper's policy: fill each slot to its maximum before opening
     /// the next.
@@ -107,8 +107,9 @@ pub fn allocate(
                 // Server s's even share of the population…
                 let here = n_clients / n_servers + usize::from(s < n_clients % n_servers);
                 // …spread evenly over its slots.
-                let slots =
-                    (0..n_slots).map(|i| here / n_slots + usize::from(i < here % n_slots)).collect();
+                let slots = (0..n_slots)
+                    .map(|i| here / n_slots + usize::from(i < here % n_slots))
+                    .collect();
                 servers.push(ServerAllocation { slots });
             }
         }
@@ -189,7 +190,8 @@ mod tests {
         let server = paper_server(10);
         let no_loss = allocate(350, &server, FillPolicy::PackSlots, None);
         assert_eq!(no_loss.n_servers(), 2);
-        let p = TransferPenalty { extra_per_client: Seconds(1.5), mode: PenaltyMode::PerExtraClient };
+        let p =
+            TransferPenalty { extra_per_client: Seconds(1.5), mode: PenaltyMode::PerExtraClient };
         let with_loss = allocate(350, &server, FillPolicy::PackSlots, Some(&p));
         assert_eq!(with_loss.n_servers(), 4);
     }

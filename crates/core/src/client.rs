@@ -22,7 +22,10 @@ pub struct Action {
 impl Action {
     /// Builds an action.
     pub fn new(name: impl Into<String>, power: Watts, duration: Seconds) -> Self {
-        assert!(power.value() >= 0.0 && duration.value() >= 0.0, "action values must be non-negative");
+        assert!(
+            power.value() >= 0.0 && duration.value() >= 0.0,
+            "action values must be non-negative"
+        );
         Action { name: name.into(), power, duration }
     }
 
@@ -70,8 +73,7 @@ impl ClientModel {
     pub fn from_cycle(plan: &CyclePlan, transfer_name: Option<&str>) -> Self {
         let actions: Vec<Action> =
             plan.tasks.iter().map(|t| Action::new(t.name.clone(), t.power(), t.duration)).collect();
-        let transfer_action =
-            transfer_name.and_then(|n| actions.iter().position(|a| a.name == n));
+        let transfer_action = transfer_name.and_then(|n| actions.iter().position(|a| a.name == n));
         ClientModel::new(plan.sleep_power, actions, plan.period, transfer_action)
     }
 

@@ -135,9 +135,12 @@ pub fn simulate_async_cycle<R: Rng + ?Sized>(
             Event::TransferDone { client } => {
                 // Hand the uplink to the next waiter (if any).
                 if let Some(next) = uplink_wait.pop_front() {
-                    push(&mut events, &mut payload, now + transfer, Event::TransferDone {
-                        client: next,
-                    });
+                    push(
+                        &mut events,
+                        &mut payload,
+                        now + transfer,
+                        Event::TransferDone { client: next },
+                    );
                 } else {
                     uplink_in_use -= 1;
                     if uplink_in_use == 0 {
@@ -150,9 +153,12 @@ pub fn simulate_async_cycle<R: Rng + ?Sized>(
                     _ => {
                         cpu_busy_until = Some(now + process);
                         process_busy += process;
-                        push(&mut events, &mut payload, now + process, Event::ProcessDone {
-                            client,
-                        });
+                        push(
+                            &mut events,
+                            &mut payload,
+                            now + process,
+                            Event::ProcessDone { client },
+                        );
                     }
                 }
             }
@@ -161,9 +167,12 @@ pub fn simulate_async_cycle<R: Rng + ?Sized>(
                 if let Some(next) = cpu_wait.pop_front() {
                     cpu_busy_until = Some(now + process);
                     process_busy += process;
-                    push(&mut events, &mut payload, now + process, Event::ProcessDone {
-                        client: next,
-                    });
+                    push(
+                        &mut events,
+                        &mut payload,
+                        now + process,
+                        Event::ProcessDone { client: next },
+                    );
                 }
             }
         }
@@ -179,13 +188,9 @@ pub fn simulate_async_cycle<R: Rng + ?Sized>(
         + receive_delta * Seconds(receive_busy)
         + process_delta * Seconds(process_busy);
 
-    let latencies: Vec<f64> =
-        completion.iter().zip(&arrivals).map(|(c, a)| c - a).collect();
-    let mean_latency = if n_clients > 0 {
-        latencies.iter().sum::<f64>() / n_clients as f64
-    } else {
-        0.0
-    };
+    let latencies: Vec<f64> = completion.iter().zip(&arrivals).map(|(c, a)| c - a).collect();
+    let mean_latency =
+        if n_clients > 0 { latencies.iter().sum::<f64>() / n_clients as f64 } else { 0.0 };
     let max_latency = latencies.iter().copied().fold(0.0, f64::max);
 
     AsyncCycleReport {

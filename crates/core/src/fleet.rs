@@ -9,8 +9,9 @@
 //! while energy is averaged over the fleet's hyper-period — so staggering
 //! group phases reduces both, which the fleet simulator quantifies.
 
-use crate::allocator::{allocate, FillPolicy};
+use crate::allocator::FillPolicy;
 use crate::client::ClientModel;
+use crate::engine::SimContext;
 use crate::loss::LossModel;
 use crate::server::ServerModel;
 use crate::simulation::{edge_cycle_energy, servers_cycle_energy};
@@ -89,13 +90,28 @@ pub fn simulate_fleet(
     loss: &LossModel,
     policy: FillPolicy,
 ) -> FleetReport {
+    simulate_fleet_with(groups, server, loss, policy, &SimContext::new(0))
+}
+
+/// [`simulate_fleet`] with an explicit [`SimContext`], so the per-cycle
+/// allocations are memoized in `ctx`'s shared cache. A hyper-period
+/// re-allocates the same group populations every cycle, which makes the
+/// fleet the heaviest allocator customer in the crate — and the best
+/// cache customer. The fleet model draws no randomness, so only the
+/// context's cache matters.
+pub fn simulate_fleet_with(
+    groups: &[FleetGroup],
+    server: &ServerModel,
+    loss: &LossModel,
+    policy: FillPolicy,
+    ctx: &SimContext,
+) -> FleetReport {
     assert!(!groups.is_empty(), "fleet must contain at least one group");
-    assert!(
-        loss.client_loss.is_none(),
-        "random client loss is not supported in fleet mode"
-    );
+    assert!(loss.client_loss.is_none(), "random client loss is not supported in fleet mode");
     let hyper_period = groups.iter().map(|g| g.ratio(server)).fold(1, lcm);
     let n_hives: usize = groups.iter().map(|g| g.count).sum();
+    let penalty = loss.transfer.as_ref();
+    let cache = ctx.cache();
 
     // First pass: per-cycle participation and the provisioning peak.
     let participants_per_cycle: Vec<usize> = (0..hyper_period)
@@ -103,7 +119,7 @@ pub fn simulate_fleet(
         .collect();
     let peak_clients = participants_per_cycle.iter().copied().max().unwrap_or(0);
     let servers_provisioned =
-        allocate(peak_clients, server, policy, loss.transfer.as_ref()).n_servers();
+        cache.get_or_allocate(peak_clients, server, policy, penalty).n_servers();
 
     // Second pass: energy. Provisioned servers are always on (the paper's
     // "a server that must be turned on and available at all times"), so a
@@ -112,14 +128,14 @@ pub fn simulate_fleet(
     let mut server_energy_total = Joules::ZERO;
     let mut edge_energy_upload_cycles = Joules::ZERO;
     for (j, &participants) in participants_per_cycle.iter().enumerate() {
-        let allocation = allocate(participants, server, policy, loss.transfer.as_ref());
+        let allocation = cache.get_or_allocate(participants, server, policy, penalty);
         server_energy_total += servers_cycle_energy(server, &allocation, loss);
         let spare = servers_provisioned - allocation.n_servers();
         server_energy_total += server.idle_cycle_energy() * spare as f64;
         // Each active group pays one upload cycle of its own client model;
         // its transfer penalty is evaluated against its own slot occupancy.
         for g in groups.iter().filter(|g| g.active_in(j, server)) {
-            let own_allocation = allocate(g.count, server, policy, loss.transfer.as_ref());
+            let own_allocation = cache.get_or_allocate(g.count, server, policy, penalty);
             edge_energy_upload_cycles += edge_cycle_energy(&g.client, &own_allocation, loss);
         }
     }
@@ -209,14 +225,9 @@ mod tests {
     fn staggering_cuts_the_peak() {
         // Two slow groups of 180: in phase they need 2 servers at the
         // collision cycle; staggered they fit in 1 server per cycle.
-        let aligned = [
-            group("a", slow_client(2.0), 180, 0),
-            group("b", slow_client(2.0), 180, 0),
-        ];
-        let staggered = [
-            group("a", slow_client(2.0), 180, 0),
-            group("b", slow_client(2.0), 180, 1),
-        ];
+        let aligned = [group("a", slow_client(2.0), 180, 0), group("b", slow_client(2.0), 180, 0)];
+        let staggered =
+            [group("a", slow_client(2.0), 180, 0), group("b", slow_client(2.0), 180, 1)];
         let s = server(10);
         let ra = simulate_fleet(&aligned, &s, &LossModel::NONE, FillPolicy::PackSlots);
         let rs = simulate_fleet(&staggered, &s, &LossModel::NONE, FillPolicy::PackSlots);
@@ -262,6 +273,36 @@ mod tests {
             FillPolicy::PackSlots,
         );
         assert!(lossy.mean_server_energy_per_cycle > none.mean_server_energy_per_cycle);
+    }
+
+    #[test]
+    fn shared_context_memoizes_hyper_period_allocations() {
+        let groups = [
+            group("fast", base_client(), 10, 0),
+            group("slow", slow_client(3.0), 10, 0),
+            group("slower", slow_client(4.0), 10, 0),
+        ];
+        let ctx = SimContext::new(0);
+        let a = simulate_fleet_with(
+            &groups,
+            &server(10),
+            &LossModel::NONE,
+            FillPolicy::PackSlots,
+            &ctx,
+        );
+        // 12 cycles over ≤ 4 distinct participation levels plus 3 group
+        // sizes: almost everything after the first cycle is a cache hit…
+        assert!(
+            ctx.cache().hits() > ctx.cache().misses(),
+            "hits {} misses {}",
+            ctx.cache().hits(),
+            ctx.cache().misses()
+        );
+        // …and memoization must not change the physics.
+        let b = simulate_fleet(&groups, &server(10), &LossModel::NONE, FillPolicy::PackSlots);
+        assert_eq!(a.hyper_period, b.hyper_period);
+        assert_eq!(a.servers_provisioned, b.servers_provisioned);
+        assert!((a.total_per_hive_per_cycle - b.total_per_hive_per_cycle).abs() < Joules(1e-9));
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //!
 //! On top of the model sit the **scenarios** (edge vs. edge+cloud), the
 //! three **loss models** of Section VI-C, and the parameter **sweeps** that
-//! regenerate Figures 6–9.
+//! regenerate Figures 6–9. The [`engine`] layer unifies the three cycle
+//! backends (closed form, event timeline, discrete-event) behind one
+//! [`CycleEngine`] trait with shared seed derivation and allocation
+//! memoization.
 //!
 //! # Example
 //!
@@ -25,10 +28,8 @@
 //! use pb_orchestra::prelude::*;
 //!
 //! // The paper's setting: CNN service, 5-minute cycles, 10 clients/slot.
-//! let client = presets::edge_cloud_client();
-//! let server = presets::cloud_server(ServiceKind::Cnn, 10);
-//! let report = simulate_edge_cloud(200, &client, &server, &LossModel::NONE,
-//!                                  FillPolicy::PackSlots, &mut seeded_rng(1));
+//! let spec = ScenarioSpec::paper(ServiceKind::Cnn, 10, LossModel::NONE);
+//! let report = Backend::ClosedForm.evaluate(&spec, 200, &SimContext::new(1));
 //! assert_eq!(report.n_servers, 2); // 200 clients need two 180-client servers
 //! assert!((report.edge_energy_per_client.value() - 322.0).abs() < 1.0);
 //! ```
@@ -36,6 +37,7 @@
 pub mod allocator;
 pub mod client;
 pub mod des;
+pub mod engine;
 pub mod fleet;
 pub mod loss;
 pub mod montecarlo;
@@ -52,7 +54,8 @@ pub mod timeline;
 pub use allocator::{Allocation, FillPolicy, ServerAllocation};
 pub use client::{Action, ClientModel};
 pub use des::{simulate_async_cycle, AsyncCycleReport};
-pub use fleet::{simulate_fleet, FleetGroup, FleetReport};
+pub use engine::{AllocationCache, Backend, CycleEngine, ScenarioSpec, SimContext};
+pub use fleet::{simulate_fleet, simulate_fleet_with, FleetGroup, FleetReport};
 pub use loss::{ClientLoss, LossModel, PenaltyMode, SaturationPenalty, TransferPenalty};
 pub use montecarlo::{replicate_point, replicate_range, CiPoint};
 pub use planner::{plan_slot_capacity, CapacityPlan, CapacityPoint};
@@ -60,7 +63,9 @@ pub use plot::AsciiChart;
 pub use scenario::{presets, Scenario};
 pub use sensitivity::{sensitivity_sweep, Parameter, ScenarioParameters, SensitivityRow};
 pub use server::ServerModel;
-pub use simulation::{simulate_edge, simulate_edge_cloud, CycleReport};
+pub use simulation::CycleReport;
+#[allow(deprecated)] // re-exported for one transition release
+pub use simulation::{simulate_edge, simulate_edge_cloud};
 pub use sweep::{ComparisonPoint, CrossoverReport, SweepConfig};
 
 // Re-exported so downstream callers name one crate for scenario math.
@@ -70,10 +75,13 @@ pub use pb_device::routine::ServiceKind;
 pub mod prelude {
     pub use crate::allocator::FillPolicy;
     pub use crate::client::{Action, ClientModel};
+    pub use crate::engine::{AllocationCache, Backend, CycleEngine, ScenarioSpec, SimContext};
     pub use crate::loss::LossModel;
     pub use crate::scenario::{presets, Scenario};
     pub use crate::server::ServerModel;
-    pub use crate::simulation::{simulate_edge, simulate_edge_cloud, CycleReport};
+    pub use crate::simulation::CycleReport;
+    #[allow(deprecated)] // re-exported for one transition release
+    pub use crate::simulation::{simulate_edge, simulate_edge_cloud};
     pub use crate::sweep::SweepConfig;
     pub use crate::ServiceKind;
 

@@ -6,6 +6,7 @@
 //! many seeds and reports mean and a normal-approximation confidence
 //! interval, separating the model's signal from the draw's noise.
 
+use crate::engine::{Backend, CycleEngine};
 use crate::sweep::SweepConfig;
 use pb_units::Joules;
 use rayon::prelude::*;
@@ -28,17 +29,16 @@ pub struct CiPoint {
 /// Reruns `sweep` at `n_clients` under `replications` different seeds.
 pub fn replicate_point(sweep: &SweepConfig, n_clients: usize, replications: usize) -> CiPoint {
     assert!(replications >= 2, "need at least two replications");
+    // One spec and one allocation cache for all replicates: only the
+    // per-replicate seed varies, so most draws re-request the same
+    // allocation shapes.
+    let spec = sweep.spec();
+    let ctx = sweep.context();
     let results: Vec<(f64, f64, bool)> = (0..replications as u64)
         .into_par_iter()
         .map(|r| {
-            let mut cfg = sweep.clone();
-            cfg.seed = sweep.seed.wrapping_add(r.wrapping_mul(0x9E37_79B9));
-            let p = cfg.compare_at(n_clients);
-            (
-                p.cloud.total_per_client.value(),
-                p.edge.total_per_client.value(),
-                p.cloud_wins(),
-            )
+            let p = Backend::ClosedForm.compare(&spec, n_clients, &ctx.replicate(r));
+            (p.cloud.total_per_client.value(), p.edge.total_per_client.value(), p.cloud_wins())
         })
         .collect();
     let n = results.len() as f64;
@@ -65,10 +65,7 @@ pub fn replicate_range(
     replications: usize,
 ) -> Vec<CiPoint> {
     assert!(step > 0, "step must be positive");
-    (from..=to)
-        .step_by(step)
-        .map(|n| replicate_point(sweep, n, replications))
-        .collect()
+    (from..=to).step_by(step).map(|n| replicate_point(sweep, n, replications)).collect()
 }
 
 #[cfg(test)]

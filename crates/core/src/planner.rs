@@ -12,12 +12,10 @@
 
 use crate::allocator::FillPolicy;
 use crate::client::ClientModel;
+use crate::engine::{Backend, CycleEngine, ScenarioSpec, SimContext};
 use crate::loss::LossModel;
 use crate::server::ServerModel;
-use crate::simulation::simulate_edge_cloud;
 use pb_units::Joules;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rayon::prelude::*;
 
 /// One evaluated capacity setting.
@@ -46,7 +44,9 @@ pub struct CapacityPlan {
 /// simulating one cycle per setting, and returns the optimum.
 ///
 /// `make_server` builds the server model for a given capacity (use
-/// [`crate::scenario::presets::cloud_server`] partially applied).
+/// [`crate::scenario::presets::cloud_server`] partially applied). The
+/// loss RNG derives from `seed` via [`SimContext::point_rng`] at the
+/// fixed population, so every capacity sees the same draw.
 pub fn plan_slot_capacity(
     n_clients: usize,
     caps: impl IntoIterator<Item = usize>,
@@ -59,27 +59,36 @@ pub fn plan_slot_capacity(
     let caps: Vec<usize> = caps.into_iter().collect();
     assert!(!caps.is_empty(), "capacity sweep must be non-empty");
     assert!(n_clients > 0, "need at least one client");
+    // One context for the whole sweep: the population is fixed, so every
+    // capacity shares the same per-point RNG stream (and the cache).
+    let ctx = SimContext::new(seed);
     let curve: Vec<CapacityPoint> = caps
         .par_iter()
         .map(|&cap| {
             let server = make_server(cap);
-            let mut rng = StdRng::seed_from_u64(seed);
-            let report = simulate_edge_cloud(n_clients, client, &server, loss, policy, &mut rng);
+            let server_capacity = server.capacity(loss.transfer.as_ref());
+            // The planner only prices the edge+cloud side; the edge client
+            // slot of the spec is unused by `evaluate`.
+            let spec = ScenarioSpec {
+                edge_client: client.clone(),
+                cloud_client: client.clone(),
+                server,
+                loss: *loss,
+                policy,
+            };
+            let report = Backend::ClosedForm.evaluate(&spec, n_clients, &ctx);
             CapacityPoint {
                 cap,
                 per_client: report.total_per_client,
                 n_servers: report.n_servers,
-                server_capacity: server.capacity(loss.transfer.as_ref()),
+                server_capacity,
             }
         })
         .collect();
     let best = *curve
         .iter()
         .min_by(|a, b| {
-            a.per_client
-                .value()
-                .total_cmp(&b.per_client.value())
-                .then(a.cap.cmp(&b.cap))
+            a.per_client.value().total_cmp(&b.per_client.value()).then(a.cap.cmp(&b.cap))
         })
         .expect("non-empty sweep");
     let mut curve = curve;
@@ -133,11 +142,7 @@ mod tests {
         // With +1.5 s of receive window per extra client, tiny caps waste
         // windows and huge caps stretch them: the optimum is interior.
         let p = plan(630, LossModel::transfer_only(), FillPolicy::PackSlots);
-        assert!(
-            p.best.cap > 1 && p.best.cap < 60,
-            "expected interior optimum, got {:?}",
-            p.best
-        );
+        assert!(p.best.cap > 1 && p.best.cap < 60, "expected interior optimum, got {:?}", p.best);
         // And it beats both extremes by a real margin.
         let first = p.curve.first().unwrap().per_client;
         let last = p.curve.last().unwrap().per_client;

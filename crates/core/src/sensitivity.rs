@@ -142,8 +142,11 @@ impl ScenarioParameters {
 
     /// Cloud server under these parameters.
     pub fn server(&self, max_parallel: usize) -> ServerModel {
-        let process_power =
-            if self.cloud_cnn.1.value() > 0.0 { self.cloud_cnn.0 / self.cloud_cnn.1 } else { self.cloud_idle };
+        let process_power = if self.cloud_cnn.1.value() > 0.0 {
+            self.cloud_cnn.0 / self.cloud_cnn.1
+        } else {
+            self.cloud_idle
+        };
         ServerModel::new(
             self.cloud_idle,
             self.cloud_receive,

@@ -167,7 +167,8 @@ mod tests {
     #[test]
     fn transfer_penalty_shrinks_slot_count() {
         let s = paper_server(10);
-        let p = TransferPenalty { extra_per_client: Seconds(1.5), mode: PenaltyMode::PerExtraClient };
+        let p =
+            TransferPenalty { extra_per_client: Seconds(1.5), mode: PenaltyMode::PerExtraClient };
         // Full slot: 15 + 1.5·9 = 28.5 s receive + 1 s process = 29.5 s →
         // 10 slots → 100 clients (Figure 8b's ≈halved capacity).
         assert_eq!(s.n_slots(Some(&p)), 10);

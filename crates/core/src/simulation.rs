@@ -35,7 +35,7 @@ pub struct CycleReport {
 }
 
 impl CycleReport {
-    fn from_parts(
+    pub(crate) fn from_parts(
         n_requested: usize,
         n_active: usize,
         n_servers: usize,
@@ -60,6 +60,11 @@ impl CycleReport {
 /// Simulates one cycle of the **edge scenario**: every client runs the
 /// service locally; no servers exist. Loss C (client loss) still applies —
 /// a crashed hive performs nothing that cycle.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the engine layer instead — `engine::Backend::ClosedForm.evaluate_edge(&spec, n, &ctx)` \
+            derives the RNG and shares the allocation cache"
+)]
 pub fn simulate_edge<R: Rng + ?Sized>(
     n_clients: usize,
     client: &ClientModel,
@@ -74,6 +79,11 @@ pub fn simulate_edge<R: Rng + ?Sized>(
 
 /// Simulates one cycle of the **edge+cloud scenario**: clients upload to
 /// slotted servers which run the service. All three losses apply.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the engine layer instead — `engine::Backend::ClosedForm.evaluate(&spec, n, &ctx)` \
+            derives the RNG and shares the allocation cache"
+)]
 pub fn simulate_edge_cloud<R: Rng + ?Sized>(
     n_clients: usize,
     client: &ClientModel,
@@ -91,7 +101,11 @@ pub fn simulate_edge_cloud<R: Rng + ?Sized>(
 }
 
 /// Total server-side energy of one cycle for a given allocation.
-pub fn servers_cycle_energy(server: &ServerModel, allocation: &Allocation, loss: &LossModel) -> Joules {
+pub fn servers_cycle_energy(
+    server: &ServerModel,
+    allocation: &Allocation,
+    loss: &LossModel,
+) -> Joules {
     let penalty = loss.transfer.as_ref();
     let mut total = Joules::ZERO;
     for sa in &allocation.servers {
@@ -119,7 +133,11 @@ pub fn servers_cycle_energy(server: &ServerModel, allocation: &Allocation, loss:
 
 /// Total edge-side energy of one cycle for a given allocation. Under Loss B
 /// each client's transfer stretches with its slot's occupancy.
-pub fn edge_cycle_energy(client: &ClientModel, allocation: &Allocation, loss: &LossModel) -> Joules {
+pub fn edge_cycle_energy(
+    client: &ClientModel,
+    allocation: &Allocation,
+    loss: &LossModel,
+) -> Joules {
     match loss.transfer.as_ref() {
         None => client.cycle_energy() * allocation.n_clients() as f64,
         Some(p) => {
@@ -138,6 +156,7 @@ pub fn edge_cycle_energy(client: &ClientModel, allocation: &Allocation, loss: &L
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the wrappers stay pinned to the paper's numbers
 mod tests {
     use super::*;
     use crate::client::Action;
@@ -206,15 +225,28 @@ mod tests {
         let client = paper_client();
         let server = paper_server(10);
         let mut rng = StdRng::seed_from_u64(2);
-        let r = simulate_edge_cloud(180, &client, &server, &LossModel::NONE, FillPolicy::PackSlots, &mut rng);
+        let r = simulate_edge_cloud(
+            180,
+            &client,
+            &server,
+            &LossModel::NONE,
+            FillPolicy::PackSlots,
+            &mut rng,
+        );
         assert_eq!(r.n_servers, 1);
-        assert!((r.server_energy_per_client - Joules(117.0)).abs() < Joules(0.5),
-            "per-client {}", r.server_energy_per_client);
+        assert!(
+            (r.server_energy_per_client - Joules(117.0)).abs() < Joules(0.5),
+            "per-client {}",
+            r.server_energy_per_client
+        );
         // Edge side stays at 322 J (Figure 6's flat red line).
         assert!((r.edge_energy_per_client - Joules(322.0)).abs() < Joules(0.5));
         // Best total ≈ 438–439 J (the paper's blue asymptote).
-        assert!((r.total_per_client - Joules(439.0)).abs() < Joules(1.5),
-            "total {}", r.total_per_client);
+        assert!(
+            (r.total_per_client - Joules(439.0)).abs() < Joules(1.5),
+            "total {}",
+            r.total_per_client
+        );
     }
 
     #[test]
@@ -222,7 +254,14 @@ mod tests {
         let client = paper_client();
         let server = paper_server(10);
         let mut rng = StdRng::seed_from_u64(3);
-        let r = simulate_edge_cloud(1, &client, &server, &LossModel::NONE, FillPolicy::PackSlots, &mut rng);
+        let r = simulate_edge_cloud(
+            1,
+            &client,
+            &server,
+            &LossModel::NONE,
+            FillPolicy::PackSlots,
+            &mut rng,
+        );
         // One slot of one client: idle 300−16 s, receive 15 s, process 1 s.
         let expected = Watts(44.6) * Seconds(284.0) + Watts(68.8) * Seconds(15.0) + Joules(108.0);
         assert!((r.server_energy_total - expected).abs() < Joules(0.5));
@@ -238,16 +277,44 @@ mod tests {
         let server = paper_server(10);
         for n in [7usize, 95, 250] {
             let mut rng = StdRng::seed_from_u64(4);
-            let a = simulate_edge_cloud(n, &client, &server, &LossModel::NONE, FillPolicy::PackSlots, &mut rng);
+            let a = simulate_edge_cloud(
+                n,
+                &client,
+                &server,
+                &LossModel::NONE,
+                FillPolicy::PackSlots,
+                &mut rng,
+            );
             let mut rng = StdRng::seed_from_u64(4);
-            let b = simulate_edge_cloud(n, &client, &server, &LossModel::NONE, FillPolicy::BalanceSlots, &mut rng);
+            let b = simulate_edge_cloud(
+                n,
+                &client,
+                &server,
+                &LossModel::NONE,
+                FillPolicy::BalanceSlots,
+                &mut rng,
+            );
             assert!(a.total_energy <= b.total_energy + Joules(1e-6), "n = {n}");
         }
         // At exact capacity both policies produce 18 full slots.
         let mut rng = StdRng::seed_from_u64(4);
-        let a = simulate_edge_cloud(180, &client, &server, &LossModel::NONE, FillPolicy::PackSlots, &mut rng);
+        let a = simulate_edge_cloud(
+            180,
+            &client,
+            &server,
+            &LossModel::NONE,
+            FillPolicy::PackSlots,
+            &mut rng,
+        );
         let mut rng = StdRng::seed_from_u64(4);
-        let b = simulate_edge_cloud(180, &client, &server, &LossModel::NONE, FillPolicy::BalanceSlots, &mut rng);
+        let b = simulate_edge_cloud(
+            180,
+            &client,
+            &server,
+            &LossModel::NONE,
+            FillPolicy::BalanceSlots,
+            &mut rng,
+        );
         assert!((a.total_energy - b.total_energy).abs() < Joules(1e-6));
     }
 
@@ -262,9 +329,11 @@ mod tests {
         let loss = LossModel { saturation: Some(SaturationPenalty::default()), ..LossModel::NONE };
         let n = 558; // 18 slots × 31 balanced; 15 full + one 33-slot packed
         let mut rng = StdRng::seed_from_u64(5);
-        let packed = simulate_edge_cloud(n, &client, &server, &loss, FillPolicy::PackSlots, &mut rng);
+        let packed =
+            simulate_edge_cloud(n, &client, &server, &loss, FillPolicy::PackSlots, &mut rng);
         let mut rng = StdRng::seed_from_u64(5);
-        let balanced = simulate_edge_cloud(n, &client, &server, &loss, FillPolicy::BalanceSlots, &mut rng);
+        let balanced =
+            simulate_edge_cloud(n, &client, &server, &loss, FillPolicy::BalanceSlots, &mut rng);
         assert!(
             balanced.server_energy_total + Joules(1000.0) < packed.server_energy_total,
             "balanced {} vs packed {}",
@@ -285,8 +354,11 @@ mod tests {
         // Full slots pay ×1.5: slot energy 1140 → 1710; per client:
         // (44.6·12 + 18·1710)/180 = 174 J. The paper reports 186 J — same
         // regime, within the tolerance we accept for a reconstruction.
-        assert!((r.server_energy_per_client - Joules(174.0)).abs() < Joules(1.0),
-            "per-client {}", r.server_energy_per_client);
+        assert!(
+            (r.server_energy_per_client - Joules(174.0)).abs() < Joules(1.0),
+            "per-client {}",
+            r.server_energy_per_client
+        );
     }
 
     #[test]
@@ -323,7 +395,14 @@ mod tests {
         let client = paper_client();
         let server = paper_server(10);
         let mut rng = StdRng::seed_from_u64(9);
-        let r = simulate_edge_cloud(0, &client, &server, &LossModel::NONE, FillPolicy::PackSlots, &mut rng);
+        let r = simulate_edge_cloud(
+            0,
+            &client,
+            &server,
+            &LossModel::NONE,
+            FillPolicy::PackSlots,
+            &mut rng,
+        );
         assert_eq!(r.n_servers, 0);
         assert_eq!(r.total_energy, Joules::ZERO);
         assert_eq!(r.total_per_client, Joules::ZERO);
@@ -334,17 +413,25 @@ mod tests {
         let client = paper_client();
         let server = paper_server(10);
         let per_extra = LossModel {
-            transfer: Some(TransferPenalty { extra_per_client: Seconds(1.5), mode: PenaltyMode::PerExtraClient }),
+            transfer: Some(TransferPenalty {
+                extra_per_client: Seconds(1.5),
+                mode: PenaltyMode::PerExtraClient,
+            }),
             ..LossModel::NONE
         };
         let per_client = LossModel {
-            transfer: Some(TransferPenalty { extra_per_client: Seconds(1.5), mode: PenaltyMode::PerClient }),
+            transfer: Some(TransferPenalty {
+                extra_per_client: Seconds(1.5),
+                mode: PenaltyMode::PerClient,
+            }),
             ..LossModel::NONE
         };
         let mut rng = StdRng::seed_from_u64(10);
-        let a = simulate_edge_cloud(90, &client, &server, &per_extra, FillPolicy::PackSlots, &mut rng);
+        let a =
+            simulate_edge_cloud(90, &client, &server, &per_extra, FillPolicy::PackSlots, &mut rng);
         let mut rng = StdRng::seed_from_u64(10);
-        let b = simulate_edge_cloud(90, &client, &server, &per_client, FillPolicy::PackSlots, &mut rng);
+        let b =
+            simulate_edge_cloud(90, &client, &server, &per_client, FillPolicy::PackSlots, &mut rng);
         assert!(b.total_energy > a.total_energy);
     }
 

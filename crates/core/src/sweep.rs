@@ -7,12 +7,11 @@
 
 use crate::allocator::FillPolicy;
 use crate::client::ClientModel;
+use crate::engine::{Backend, CycleEngine, ScenarioSpec, SimContext};
 use crate::loss::LossModel;
 use crate::server::ServerModel;
-use crate::simulation::{simulate_edge, simulate_edge_cloud, CycleReport};
+use crate::simulation::CycleReport;
 use pb_units::Joules;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rayon::prelude::*;
 
 /// Everything needed to sweep the two scenarios over population sizes.
@@ -70,35 +69,56 @@ pub struct CrossoverReport {
 }
 
 impl SweepConfig {
+    /// The scenario specification this sweep evaluates.
+    pub fn spec(&self) -> ScenarioSpec {
+        ScenarioSpec {
+            edge_client: self.edge_client.clone(),
+            cloud_client: self.cloud_client.clone(),
+            server: self.server.clone(),
+            loss: self.loss,
+            policy: self.policy,
+        }
+    }
+
+    /// A fresh simulation context seeded with this sweep's master seed.
+    pub fn context(&self) -> SimContext {
+        SimContext::new(self.seed)
+    }
+
     /// Evaluates both scenarios at one population size.
     pub fn compare_at(&self, n_clients: usize) -> ComparisonPoint {
-        let point_seed = self.seed ^ (n_clients as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        // The same RNG stream for both scenarios makes Loss C draws equal,
-        // so the comparison at each n is apples-to-apples.
-        let mut rng = StdRng::seed_from_u64(point_seed);
-        let edge = simulate_edge(n_clients, &self.edge_client, &self.loss, &mut rng);
-        let mut rng = StdRng::seed_from_u64(point_seed);
-        let cloud = simulate_edge_cloud(
-            n_clients,
-            &self.cloud_client,
-            &self.server,
-            &self.loss,
-            self.policy,
-            &mut rng,
-        );
-        ComparisonPoint { n_clients, edge, cloud }
+        Backend::ClosedForm.compare(&self.spec(), n_clients, &self.context())
     }
 
     /// Runs the sweep over an explicit list of population sizes (parallel).
     pub fn run(&self, ns: &[usize]) -> Vec<ComparisonPoint> {
-        ns.par_iter().map(|&n| self.compare_at(n)).collect()
+        self.run_with(&Backend::ClosedForm, ns)
+    }
+
+    /// Runs the sweep through an explicit backend; every point shares one
+    /// [`SimContext`] (and therefore one allocation cache).
+    pub fn run_with(&self, engine: &dyn CycleEngine, ns: &[usize]) -> Vec<ComparisonPoint> {
+        let spec = self.spec();
+        let ctx = self.context();
+        ns.par_iter().map(|&n| engine.compare(&spec, n, &ctx)).collect()
     }
 
     /// Runs the sweep over an inclusive range with a step.
     pub fn run_range(&self, from: usize, to: usize, step: usize) -> Vec<ComparisonPoint> {
+        self.run_range_with(&Backend::ClosedForm, from, to, step)
+    }
+
+    /// Range sweep through an explicit backend.
+    pub fn run_range_with(
+        &self,
+        engine: &dyn CycleEngine,
+        from: usize,
+        to: usize,
+        step: usize,
+    ) -> Vec<ComparisonPoint> {
         assert!(step > 0, "step must be positive");
         let ns: Vec<usize> = (from..=to).step_by(step).collect();
-        self.run(&ns)
+        self.run_with(engine, &ns)
     }
 }
 
@@ -191,10 +211,7 @@ mod tests {
         let points = sweep.run_range(380, 440, 1);
         let report = analyze_crossover(&points);
         let crossover = report.first_crossover.expect("crossover must exist");
-        assert!(
-            (405..=408).contains(&crossover),
-            "crossover at {crossover}, paper reports 406"
-        );
+        assert!((405..=408).contains(&crossover), "crossover at {crossover}, paper reports 406");
     }
 
     #[test]
@@ -206,10 +223,7 @@ mod tests {
         let report = analyze_crossover(&points);
         let (n, adv) = report.max_advantage.expect("advantage must exist");
         assert_eq!(n, 630, "max advantage at {n}, paper reports 630");
-        assert!(
-            (adv - Joules(12.1)).abs() < Joules(1.0),
-            "advantage {adv}, paper reports 12.5 J"
-        );
+        assert!((adv - Joules(12.1)).abs() < Joules(1.0), "advantage {adv}, paper reports 12.5 J");
     }
 
     #[test]
@@ -223,10 +237,7 @@ mod tests {
         // Our reconstruction stabilizes at 815 (the win at 805 is isolated:
         // opening the second server's 6th slot at 806 tips briefly back);
         // the paper reports 803. Same regime, ±2% on the boundary.
-        assert!(
-            (800..=820).contains(&cut),
-            "always-after at {cut}, paper reports 803"
-        );
+        assert!((800..=820).contains(&cut), "always-after at {cut}, paper reports 803");
     }
 
     #[test]
@@ -252,6 +263,32 @@ mod tests {
     }
 
     #[test]
+    fn parallel_run_matches_sequential_compare_at() {
+        // The rayon fan-out shares one SimContext (and allocation cache)
+        // across workers; cache hits and scheduling order must not change
+        // a single bit of the result.
+        let sweep = cnn_sweep(10, LossModel::all());
+        let ns: Vec<usize> = (50..=500).step_by(25).collect();
+        let parallel = sweep.run(&ns);
+        for (p, &n) in parallel.iter().zip(&ns) {
+            let sequential = sweep.compare_at(n);
+            assert_eq!(p.cloud.n_active, sequential.cloud.n_active, "n = {n}");
+            assert!((p.cloud.total_energy - sequential.cloud.total_energy).abs() < Joules(1e-12));
+            assert!((p.edge.total_energy - sequential.edge.total_energy).abs() < Joules(1e-12));
+        }
+    }
+
+    #[test]
+    fn timeline_backend_reproduces_the_406_crossover() {
+        // Backend choice is a runtime parameter; the state-machine backend
+        // must land on the same paper headline as the closed forms.
+        let sweep = cnn_sweep(35, LossModel::NONE);
+        let points = sweep.run_range_with(&Backend::EventTimeline, 395, 415, 1);
+        let crossover = analyze_crossover(&points).first_crossover.expect("crossover must exist");
+        assert!((405..=408).contains(&crossover), "crossover at {crossover}");
+    }
+
+    #[test]
     fn loss_c_strikes_both_scenarios_equally() {
         let sweep = cnn_sweep(10, LossModel::client_loss_only());
         for p in sweep.run_range(100, 400, 100) {
@@ -267,7 +304,8 @@ mod tests {
         // imply the per-slot transfer reading and an efficient (balanced)
         // allocation — see `PenaltyMode` for the calibration argument.
         let ideal = cnn_sweep(35, LossModel::NONE);
-        let lossy = SweepConfig { policy: FillPolicy::BalanceSlots, ..cnn_sweep(35, LossModel::fig9()) };
+        let lossy =
+            SweepConfig { policy: FillPolicy::BalanceSlots, ..cnn_sweep(35, LossModel::fig9()) };
         let ideal_adv = analyze_crossover(&ideal.run_range(100, 2000, 10)).max_advantage;
         let lossy_points = lossy.run_range(100, 2000, 10);
         let lossy_report = analyze_crossover(&lossy_points);
@@ -284,7 +322,8 @@ mod tests {
         // "it is safe to assign three servers when the number of clients is
         // between 1600 and 1750, and the edge+cloud scenario will be more
         // energy-efficient than the edge scenario."
-        let lossy = SweepConfig { policy: FillPolicy::BalanceSlots, ..cnn_sweep(35, LossModel::fig9()) };
+        let lossy =
+            SweepConfig { policy: FillPolicy::BalanceSlots, ..cnn_sweep(35, LossModel::fig9()) };
         let points = lossy.run_range(1600, 1750, 25);
         for p in &points {
             assert_eq!(p.cloud.n_servers, 3, "n = {}", p.n_clients);

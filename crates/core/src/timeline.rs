@@ -18,27 +18,16 @@ use pb_units::{Joules, Seconds};
 
 /// Renders one server's cycle as a power-state machine: the slots run
 /// back-to-back from the start of the cycle, then the server idles.
-pub fn server_timeline(
-    server: &ServerModel,
-    slots: &[usize],
-    loss: &LossModel,
-) -> StateMachine {
+pub fn server_timeline(server: &ServerModel, slots: &[usize], loss: &LossModel) -> StateMachine {
     let penalty = loss.transfer.as_ref();
     let mut m = StateMachine::new(PowerState::active("idle"));
     for (i, &k) in slots.iter().enumerate() {
         if k == 0 {
             continue;
         }
-        let sat = loss
-            .saturation
-            .as_ref()
-            .map_or(1.0, |s| s.multiplier(k, server.max_parallel));
+        let sat = loss.saturation.as_ref().map_or(1.0, |s| s.multiplier(k, server.max_parallel));
         let recv = server.receive_window(k, penalty);
-        m.dwell(
-            PowerState::active(format!("receive slot {i}")),
-            server.receive_power * sat,
-            recv,
-        );
+        m.dwell(PowerState::active(format!("receive slot {i}")), server.receive_power * sat, recv);
         m.dwell(
             PowerState::active(format!("process slot {i}")),
             server.process_power * sat,
@@ -46,10 +35,7 @@ pub fn server_timeline(
         );
     }
     let busy = m.clock();
-    assert!(
-        busy.value() <= server.cycle.value() + 1e-9,
-        "slots overflow the cycle: busy {busy}"
-    );
+    assert!(busy.value() <= server.cycle.value() + 1e-9, "slots overflow the cycle: busy {busy}");
     m.dwell(PowerState::active("idle"), server.idle_power, server.cycle - busy);
     m
 }
@@ -57,13 +43,11 @@ pub fn server_timeline(
 /// Renders one client's cycle as a power-state machine, with its transfer
 /// stretched by the Loss-B penalty for a slot of `occupancy` clients.
 pub fn client_timeline(client: &ClientModel, occupancy: usize, loss: &LossModel) -> StateMachine {
-    let extra = loss
-        .transfer
-        .as_ref()
-        .map_or(Seconds::ZERO, |p| p.extra_for(occupancy));
+    let extra = loss.transfer.as_ref().map_or(Seconds::ZERO, |p| p.extra_for(occupancy));
     let mut m = StateMachine::new(PowerState::Sleep);
     for (i, a) in client.actions.iter().enumerate() {
-        let duration = if Some(i) == client.transfer_action { a.duration + extra } else { a.duration };
+        let duration =
+            if Some(i) == client.transfer_action { a.duration + extra } else { a.duration };
         m.dwell(PowerState::active(a.name.clone()), a.power, duration);
     }
     let active = m.clock();
@@ -182,7 +166,10 @@ mod tests {
             for policy in [FillPolicy::PackSlots, FillPolicy::BalanceSlots] {
                 for n in [1usize, 37, 100, 250] {
                     let gap = validate_cycle(n, &client, &server, &loss, policy);
-                    assert!(gap < Joules(1e-6), "loss {loss:?}, policy {policy:?}, n {n}: gap {gap}");
+                    assert!(
+                        gap < Joules(1e-6),
+                        "loss {loss:?}, policy {policy:?}, n {n}: gap {gap}"
+                    );
                 }
             }
         }
@@ -202,11 +189,7 @@ mod tests {
         let loss = LossModel::saturation_only();
         let m = server_timeline(&server, &[10], &loss);
         // Full slot of 10 with limit 5: ×1.5 on the receive power.
-        let receive = m
-            .history()
-            .iter()
-            .find(|t| t.state.label() == "receive slot 0")
-            .unwrap();
+        let receive = m.history().iter().find(|t| t.state.label() == "receive slot 0").unwrap();
         assert!((receive.power - Watts(68.8 * 1.5)).abs() < Watts(1e-6));
     }
 

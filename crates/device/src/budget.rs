@@ -59,10 +59,7 @@ impl DailyBudget {
             }
         }
         push("shutdown", profile.shutdown, &mut active_time);
-        assert!(
-            active_time.value() <= period.value(),
-            "cycle does not fit the period {period}"
-        );
+        assert!(active_time.value() <= period.value(), "cycle does not fit the period {period}");
         let sleep = profile.sleep_power * (period - active_time) * cycles;
         phases.push(("sleep".to_string(), sleep));
         phases.push((
@@ -83,11 +80,7 @@ impl DailyBudget {
         if total.value() <= 0.0 {
             return 0.0;
         }
-        self.phases
-            .iter()
-            .filter(|(name, _)| name == phase)
-            .map(|(_, e)| *e / total)
-            .sum()
+        self.phases.iter().filter(|(name, _)| name == phase).map(|(_, e)| *e / total).sum()
     }
 
     /// Renders as a ledger (one day's worth; the time column carries the

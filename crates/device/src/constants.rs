@@ -147,8 +147,7 @@ mod tests {
     fn table2_edge_total_reconstructs() {
         let sleep = PI3B_SLEEP_POWER
             * (CYCLE_PERIOD - EDGE_COLLECT_TIME - EDGE_SEND_AUDIO_TIME - EDGE_SHUTDOWN_TIME);
-        let total =
-            sleep + EDGE_COLLECT_ENERGY + EDGE_SEND_AUDIO_ENERGY + EDGE_SHUTDOWN_ENERGY;
+        let total = sleep + EDGE_COLLECT_ENERGY + EDGE_SEND_AUDIO_ENERGY + EDGE_SHUTDOWN_ENERGY;
         assert!((total - EDGE_CLOUD_EDGE_TOTAL).abs() < Joules(0.5), "total {total}");
     }
 

@@ -20,8 +20,8 @@
 pub mod budget;
 pub mod catalog;
 pub mod compute;
-pub mod contention;
 pub mod constants;
+pub mod contention;
 pub mod network;
 pub mod profile;
 pub mod routine;
@@ -33,8 +33,8 @@ pub use budget::{deployed_budget, BudgetShape, DailyBudget};
 pub use catalog::{rank_hardware, HardwareOption};
 pub use compute::{ComputeModel, Execution};
 pub use contention::CsmaChannel;
-pub use pb_energy::meter::gaussian;
 pub use network::WifiLink;
+pub use pb_energy::meter::gaussian;
 pub use profile::{CloudServerProfile, EdgeDeviceProfile};
 pub use routine::{CyclePlan, RoutineBuilder, Task};
 pub use sensors::{SensorKind, SensorSuite};

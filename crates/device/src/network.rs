@@ -28,11 +28,7 @@ impl WifiLink {
     /// ("Send audio": 37.3 J / 15.0 s).
     pub fn deployed() -> Self {
         let payload = crate::sensors::SensorSuite::deployed().total_bytes() as f64;
-        WifiLink {
-            throughput: payload / 15.0,
-            jitter_frac: 0.15,
-            tx_power: Watts(37.3 / 15.0),
-        }
+        WifiLink { throughput: payload / 15.0, jitter_frac: 0.15, tx_power: Watts(37.3 / 15.0) }
     }
 
     /// Expected transfer duration for `bytes` (no jitter).

@@ -47,7 +47,10 @@ pub struct Task {
 impl Task {
     /// Builds a task from its table row.
     pub fn new(name: impl Into<String>, energy: Joules, duration: Seconds) -> Self {
-        assert!(energy.value() >= 0.0 && duration.value() >= 0.0, "task values must be non-negative");
+        assert!(
+            energy.value() >= 0.0 && duration.value() >= 0.0,
+            "task values must be non-negative"
+        );
         Task { name: name.into(), energy, duration }
     }
 
@@ -168,11 +171,7 @@ impl RoutineBuilder {
         CyclePlan::new(
             vec![
                 Task::new("Wake up & Data collection", p.collect.0, p.collect.1),
-                Task::new(
-                    format!("Queen detection model ({})", service.name()),
-                    model.0,
-                    model.1,
-                ),
+                Task::new(format!("Queen detection model ({})", service.name()), model.0, model.1),
                 Task::new("Send results", p.send_results.0, p.send_results.1),
                 Task::new("Shutdown", p.shutdown.0, p.shutdown.1),
             ],

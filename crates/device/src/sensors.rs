@@ -73,7 +73,12 @@ impl SensorSuite {
                     bytes_each: 8,
                     duration: Seconds(0.1),
                 },
-                Acquisition { kind: SensorKind::Gas, count: 1, bytes_each: 4, duration: Seconds(0.1) },
+                Acquisition {
+                    kind: SensorKind::Gas,
+                    count: 1,
+                    bytes_each: 4,
+                    duration: Seconds(0.1),
+                },
             ],
         }
     }

@@ -147,9 +147,7 @@ mod tests {
 
     #[test]
     fn discharge_delivers_and_depletes() {
-        let mut b = Battery::new(WattHours(1.0), 1.0)
-            .with_efficiencies(1.0, 1.0)
-            .with_cutoff(0.0);
+        let mut b = Battery::new(WattHours(1.0), 1.0).with_efficiencies(1.0, 1.0).with_cutoff(0.0);
         let got = b.discharge(Watts(10.0), Seconds(60.0));
         assert!((got - Joules(600.0)).abs() < Joules(1e-9));
         assert!((b.stored() - Joules(3000.0)).abs() < Joules(1e-9));
@@ -157,9 +155,7 @@ mod tests {
 
     #[test]
     fn discharge_truncates_at_cutoff() {
-        let mut b = Battery::new(WattHours(1.0), 1.0)
-            .with_efficiencies(1.0, 1.0)
-            .with_cutoff(0.5);
+        let mut b = Battery::new(WattHours(1.0), 1.0).with_efficiencies(1.0, 1.0).with_cutoff(0.5);
         let got = b.discharge(Watts(3600.0), Seconds(2.0)); // asks 7200 J
         assert!((got - Joules(1800.0)).abs() < Joules(1e-9)); // only half deliverable
         assert!(b.is_cut_off());
@@ -169,9 +165,7 @@ mod tests {
 
     #[test]
     fn discharge_efficiency_draws_more_than_delivered() {
-        let mut b = Battery::new(WattHours(1.0), 1.0)
-            .with_efficiencies(1.0, 0.5)
-            .with_cutoff(0.0);
+        let mut b = Battery::new(WattHours(1.0), 1.0).with_efficiencies(1.0, 0.5).with_cutoff(0.0);
         let got = b.discharge(Watts(10.0), Seconds(10.0));
         assert!((got - Joules(100.0)).abs() < Joules(1e-9));
         // 200 J of stored energy were consumed to deliver 100 J.

@@ -133,7 +133,8 @@ impl PowerSystem {
         let brown_out = delivered.value() + 1e-9 < requested.value();
         if brown_out {
             // Attribute starved time proportionally to the missing energy.
-            let missing = (requested - delivered).value() / requested.value().max(f64::MIN_POSITIVE);
+            let missing =
+                (requested - delivered).value() / requested.value().max(f64::MIN_POSITIVE);
             self.brown_out_time += dt * missing;
         }
 
@@ -233,11 +234,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let steps = sys.run(Seconds::from_days(7.0), Seconds(600.0), &mut rng, |_| Watts(1.3));
         assert_eq!(steps.len(), 7 * 144);
-        let night_outage = steps
-            .iter()
-            .filter(|s| s.brown_out)
-            .all(|s| !clear_config(Battery::power_bank_20ah()).irradiance.is_daylight(s.time)
-                || s.harvested < Watts(1.3));
+        let night_outage = steps.iter().filter(|s| s.brown_out).all(|s| {
+            !clear_config(Battery::power_bank_20ah()).irradiance.is_daylight(s.time)
+                || s.harvested < Watts(1.3)
+        });
         assert!(night_outage, "brown-outs must only happen without sufficient sun");
         // There must be at least one brown-out (battery too small for the night)
         assert!(steps.iter().any(|s| s.brown_out));

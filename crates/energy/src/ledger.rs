@@ -115,7 +115,13 @@ impl fmt::Display for EnergyLedger {
             .max(4);
         writeln!(f, "{:<name_w$}  {:>12}  {:>12}", "Task", "Energy (J)", "Time (s)")?;
         for e in &self.entries {
-            writeln!(f, "{:<name_w$}  {:>12.1}  {:>12.1}", e.task, e.energy.value(), e.time.value())?;
+            writeln!(
+                f,
+                "{:<name_w$}  {:>12.1}  {:>12.1}",
+                e.task,
+                e.energy.value(),
+                e.time.value()
+            )?;
         }
         write!(
             f,

@@ -160,11 +160,7 @@ mod tests {
 
     #[test]
     fn sensor_quantizes_to_adc_grid() {
-        let sensor = CurrentSensor {
-            noise_std: Amperes(0.0),
-            adc_bits: 4,
-            range: Amperes(5.0),
-        };
+        let sensor = CurrentSensor { noise_std: Amperes(0.0), adc_bits: 4, range: Amperes(5.0) };
         let mut rng = StdRng::seed_from_u64(1);
         let step = sensor.resolution().value();
         let m = sensor.measure(Amperes(1.234), &mut rng).value();

@@ -154,20 +154,12 @@ impl StateMachine {
 
     /// Energy consumed while in states whose label equals `label`.
     pub fn energy_in(&self, label: &str) -> pb_units::Joules {
-        self.history
-            .iter()
-            .filter(|t| t.state.label() == label)
-            .map(Transition::energy)
-            .sum()
+        self.history.iter().filter(|t| t.state.label() == label).map(Transition::energy).sum()
     }
 
     /// Time spent in states whose label equals `label`.
     pub fn time_in(&self, label: &str) -> Seconds {
-        self.history
-            .iter()
-            .filter(|t| t.state.label() == label)
-            .map(|t| t.duration)
-            .sum()
+        self.history.iter().filter(|t| t.state.label() == label).map(|t| t.duration).sum()
     }
 
     /// Mean power over the whole recorded history (zero if no time elapsed).

@@ -172,12 +172,7 @@ impl PowerTrace {
     }
 
     fn make_segment(&self, start: usize, end: usize) -> Segment {
-        Segment {
-            start,
-            end,
-            t_start: self.samples[start].0,
-            t_end: self.samples[end - 1].0,
-        }
+        Segment { start, end, t_start: self.samples[start].0, t_end: self.samples[end - 1].0 }
     }
 
     /// Computes the Section-IV statistics over `segments` of this trace.

@@ -176,7 +176,10 @@ mod tests {
         let mut net = ResNetLite::new(ResNetConfig {
             input_channels: 1,
             base_width: 4,
-            stages: vec![StageSpec { channels: 4, stride: 1 }, StageSpec { channels: 8, stride: 2 }],
+            stages: vec![
+                StageSpec { channels: 4, stride: 1 },
+                StageSpec { channels: 8, stride: 2 },
+            ],
             n_classes: 2,
             seed: 2,
         });

@@ -188,13 +188,8 @@ mod tests {
         assert_eq!(split.test.len(), 3);
         assert_eq!(split.train.len(), 7);
         // Every original example appears exactly once across splits.
-        let mut seen: Vec<f64> = split
-            .train
-            .features()
-            .iter()
-            .chain(split.test.features())
-            .map(|f| f[0])
-            .collect();
+        let mut seen: Vec<f64> =
+            split.train.features().iter().chain(split.test.features()).map(|f| f[0]).collect();
         seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert_eq!(seen, (0..10).map(|i| i as f64).collect::<Vec<_>>());
     }
@@ -211,10 +206,7 @@ mod tests {
 
     #[test]
     fn moments_and_standardize() {
-        let mut d = Dataset::from_pairs(
-            vec![vec![1.0, 5.0], vec![3.0, 5.0]],
-            vec![0, 1],
-        );
+        let mut d = Dataset::from_pairs(vec![vec![1.0, 5.0], vec![3.0, 5.0]], vec![0, 1]);
         let (mean, std) = d.feature_moments();
         assert_eq!(mean, vec![2.0, 5.0]);
         assert_eq!(std[0], 1.0);

@@ -90,7 +90,8 @@ impl Conv2d {
                                 if ix < 0 || ix >= w as isize {
                                     continue;
                                 }
-                                acc += self.w_at(oc, ic, ky, kx) * x.get(ic, iy as usize, ix as usize);
+                                acc +=
+                                    self.w_at(oc, ic, ky, kx) * x.get(ic, iy as usize, ix as usize);
                             }
                         }
                     }

@@ -15,12 +15,8 @@ pub fn relu(x: &FeatureMap) -> FeatureMap {
 pub fn relu_backward(y: &FeatureMap, gout: &FeatureMap) -> FeatureMap {
     assert_eq!(y.shape(), gout.shape(), "shape mismatch in relu backward");
     let (c, h, w) = y.shape();
-    let data = y
-        .data()
-        .iter()
-        .zip(gout.data())
-        .map(|(&yv, &g)| if yv > 0.0 { g } else { 0.0 })
-        .collect();
+    let data =
+        y.data().iter().zip(gout.data()).map(|(&yv, &g)| if yv > 0.0 { g } else { 0.0 }).collect();
     FeatureMap::from_vec(c, h, w, data)
 }
 
@@ -83,10 +79,7 @@ pub fn global_avg_pool(x: &FeatureMap) -> Vec<f64> {
 }
 
 /// Backward of global average pooling.
-pub fn global_avg_pool_backward(
-    input_shape: (usize, usize, usize),
-    gout: &[f64],
-) -> FeatureMap {
+pub fn global_avg_pool_backward(input_shape: (usize, usize, usize), gout: &[f64]) -> FeatureMap {
     let (c, h, w) = input_shape;
     assert_eq!(gout.len(), c, "gradient length must equal channel count");
     let mut gin = FeatureMap::zeros(c, h, w);
@@ -177,11 +170,8 @@ pub fn softmax_cross_entropy(logits: &[f64], label: usize) -> (f64, Vec<f64>) {
     let sum: f64 = exps.iter().sum();
     let probs: Vec<f64> = exps.iter().map(|e| e / sum).collect();
     let loss = -probs[label].max(1e-300).ln();
-    let grad = probs
-        .iter()
-        .enumerate()
-        .map(|(i, &p)| if i == label { p - 1.0 } else { p })
-        .collect();
+    let grad =
+        probs.iter().enumerate().map(|(i, &p)| if i == label { p - 1.0 } else { p }).collect();
     (loss, grad)
 }
 
@@ -261,8 +251,9 @@ mod tests {
         let mut d = Dense::new(5, 3, &mut rng);
         let x: Vec<f64> = (0..5).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let coeffs: Vec<f64> = (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let loss =
-            |d: &Dense, x: &[f64]| d.forward(x).iter().zip(&coeffs).map(|(y, c)| y * c).sum::<f64>();
+        let loss = |d: &Dense, x: &[f64]| {
+            d.forward(x).iter().zip(&coeffs).map(|(y, c)| y * c).sum::<f64>()
+        };
 
         let mut gw = vec![0.0; 15];
         let mut gb = vec![0.0; 3];

@@ -234,13 +234,19 @@ impl ResBlock {
     }
 
     /// Backward through the block. Returns the gradient w.r.t. the input.
-    fn backward(&self, cache: &BlockCache, gout: &FeatureMap, grads: &mut BlockGrads) -> FeatureMap {
+    fn backward(
+        &self,
+        cache: &BlockCache,
+        gout: &FeatureMap,
+        grads: &mut BlockGrads,
+    ) -> FeatureMap {
         // Through the final ReLU.
         let g_sum = relu_backward(&cache.output, gout);
         // Main path.
         let g_r1 = self.conv2.backward(&cache.r1, &g_sum, &mut grads.conv2.w, &mut grads.conv2.b);
         let g_a1 = relu_backward(&cache.r1, &g_r1);
-        let mut g_in = self.conv1.backward(&cache.input, &g_a1, &mut grads.conv1.w, &mut grads.conv1.b);
+        let mut g_in =
+            self.conv1.backward(&cache.input, &g_a1, &mut grads.conv1.w, &mut grads.conv1.b);
         // Skip path.
         match (&self.projection, grads.projection.as_mut()) {
             (Some(p), Some(pg)) => {
@@ -325,10 +331,7 @@ impl ResNetLite {
         let gap_in_shape = cur.shape();
         let fc_in = global_avg_pool(&cur);
         let logits = self.fc.forward(&fc_in);
-        (
-            logits,
-            ForwardCache { stem_in: x.clone(), stem_out, blocks: caches, gap_in_shape, fc_in },
-        )
+        (logits, ForwardCache { stem_in: x.clone(), stem_out, blocks: caches, gap_in_shape, fc_in })
     }
 
     /// Backpropagates `grad_logits` through the cached forward pass,
@@ -336,11 +339,8 @@ impl ResNetLite {
     pub fn backward(&self, cache: &ForwardCache, grad_logits: &[f64], grads: &mut ResNetGrads) {
         let g_fc_in = self.fc.backward(&cache.fc_in, grad_logits, &mut grads.fc_w, &mut grads.fc_b);
         let mut g = global_avg_pool_backward(cache.gap_in_shape, &g_fc_in);
-        for (b, (bc, bg)) in self
-            .blocks
-            .iter()
-            .zip(cache.blocks.iter().zip(&mut grads.blocks))
-            .rev()
+        for (b, (bc, bg)) in
+            self.blocks.iter().zip(cache.blocks.iter().zip(&mut grads.blocks)).rev()
         {
             g = b.backward(bc, &g, bg);
         }
@@ -350,12 +350,7 @@ impl ResNetLite {
     }
 
     /// Computes loss and gradients for one `(input, label)` example.
-    pub fn loss_and_gradients(
-        &self,
-        x: &FeatureMap,
-        label: usize,
-        grads: &mut ResNetGrads,
-    ) -> f64 {
+    pub fn loss_and_gradients(&self, x: &FeatureMap, label: usize, grads: &mut ResNetGrads) -> f64 {
         let (logits, cache) = self.forward_cached(x);
         let (loss, grad_logits) = softmax_cross_entropy(&logits, label);
         self.backward(&cache, &grad_logits, grads);
@@ -426,7 +421,10 @@ mod tests {
         ResNetConfig {
             input_channels: 1,
             base_width: 2,
-            stages: vec![StageSpec { channels: 2, stride: 1 }, StageSpec { channels: 4, stride: 2 }],
+            stages: vec![
+                StageSpec { channels: 2, stride: 1 },
+                StageSpec { channels: 4, stride: 2 },
+            ],
             n_classes: 2,
             seed: 1,
         }

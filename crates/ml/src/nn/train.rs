@@ -41,7 +41,11 @@ pub struct TrainReport {
 }
 
 /// Trains `model` on `(input, label)` pairs.
-pub fn train(model: &mut ResNetLite, data: &[(FeatureMap, usize)], config: &TrainConfig) -> TrainReport {
+pub fn train(
+    model: &mut ResNetLite,
+    data: &[(FeatureMap, usize)],
+    config: &TrainConfig,
+) -> TrainReport {
     assert!(!data.is_empty(), "cannot train on an empty dataset");
     assert!(config.batch_size > 0, "batch size must be positive");
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -82,8 +86,7 @@ pub fn evaluate(model: &ResNetLite, data: &[(FeatureMap, usize)]) -> f64 {
     if data.is_empty() {
         return 0.0;
     }
-    let hits: usize =
-        data.par_iter().filter(|(x, label)| model.predict(x) == *label).count();
+    let hits: usize = data.par_iter().filter(|(x, label)| model.predict(x) == *label).count();
     hits as f64 / data.len() as f64
 }
 
@@ -117,7 +120,10 @@ mod tests {
         ResNetLite::new(ResNetConfig {
             input_channels: 1,
             base_width: 4,
-            stages: vec![StageSpec { channels: 4, stride: 1 }, StageSpec { channels: 8, stride: 2 }],
+            stages: vec![
+                StageSpec { channels: 4, stride: 1 },
+                StageSpec { channels: 8, stride: 2 },
+            ],
             n_classes: 2,
             seed: 3,
         })
@@ -127,16 +133,9 @@ mod tests {
     fn learns_separable_task() {
         let data = toy_images(40, 10, 1);
         let mut net = tiny_net();
-        let report = train(
-            &mut net,
-            &data,
-            &TrainConfig { epochs: 12, lr: 0.1, batch_size: 8, seed: 2 },
-        );
-        assert!(
-            report.final_train_accuracy >= 0.95,
-            "accuracy {}",
-            report.final_train_accuracy
-        );
+        let report =
+            train(&mut net, &data, &TrainConfig { epochs: 12, lr: 0.1, batch_size: 8, seed: 2 });
+        assert!(report.final_train_accuracy >= 0.95, "accuracy {}", report.final_train_accuracy);
         // Loss must trend downward.
         assert!(report.epoch_losses.last().unwrap() < report.epoch_losses.first().unwrap());
     }

@@ -154,14 +154,22 @@ mod tests {
         let mut v8 = values.clone();
         let r4 = quantize_tensor(&mut v4, 4);
         let r8 = quantize_tensor(&mut v8, 8);
-        assert!(r8.rms_error < r4.rms_error / 4.0, "8-bit {} vs 4-bit {}", r8.rms_error, r4.rms_error);
+        assert!(
+            r8.rms_error < r4.rms_error / 4.0,
+            "8-bit {} vs 4-bit {}",
+            r8.rms_error,
+            r4.rms_error
+        );
     }
 
     fn tiny_net() -> ResNetLite {
         ResNetLite::new(ResNetConfig {
             input_channels: 1,
             base_width: 4,
-            stages: vec![StageSpec { channels: 4, stride: 1 }, StageSpec { channels: 8, stride: 2 }],
+            stages: vec![
+                StageSpec { channels: 4, stride: 1 },
+                StageSpec { channels: 8, stride: 2 },
+            ],
             n_classes: 2,
             seed: 5,
         })

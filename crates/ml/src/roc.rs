@@ -52,10 +52,7 @@ pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Vec<RocPoint> {
 
 /// Area under the ROC curve by trapezoidal integration.
 pub fn auc(points: &[RocPoint]) -> f64 {
-    points
-        .windows(2)
-        .map(|w| (w[1].fpr - w[0].fpr) * (w[0].tpr + w[1].tpr) * 0.5)
-        .sum()
+    points.windows(2).map(|w| (w[1].fpr - w[0].fpr) * (w[0].tpr + w[1].tpr) * 0.5).sum()
 }
 
 /// Convenience: AUC directly from scores and labels.

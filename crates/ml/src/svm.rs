@@ -53,10 +53,7 @@ impl RbfSvm {
         assert!(!data.is_empty(), "cannot train on an empty dataset");
         assert!(config.c > 0.0 && config.gamma > 0.0, "C and gamma must be positive");
         let classes = data.classes();
-        assert!(
-            classes.iter().all(|&c| c <= 1),
-            "binary SVM expects labels 0/1, got {classes:?}"
-        );
+        assert!(classes.iter().all(|&c| c <= 1), "binary SVM expects labels 0/1, got {classes:?}");
         let n = data.len();
         let x = data.features();
         let y: Vec<f64> = data.labels().iter().map(|&l| if l == 1 { 1.0 } else { -1.0 }).collect();
@@ -129,10 +126,12 @@ impl RbfSvm {
                     }
                     let a_i = a_i_old + y[i] * y[j] * (a_j_old - a_j);
 
-                    let b1 = b - e_i
+                    let b1 = b
+                        - e_i
                         - y[i] * (a_i - a_i_old) * k(i, i)
                         - y[j] * (a_j - a_j_old) * k(i, j);
-                    let b2 = b - e_j
+                    let b2 = b
+                        - e_j
                         - y[i] * (a_i - a_i_old) * k(i, j)
                         - y[j] * (a_j - a_j_old) * k(j, j);
                     b = if 0.0 < a_i && a_i < config.c {

@@ -207,7 +207,8 @@ mod tests {
         let synth = BeeAudioSynth { f0_jitter: 0.0, ..BeeAudioSynth::default() };
         let mut rng = StdRng::seed_from_u64(3);
         let clip = synth.generate(ColonyState::Queenright, 1.0, &mut rng);
-        let stft = Stft::new(SpectrogramParams { n_fft: 4096, hop: 2048, window: WindowKind::Hann });
+        let stft =
+            Stft::new(SpectrogramParams { n_fft: 4096, hop: 2048, window: WindowKind::Hann });
         let spec = stft.power_spectrogram(&clip);
         // Average over frames, find the peak bin.
         let bins = spec.n_bins();
@@ -227,7 +228,8 @@ mod tests {
         // Mean mel profiles of the two classes must differ substantially —
         // the property the whole ML evaluation rests on.
         let synth = BeeAudioSynth::default();
-        let stft = Stft::new(SpectrogramParams { n_fft: 2048, hop: 1024, window: WindowKind::Hann });
+        let stft =
+            Stft::new(SpectrogramParams { n_fft: 2048, hop: 1024, window: WindowKind::Hann });
         let bank = MelFilterbank::new(64, 2048, SAMPLE_RATE_HZ, 0.0, SAMPLE_RATE_HZ / 2.0);
         let profile = |state, seed| {
             let mut rng = StdRng::seed_from_u64(seed);

@@ -38,7 +38,12 @@ pub struct CorpusConfig {
 impl Default for CorpusConfig {
     /// A paper-sized corpus: 1647 clips of 10 s.
     fn default() -> Self {
-        CorpusConfig { n_clips: 1647, duration_s: 10.0, seed: 0xBEE5, synth: BeeAudioSynth::default() }
+        CorpusConfig {
+            n_clips: 1647,
+            duration_s: 10.0,
+            seed: 0xBEE5,
+            synth: BeeAudioSynth::default(),
+        }
     }
 }
 
@@ -63,11 +68,10 @@ impl Corpus {
         let clips = (0..config.n_clips)
             .into_par_iter()
             .map(|i| {
-                let state = if i % 2 == 1 { ColonyState::Queenright } else { ColonyState::Queenless };
+                let state =
+                    if i % 2 == 1 { ColonyState::Queenright } else { ColonyState::Queenless };
                 // splitmix-style index mixing keeps per-clip streams independent.
-                let seed = config
-                    .seed
-                    .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let seed = config.seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
                 let mut rng = StdRng::seed_from_u64(seed);
                 let samples = config.synth.generate(state, config.duration_s, &mut rng);
                 LabeledClip { samples, state }
@@ -98,7 +102,11 @@ impl Corpus {
 
     /// Computes log-mel features for every clip (parallel), with the given
     /// STFT parameters and filterbank.
-    pub fn mel_features(&self, params: SpectrogramParams, bank: &MelFilterbank) -> Vec<(MelSpectrogram, ColonyState)> {
+    pub fn mel_features(
+        &self,
+        params: SpectrogramParams,
+        bank: &MelFilterbank,
+    ) -> Vec<(MelSpectrogram, ColonyState)> {
         let stft = Stft::new(params);
         self.clips
             .par_iter()
@@ -168,7 +176,8 @@ mod tests {
     #[test]
     fn mel_features_cover_corpus() {
         let corpus = Corpus::generate(&CorpusConfig::small(4, 0.2, 5));
-        let bank = MelFilterbank::new(32, 1024, crate::SAMPLE_RATE_HZ, 0.0, crate::SAMPLE_RATE_HZ / 2.0);
+        let bank =
+            MelFilterbank::new(32, 1024, crate::SAMPLE_RATE_HZ, 0.0, crate::SAMPLE_RATE_HZ / 2.0);
         let feats = corpus.mel_features(tiny_params(), &bank);
         assert_eq!(feats.len(), 4);
         for (mel, _) in &feats {
@@ -180,7 +189,8 @@ mod tests {
     #[test]
     fn spectrogram_images_have_requested_side() {
         let corpus = Corpus::generate(&CorpusConfig::small(2, 0.2, 5));
-        let bank = MelFilterbank::new(32, 1024, crate::SAMPLE_RATE_HZ, 0.0, crate::SAMPLE_RATE_HZ / 2.0);
+        let bank =
+            MelFilterbank::new(32, 1024, crate::SAMPLE_RATE_HZ, 0.0, crate::SAMPLE_RATE_HZ / 2.0);
         let imgs = corpus.spectrogram_images(tiny_params(), &bank, 24);
         assert_eq!(imgs.len(), 2);
         for (img, _) in &imgs {

@@ -74,11 +74,7 @@ pub fn spectral_flux(spec: &Spectrogram) -> Vec<f64> {
     spec.frames
         .windows(2)
         .map(|w| {
-            w[1].iter()
-                .zip(&w[0])
-                .map(|(&b, &a)| (b - a).max(0.0).powi(2))
-                .sum::<f64>()
-                .sqrt()
+            w[1].iter().zip(&w[0]).map(|(&b, &a)| (b - a).max(0.0).powi(2)).sum::<f64>().sqrt()
         })
         .collect()
 }
@@ -162,9 +158,7 @@ mod tests {
 
     #[test]
     fn flux_detects_spectral_change() {
-        let spec = Spectrogram {
-            frames: vec![tone_frame(50), tone_frame(50), tone_frame(200)],
-        };
+        let spec = Spectrogram { frames: vec![tone_frame(50), tone_frame(50), tone_frame(200)] };
         let flux = spectral_flux(&spec);
         assert_eq!(flux.len(), 2);
         assert!(flux[0] < 1e-12, "identical frames have zero flux");
@@ -177,7 +171,8 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         let synth = BeeAudioSynth::default();
-        let stft = Stft::new(SpectrogramParams { n_fft: 2048, hop: 1024, window: WindowKind::Hann });
+        let stft =
+            Stft::new(SpectrogramParams { n_fft: 2048, hop: 1024, window: WindowKind::Hann });
         let clip = synth.generate(ColonyState::Queenright, 0.5, &mut StdRng::seed_from_u64(1));
         let spec = stft.power_spectrogram(&clip);
         let summary = clip_summary(&spec, SR, 2048);

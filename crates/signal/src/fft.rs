@@ -169,8 +169,9 @@ mod tests {
     fn matches_naive_dft() {
         let mut rng = StdRng::seed_from_u64(11);
         for n in [1usize, 2, 4, 16, 128] {
-            let input: Vec<Complex> =
-                (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect();
+            let input: Vec<Complex> = (0..n)
+                .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect();
             let expect = dft_naive(&input);
             let mut got = input.clone();
             fft(&mut got);
@@ -184,8 +185,9 @@ mod tests {
     fn round_trip_identity() {
         let mut rng = StdRng::seed_from_u64(5);
         let n = 256;
-        let original: Vec<Complex> =
-            (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect();
+        let original: Vec<Complex> = (0..n)
+            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
         let mut data = original.clone();
         fft(&mut data);
         ifft(&mut data);

@@ -41,6 +41,40 @@ pub fn band_power(signal: &[f64], f_lo: f64, f_hi: f64, n_probes: usize, sample_
         / n_probes as f64
 }
 
+/// Mean band power over consecutive frames of `frame_len` samples.
+///
+/// A single Goertzel pass over a long clip has an effective bandwidth of
+/// `sample_rate / n` — a fraction of a hertz for multi-second clips — so
+/// a sparse probe grid can sit *between* a narrow drifting tone and its
+/// nearest probe and report almost nothing. Framing widens each probe's
+/// effective bandwidth to `sample_rate / frame_len` (≈ 21 Hz at 1024
+/// samples and 22 050 Hz), letting a handful of probes cover a band
+/// densely. The MAC cost is unchanged: still 1 MAC per sample per probe,
+/// with one constant epilogue per frame instead of per clip. The trailing
+/// partial frame, if any, is ignored.
+pub fn band_power_framed(
+    signal: &[f64],
+    f_lo: f64,
+    f_hi: f64,
+    n_probes: usize,
+    frame_len: usize,
+    sample_rate: f64,
+) -> f64 {
+    assert!(frame_len > 0, "frame_len must be positive");
+    let mut frames = signal.chunks_exact(frame_len);
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for frame in &mut frames {
+        total += band_power(frame, f_lo, f_hi, n_probes, sample_rate);
+        count += 1;
+    }
+    if count == 0 {
+        // Clip shorter than one frame: fall back to a whole-clip pass.
+        return band_power(signal, f_lo, f_hi, n_probes, sample_rate);
+    }
+    total / count as f64
+}
+
 /// MAC count of one Goertzel evaluation over `n` samples (1 MAC/sample
 /// plus the constant epilogue).
 pub fn goertzel_macs(n: usize) -> u64 {

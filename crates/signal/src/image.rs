@@ -96,9 +96,10 @@ impl Image {
     /// Rescales pixel values linearly onto `[0, 1]`. A constant image maps
     /// to all zeros.
     pub fn normalize(&self) -> Image {
-        let (lo, hi) = self.pixels.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &p| {
-            (lo.min(p), hi.max(p))
-        });
+        let (lo, hi) = self
+            .pixels
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &p| (lo.min(p), hi.max(p)));
         let span = hi - lo;
         let pixels = if span > 0.0 {
             self.pixels.iter().map(|&p| (p - lo) / span).collect()
@@ -198,9 +199,7 @@ mod tests {
     fn from_mel_orientation() {
         use crate::mel::MelSpectrogram;
         // 3 frames × 2 mel bands.
-        let mel = MelSpectrogram {
-            frames: vec![vec![1.0, 4.0], vec![2.0, 5.0], vec![3.0, 6.0]],
-        };
+        let mel = MelSpectrogram { frames: vec![vec![1.0, 4.0], vec![2.0, 5.0], vec![3.0, 6.0]] };
         let img = Image::from_mel(&mel);
         assert_eq!(img.width(), 3);
         assert_eq!(img.height(), 2);

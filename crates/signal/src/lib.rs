@@ -36,9 +36,9 @@ pub mod window;
 
 pub use audio::{BeeAudioSynth, ColonyState};
 pub use complex::Complex;
+pub use corpus::{Corpus, CorpusConfig, LabeledClip};
 pub use features::clip_summary;
 pub use goertzel::{band_power, goertzel_power};
-pub use corpus::{Corpus, CorpusConfig, LabeledClip};
 pub use image::Image;
 pub use mel::{MelFilterbank, MelSpectrogram};
 pub use mfcc::Mfcc;

@@ -107,7 +107,11 @@ impl MelSpectrogram {
     /// Computes the log-mel spectrogram of `signal` with the paper's
     /// parameters.
     pub fn paper_default(signal: &[f64]) -> Self {
-        Self::compute(signal, &Stft::new(SpectrogramParams::default()), &MelFilterbank::paper_default())
+        Self::compute(
+            signal,
+            &Stft::new(SpectrogramParams::default()),
+            &MelFilterbank::paper_default(),
+        )
     }
 
     /// Computes a log-mel spectrogram with explicit STFT and filterbank.
@@ -116,10 +120,7 @@ impl MelSpectrogram {
         let mel: Vec<Vec<f64>> = power.frames.iter().map(|f| bank.apply(f)).collect();
 
         // power → dB referenced to the clip maximum, floored at −TOP_DB.
-        let max = mel
-            .iter()
-            .flat_map(|f| f.iter())
-            .fold(f64::MIN_POSITIVE, |a, &b| a.max(b));
+        let max = mel.iter().flat_map(|f| f.iter()).fold(f64::MIN_POSITIVE, |a, &b| a.max(b));
         let frames = mel
             .into_iter()
             .map(|f| {
@@ -254,9 +255,8 @@ mod tests {
     #[test]
     fn log_mel_of_tone_has_expected_shape() {
         let sr = 22_050.0;
-        let signal: Vec<f64> = (0..8192)
-            .map(|i| (2.0 * std::f64::consts::PI * 300.0 * i as f64 / sr).sin())
-            .collect();
+        let signal: Vec<f64> =
+            (0..8192).map(|i| (2.0 * std::f64::consts::PI * 300.0 * i as f64 / sr).sin()).collect();
         let stft = Stft::new(SpectrogramParams { n_fft: 1024, hop: 512, window: WindowKind::Hann });
         let bank = MelFilterbank::new(64, 1024, sr, 0.0, sr / 2.0);
         let mel = MelSpectrogram::compute(&signal, &stft, &bank);

@@ -124,7 +124,12 @@ mod tests {
             .map(|i| (std::f64::consts::PI * (i as f64 + 0.5) * k as f64 / n as f64).cos())
             .collect();
         let c = dct_ii(&x);
-        let peak = c.iter().enumerate().max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap()).unwrap().0;
+        let peak = c
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .unwrap()
+            .0;
         assert_eq!(peak, k);
     }
 
@@ -133,7 +138,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let clip = synth.generate(state, 0.5, &mut rng);
         let stft = Stft::new(SpectrogramParams { n_fft: 1024, hop: 512, window: WindowKind::Hann });
-        let bank = MelFilterbank::new(32, 1024, crate::SAMPLE_RATE_HZ, 0.0, crate::SAMPLE_RATE_HZ / 2.0);
+        let bank =
+            MelFilterbank::new(32, 1024, crate::SAMPLE_RATE_HZ, 0.0, crate::SAMPLE_RATE_HZ / 2.0);
         MelSpectrogram::compute(&clip, &stft, &bank)
     }
 

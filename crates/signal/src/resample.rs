@@ -63,7 +63,8 @@ mod tests {
         let sr_out = 22_050.0;
         let x = tone(440.0, sr_in, 16_000);
         let y = resample_linear(&x, sr_in, sr_out);
-        let stft = Stft::new(SpectrogramParams { n_fft: 4096, hop: 2048, window: WindowKind::Hann });
+        let stft =
+            Stft::new(SpectrogramParams { n_fft: 4096, hop: 2048, window: WindowKind::Hann });
         let spec = stft.power_spectrogram(&y);
         let mut avg = vec![0.0; spec.n_bins()];
         for f in &spec.frames {

@@ -188,7 +188,8 @@ mod tests {
 
     #[test]
     fn transform_and_power_agree() {
-        let stft = Stft::new(SpectrogramParams { n_fft: 256, hop: 256, window: WindowKind::Hamming });
+        let stft =
+            Stft::new(SpectrogramParams { n_fft: 256, hop: 256, window: WindowKind::Hamming });
         let signal = tone(1000.0, 22_050.0, 512);
         let complex = stft.transform(&signal);
         let power = stft.power_spectrogram(&signal);

@@ -207,7 +207,7 @@ mod tests {
         patched.extend_from_slice(&4u32.to_le_bytes());
         patched.extend_from_slice(b"INFO");
         patched.extend_from_slice(&bytes[36..]); // data chunk
-        // Fix the RIFF size.
+                                                 // Fix the RIFF size.
         let riff_len = (patched.len() - 8) as u32;
         patched[4..8].copy_from_slice(&riff_len.to_le_bytes());
         let decoded = WavFile::from_bytes(&patched).unwrap();

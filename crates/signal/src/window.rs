@@ -30,9 +30,7 @@ impl WindowKind {
 }
 
 fn raised_cosine(n: usize, a: f64, b: f64) -> Vec<f64> {
-    (0..n)
-        .map(|i| a - b * (2.0 * std::f64::consts::PI * i as f64 / n as f64).cos())
-        .collect()
+    (0..n).map(|i| a - b * (2.0 * std::f64::consts::PI * i as f64 / n as f64).cos()).collect()
 }
 
 #[cfg(test)]

@@ -25,9 +25,7 @@ fn main() {
                 ..PowerSystemConfig::default()
             },
         );
-        for (name, policy) in
-            [("fixed", None), ("adaptive", Some(AdaptivePolicy::default()))]
-        {
+        for (name, policy) in [("fixed", None), ("adaptive", Some(AdaptivePolicy::default()))] {
             let s = run_adaptive(&hive, policy.as_ref(), week, step, 11);
             println!(
                 "{wh:>10.0}  {name:<8}  {:>9}  {:>6}  {:>7}  {:>10.1}%  {:>9.1}",

@@ -31,7 +31,10 @@ fn main() {
         println!("first crossover: {n} clients (paper: 406)");
     }
     if let Some((n, adv)) = report.max_advantage {
-        println!("max advantage : {:.1} J/client at {n} clients (paper: 12.5 J at 630)", adv.value());
+        println!(
+            "max advantage : {:.1} J/client at {n} clients (paper: 12.5 J at 630)",
+            adv.value()
+        );
     }
     if let Some(n) = report.always_after {
         println!("stable win    : from {n} clients (paper: 803)");

@@ -25,8 +25,7 @@ fn main() {
         );
         match tuner.fastest_sustainable(&hive) {
             Some(a) => {
-                let queen =
-                    tuner.recommend(&hive, ServiceRequirement::queen_detection()).is_some();
+                let queen = tuner.recommend(&hive, ServiceRequirement::queen_detection()).is_some();
                 let temp =
                     tuner.recommend(&hive, ServiceRequirement::temperature_tracking()).is_some();
                 println!(

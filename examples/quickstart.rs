@@ -22,20 +22,9 @@ fn main() {
     println!("{}\n", builder.edge_cloud_cycle(CYCLE_PERIOD).to_ledger());
 
     println!("== Placement comparison for {n_hives} hives ==\n");
-    let edge = simulate_edge(
-        n_hives,
-        &presets::edge_client(service),
-        &LossModel::NONE,
-        &mut seeded_rng(42),
-    );
-    let cloud = simulate_edge_cloud(
-        n_hives,
-        &presets::edge_cloud_client(),
-        &presets::cloud_server(service, 10),
-        &LossModel::NONE,
-        FillPolicy::PackSlots,
-        &mut seeded_rng(42),
-    );
+    let spec = ScenarioSpec::paper(service, 10, LossModel::NONE);
+    let point = Backend::ClosedForm.compare(&spec, n_hives, &SimContext::new(42));
+    let (edge, cloud) = (point.edge, point.cloud);
 
     println!("edge       : {:>8.1} J/hive/cycle (no servers)", edge.total_per_client.value());
     println!(

@@ -33,10 +33,8 @@ fn main() {
     // A Figure 2-style daily digest.
     println!("\nday  outage_h  min_soc  max_load_W  hive_T_range      ambient_T_range");
     for day in 0..7 {
-        let day_records: Vec<_> = records
-            .iter()
-            .filter(|r| (r.at.as_days() as usize) == day)
-            .collect();
+        let day_records: Vec<_> =
+            records.iter().filter(|r| (r.at.as_days() as usize) == day).collect();
         let outage_minutes = day_records.iter().filter(|r| r.brown_out).count();
         let min_soc = day_records.iter().map(|r| r.soc).fold(1.0, f64::min);
         let max_load = day_records.iter().map(|r| r.load.value()).fold(0.0, f64::max);

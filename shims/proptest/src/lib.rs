@@ -1,0 +1,338 @@
+//! Offline API-surface shim for the `proptest` crate.
+//!
+//! Implements the subset this workspace uses: the [`proptest!`] macro with
+//! an optional `#![proptest_config(..)]` header, `ident in strategy`
+//! arguments, range / tuple / [`collection::vec`] / [`bool::ANY`]
+//! strategies, [`strategy::Strategy::prop_map`], and the [`prop_assert!`] /
+//! [`prop_assert_eq!`] assertions.
+//!
+//! Unlike upstream proptest this is a plain random-sampling runner: there
+//! is no shrinking and no persisted failure regressions. Each test's input
+//! stream is seeded deterministically from the test's module path, so
+//! failures reproduce run-to-run.
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use rand::rngs::StdRng;
+
+    /// A recipe for generating random values of type `Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value from the strategy.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f` (proptest's `prop_map`).
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(f64, f32, usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+    /// Strategy that always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Strategy type behind [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct AnyBool;
+
+    /// Uniformly random `true` / `false`.
+    pub const ANY: AnyBool = AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = ::core::primitive::bool;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            rand::Rng::gen(rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "collection::vec: empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// `Vec` strategy produced by [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s whose length lies in `size` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rand::Rng::gen_range(rng, self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Runner configuration.
+
+    /// Controls how many random cases each property test executes.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` cases (proptest's constructor).
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+}
+
+/// Derives the deterministic per-test RNG from the test's full path.
+/// Internal support for the [`proptest!`] macro expansion.
+#[doc(hidden)]
+pub fn __rng_for(test_path: &str) -> rand::rngs::StdRng {
+    // FNV-1a over the path: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    rand::SeedableRng::seed_from_u64(h)
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { .. }`
+/// becomes a `#[test]` running `Config::cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let __path = concat!(module_path!(), "::", stringify!($name));
+            let mut __rng = $crate::__rng_for(__path);
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| $body),
+                );
+                if let Err(cause) = __outcome {
+                    eprintln!(
+                        "proptest shim: {} failed at case {}/{} \
+                         (inputs reproduce deterministically from the test path)",
+                        __path, __case + 1, __config.cases,
+                    );
+                    ::std::panic::resume_unwind(cause);
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a boolean property inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        assert!($cond, "prop_assert!({}) failed", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+)
+    };
+}
+
+pub mod prelude {
+    //! Convenience re-exports, mirroring `proptest::prelude`.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(Config::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0.5f64..2.0, n in 1usize..100) {
+            prop_assert!((0.5..2.0).contains(&x));
+            prop_assert!((1..100).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_obeys_size(v in crate::collection::vec(0.0f64..1.0, 3..7)) {
+            prop_assert!(v.len() >= 3 && v.len() < 7);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn tuple_and_map(p in (0i32..10, 0i32..10).prop_map(|(a, b)| a + b)) {
+            prop_assert!((0..19).contains(&p));
+        }
+
+        #[test]
+        fn bool_any(b in crate::bool::ANY) {
+            prop_assert!([true, false].contains(&b));
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_path() {
+        use rand::RngCore;
+        let mut a = crate::__rng_for("some::test");
+        let mut b = crate::__rng_for("some::test");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::__rng_for("other::test");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

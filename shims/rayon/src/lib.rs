@@ -1,0 +1,233 @@
+//! Offline API-surface shim for the `rayon` crate.
+//!
+//! Provides the subset of `rayon 1.x` this workspace uses: `par_iter()` on
+//! slices/`Vec`s, `into_par_iter()` on `Vec`s and integer ranges, and the
+//! combinators `map`, `filter`, `count`, `collect`, and `reduce`.
+//!
+//! Unlike real rayon's lazy work-stealing iterators, this shim is **eager**:
+//! each `map`/`filter` call fans the current items out across OS threads
+//! (`std::thread::scope`, one chunk per available core), waits for all of
+//! them, and yields a new ordered item set. Ordering semantics match rayon
+//! (`collect` preserves input order), which is what the workspace's
+//! determinism tests rely on.
+
+use std::num::NonZeroUsize;
+
+/// An ordered, fully materialized parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Number of worker threads to fan out over for `len` items.
+fn n_workers(len: usize) -> usize {
+    let cores = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+    cores.min(len).max(1)
+}
+
+/// Applies `f` to every item on a scoped thread pool, preserving order.
+fn par_apply<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = n_workers(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items;
+    // Split from the back so each drain is O(chunk); reverse to restore order.
+    while !items.is_empty() {
+        let at = items.len().saturating_sub(chunk);
+        chunks.push(items.split_off(at));
+    }
+    chunks.reverse();
+    let f = &f;
+    let mut results: Vec<Vec<U>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rayon shim worker panicked")).collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for r in &mut results {
+        out.append(r);
+    }
+    out
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map; executes eagerly and preserves order.
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParIter { items: par_apply(self.items, f) }
+    }
+
+    /// Parallel filter; the predicate runs in parallel, order is preserved.
+    pub fn filter<P>(self, pred: P) -> ParIter<T>
+    where
+        P: Fn(&T) -> bool + Sync,
+    {
+        let flagged = par_apply(self.items, |t| (pred(&t), t));
+        ParIter { items: flagged.into_iter().filter_map(|(keep, t)| keep.then_some(t)).collect() }
+    }
+
+    /// Number of items remaining.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Collects into any `FromIterator` container, preserving input order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Parallel reduction: each worker folds its chunk from `identity()`,
+    /// then the per-worker results fold sequentially (matches rayon's
+    /// contract that `op` must be associative and `identity` neutral).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T + Sync,
+        OP: Fn(T, T) -> T + Sync,
+    {
+        let n = self.items.len();
+        let workers = n_workers(n);
+        if workers <= 1 {
+            return self.items.into_iter().fold(identity(), &op);
+        }
+        let chunk = n.div_ceil(workers);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+        let mut items = self.items;
+        while !items.is_empty() {
+            let at = items.len().saturating_sub(chunk);
+            chunks.push(items.split_off(at));
+        }
+        chunks.reverse();
+        let (identity, op) = (&identity, &op);
+        let partials: Vec<T> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|c| scope.spawn(move || c.into_iter().fold(identity(), op)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rayon shim worker panicked")).collect()
+        });
+        partials.into_iter().fold(identity(), op)
+    }
+}
+
+/// Conversion into a parallel iterator by value (rayon's
+/// `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Item type produced by the iterator.
+    type Item: Send;
+    /// Consumes `self` into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+range_into_par_iter!(usize, u64, u32, i64, i32);
+
+/// Conversion into a parallel iterator over references (rayon's
+/// `IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'data> {
+    /// Item type, typically a shared reference.
+    type Item: Send;
+    /// Borrows `self` into a [`ParIter`] of references.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// Convenience re-exports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_on_range() {
+        let out: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out.len(), 1000);
+        assert_eq!(out[0], 1);
+        assert_eq!(out[999], 1000);
+    }
+
+    #[test]
+    fn filter_count() {
+        let v: Vec<usize> = (0..1000).collect();
+        assert_eq!(v.par_iter().filter(|&&x| x % 3 == 0).count(), 334);
+    }
+
+    #[test]
+    fn reduce_sums() {
+        let v: Vec<u64> = (1..=1000).collect();
+        let sum = v.par_iter().map(|&x| x).reduce(|| 0, |a, b| a + b);
+        assert_eq!(sum, 500_500);
+    }
+
+    #[test]
+    fn reduce_with_struct_accumulator() {
+        // Mirrors the gradient-accumulation pattern in pb-ml.
+        let v: Vec<usize> = (0..257).collect();
+        let (count, sum) = v
+            .par_iter()
+            .map(|&x| (1usize, x))
+            .reduce(|| (0, 0), |(ca, sa), (cb, sb)| (ca + cb, sa + sb));
+        assert_eq!(count, 257);
+        assert_eq!(sum, (0..257).sum::<usize>());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<usize> = Vec::new();
+        assert_eq!(v.par_iter().map(|&x| x).collect::<Vec<_>>(), Vec::<usize>::new());
+        assert_eq!(v.par_iter().count(), 0);
+        assert_eq!(v.par_iter().map(|&x| x).reduce(|| 7, |a, b| a + b), 7);
+    }
+}

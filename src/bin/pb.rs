@@ -10,14 +10,15 @@
 //! $ pb alert --accuracy 0.99 --k 3 # alerting trade-off at a given k
 //! ```
 
-use precision_beekeeping::beehive::apiary::Apiary;
 use precision_beekeeping::beehive::alert::AlertPolicy;
+use precision_beekeeping::beehive::apiary::Apiary;
 use precision_beekeeping::beehive::hive::SmartBeehive;
 use precision_beekeeping::beehive::tuner::{FrequencyTuner, ServiceRequirement};
 use precision_beekeeping::device::constants::CYCLE_PERIOD;
 use precision_beekeeping::device::routine::{RoutineBuilder, ServiceKind};
 use precision_beekeeping::energy::battery::Battery;
 use precision_beekeeping::energy::harvest::PowerSystemConfig;
+use precision_beekeeping::orchestra::engine::Backend;
 use precision_beekeeping::orchestra::loss::LossModel;
 use precision_beekeeping::units::{Seconds, WattHours};
 use std::collections::HashMap;
@@ -48,6 +49,7 @@ fn usage() {
     println!("commands:");
     println!("  tables                          print the per-cycle energy tables");
     println!("  recommend --hives N [--cap N] [--service svm|cnn] [--losses]");
+    println!("            [--backend closed-form|timeline|des]");
     println!("                                  edge vs edge+cloud for an apiary");
     println!("  tune [--battery-wh W]           fastest sustainable wake-up period");
     println!("  alert [--accuracy A] [--k K]    queen-loss alerting trade-off");
@@ -76,7 +78,9 @@ fn parse_flags(args: impl Iterator<Item = String>) -> HashMap<String, String> {
 fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
     match flags.get(key) {
         None => default,
-        Some(raw) => raw.parse().unwrap_or_else(|_| fail(&format!("--{key}: cannot parse '{raw}'"))),
+        Some(raw) => {
+            raw.parse().unwrap_or_else(|_| fail(&format!("--{key}: cannot parse '{raw}'")))
+        }
     }
 }
 
@@ -115,13 +119,15 @@ fn recommend(flags: &HashMap<String, String>) {
     let service = service_of(flags);
     let losses = flags.contains_key("losses");
     let loss = if losses { LossModel::all() } else { LossModel::NONE };
-    let rec = Apiary::new("cli", hives).recommend(service, cap, loss);
+    let backend: Backend = get(flags, "backend", Backend::ClosedForm);
+    let rec = Apiary::new("cli", hives).recommend_with(backend, service, cap, loss);
     println!(
-        "{} hives, {} service, {} clients/slot{}:",
+        "{} hives, {} service, {} clients/slot{}, {} backend:",
         hives,
         service.name(),
         cap,
-        if losses { ", with losses" } else { "" }
+        if losses { ", with losses" } else { "" },
+        backend
     );
     println!("  edge       : {:.1} J per hive per cycle", rec.edge_per_hive.value());
     println!(
@@ -146,7 +152,10 @@ fn tune(flags: &HashMap<String, String>) {
     let tuner = FrequencyTuner::default();
     match tuner.fastest_sustainable(&hive) {
         Some(a) => {
-            println!("battery {wh} Wh → fastest sustainable period: {:.0} min", a.period.as_minutes());
+            println!(
+                "battery {wh} Wh → fastest sustainable period: {:.0} min",
+                a.period.as_minutes()
+            );
             println!(
                 "  daily: {:.1} Wh demand vs {:.1} Wh budget; night: {:.1} Wh vs {:.1} Wh deliverable",
                 a.daily_demand.to_watt_hours().value(),
@@ -155,9 +164,14 @@ fn tune(flags: &HashMap<String, String>) {
                 a.night_budget.to_watt_hours().value(),
             );
             let queen = tuner.recommend(&hive, ServiceRequirement::queen_detection()).is_some();
-            println!("  queen detection (needs ≤ 5 min): {}", if queen { "supported" } else { "NOT supported" });
+            println!(
+                "  queen detection (needs ≤ 5 min): {}",
+                if queen { "supported" } else { "NOT supported" }
+            );
         }
-        None => println!("battery {wh} Wh cannot sustain any candidate period — enlarge the panel or battery"),
+        None => println!(
+            "battery {wh} Wh cannot sustain any candidate period — enlarge the panel or battery"
+        ),
     }
 }
 

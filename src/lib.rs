@@ -24,15 +24,11 @@
 //! use precision_beekeeping::orchestra::prelude::*;
 //!
 //! // Should 200 smart beehives run queen detection on-device or in the
-//! // cloud? Simulate one 5-minute cycle of each placement.
-//! let edge = simulate_edge(200, &presets::edge_client(ServiceKind::Cnn),
-//!                          &LossModel::NONE, &mut seeded_rng(1));
-//! let cloud = simulate_edge_cloud(200, &presets::edge_cloud_client(),
-//!                                 &presets::cloud_server(ServiceKind::Cnn, 10),
-//!                                 &LossModel::NONE, FillPolicy::PackSlots,
-//!                                 &mut seeded_rng(1));
+//! // cloud? Compare one 5-minute cycle of each placement.
+//! let spec = ScenarioSpec::paper(ServiceKind::Cnn, 10, LossModel::NONE);
+//! let point = Backend::ClosedForm.compare(&spec, 200, &SimContext::new(1));
 //! // At this scale the edge placement wins (the paper's Figure 7a).
-//! assert!(edge.total_per_client < cloud.total_per_client);
+//! assert!(point.edge.total_per_client < point.cloud.total_per_client);
 //! ```
 
 pub use pb_beehive as beehive;

@@ -28,11 +28,11 @@ use rand::SeedableRng;
 fn timeline_validates_every_figure_configuration() {
     let client = presets::edge_cloud_client();
     for (cap, loss, policy) in [
-        (10usize, LossModel::NONE, FillPolicy::PackSlots),        // Fig 6/7a
-        (35, LossModel::NONE, FillPolicy::PackSlots),             // Fig 7b
+        (10usize, LossModel::NONE, FillPolicy::PackSlots), // Fig 6/7a
+        (35, LossModel::NONE, FillPolicy::PackSlots),      // Fig 7b
         (10, LossModel::saturation_only(), FillPolicy::PackSlots), // Fig 8a
-        (10, LossModel::transfer_only(), FillPolicy::PackSlots),  // Fig 8b
-        (35, LossModel::fig9(), FillPolicy::BalanceSlots),        // Fig 9
+        (10, LossModel::transfer_only(), FillPolicy::PackSlots), // Fig 8b
+        (35, LossModel::fig9(), FillPolicy::BalanceSlots), // Fig 9
     ] {
         let server = presets::cloud_server(ServiceKind::Cnn, cap);
         for n in [1usize, 100, 630, 1700] {
@@ -123,12 +123,7 @@ fn mfcc_svm_cross_validation() {
         let mfcc = Mfcc::from_mel(&mel, 13);
         data.push(mfcc.coeff_means(), clip.state.label());
     }
-    let acc = cross_validate_svm(
-        &data,
-        SvmConfig { gamma: 0.05, ..SvmConfig::default() },
-        4,
-        3,
-    );
+    let acc = cross_validate_svm(&data, SvmConfig { gamma: 0.05, ..SvmConfig::default() }, 4, 3);
     assert!(acc >= 0.85, "MFCC cross-validated accuracy {acc}");
 }
 

@@ -5,7 +5,9 @@ use precision_beekeeping::device::constants as k;
 use precision_beekeeping::device::routine::{RoutineBuilder, ServiceKind};
 use precision_beekeeping::orchestra::loss::LossModel;
 use precision_beekeeping::orchestra::prelude::*;
-use precision_beekeeping::orchestra::sweep::{analyze_crossover, tipping_slot_capacity, SweepConfig};
+use precision_beekeeping::orchestra::sweep::{
+    analyze_crossover, tipping_slot_capacity, SweepConfig,
+};
 use precision_beekeeping::units::{Joules, Seconds, Watts};
 
 fn cnn_sweep(max_parallel: usize) -> SweepConfig {
@@ -72,15 +74,8 @@ fn table2_totals() {
 
     // Reconstruct the cloud column for one lone client.
     for (service, expected) in [(ServiceKind::Svm, 13_744.3), (ServiceKind::Cnn, 13_806.0)] {
-        let server = presets::cloud_server(service, 10);
-        let report = simulate_edge_cloud(
-            1,
-            &presets::edge_cloud_client(),
-            &server,
-            &LossModel::NONE,
-            FillPolicy::PackSlots,
-            &mut seeded_rng(1),
-        );
+        let spec = ScenarioSpec::paper(service, 10, LossModel::NONE);
+        let report = Backend::ClosedForm.evaluate(&spec, 1, &SimContext::new(1));
         let total = report.server_energy_total;
         assert!(
             (total - Joules(expected)).abs() < Joules(30.0),
@@ -175,11 +170,8 @@ fn figure8_loss_levels() {
 /// intervals.
 #[test]
 fn figure9_regime() {
-    let sweep = SweepConfig {
-        loss: LossModel::fig9(),
-        policy: FillPolicy::BalanceSlots,
-        ..cnn_sweep(35)
-    };
+    let sweep =
+        SweepConfig { loss: LossModel::fig9(), policy: FillPolicy::BalanceSlots, ..cnn_sweep(35) };
     let points = sweep.run_range(1600, 1750, 50);
     for p in &points {
         assert_eq!(p.cloud.n_servers, 3, "n = {}", p.n_clients);
