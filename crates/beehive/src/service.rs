@@ -14,7 +14,7 @@ use pb_ml::nn::train::{evaluate, train, TrainConfig};
 use pb_ml::svm::{RbfSvm, SvmConfig};
 use pb_ml::tensor::FeatureMap;
 use pb_signal::corpus::{Corpus, CorpusConfig};
-use pb_signal::mel::MelFilterbank;
+use pb_signal::pipeline::MelPipeline;
 use pb_signal::stft::SpectrogramParams;
 use pb_units::Joules;
 
@@ -81,21 +81,17 @@ pub struct ResolutionPoint {
 pub struct QueenDetectionPipeline {
     config: PipelineConfig,
     corpus: Corpus,
-    bank: MelFilterbank,
+    features: MelPipeline,
 }
 
 impl QueenDetectionPipeline {
-    /// Synthesizes the corpus and prepares the filterbank.
+    /// Synthesizes the corpus and plans the feature pipeline (STFT plan +
+    /// filterbank built once, reused for every clip).
     pub fn new(config: PipelineConfig) -> Self {
         let corpus = Corpus::generate(&config.corpus);
-        let bank = MelFilterbank::new(
-            config.n_mels,
-            config.stft.n_fft,
-            config.corpus.synth.sample_rate,
-            0.0,
-            config.corpus.synth.sample_rate / 2.0,
-        );
-        QueenDetectionPipeline { config, corpus, bank }
+        let features =
+            MelPipeline::new(config.stft, config.n_mels, config.corpus.synth.sample_rate);
+        QueenDetectionPipeline { config, corpus, features }
     }
 
     /// The synthesized corpus.
@@ -110,7 +106,7 @@ impl QueenDetectionPipeline {
     /// dimension at `n_mels` and the classes separable by construction of
     /// the synthesizer.
     pub fn svm_dataset(&self) -> Dataset {
-        let feats = self.corpus.mel_features(self.config.stft, &self.bank);
+        let feats = self.corpus.mel_features(&self.features);
         let (features, labels) =
             feats.into_iter().map(|(mel, state)| (mel.band_means(), state.label())).unzip();
         Dataset::from_pairs(features, labels)
@@ -128,7 +124,7 @@ impl QueenDetectionPipeline {
     /// Spectrogram images at `side × side` with labels, for the CNN path.
     pub fn image_dataset(&self, side: usize) -> Vec<(FeatureMap, usize)> {
         self.corpus
-            .spectrogram_images(self.config.stft, &self.bank, side)
+            .spectrogram_images(&self.features, side)
             .into_iter()
             .map(|(img, state)| {
                 (FeatureMap::from_image(img.width(), img.height(), img.pixels()), state.label())

@@ -1,0 +1,146 @@
+//! The clip→prediction hot path: feature extraction plus CNN inference on
+//! the paper-default 10 s / 22 050 Hz clip.
+//!
+//! Besides the criterion group (which the CI smoke run exercises), the
+//! binary times the same stages itself and writes `BENCH_dsp.json` at the
+//! repository root — a machine-readable perf baseline for future PRs.
+//! "Cold" includes planning (FFT twiddles, window, filterbank); "warm"
+//! reuses the plans, which is the steady per-cycle cost the energy model
+//! prices.
+
+use criterion::{black_box, Criterion};
+use pb_ml::nn::resnet::{ResNetConfig, ResNetLite};
+use pb_ml::tensor::FeatureMap;
+use pb_signal::audio::{BeeAudioSynth, ColonyState};
+use pb_signal::pipeline::MelPipeline;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// CNN input side used by the end-to-end path (the paper's Figure 5 anchor
+/// resolution, whose 100×100 inference is pinned to 94.8 J).
+const CNN_SIDE: usize = 100;
+
+fn paper_clip() -> Vec<f64> {
+    let synth = BeeAudioSynth::default();
+    synth.generate(ColonyState::Queenright, 10.0, &mut StdRng::seed_from_u64(2))
+}
+
+fn to_feature_map(img: &pb_signal::image::Image) -> FeatureMap {
+    FeatureMap::from_image(img.width(), img.height(), img.pixels())
+}
+
+/// Times `f` `reps` times; returns the minimum in milliseconds.
+fn time_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut min = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        black_box(f());
+        min = min.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    min
+}
+
+struct Row {
+    name: &'static str,
+    cold_ms: f64,
+    warm_ms: f64,
+}
+
+fn measure_rows() -> Vec<Row> {
+    let clip = paper_clip();
+    let pipeline = MelPipeline::paper_default();
+    let net = ResNetLite::new(ResNetConfig::default());
+    let cnn_input = to_feature_map(&pipeline.image(&clip, CNN_SIDE));
+    let reps = 12;
+
+    // Cold: plan + transform from scratch (one measurement each).
+    let clip_to_mel_cold = time_ms(1, || MelPipeline::paper_default().mel(&clip).n_frames());
+    let clip_to_mfcc_cold = time_ms(1, || MelPipeline::paper_default().mfcc(&clip, 13).n_frames());
+    let end_to_end_cold = time_ms(1, || {
+        let p = MelPipeline::paper_default();
+        let input = to_feature_map(&p.image(&clip, CNN_SIDE));
+        net.forward(&input)[0]
+    });
+
+    // Warm: plans reused; min over reps is the steady-state figure.
+    let clip_to_mel = time_ms(reps, || pipeline.mel(&clip).n_frames());
+    let clip_to_mfcc = time_ms(reps, || pipeline.mfcc(&clip, 13).n_frames());
+    let cnn = time_ms(reps, || net.forward(&cnn_input)[0]);
+    // The retained direct-loop oracle versus the GEMM path, for the conv
+    // speedup ratio on an interior-layer-shaped workload.
+    let conv_layer = {
+        use pb_ml::nn::conv::Conv2d;
+        let mut rng = StdRng::seed_from_u64(5);
+        Conv2d::new(8, 8, 3, 1, 1, &mut rng)
+    };
+    let conv_input = FeatureMap::from_vec(8, 50, 50, vec![0.1; 8 * 50 * 50]);
+    let conv_direct = time_ms(4, || conv_layer.forward_direct(&conv_input).data()[0]);
+    let conv_gemm = time_ms(4, || conv_layer.forward(&conv_input).data()[0]);
+    let end_to_end = time_ms(reps, || {
+        let input = to_feature_map(&pipeline.image(&clip, CNN_SIDE));
+        net.forward(&input)[0]
+    });
+
+    vec![
+        Row { name: "clip_to_mel", cold_ms: clip_to_mel_cold, warm_ms: clip_to_mel },
+        Row { name: "clip_to_mfcc13", cold_ms: clip_to_mfcc_cold, warm_ms: clip_to_mfcc },
+        Row { name: "cnn_forward_100px", cold_ms: cnn, warm_ms: cnn },
+        Row { name: "conv3x3_8c_50px_direct", cold_ms: conv_direct, warm_ms: conv_direct },
+        Row { name: "conv3x3_8c_50px_gemm", cold_ms: conv_gemm, warm_ms: conv_gemm },
+        Row {
+            name: "end_to_end_clip_to_prediction",
+            cold_ms: end_to_end_cold,
+            warm_ms: end_to_end,
+        },
+    ]
+}
+
+fn write_json(rows: &[Row]) {
+    let mut out = String::from("{\n  \"bench\": \"dsp_pipeline\",\n");
+    out.push_str("  \"clip_seconds\": 10.0,\n  \"sample_rate_hz\": 22050,\n");
+    out.push_str("  \"cnn_input_side\": 100,\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"cold_ms\": {:.3}, \"warm_ms\": {:.3}}}{}\n",
+            r.name,
+            r.cold_ms,
+            r.warm_ms,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dsp.json");
+    match std::fs::write(path, &out) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn criterion_groups() {
+    let mut c = Criterion::from_args();
+    let clip = paper_clip();
+    let pipeline = MelPipeline::paper_default();
+    let net = ResNetLite::new(ResNetConfig::default());
+    let cnn_input = to_feature_map(&pipeline.image(&clip, CNN_SIDE));
+
+    let mut group = c.benchmark_group("dsp_pipeline");
+    group.bench_function("clip_to_mel", |b| b.iter(|| black_box(pipeline.mel(&clip).n_frames())));
+    group.bench_function("clip_to_mfcc13", |b| {
+        b.iter(|| black_box(pipeline.mfcc(&clip, 13).n_frames()))
+    });
+    group.bench_function("cnn_forward_100px", |b| b.iter(|| black_box(net.forward(&cnn_input)[0])));
+    group.bench_function("end_to_end", |b| {
+        b.iter(|| {
+            let input = to_feature_map(&pipeline.image(&clip, CNN_SIDE));
+            black_box(net.forward(&input)[0])
+        })
+    });
+    group.finish();
+    c.final_summary();
+}
+
+fn main() {
+    criterion_groups();
+    write_json(&measure_rows());
+}

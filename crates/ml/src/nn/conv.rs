@@ -1,8 +1,22 @@
 //! 2-D convolution with explicit forward and backward passes.
+//!
+//! The hot path lowers convolution to matrix multiplication: `im2col`
+//! unrolls every receptive field into a column of a `fan_in × (oh·ow)`
+//! patch matrix, and a cache-blocked GEMM multiplies the `out_c × fan_in`
+//! weight matrix against it. The naive 6-deep loops are retained as
+//! [`Conv2d::forward_direct`]/[`Conv2d::backward_direct`] — they are the
+//! oracle the fast path is parity-tested against (both accumulate taps in
+//! the same ascending `(ic, ky, kx)` order, so the forward pass is
+//! bit-identical).
 
 use crate::init::he_normal;
 use crate::tensor::FeatureMap;
 use rand::Rng;
+
+/// K-dimension panel width of the blocked GEMM: 48 f64 weight/patch rows
+/// (~0.4 KB of weights per panel) keeps the active patch-matrix panel
+/// resident in L1 while streaming output rows.
+const GEMM_KB: usize = 48;
 
 /// A 2-D convolution layer with square kernels, zero padding and bias.
 #[derive(Clone, Debug)]
@@ -69,8 +83,140 @@ impl Conv2d {
         self.weights[((oc * self.in_c + ic) * self.k + ky) * self.k + kx]
     }
 
-    /// Forward pass.
+    /// Unrolls `x` into the `fan_in × (oh·ow)` patch matrix: row
+    /// `f = (ic·k + ky)·k + kx` holds, per output position, the input sample
+    /// under kernel tap `(ic, ky, kx)` (zero where the tap falls in padding).
+    fn im2col(&self, x: &FeatureMap, oh: usize, ow: usize, cols: &mut Vec<f64>) {
+        let (h, w) = (x.height(), x.width());
+        let n_patch = oh * ow;
+        cols.clear();
+        cols.resize(self.in_c * self.k * self.k * n_patch, 0.0);
+        for ic in 0..self.in_c {
+            let chan = x.channel(ic);
+            for ky in 0..self.k {
+                let off_y = ky as isize - self.pad as isize;
+                for kx in 0..self.k {
+                    let off_x = kx as isize - self.pad as isize;
+                    let f = (ic * self.k + ky) * self.k + kx;
+                    let row = &mut cols[f * n_patch..(f + 1) * n_patch];
+                    // ox values with ix = ox·stride + off_x inside [0, w).
+                    let ox_lo =
+                        if off_x >= 0 { 0 } else { ((-off_x) as usize).div_ceil(self.stride) };
+                    let ox_hi = if (w as isize) <= off_x {
+                        0
+                    } else {
+                        (((w as isize - 1 - off_x) as usize) / self.stride + 1).min(ow)
+                    };
+                    if ox_lo >= ox_hi {
+                        continue;
+                    }
+                    for oy in 0..oh {
+                        let iy = oy as isize * self.stride as isize + off_y;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let src = &chan[iy as usize * w..(iy as usize + 1) * w];
+                        let dst = &mut row[oy * ow..(oy + 1) * ow];
+                        if self.stride == 1 {
+                            let ix0 = (ox_lo as isize + off_x) as usize;
+                            dst[ox_lo..ox_hi].copy_from_slice(&src[ix0..ix0 + (ox_hi - ox_lo)]);
+                        } else {
+                            for (ox, d) in dst[..ox_hi].iter_mut().enumerate().skip(ox_lo) {
+                                *d = src[(ox as isize * self.stride as isize + off_x) as usize];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Blocked GEMM epilogue of the forward pass:
+    /// `out[oc][p] = bias[oc] + Σ_f weights[oc][f] · cols[f][p]`.
+    ///
+    /// The K (`fan_in`) dimension is processed in [`GEMM_KB`]-wide panels
+    /// with an i-k-j loop order, so the inner loop is a contiguous axpy over
+    /// patch columns. Each output element still accumulates taps in
+    /// ascending-`f` order — the same order as the direct loops, which keeps
+    /// the two paths bit-identical.
+    fn gemm_bias(&self, cols: &[f64], n_patch: usize, out: &mut [f64]) {
+        let fan_in = self.in_c * self.k * self.k;
+        for (orow, &b) in out.chunks_exact_mut(n_patch).zip(&self.bias) {
+            orow.fill(b);
+        }
+        let mut f0 = 0;
+        while f0 < fan_in {
+            let f1 = (f0 + GEMM_KB).min(fan_in);
+            for oc in 0..self.out_c {
+                let orow = &mut out[oc * n_patch..(oc + 1) * n_patch];
+                for f in f0..f1 {
+                    let wv = self.weights[oc * fan_in + f];
+                    let crow = &cols[f * n_patch..(f + 1) * n_patch];
+                    for (o, &c) in orow.iter_mut().zip(crow) {
+                        *o += wv * c;
+                    }
+                }
+            }
+            f0 = f1;
+        }
+    }
+
+    /// Scatters patch-matrix gradients back onto the input grid — the
+    /// adjoint of [`Conv2d::im2col`].
+    fn col2im_accumulate(&self, gcols: &[f64], oh: usize, ow: usize, gin: &mut FeatureMap) {
+        let (h, w) = (gin.height(), gin.width());
+        let n_patch = oh * ow;
+        let gin_data = gin.data_mut();
+        for ic in 0..self.in_c {
+            let chan = &mut gin_data[ic * h * w..(ic + 1) * h * w];
+            for ky in 0..self.k {
+                let off_y = ky as isize - self.pad as isize;
+                for kx in 0..self.k {
+                    let off_x = kx as isize - self.pad as isize;
+                    let f = (ic * self.k + ky) * self.k + kx;
+                    let row = &gcols[f * n_patch..(f + 1) * n_patch];
+                    let ox_lo =
+                        if off_x >= 0 { 0 } else { ((-off_x) as usize).div_ceil(self.stride) };
+                    let ox_hi = if (w as isize) <= off_x {
+                        0
+                    } else {
+                        (((w as isize - 1 - off_x) as usize) / self.stride + 1).min(ow)
+                    };
+                    if ox_lo >= ox_hi {
+                        continue;
+                    }
+                    for oy in 0..oh {
+                        let iy = oy as isize * self.stride as isize + off_y;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let dst = &mut chan[iy as usize * w..(iy as usize + 1) * w];
+                        let src = &row[oy * ow..(oy + 1) * ow];
+                        for (ox, &g) in src[..ox_hi].iter().enumerate().skip(ox_lo) {
+                            dst[(ox as isize * self.stride as isize + off_x) as usize] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Forward pass (im2col + blocked GEMM; bit-identical to
+    /// [`Conv2d::forward_direct`]).
     pub fn forward(&self, x: &FeatureMap) -> FeatureMap {
+        assert_eq!(x.channels(), self.in_c, "input channel mismatch");
+        let (h, w) = (x.height(), x.width());
+        let (oh, ow) = self.output_size(h, w);
+        let mut cols = Vec::new();
+        self.im2col(x, oh, ow, &mut cols);
+        let mut out = FeatureMap::zeros(self.out_c, oh, ow);
+        self.gemm_bias(&cols, oh * ow, out.data_mut());
+        out
+    }
+
+    /// Reference forward pass: the naive 6-deep loop, kept as the oracle
+    /// for the GEMM path's parity tests.
+    pub fn forward_direct(&self, x: &FeatureMap) -> FeatureMap {
         assert_eq!(x.channels(), self.in_c, "input channel mismatch");
         let (h, w) = (x.height(), x.width());
         let (oh, ow) = self.output_size(h, w);
@@ -105,8 +251,62 @@ impl Conv2d {
     /// Backward pass: given the layer input `x` and the loss gradient with
     /// respect to the output `gout`, accumulates weight/bias gradients into
     /// `gw`/`gb` and returns the gradient with respect to the input.
-    #[allow(clippy::needless_range_loop)] // oc indexes gout, gb and the kernel together
+    ///
+    /// Expressed as GEMMs over the same patch matrix as the forward pass:
+    /// `gb` is the row sums of `gout`, `gw += gout · colsᵀ`, and the input
+    /// gradient is scattered back onto the input grid (the adjoint of the
+    /// patch unroll) from `gcols = Wᵀ · gout`. Parity-tested against
+    /// [`Conv2d::backward_direct`] to ≤1e-9.
     pub fn backward(
+        &self,
+        x: &FeatureMap,
+        gout: &FeatureMap,
+        gw: &mut [f64],
+        gb: &mut [f64],
+    ) -> FeatureMap {
+        assert_eq!(gw.len(), self.n_weights(), "gw length mismatch");
+        assert_eq!(gb.len(), self.out_c, "gb length mismatch");
+        assert_eq!(x.channels(), self.in_c, "input channel mismatch");
+        let (h, w) = (x.height(), x.width());
+        let (oh, ow) = self.output_size(h, w);
+        assert_eq!(gout.shape(), (self.out_c, oh, ow), "gout shape mismatch");
+
+        let n_patch = oh * ow;
+        let fan_in = self.in_c * self.k * self.k;
+        let mut cols = Vec::new();
+        self.im2col(x, oh, ow, &mut cols);
+        let g = gout.data();
+
+        // gb[oc] += Σ_p gout[oc][p]; gw[oc][f] += Σ_p gout[oc][p]·cols[f][p].
+        for oc in 0..self.out_c {
+            let grow = &g[oc * n_patch..(oc + 1) * n_patch];
+            gb[oc] += grow.iter().sum::<f64>();
+            let gwrow = &mut gw[oc * fan_in..(oc + 1) * fan_in];
+            for (gwf, crow) in gwrow.iter_mut().zip(cols.chunks_exact(n_patch)) {
+                *gwf += grow.iter().zip(crow).map(|(&gv, &c)| gv * c).sum::<f64>();
+            }
+        }
+
+        // gcols = Wᵀ · gout, then scatter back onto the input grid.
+        let mut gcols = vec![0.0; fan_in * n_patch];
+        for oc in 0..self.out_c {
+            let grow = &g[oc * n_patch..(oc + 1) * n_patch];
+            let wrow = &self.weights[oc * fan_in..(oc + 1) * fan_in];
+            for (&wv, gcrow) in wrow.iter().zip(gcols.chunks_exact_mut(n_patch)) {
+                for (gc, &gv) in gcrow.iter_mut().zip(grow) {
+                    *gc += wv * gv;
+                }
+            }
+        }
+        let mut gin = FeatureMap::zeros(self.in_c, h, w);
+        self.col2im_accumulate(&gcols, oh, ow, &mut gin);
+        gin
+    }
+
+    /// Reference backward pass: the naive loop mirror of
+    /// [`Conv2d::forward_direct`], kept as the parity oracle.
+    #[allow(clippy::needless_range_loop)] // oc indexes gout, gb and the kernel together
+    pub fn backward_direct(
         &self,
         x: &FeatureMap,
         gout: &FeatureMap,
@@ -337,5 +537,105 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let conv = Conv2d::new(1, 1, 5, 1, 0, &mut rng);
         conv.output_size(3, 3);
+    }
+
+    fn random_case(
+        (in_c, out_c, k, stride, pad, h, w): (usize, usize, usize, usize, usize, usize, usize),
+        seed: u64,
+    ) -> (Conv2d, FeatureMap) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut conv = Conv2d::new(in_c, out_c, k, stride, pad, &mut rng);
+        for b in conv.bias.iter_mut() {
+            *b = rng.gen_range(-0.5..0.5);
+        }
+        let data: Vec<f64> = (0..in_c * h * w).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        (conv, FeatureMap::from_vec(in_c, h, w, data))
+    }
+
+    /// Geometry grid shared by the GEMM-vs-direct parity tests; the last
+    /// rows exercise pad ≥ k (every tap out of bounds for corner outputs).
+    const PARITY_CASES: &[(usize, usize, usize, usize, usize, usize, usize)] = &[
+        // (in_c, out_c, k, stride, pad, h, w)
+        (1, 1, 1, 1, 0, 5, 5),
+        (1, 4, 3, 1, 1, 8, 8),
+        (3, 8, 3, 2, 1, 9, 7),
+        (2, 3, 5, 1, 2, 6, 11),
+        (4, 2, 3, 3, 0, 10, 10),
+        (2, 2, 3, 1, 3, 4, 4), // pad == k
+        (1, 2, 3, 2, 4, 3, 5), // pad > k
+        (3, 1, 1, 1, 2, 2, 2), // 1×1 kernel, pad > k
+    ];
+
+    #[test]
+    fn gemm_forward_matches_direct_oracle() {
+        for (i, &(in_c, out_c, k, stride, pad, h, w)) in PARITY_CASES.iter().enumerate() {
+            let (conv, x) = random_case((in_c, out_c, k, stride, pad, h, w), 100 + i as u64);
+            let fast = conv.forward(&x);
+            let direct = conv.forward_direct(&x);
+            assert_eq!(fast.shape(), direct.shape(), "case {i}");
+            // Both paths accumulate taps in the same order → bit-identical.
+            assert_eq!(fast.data(), direct.data(), "case {i}: {:?}", PARITY_CASES[i]);
+        }
+    }
+
+    #[test]
+    fn gemm_backward_matches_direct_oracle() {
+        for (i, &(in_c, out_c, k, stride, pad, h, w)) in PARITY_CASES.iter().enumerate() {
+            let (conv, x) = random_case((in_c, out_c, k, stride, pad, h, w), 200 + i as u64);
+            let (oh, ow) = conv.output_size(h, w);
+            let mut rng = StdRng::seed_from_u64(300 + i as u64);
+            let gout = FeatureMap::from_vec(
+                out_c,
+                oh,
+                ow,
+                (0..out_c * oh * ow).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            );
+            let (mut gw_a, mut gb_a) = (vec![0.0; conv.n_weights()], vec![0.0; out_c]);
+            let (mut gw_b, mut gb_b) = (vec![0.0; conv.n_weights()], vec![0.0; out_c]);
+            let gin_a = conv.backward(&x, &gout, &mut gw_a, &mut gb_a);
+            let gin_b = conv.backward_direct(&x, &gout, &mut gw_b, &mut gb_b);
+            let close = |a: &[f64], b: &[f64], what: &str| {
+                for (j, (&u, &v)) in a.iter().zip(b).enumerate() {
+                    assert!(
+                        (u - v).abs() <= 1e-9 * (1.0 + v.abs()),
+                        "case {i} {what}[{j}]: {u} vs {v}"
+                    );
+                }
+            };
+            close(&gw_a, &gw_b, "gw");
+            close(&gb_a, &gb_b, "gb");
+            close(gin_a.data(), gin_b.data(), "gin");
+        }
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(proptest::test_runner::Config::with_cases(48))]
+            #[test]
+            fn im2col_conv_matches_direct(
+                in_c in 1usize..4,
+                out_c in 1usize..4,
+                k in 1usize..5,
+                stride in 1usize..4,
+                pad in 0usize..5,
+                extra_h in 0usize..6,
+                extra_w in 0usize..6,
+                seed in 0u64..1_000_000,
+            ) {
+                // Keep the input large enough for the kernel even at pad 0.
+                let h = k + extra_h;
+                let w = k + extra_w;
+                let (conv, x) = random_case((in_c, out_c, k, stride, pad, h, w), seed);
+                let fast = conv.forward(&x);
+                let direct = conv.forward_direct(&x);
+                prop_assert_eq!(fast.shape(), direct.shape());
+                for (a, b) in fast.data().iter().zip(direct.data()) {
+                    prop_assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()), "{} vs {}", a, b);
+                }
+            }
+        }
     }
 }

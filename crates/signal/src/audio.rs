@@ -213,7 +213,7 @@ mod tests {
         // Average over frames, find the peak bin.
         let bins = spec.n_bins();
         let mut avg = vec![0.0; bins];
-        for f in &spec.frames {
+        for f in spec.frames() {
             for (a, &p) in avg.iter_mut().zip(f) {
                 *a += p;
             }

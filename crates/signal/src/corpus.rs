@@ -7,8 +7,8 @@
 
 use crate::audio::{BeeAudioSynth, ColonyState};
 use crate::image::Image;
-use crate::mel::{MelFilterbank, MelSpectrogram};
-use crate::stft::{SpectrogramParams, Stft};
+use crate::mel::MelSpectrogram;
+use crate::pipeline::MelPipeline;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -100,47 +100,26 @@ impl Corpus {
         self.clips.iter().filter(|c| c.state == ColonyState::Queenright).count()
     }
 
-    /// Computes log-mel features for every clip (parallel), with the given
-    /// STFT parameters and filterbank.
-    pub fn mel_features(
-        &self,
-        params: SpectrogramParams,
-        bank: &MelFilterbank,
-    ) -> Vec<(MelSpectrogram, ColonyState)> {
-        let stft = Stft::new(params);
-        self.clips
-            .par_iter()
-            .map(|c| (MelSpectrogram::compute(&c.samples, &stft, bank), c.state))
-            .collect()
+    /// Computes log-mel features for every clip (parallel) with a planned
+    /// pipeline, so STFT plan and filterbank are built once, not per clip.
+    pub fn mel_features(&self, pipeline: &MelPipeline) -> Vec<(MelSpectrogram, ColonyState)> {
+        self.clips.par_iter().map(|c| (pipeline.mel(&c.samples), c.state)).collect()
     }
 
     /// Renders every clip to a normalized `side × side` spectrogram image
     /// (the CNN input of the Figure 5 sweep). Returns `(image, label)`.
     pub fn spectrogram_images(
         &self,
-        params: SpectrogramParams,
-        bank: &MelFilterbank,
+        pipeline: &MelPipeline,
         side: usize,
     ) -> Vec<(Image, ColonyState)> {
-        let stft = Stft::new(params);
-        self.clips
-            .par_iter()
-            .map(|c| {
-                let mel = MelSpectrogram::compute(&c.samples, &stft, bank);
-                let img = Image::from_mel(&mel).resize_bilinear(side, side).normalize();
-                (img, c.state)
-            })
-            .collect()
+        self.clips.par_iter().map(|c| (pipeline.image(&c.samples, side), c.state)).collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn tiny_params() -> SpectrogramParams {
-        SpectrogramParams { n_fft: 1024, hop: 512, window: crate::window::WindowKind::Hann }
-    }
 
     #[test]
     fn balanced_labels() {
@@ -176,9 +155,7 @@ mod tests {
     #[test]
     fn mel_features_cover_corpus() {
         let corpus = Corpus::generate(&CorpusConfig::small(4, 0.2, 5));
-        let bank =
-            MelFilterbank::new(32, 1024, crate::SAMPLE_RATE_HZ, 0.0, crate::SAMPLE_RATE_HZ / 2.0);
-        let feats = corpus.mel_features(tiny_params(), &bank);
+        let feats = corpus.mel_features(&MelPipeline::compact());
         assert_eq!(feats.len(), 4);
         for (mel, _) in &feats {
             assert_eq!(mel.n_mels(), 32);
@@ -189,9 +166,7 @@ mod tests {
     #[test]
     fn spectrogram_images_have_requested_side() {
         let corpus = Corpus::generate(&CorpusConfig::small(2, 0.2, 5));
-        let bank =
-            MelFilterbank::new(32, 1024, crate::SAMPLE_RATE_HZ, 0.0, crate::SAMPLE_RATE_HZ / 2.0);
-        let imgs = corpus.spectrogram_images(tiny_params(), &bank, 24);
+        let imgs = corpus.spectrogram_images(&MelPipeline::compact(), 24);
         assert_eq!(imgs.len(), 2);
         for (img, _) in &imgs {
             assert_eq!(img.width(), 24);

@@ -71,10 +71,10 @@ pub fn spectral_flatness(frame: &[f64]) -> f64 {
 /// Spectral flux between consecutive frames: L2 norm of the positive
 /// power differences, one value per frame transition.
 pub fn spectral_flux(spec: &Spectrogram) -> Vec<f64> {
-    spec.frames
-        .windows(2)
-        .map(|w| {
-            w[1].iter().zip(&w[0]).map(|(&b, &a)| (b - a).max(0.0).powi(2)).sum::<f64>().sqrt()
+    (1..spec.n_frames())
+        .map(|i| {
+            let (prev, cur) = (spec.frame(i - 1), spec.frame(i));
+            cur.iter().zip(prev).map(|(&b, &a)| (b - a).max(0.0).powi(2)).sum::<f64>().sqrt()
         })
         .collect()
 }
@@ -90,7 +90,7 @@ pub fn clip_summary(spec: &Spectrogram, sample_rate: f64, n_fft: usize) -> [f64;
     let mut rolloff = 0.0;
     let mut bandwidth = 0.0;
     let mut flatness = 0.0;
-    for f in &spec.frames {
+    for f in spec.frames() {
         centroid += spectral_centroid(f, sample_rate, n_fft);
         rolloff += spectral_rolloff(f, sample_rate, n_fft, 0.85);
         bandwidth += spectral_bandwidth(f, sample_rate, n_fft);
@@ -158,7 +158,7 @@ mod tests {
 
     #[test]
     fn flux_detects_spectral_change() {
-        let spec = Spectrogram { frames: vec![tone_frame(50), tone_frame(50), tone_frame(200)] };
+        let spec = Spectrogram::from_frames(vec![tone_frame(50), tone_frame(50), tone_frame(200)]);
         let flux = spectral_flux(&spec);
         assert_eq!(flux.len(), 2);
         assert!(flux[0] < 1e-12, "identical frames have zero flux");
@@ -181,7 +181,7 @@ mod tests {
         assert!(summary[0] < 2000.0, "centroid {}", summary[0]);
         assert!(summary[3] < 0.2, "flatness {}", summary[3]);
         // Empty clip gives zeros.
-        assert_eq!(clip_summary(&Spectrogram { frames: vec![] }, SR, 2048), [0.0; 5]);
+        assert_eq!(clip_summary(&Spectrogram::empty(), SR, 2048), [0.0; 5]);
     }
 
     #[test]

@@ -17,19 +17,29 @@ pub struct Fft {
     rev: Vec<u32>,
     /// Twiddles for the forward transform: w[k] = e^{-2πik/n}, k < n/2.
     twiddles: Vec<Complex>,
+    /// Bit-reversal permutation for the n/2-point sub-transform used by the
+    /// packed real-input path (empty for n < 2).
+    half_rev: Vec<u32>,
+}
+
+fn bit_reversal_table(n: usize) -> Vec<u32> {
+    if n <= 1 {
+        return vec![0; n];
+    }
+    let bits = n.trailing_zeros();
+    (0..n as u32).map(|i| i.reverse_bits() >> (32 - bits)).collect()
 }
 
 impl Fft {
     /// Plans an FFT of size `n` (must be a power of two ≥ 1).
     pub fn new(n: usize) -> Self {
         assert!(n.is_power_of_two(), "FFT size must be a power of two, got {n}");
-        let bits = n.trailing_zeros();
-        let rev = (0..n as u32).map(|i| i.reverse_bits() >> (32 - bits.max(1))).collect::<Vec<_>>();
-        let rev = if n == 1 { vec![0] } else { rev };
+        let rev = bit_reversal_table(n);
+        let half_rev = bit_reversal_table(n / 2);
         let twiddles = (0..n / 2)
             .map(|k| Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
             .collect();
-        Fft { n, rev, twiddles }
+        Fft { n, rev, twiddles, half_rev }
     }
 
     /// Transform size.
@@ -37,9 +47,11 @@ impl Fft {
         self.n
     }
 
-    /// True for the degenerate size-1 plan.
+    /// True for the degenerate size-1 plan, whose transform is the
+    /// identity. (The constructor asserts the size is a power of two ≥ 1,
+    /// so a size-0 plan cannot exist.)
     pub fn is_empty(&self) -> bool {
-        self.n == 0
+        self.n <= 1
     }
 
     /// In-place forward DFT: `X[k] = Σ x[j]·e^{-2πijk/n}`.
@@ -62,12 +74,58 @@ impl Fft {
 
     /// Forward DFT of a real signal; returns the `n/2 + 1` non-redundant
     /// bins (DC through Nyquist).
+    ///
+    /// Computed by packing the even/odd samples into an n/2-point complex
+    /// transform and unzipping via Hermitian symmetry — half the butterfly
+    /// work of a full complex FFT on zero-imaginary input.
     pub fn forward_real(&self, signal: &[f64]) -> Vec<Complex> {
+        let mut out = vec![Complex::ZERO; self.n / 2 + 1];
+        self.forward_real_into(signal, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Fft::forward_real`]: writes the `n/2 + 1`
+    /// non-redundant bins into `out`, which doubles as the working buffer.
+    pub fn forward_real_into(&self, signal: &[f64], out: &mut [Complex]) {
         assert_eq!(signal.len(), self.n, "signal length must equal FFT size");
-        let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
-        self.forward(&mut buf);
-        buf.truncate(self.n / 2 + 1);
-        buf
+        assert_eq!(out.len(), self.n / 2 + 1, "output length must be n/2 + 1");
+        if self.n == 1 {
+            out[0] = Complex::from_real(signal[0]);
+            return;
+        }
+        let m = self.n / 2;
+        // Pack z[j] = x[2j] + i·x[2j+1] and transform at size m in place.
+        for (z, pair) in out[..m].iter_mut().zip(signal.chunks_exact(2)) {
+            *z = Complex::new(pair[0], pair[1]);
+        }
+        for i in 0..m {
+            let j = self.half_rev[i] as usize;
+            if i < j {
+                out.swap(i, j);
+            }
+        }
+        // Butterflies at size m reuse the size-n twiddle table: the stage
+        // twiddle w_m^{k·(m/len)} equals w_n^{k·(n/len)}.
+        self.butterflies_sized(&mut out[..m]);
+        // Unzip: with E_k/O_k the transforms of the even/odd samples,
+        // Z_k = E_k + i·O_k and Hermitian symmetry gives
+        // E_k = (Z_k + conj(Z_{m−k}))/2, O_k = (Z_k − conj(Z_{m−k}))/(2i),
+        // X_k = E_k + w_n^k·O_k, X_{m−k} = conj(E_k) + w_n^{m−k}·conj(O_k).
+        let z0 = out[0];
+        out[0] = Complex::from_real(z0.re + z0.im);
+        out[m] = Complex::from_real(z0.re - z0.im);
+        let neg_half_i = Complex::new(0.0, -0.5);
+        for k in 1..=m / 2 {
+            let j = m - k;
+            let zk = out[k];
+            let zj = out[j];
+            let e = (zk + zj.conj()).scale(0.5);
+            let o = (zk - zj.conj()) * neg_half_i;
+            out[k] = e + self.twiddles[k] * o;
+            if j != k {
+                out[j] = e.conj() + self.twiddles[j] * o.conj();
+            }
+        }
     }
 
     fn permute(&self, data: &mut [Complex]) {
@@ -79,7 +137,32 @@ impl Fft {
         }
     }
 
+    /// Forward butterflies over a bit-reversed buffer whose length divides
+    /// `self.n`; twiddles are read at the appropriately widened stride.
+    fn butterflies_sized(&self, data: &mut [Complex]) {
+        let m = data.len();
+        let mut len = 2;
+        while len <= m {
+            let half = len / 2;
+            let stride = self.n / len;
+            for start in (0..m).step_by(len) {
+                for k in 0..half {
+                    let w = self.twiddles[k * stride];
+                    let a = data[start + k];
+                    let b = data[start + k + half] * w;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+            }
+            len <<= 1;
+        }
+    }
+
     fn butterflies(&self, data: &mut [Complex], inverse: bool) {
+        if !inverse {
+            self.butterflies_sized(data);
+            return;
+        }
         let n = self.n;
         let mut len = 2;
         while len <= n {
@@ -87,11 +170,7 @@ impl Fft {
             let stride = n / len;
             for start in (0..n).step_by(len) {
                 for k in 0..half {
-                    let w = if inverse {
-                        self.twiddles[k * stride].conj()
-                    } else {
-                        self.twiddles[k * stride]
-                    };
+                    let w = self.twiddles[k * stride].conj();
                     let a = data[start + k];
                     let b = data[start + k + half] * w;
                     data[start + k] = a + b;
@@ -239,6 +318,43 @@ mod tests {
     }
 
     #[test]
+    fn is_empty_only_for_degenerate_plan() {
+        assert!(Fft::new(1).is_empty());
+        assert!(!Fft::new(2).is_empty());
+        assert!(!Fft::new(2048).is_empty());
+        assert_eq!(Fft::new(2048).len(), 2048);
+    }
+
+    #[test]
+    fn forward_real_tiny_sizes() {
+        // n = 1: identity. n = 2: [x0+x1, x0−x1]. n = 4 checked by hand.
+        assert_eq!(Fft::new(1).forward_real(&[5.0]), vec![Complex::from_real(5.0)]);
+        let two = Fft::new(2).forward_real(&[3.0, 1.0]);
+        assert!(close(two[0], Complex::from_real(4.0), 1e-12));
+        assert!(close(two[1], Complex::from_real(2.0), 1e-12));
+        let four = Fft::new(4).forward_real(&[1.0, 2.0, 3.0, 4.0]);
+        assert!(close(four[0], Complex::from_real(10.0), 1e-12));
+        assert!(close(four[1], Complex::new(-2.0, 2.0), 1e-12));
+        assert!(close(four[2], Complex::from_real(-2.0), 1e-12));
+    }
+
+    #[test]
+    fn forward_real_into_reuses_buffer() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let n = 64;
+        let plan = Fft::new(n);
+        let mut out = vec![Complex::new(9.9, 9.9); n / 2 + 1];
+        for _ in 0..3 {
+            let signal: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            plan.forward_real_into(&signal, &mut out);
+            let fresh = plan.forward_real(&signal);
+            for (a, b) in out.iter().zip(&fresh) {
+                assert!(close(*a, *b, 1e-15));
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_panics() {
         let _ = Fft::new(12);
@@ -285,6 +401,29 @@ mod tests {
                 for (a, b) in data.iter().zip(&original) {
                     prop_assert!((a.re - b.re).abs() < 1e-9);
                     prop_assert!(a.im.abs() < 1e-9);
+                }
+            }
+
+            /// The packed real-input transform agrees with the full complex
+            /// FFT on random signals at every power-of-two size in range.
+            #[test]
+            fn real_fft_matches_complex_fft(
+                values in proptest::collection::vec(-1.0f64..1.0, 256),
+                bits in 0u32..9,
+            ) {
+                let n = 1usize << bits;
+                let signal = &values[..n];
+                let plan = Fft::new(n);
+                let half = plan.forward_real(signal);
+                let mut full: Vec<Complex> =
+                    signal.iter().map(|&x| Complex::from_real(x)).collect();
+                plan.forward(&mut full);
+                prop_assert_eq!(half.len(), n / 2 + 1);
+                for (k, z) in half.iter().enumerate() {
+                    prop_assert!(
+                        (z.re - full[k].re).abs() < 1e-9 && (z.im - full[k].im).abs() < 1e-9,
+                        "bin {} of n={}: packed {:?} vs full {:?}", k, n, z, full[k]
+                    );
                 }
             }
         }

@@ -33,7 +33,7 @@ impl Image {
         let height = mel.n_mels();
         assert!(width > 0 && height > 0, "cannot image an empty spectrogram");
         let mut pixels = vec![0.0; width * height];
-        for (x, frame) in mel.frames.iter().enumerate() {
+        for (x, frame) in mel.frames().enumerate() {
             for (y, &v) in frame.iter().enumerate() {
                 pixels[y * width + x] = v;
             }
@@ -199,7 +199,7 @@ mod tests {
     fn from_mel_orientation() {
         use crate::mel::MelSpectrogram;
         // 3 frames × 2 mel bands.
-        let mel = MelSpectrogram { frames: vec![vec![1.0, 4.0], vec![2.0, 5.0], vec![3.0, 6.0]] };
+        let mel = MelSpectrogram::from_frames(vec![vec![1.0, 4.0], vec![2.0, 5.0], vec![3.0, 6.0]]);
         let img = Image::from_mel(&mel);
         assert_eq!(img.width(), 3);
         assert_eq!(img.height(), 2);

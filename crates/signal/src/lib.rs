@@ -28,6 +28,7 @@ pub mod goertzel;
 pub mod image;
 pub mod mel;
 pub mod mfcc;
+pub mod pipeline;
 pub mod resample;
 pub mod stft;
 pub mod streaming;
@@ -42,6 +43,7 @@ pub use goertzel::{band_power, goertzel_power};
 pub use image::Image;
 pub use mel::{MelFilterbank, MelSpectrogram};
 pub use mfcc::Mfcc;
+pub use pipeline::MelPipeline;
 pub use resample::resample_linear;
 pub use stft::{SpectrogramParams, Stft};
 pub use streaming::StreamingStft;

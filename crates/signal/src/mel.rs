@@ -5,6 +5,12 @@
 //! n_fft = 2048, hop = 512 and 128 mel bands. This module implements the
 //! HTK mel scale and triangular filterbank, applied to the power
 //! spectrograms from [`crate::stft`].
+//!
+//! Each triangular filter is stored **sparsely** — `(first_bin, weights)`
+//! over its nonzero support only. A dense 128 × 1025 weight matrix is ~92%
+//! zeros at the paper's parameters; touching only the support cuts the
+//! mul-adds per frame by ~8×. [`MelFilterbank::dense_weights`] materializes
+//! the dense rows for parity testing.
 
 use crate::stft::{SpectrogramParams, Stft};
 
@@ -18,11 +24,19 @@ pub fn mel_to_hz(mel: f64) -> f64 {
     700.0 * (10f64.powf(mel / 2595.0) - 1.0)
 }
 
-/// A bank of triangular mel filters over FFT bins.
+/// One triangular filter, stored over its nonzero FFT-bin support.
+#[derive(Clone, Debug)]
+struct SparseFilter {
+    /// First FFT bin with nonzero weight.
+    first: usize,
+    /// Weights for bins `first..first + weights.len()`.
+    weights: Vec<f64>,
+}
+
+/// A bank of triangular mel filters over FFT bins, stored sparsely.
 #[derive(Clone, Debug)]
 pub struct MelFilterbank {
-    /// `weights[m][k]`: contribution of FFT bin `k` to mel band `m`.
-    weights: Vec<Vec<f64>>,
+    filters: Vec<SparseFilter>,
     n_fft: usize,
 }
 
@@ -44,17 +58,25 @@ impl MelFilterbank {
         let hz_points: Vec<f64> = mel_points.iter().map(|&m| mel_to_hz(m)).collect();
 
         let bin_hz = sample_rate / n_fft as f64;
-        let mut weights = vec![vec![0.0; n_bins]; n_mels];
-        for m in 0..n_mels {
-            let (lo, mid, hi) = (hz_points[m], hz_points[m + 1], hz_points[m + 2]);
-            for (k, w) in weights[m].iter_mut().enumerate() {
-                let f = k as f64 * bin_hz;
-                if f > lo && f < hi {
-                    *w = if f <= mid { (f - lo) / (mid - lo) } else { (hi - f) / (hi - mid) };
+        let filters = (0..n_mels)
+            .map(|m| {
+                let (lo, mid, hi) = (hz_points[m], hz_points[m + 1], hz_points[m + 2]);
+                // Nonzero support: bins strictly inside (lo, hi).
+                let first = (lo / bin_hz).floor().max(0.0) as usize + 1;
+                let first = first.min(n_bins);
+                let mut weights = Vec::new();
+                for k in first..n_bins {
+                    let f = k as f64 * bin_hz;
+                    if f >= hi {
+                        break;
+                    }
+                    let w = if f <= mid { (f - lo) / (mid - lo) } else { (hi - f) / (hi - mid) };
+                    weights.push(w);
                 }
-            }
-        }
-        MelFilterbank { weights, n_fft }
+                SparseFilter { first, weights }
+            })
+            .collect();
+        MelFilterbank { filters, n_fft }
     }
 
     /// The paper's filterbank: 128 mels, n_fft 2048, 22 050 Hz, full band.
@@ -70,7 +92,7 @@ impl MelFilterbank {
 
     /// Number of mel bands.
     pub fn n_mels(&self) -> usize {
-        self.weights.len()
+        self.filters.len()
     }
 
     /// FFT size the bank was built for.
@@ -78,26 +100,56 @@ impl MelFilterbank {
         self.n_fft
     }
 
+    /// Total number of stored (nonzero) weights across all bands.
+    pub fn nnz(&self) -> usize {
+        self.filters.iter().map(|f| f.weights.len()).sum()
+    }
+
+    /// Materializes the dense `n_mels × (n_fft/2 + 1)` weight matrix — the
+    /// representation the sparse layout replaced; used by parity tests.
+    pub fn dense_weights(&self) -> Vec<Vec<f64>> {
+        let n_bins = self.n_fft / 2 + 1;
+        self.filters
+            .iter()
+            .map(|filt| {
+                let mut row = vec![0.0; n_bins];
+                row[filt.first..filt.first + filt.weights.len()].copy_from_slice(&filt.weights);
+                row
+            })
+            .collect()
+    }
+
     /// Applies the bank to one power-spectrum frame.
     pub fn apply(&self, power_frame: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.filters.len()];
+        self.apply_into(power_frame, &mut out);
+        out
+    }
+
+    /// Allocation-free [`MelFilterbank::apply`]: writes one value per mel
+    /// band into `out`, touching only each filter's nonzero support.
+    pub fn apply_into(&self, power_frame: &[f64], out: &mut [f64]) {
         assert_eq!(
             power_frame.len(),
             self.n_fft / 2 + 1,
             "frame length must match filterbank bins"
         );
-        self.weights
-            .iter()
-            .map(|band| band.iter().zip(power_frame).map(|(w, p)| w * p).sum())
-            .collect()
+        assert_eq!(out.len(), self.filters.len(), "output length must match mel band count");
+        for (o, filt) in out.iter_mut().zip(&self.filters) {
+            let support = &power_frame[filt.first..filt.first + filt.weights.len()];
+            *o = filt.weights.iter().zip(support).map(|(w, p)| w * p).sum();
+        }
     }
 }
 
-/// A log-mel spectrogram: `data[frame][mel]`, in decibels relative to the
-/// clip maximum (librosa `power_to_db` convention with `ref=max`).
+/// A log-mel spectrogram in decibels relative to the clip maximum (librosa
+/// `power_to_db` convention with `ref=max`), stored as one flat row-major
+/// buffer: `data[frame * n_mels + band]`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct MelSpectrogram {
-    /// dB values per frame per mel band.
-    pub frames: Vec<Vec<f64>>,
+    data: Vec<f64>,
+    n_frames: usize,
+    n_mels: usize,
 }
 
 impl MelSpectrogram {
@@ -117,54 +169,79 @@ impl MelSpectrogram {
     /// Computes a log-mel spectrogram with explicit STFT and filterbank.
     pub fn compute(signal: &[f64], stft: &Stft, bank: &MelFilterbank) -> Self {
         let power = stft.power_spectrogram(signal);
-        let mel: Vec<Vec<f64>> = power.frames.iter().map(|f| bank.apply(f)).collect();
+        let n_frames = power.n_frames();
+        let n_mels = bank.n_mels();
+        let mut data = vec![0.0; n_frames * n_mels];
+        for (row, frame) in data.chunks_exact_mut(n_mels).zip(power.frames()) {
+            bank.apply_into(frame, row);
+        }
 
         // power → dB referenced to the clip maximum, floored at −TOP_DB.
-        let max = mel.iter().flat_map(|f| f.iter()).fold(f64::MIN_POSITIVE, |a, &b| a.max(b));
-        let frames = mel
-            .into_iter()
-            .map(|f| {
-                f.into_iter()
-                    .map(|p| {
-                        let db = 10.0 * (p.max(1e-30) / max).log10();
-                        db.max(-Self::TOP_DB)
-                    })
-                    .collect()
-            })
-            .collect();
-        MelSpectrogram { frames }
+        let max = data.iter().fold(f64::MIN_POSITIVE, |a, &b| a.max(b));
+        for p in &mut data {
+            let db = 10.0 * (p.max(1e-30) / max).log10();
+            *p = db.max(-Self::TOP_DB);
+        }
+        MelSpectrogram { data, n_frames, n_mels }
+    }
+
+    /// Builds from one `Vec` per frame (all frames must agree in length).
+    pub fn from_frames(frames: Vec<Vec<f64>>) -> Self {
+        let n_frames = frames.len();
+        let n_mels = frames.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(n_frames * n_mels);
+        for f in &frames {
+            assert_eq!(f.len(), n_mels, "all frames must have the same band count");
+            data.extend_from_slice(f);
+        }
+        MelSpectrogram { data, n_frames, n_mels }
     }
 
     /// Number of time frames.
     pub fn n_frames(&self) -> usize {
-        self.frames.len()
+        self.n_frames
     }
 
     /// Number of mel bands (zero when empty).
     pub fn n_mels(&self) -> usize {
-        self.frames.first().map_or(0, Vec::len)
+        self.n_mels
+    }
+
+    /// The flat row-major dB buffer.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// One frame as a band slice.
+    pub fn frame(&self, i: usize) -> &[f64] {
+        assert!(i < self.n_frames, "frame {i} out of bounds ({} frames)", self.n_frames);
+        &self.data[i * self.n_mels..(i + 1) * self.n_mels]
+    }
+
+    /// Iterator over frames (each an `n_mels`-long slice).
+    pub fn frames(&self) -> std::slice::ChunksExact<'_, f64> {
+        self.data.chunks_exact(self.n_mels.max(1))
     }
 
     /// Flattens to a single feature vector (frame-major), as fed to the SVM.
     pub fn to_feature_vector(&self) -> Vec<f64> {
-        self.frames.iter().flat_map(|f| f.iter().copied()).collect()
+        self.data.clone()
     }
 
     /// Per-band mean over time — a compact summary feature used by tests
     /// and the corpus separability checks.
     pub fn band_means(&self) -> Vec<f64> {
-        if self.frames.is_empty() {
+        if self.n_frames == 0 {
             return Vec::new();
         }
-        let n = self.n_mels();
-        let mut acc = vec![0.0; n];
-        for f in &self.frames {
+        let mut acc = vec![0.0; self.n_mels];
+        for f in self.frames() {
             for (a, v) in acc.iter_mut().zip(f) {
                 *a += v;
             }
         }
         for a in &mut acc {
-            *a /= self.frames.len() as f64;
+            *a /= self.n_frames as f64;
         }
         acc
     }
@@ -203,12 +280,15 @@ mod tests {
         let bank = MelFilterbank::paper_default();
         assert_eq!(bank.n_mels(), 128);
         assert_eq!(bank.n_fft(), 2048);
+        // The sparse layout stores only the triangular supports — a small
+        // fraction of the dense 128 × 1025 matrix.
+        assert!(bank.nnz() * 4 < 128 * 1025, "nnz {} is not sparse", bank.nnz());
     }
 
     #[test]
     fn filters_are_nonnegative_and_bounded() {
         let bank = MelFilterbank::new(32, 512, 22_050.0, 0.0, 11_025.0);
-        for band in &bank.weights {
+        for band in &bank.dense_weights() {
             for &w in band {
                 assert!((0.0..=1.0).contains(&w));
             }
@@ -218,8 +298,36 @@ mod tests {
     #[test]
     fn every_filter_has_support() {
         let bank = MelFilterbank::new(32, 1024, 22_050.0, 0.0, 11_025.0);
-        for (m, band) in bank.weights.iter().enumerate() {
-            assert!(band.iter().any(|&w| w > 0.0), "band {m} is empty");
+        for (m, filt) in bank.filters.iter().enumerate() {
+            assert!(filt.weights.iter().any(|&w| w > 0.0), "band {m} is empty");
+        }
+    }
+
+    #[test]
+    fn sparse_apply_matches_dense_matrix() {
+        // Parity: the sparse application must agree with an explicit dense
+        // matrix-vector product on a random frame, for several geometries.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for (n_mels, n_fft, f_min, f_max) in [
+            (128usize, 2048usize, 0.0, 11_025.0),
+            (32, 1024, 0.0, 11_025.0),
+            (64, 512, 300.0, 8_000.0),
+            (8, 256, 0.0, 4_000.0),
+        ] {
+            let bank = MelFilterbank::new(n_mels, n_fft, 22_050.0, f_min, f_max);
+            let dense = bank.dense_weights();
+            let frame: Vec<f64> = (0..n_fft / 2 + 1).map(|_| rng.gen_range(0.0..10.0)).collect();
+            let sparse_out = bank.apply(&frame);
+            for (m, row) in dense.iter().enumerate() {
+                let dense_val: f64 = row.iter().zip(&frame).map(|(w, p)| w * p).sum();
+                assert!(
+                    (dense_val - sparse_out[m]).abs() <= 1e-9 * (1.0 + dense_val.abs()),
+                    "band {m}: dense {dense_val} vs sparse {}",
+                    sparse_out[m]
+                );
+            }
         }
     }
 
@@ -263,7 +371,7 @@ mod tests {
         assert_eq!(mel.n_mels(), 64);
         assert!(mel.n_frames() > 10);
         // dB values referenced to max: all ≤ 0, floored at −80.
-        for f in &mel.frames {
+        for f in mel.frames() {
             for &v in f {
                 assert!((-MelSpectrogram::TOP_DB - 1e-9..=1e-9).contains(&v));
             }
@@ -276,21 +384,55 @@ mod tests {
 
     #[test]
     fn feature_vector_flattens_frame_major() {
-        let mel = MelSpectrogram { frames: vec![vec![1.0, 2.0], vec![3.0, 4.0]] };
+        let mel = MelSpectrogram::from_frames(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
         assert_eq!(mel.to_feature_vector(), vec![1.0, 2.0, 3.0, 4.0]);
         assert_eq!(mel.band_means(), vec![2.0, 3.0]);
+        assert_eq!(mel.frame(0), &[1.0, 2.0]);
+        assert_eq!(mel.data(), &[1.0, 2.0, 3.0, 4.0]);
     }
 
     #[test]
     fn band_means_of_empty() {
-        let mel = MelSpectrogram { frames: vec![] };
+        let mel = MelSpectrogram::from_frames(vec![]);
         assert!(mel.band_means().is_empty());
         assert_eq!(mel.n_mels(), 0);
+        assert_eq!(mel.frames().count(), 0);
     }
 
     #[test]
     #[should_panic(expected = "Nyquist")]
     fn f_max_beyond_nyquist_panics() {
         let _ = MelFilterbank::new(8, 256, 22_050.0, 0.0, 20_000.0);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(proptest::test_runner::Config::with_cases(32))]
+
+            /// Sparse application agrees with the dense matrix-vector
+            /// product for arbitrary frames and filterbank geometries.
+            #[test]
+            fn sparse_apply_matches_dense(
+                n_mels in 1usize..48,
+                n_fft_bits in 7u32..11, // n_fft 128..1024
+                frame in proptest::collection::vec(0.0f64..10.0, 513),
+                f_lo in 0.0f64..500.0,
+            ) {
+                let n_fft = 1usize << n_fft_bits;
+                let bank = MelFilterbank::new(n_mels, n_fft, 22_050.0, f_lo, 11_025.0);
+                let frame = &frame[..n_fft / 2 + 1];
+                let sparse = bank.apply(frame);
+                for (m, row) in bank.dense_weights().iter().enumerate() {
+                    let dense: f64 = row.iter().zip(frame).map(|(w, p)| w * p).sum();
+                    prop_assert!(
+                        (dense - sparse[m]).abs() <= 1e-9 * (1.0 + dense.abs()),
+                        "band {}: dense {} vs sparse {}", m, dense, sparse[m]
+                    );
+                }
+            }
+        }
     }
 }

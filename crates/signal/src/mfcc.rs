@@ -10,10 +10,17 @@ use crate::mel::MelSpectrogram;
 
 /// Type-II DCT with orthonormal scaling of one frame.
 pub fn dct_ii(input: &[f64]) -> Vec<f64> {
+    dct_ii_prefix(input, input.len())
+}
+
+/// First `n_coeffs` coefficients of [`dct_ii`] — identical values, but the
+/// discarded tail is never computed (the MFCC path keeps 13 of 32).
+pub fn dct_ii_prefix(input: &[f64], n_coeffs: usize) -> Vec<f64> {
     let n = input.len();
     assert!(n > 0, "DCT input must be non-empty");
+    assert!(n_coeffs <= n, "cannot take {n_coeffs} coefficients from {n} inputs");
     let nf = n as f64;
-    (0..n)
+    (0..n_coeffs)
         .map(|k| {
             let sum: f64 = input
                 .iter()
@@ -39,17 +46,14 @@ impl Mfcc {
     pub fn from_mel(mel: &MelSpectrogram, n_coeffs: usize) -> Self {
         assert!(n_coeffs > 0, "need at least one coefficient");
         let frames = mel
-            .frames
-            .iter()
+            .frames()
             .map(|f| {
                 assert!(
                     n_coeffs <= f.len(),
                     "cannot take {n_coeffs} coefficients from {} mel bands",
                     f.len()
                 );
-                let mut c = dct_ii(f);
-                c.truncate(n_coeffs);
-                c
+                dct_ii_prefix(f, n_coeffs)
             })
             .collect();
         Mfcc { frames }
@@ -89,9 +93,7 @@ impl Mfcc {
 mod tests {
     use super::*;
     use crate::audio::{BeeAudioSynth, ColonyState};
-    use crate::mel::MelFilterbank;
-    use crate::stft::{SpectrogramParams, Stft};
-    use crate::window::WindowKind;
+    use crate::pipeline::MelPipeline;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -137,10 +139,7 @@ mod tests {
         let synth = BeeAudioSynth::default();
         let mut rng = StdRng::seed_from_u64(seed);
         let clip = synth.generate(state, 0.5, &mut rng);
-        let stft = Stft::new(SpectrogramParams { n_fft: 1024, hop: 512, window: WindowKind::Hann });
-        let bank =
-            MelFilterbank::new(32, 1024, crate::SAMPLE_RATE_HZ, 0.0, crate::SAMPLE_RATE_HZ / 2.0);
-        MelSpectrogram::compute(&clip, &stft, &bank)
+        MelPipeline::compact().mel(&clip)
     }
 
     #[test]
@@ -165,7 +164,7 @@ mod tests {
 
     #[test]
     fn empty_mel_gives_empty_mfcc() {
-        let mel = MelSpectrogram { frames: vec![] };
+        let mel = MelSpectrogram::from_frames(vec![]);
         let mfcc = Mfcc::from_mel(&mel, 13);
         assert_eq!(mfcc.n_frames(), 0);
         assert!(mfcc.coeff_means().is_empty());
@@ -174,7 +173,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot take")]
     fn too_many_coeffs_panics() {
-        let mel = MelSpectrogram { frames: vec![vec![0.0; 8]] };
+        let mel = MelSpectrogram::from_frames(vec![vec![0.0; 8]]);
         let _ = Mfcc::from_mel(&mel, 16);
     }
 

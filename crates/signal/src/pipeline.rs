@@ -1,0 +1,122 @@
+//! Planned feature-extraction pipelines.
+//!
+//! An STFT plan (FFT twiddles, bit-reversal table, window coefficients) and
+//! a mel filterbank are pure functions of their parameters, yet several call
+//! sites used to rebuild them per clip — and the 32-band/1024-point "MFCC
+//! configuration" was hand-rolled in five places. [`MelPipeline`] plans both
+//! once and is reused across clips (`&self` methods only), so the per-clip
+//! cost is just the transform itself.
+
+use crate::image::Image;
+use crate::mel::{MelFilterbank, MelSpectrogram};
+use crate::mfcc::Mfcc;
+use crate::stft::{SpectrogramParams, Stft};
+use crate::window::WindowKind;
+
+/// A planned clip→features pipeline: one STFT plan plus one mel filterbank,
+/// built once and reused for every clip.
+#[derive(Clone, Debug)]
+pub struct MelPipeline {
+    stft: Stft,
+    bank: MelFilterbank,
+}
+
+impl MelPipeline {
+    /// Plans a pipeline: STFT with `params`, full-band filterbank with
+    /// `n_mels` bands at `sample_rate`.
+    pub fn new(params: SpectrogramParams, n_mels: usize, sample_rate: f64) -> Self {
+        let bank = MelFilterbank::new(n_mels, params.n_fft, sample_rate, 0.0, sample_rate / 2.0);
+        MelPipeline { stft: Stft::new(params), bank }
+    }
+
+    /// Assembles a pipeline from existing parts (FFT sizes must agree).
+    pub fn from_parts(stft: Stft, bank: MelFilterbank) -> Self {
+        assert_eq!(stft.params().n_fft, bank.n_fft(), "STFT and filterbank must agree on n_fft");
+        MelPipeline { stft, bank }
+    }
+
+    /// The paper's configuration: n_fft 2048, hop 512, Hann window,
+    /// 128 mel bands at 22 050 Hz.
+    pub fn paper_default() -> Self {
+        MelPipeline::new(SpectrogramParams::default(), crate::N_MELS, crate::SAMPLE_RATE_HZ)
+    }
+
+    /// The compact MFCC configuration used by the SVM path and tests:
+    /// n_fft 1024, hop 512, Hann window, 32 mel bands at 22 050 Hz.
+    pub fn compact() -> Self {
+        MelPipeline::new(
+            SpectrogramParams { n_fft: 1024, hop: 512, window: WindowKind::Hann },
+            32,
+            crate::SAMPLE_RATE_HZ,
+        )
+    }
+
+    /// The planned STFT.
+    pub fn stft(&self) -> &Stft {
+        &self.stft
+    }
+
+    /// The planned filterbank.
+    pub fn bank(&self) -> &MelFilterbank {
+        &self.bank
+    }
+
+    /// Log-mel spectrogram of `signal`.
+    pub fn mel(&self, signal: &[f64]) -> MelSpectrogram {
+        MelSpectrogram::compute(signal, &self.stft, &self.bank)
+    }
+
+    /// MFCCs of `signal` (`n_coeffs` per frame).
+    pub fn mfcc(&self, signal: &[f64], n_coeffs: usize) -> Mfcc {
+        Mfcc::from_mel(&self.mel(signal), n_coeffs)
+    }
+
+    /// Normalized `side × side` spectrogram image of `signal` — the CNN
+    /// input of the Figure 5 sweep.
+    pub fn image(&self, signal: &[f64], side: usize) -> Image {
+        Image::from_mel(&self.mel(signal)).resize_bilinear(side, side).normalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_free_function() {
+        let clip: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.01).sin()).collect();
+        let via_pipeline = MelPipeline::paper_default().mel(&clip);
+        let via_free = MelSpectrogram::paper_default(&clip);
+        assert_eq!(via_pipeline, via_free);
+    }
+
+    #[test]
+    fn compact_configuration_shape() {
+        let p = MelPipeline::compact();
+        assert_eq!(p.stft().params().n_fft, 1024);
+        assert_eq!(p.stft().params().hop, 512);
+        assert_eq!(p.bank().n_mels(), 32);
+        let clip: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.02).sin()).collect();
+        let mel = p.mel(&clip);
+        assert_eq!(mel.n_mels(), 32);
+        assert_eq!(mel.n_frames(), p.stft().params().frames_for(clip.len()));
+        let mfcc = p.mfcc(&clip, 13);
+        assert_eq!(mfcc.n_coeffs(), 13);
+        assert_eq!(mfcc.n_frames(), mel.n_frames());
+    }
+
+    #[test]
+    fn image_has_requested_side() {
+        let clip: Vec<f64> = (0..8192).map(|i| (i as f64 * 0.05).sin()).collect();
+        let img = MelPipeline::compact().image(&clip, 24);
+        assert_eq!((img.width(), img.height()), (24, 24));
+    }
+
+    #[test]
+    #[should_panic(expected = "agree on n_fft")]
+    fn mismatched_parts_panic() {
+        let stft = Stft::new(SpectrogramParams { n_fft: 512, hop: 256, window: WindowKind::Hann });
+        let bank = MelFilterbank::new(8, 1024, 22_050.0, 0.0, 11_025.0);
+        let _ = MelPipeline::from_parts(stft, bank);
+    }
+}

@@ -67,7 +67,7 @@ mod tests {
             Stft::new(SpectrogramParams { n_fft: 4096, hop: 2048, window: WindowKind::Hann });
         let spec = stft.power_spectrogram(&y);
         let mut avg = vec![0.0; spec.n_bins()];
-        for f in &spec.frames {
+        for f in spec.frames() {
             for (a, &p) in avg.iter_mut().zip(f) {
                 *a += p;
             }

@@ -4,6 +4,11 @@
 //! the non-redundant half-spectrum. With the paper's parameters
 //! (n_fft = 2048, hop = 512) a 10 s clip at 22 050 Hz yields ≈427 frames of
 //! 1025 bins each.
+//!
+//! This is the hottest loop of the feature pipeline, so it streams frames
+//! through the packed real-input FFT with reusable window/transform scratch
+//! buffers — no per-frame allocation — and stores the result as one flat
+//! row-major buffer rather than a `Vec` per frame.
 
 use crate::complex::Complex;
 use crate::fft::Fft;
@@ -52,27 +57,69 @@ pub struct Stft {
     window: Vec<f64>,
 }
 
-/// A column-major spectrogram: `data[frame][bin]`.
+/// A power spectrogram stored as one flat row-major buffer:
+/// `data[frame * n_bins + bin]`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Spectrogram {
-    /// Power values, one `Vec` per frame.
-    pub frames: Vec<Vec<f64>>,
+    data: Vec<f64>,
+    n_frames: usize,
+    n_bins: usize,
 }
 
 impl Spectrogram {
+    /// Wraps a flat row-major buffer (`data.len() == n_frames * n_bins`).
+    pub fn from_flat(n_frames: usize, n_bins: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n_frames * n_bins, "data length must equal n_frames * n_bins");
+        Spectrogram { data, n_frames, n_bins }
+    }
+
+    /// The empty spectrogram (no frames, no bins).
+    pub fn empty() -> Self {
+        Spectrogram { data: Vec::new(), n_frames: 0, n_bins: 0 }
+    }
+
+    /// Builds from one `Vec` per frame (all frames must agree in length).
+    pub fn from_frames(frames: Vec<Vec<f64>>) -> Self {
+        let n_frames = frames.len();
+        let n_bins = frames.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(n_frames * n_bins);
+        for f in &frames {
+            assert_eq!(f.len(), n_bins, "all frames must have the same bin count");
+            data.extend_from_slice(f);
+        }
+        Spectrogram { data, n_frames, n_bins }
+    }
+
     /// Number of time frames.
     pub fn n_frames(&self) -> usize {
-        self.frames.len()
+        self.n_frames
     }
 
     /// Number of frequency bins (zero when there are no frames).
     pub fn n_bins(&self) -> usize {
-        self.frames.first().map_or(0, Vec::len)
+        self.n_bins
+    }
+
+    /// The flat row-major power buffer.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// One frame as a bin slice.
+    pub fn frame(&self, i: usize) -> &[f64] {
+        assert!(i < self.n_frames, "frame {i} out of bounds ({} frames)", self.n_frames);
+        &self.data[i * self.n_bins..(i + 1) * self.n_bins]
+    }
+
+    /// Iterator over frames (each a `n_bins`-long slice).
+    pub fn frames(&self) -> std::slice::ChunksExact<'_, f64> {
+        // max(1) keeps the degenerate empty spectrogram iterable.
+        self.data.chunks_exact(self.n_bins.max(1))
     }
 
     /// Total spectral power summed over all frames and bins.
     pub fn total_power(&self) -> f64 {
-        self.frames.iter().flat_map(|f| f.iter()).sum()
+        self.data.iter().sum()
     }
 }
 
@@ -90,31 +137,57 @@ impl Stft {
         &self.params
     }
 
+    /// The underlying FFT plan.
+    pub fn plan(&self) -> &Fft {
+        &self.plan
+    }
+
+    /// Windows frame `f` of `signal` into `windowed` (len `n_fft`).
+    #[inline]
+    fn window_frame(&self, signal: &[f64], f: usize, windowed: &mut [f64]) {
+        let start = f * self.params.hop;
+        for (w, (&s, &coeff)) in windowed
+            .iter_mut()
+            .zip(signal[start..start + self.params.n_fft].iter().zip(&self.window))
+        {
+            *w = s * coeff;
+        }
+    }
+
     /// Complex STFT of `signal`: one `Vec<Complex>` of `n_fft/2 + 1` bins
     /// per frame.
     pub fn transform(&self, signal: &[f64]) -> Vec<Vec<Complex>> {
         let n_frames = self.params.frames_for(signal.len());
         let mut out = Vec::with_capacity(n_frames);
-        let mut buf = vec![Complex::ZERO; self.params.n_fft];
+        let mut windowed = vec![0.0; self.params.n_fft];
         for f in 0..n_frames {
-            let start = f * self.params.hop;
-            for (i, z) in buf.iter_mut().enumerate() {
-                *z = Complex::from_real(signal[start + i] * self.window[i]);
-            }
-            self.plan.forward(&mut buf);
-            out.push(buf[..self.params.bins()].to_vec());
+            self.window_frame(signal, f, &mut windowed);
+            let mut spec = vec![Complex::ZERO; self.params.bins()];
+            self.plan.forward_real_into(&windowed, &mut spec);
+            out.push(spec);
         }
         out
     }
 
-    /// Power spectrogram: |STFT|² per bin.
+    /// Power spectrogram: |STFT|² per bin, streamed through two reused
+    /// scratch buffers (windowed frame + half-spectrum) into a flat buffer.
     pub fn power_spectrogram(&self, signal: &[f64]) -> Spectrogram {
-        let frames = self
-            .transform(signal)
-            .into_iter()
-            .map(|frame| frame.into_iter().map(Complex::norm_sqr).collect())
-            .collect();
-        Spectrogram { frames }
+        let n_frames = self.params.frames_for(signal.len());
+        if n_frames == 0 {
+            return Spectrogram::empty();
+        }
+        let n_bins = self.params.bins();
+        let mut data = vec![0.0; n_frames * n_bins];
+        let mut windowed = vec![0.0; self.params.n_fft];
+        let mut spec = vec![Complex::ZERO; n_bins];
+        for (f, row) in data.chunks_exact_mut(n_bins).enumerate() {
+            self.window_frame(signal, f, &mut windowed);
+            self.plan.forward_real_into(&windowed, &mut spec);
+            for (r, z) in row.iter_mut().zip(&spec) {
+                *r = z.norm_sqr();
+            }
+        }
+        Spectrogram { data, n_frames, n_bins }
     }
 }
 
@@ -145,7 +218,7 @@ mod tests {
         let spec = stft.power_spectrogram(&tone(freq, sr, 8192));
         assert!(spec.n_frames() > 0);
         let expected_bin = (freq / sr * 2048.0).round() as usize;
-        for frame in &spec.frames {
+        for frame in spec.frames() {
             let peak = frame
                 .iter()
                 .enumerate()
@@ -173,6 +246,7 @@ mod tests {
         let spec = stft.power_spectrogram(&vec![1.0; 100]);
         assert_eq!(spec.n_frames(), 0);
         assert_eq!(spec.n_bins(), 0);
+        assert_eq!(spec.frames().count(), 0);
     }
 
     #[test]
@@ -194,11 +268,29 @@ mod tests {
         let complex = stft.transform(&signal);
         let power = stft.power_spectrogram(&signal);
         assert_eq!(complex.len(), power.n_frames());
-        for (cf, pf) in complex.iter().zip(&power.frames) {
+        for (cf, pf) in complex.iter().zip(power.frames()) {
             for (c, &p) in cf.iter().zip(pf) {
                 assert!((c.norm_sqr() - p).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn flat_layout_round_trips_through_frames() {
+        let spec = Spectrogram::from_frames(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(spec.n_frames(), 2);
+        assert_eq!(spec.n_bins(), 2);
+        assert_eq!(spec.data(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(spec.frame(1), &[3.0, 4.0]);
+        let rows: Vec<&[f64]> = spec.frames().collect();
+        assert_eq!(rows, vec![&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+        assert_eq!(spec, Spectrogram::from_flat(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn frame_out_of_bounds_panics() {
+        Spectrogram::empty().frame(0);
     }
 
     #[test]

@@ -20,6 +20,10 @@ pub struct StreamingStft {
     buffer: Vec<f64>,
     /// Samples currently in the buffer.
     filled: usize,
+    /// Reusable windowed-frame scratch (no per-frame allocation).
+    windowed: Vec<f64>,
+    /// Reusable half-spectrum scratch for the real-input FFT.
+    spec: Vec<Complex>,
 }
 
 impl StreamingStft {
@@ -31,6 +35,8 @@ impl StreamingStft {
             window: params.window.coefficients(params.n_fft),
             buffer: vec![0.0; params.n_fft],
             filled: 0,
+            windowed: vec![0.0; params.n_fft],
+            spec: vec![Complex::ZERO; params.n_fft / 2 + 1],
             params,
         }
     }
@@ -68,15 +74,13 @@ impl StreamingStft {
         frames
     }
 
-    fn emit(&self) -> Vec<f64> {
-        let mut buf: Vec<Complex> = self
-            .buffer
-            .iter()
-            .zip(&self.window)
-            .map(|(&x, &w)| Complex::from_real(x * w))
-            .collect();
-        self.plan.forward(&mut buf);
-        buf[..self.params.n_fft / 2 + 1].iter().map(|z| z.norm_sqr()).collect()
+    fn emit(&mut self) -> Vec<f64> {
+        for (w, (&x, &coeff)) in self.windowed.iter_mut().zip(self.buffer.iter().zip(&self.window))
+        {
+            *w = x * coeff;
+        }
+        self.plan.forward_real_into(&self.windowed, &mut self.spec);
+        self.spec.iter().map(|z| z.norm_sqr()).collect()
     }
 
     /// Total samples consumed so far.
@@ -119,7 +123,7 @@ mod tests {
             frames.extend(stream.feed(chunk));
         }
         assert_eq!(frames.len(), batch.n_frames());
-        for (a, b) in frames.iter().zip(&batch.frames) {
+        for (a, b) in frames.iter().zip(batch.frames()) {
             for (x, y) in a.iter().zip(b) {
                 assert!((x - y).abs() < 1e-9, "{x} vs {y}");
             }

@@ -14,9 +14,7 @@ use precision_beekeeping::orchestra::prelude::*;
 use precision_beekeeping::orchestra::timeline::validate_cycle;
 use precision_beekeeping::signal::audio::{BeeAudioSynth, ColonyState};
 use precision_beekeeping::signal::corpus::{Corpus, CorpusConfig};
-use precision_beekeeping::signal::mel::{MelFilterbank, MelSpectrogram};
-use precision_beekeeping::signal::mfcc::Mfcc;
-use precision_beekeeping::signal::stft::{SpectrogramParams, Stft};
+use precision_beekeeping::signal::pipeline::MelPipeline;
 use precision_beekeeping::signal::wav::WavFile;
 use precision_beekeeping::units::{Joules, Seconds};
 use rand::rngs::StdRng;
@@ -108,20 +106,10 @@ fn local_storage_trade_off() {
 #[test]
 fn mfcc_svm_cross_validation() {
     let corpus = Corpus::generate(&CorpusConfig::small(40, 1.0, 21));
-    let params = SpectrogramParams { n_fft: 1024, hop: 512, ..SpectrogramParams::default() };
-    let stft = Stft::new(params);
-    let bank = MelFilterbank::new(
-        32,
-        1024,
-        precision_beekeeping::signal::SAMPLE_RATE_HZ,
-        0.0,
-        precision_beekeeping::signal::SAMPLE_RATE_HZ / 2.0,
-    );
+    let pipeline = MelPipeline::compact();
     let mut data = precision_beekeeping::ml::dataset::Dataset::new();
     for clip in corpus.clips() {
-        let mel = MelSpectrogram::compute(&clip.samples, &stft, &bank);
-        let mfcc = Mfcc::from_mel(&mel, 13);
-        data.push(mfcc.coeff_means(), clip.state.label());
+        data.push(pipeline.mfcc(&clip.samples, 13).coeff_means(), clip.state.label());
     }
     let acc = cross_validate_svm(&data, SvmConfig { gamma: 0.05, ..SvmConfig::default() }, 4, 3);
     assert!(acc >= 0.85, "MFCC cross-validated accuracy {acc}");
@@ -131,24 +119,47 @@ fn mfcc_svm_cross_validation() {
 #[test]
 fn grid_search_on_mel_features() {
     let corpus = Corpus::generate(&CorpusConfig::small(32, 1.0, 31));
-    let params = SpectrogramParams { n_fft: 1024, hop: 512, ..SpectrogramParams::default() };
-    let stft = Stft::new(params);
-    let bank = MelFilterbank::new(
-        32,
-        1024,
-        precision_beekeeping::signal::SAMPLE_RATE_HZ,
-        0.0,
-        precision_beekeeping::signal::SAMPLE_RATE_HZ / 2.0,
-    );
+    let pipeline = MelPipeline::compact();
     let mut data = precision_beekeeping::ml::dataset::Dataset::new();
     for clip in corpus.clips() {
-        let mel = MelSpectrogram::compute(&clip.samples, &stft, &bank);
-        data.push(mel.band_means(), clip.state.label());
+        data.push(pipeline.mel(&clip.samples).band_means(), clip.state.label());
     }
     // Include the paper's setting (C=20, γ=1e-5) in the grid: on dB-scale
     // features it is competitive.
     let points = grid_search_svm(&data, &[1.0, 20.0], &[1e-5, 1e-3], 4, 7);
     assert!(points[0].cv_accuracy >= 0.9, "best config {:?}", points[0]);
+}
+
+/// Regression pin for the paper-default feature path: the log-mel output of
+/// a fixed seed clip is frozen to the values produced when the hot path
+/// (real-input FFT, flat spectrogram, sparse filterbank) landed. Any future
+/// kernel change that shifts these numbers by more than 1e-9 dB is a
+/// numerical regression, not an optimization.
+#[test]
+fn paper_default_mel_is_pinned_on_seed_clip() {
+    use precision_beekeeping::signal::mel::MelSpectrogram;
+    let synth = BeeAudioSynth::default();
+    let clip = synth.generate(ColonyState::Queenright, 1.0, &mut StdRng::seed_from_u64(0xBEE));
+    let mel = MelSpectrogram::paper_default(&clip);
+    assert_eq!((mel.n_frames(), mel.n_mels()), (40, 128));
+
+    let close = |got: f64, want: f64| {
+        assert!((got - want).abs() < 1e-9, "pinned value drifted: got {got}, want {want}");
+    };
+    let close_sum = |got: f64, want: f64| {
+        assert!((got - want).abs() < 1e-6, "pinned aggregate drifted: got {got}, want {want}");
+    };
+    close_sum(mel.data().iter().sum::<f64>(), -196_641.306_753_194);
+    close_sum(mel.data().iter().cloned().fold(f64::INFINITY, f64::min), -61.633_332_677);
+    assert_eq!(mel.data().iter().cloned().fold(f64::NEG_INFINITY, f64::max), 0.0);
+    close(mel.frame(0)[0], -51.627_479_327_461);
+    close(mel.frame(0)[64], -40.591_274_598_948);
+    close(mel.frame(17)[31], -12.465_165_499_525);
+    close(mel.frame(20)[5], -47.909_509_427_536);
+    close(mel.frame(39)[127], -34.562_847_186_780);
+    let means = mel.band_means();
+    close(means[0], -49.184_891_588_245);
+    close(means[64], -41.598_071_263_402);
 }
 
 /// Synthetic clips survive a WAV export/import round trip and still
@@ -161,17 +172,9 @@ fn wav_round_trip_preserves_classification_features() {
     let wav = WavFile::mono(22_050, clip.clone());
     let restored = WavFile::from_bytes(&wav.to_bytes()).unwrap().samples;
 
-    let params = SpectrogramParams { n_fft: 1024, hop: 512, ..SpectrogramParams::default() };
-    let stft = Stft::new(params);
-    let bank = MelFilterbank::new(
-        32,
-        1024,
-        precision_beekeeping::signal::SAMPLE_RATE_HZ,
-        0.0,
-        precision_beekeeping::signal::SAMPLE_RATE_HZ / 2.0,
-    );
-    let a = MelSpectrogram::compute(&clip, &stft, &bank).band_means();
-    let b = MelSpectrogram::compute(&restored, &stft, &bank).band_means();
+    let pipeline = MelPipeline::compact();
+    let a = pipeline.mel(&clip).band_means();
+    let b = pipeline.mel(&restored).band_means();
     for (x, y) in a.iter().zip(&b) {
         assert!((x - y).abs() < 0.5, "mel features drifted: {x} vs {y}");
     }

@@ -5,8 +5,7 @@ use precision_beekeeping::orchestra::loss::LossModel;
 use precision_beekeeping::orchestra::prelude::*;
 use precision_beekeeping::orchestra::sweep::SweepConfig;
 use precision_beekeeping::signal::fft::{fft, ifft};
-use precision_beekeeping::signal::mel::{MelFilterbank, MelSpectrogram};
-use precision_beekeeping::signal::stft::{SpectrogramParams, Stft};
+use precision_beekeeping::signal::pipeline::MelPipeline;
 use precision_beekeeping::signal::wav::WavFile;
 use precision_beekeeping::signal::Complex;
 use precision_beekeeping::units::Joules;
@@ -28,10 +27,9 @@ proptest! {
             .collect();
         let restored =
             WavFile::from_bytes(&WavFile::mono(22_050, clip.clone()).to_bytes()).unwrap().samples;
-        let stft = Stft::new(SpectrogramParams { n_fft: 1024, hop: 512, ..Default::default() });
-        let bank = MelFilterbank::new(32, 1024, sr, 0.0, sr / 2.0);
-        let a = MelSpectrogram::compute(&clip, &stft, &bank).band_means();
-        let b = MelSpectrogram::compute(&restored, &stft, &bank).band_means();
+        let pipeline = MelPipeline::compact();
+        let a = pipeline.mel(&clip).band_means();
+        let b = pipeline.mel(&restored).band_means();
         for (x, y) in a.iter().zip(&b) {
             prop_assert!((x - y).abs() < 1.0, "band drift {x} vs {y}");
         }
