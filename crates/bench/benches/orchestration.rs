@@ -144,10 +144,53 @@ fn bench_fleet(c: &mut Criterion) {
     });
 }
 
+/// Satellite guard for the observability layer: telemetry with the no-op
+/// event sink (live spans and counters, discarded events) must add less
+/// than 2 % to a warm Fig. 7 DES sweep relative to a disabled handle
+/// (where every span collapses to a single branch). The DES backend is the
+/// telemetry-heaviest path — it counts every simulated event — so this
+/// bounds the worst per-backend cost of leaving `--metrics` on.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    use std::time::{Duration, Instant};
+    let sweep = cnn_sweep(35, LossModel::NONE);
+    let spec = sweep.spec();
+    let ns: Vec<usize> = (100..=2000).step_by(100).collect();
+    let disabled = SimContext::new(99);
+    let noop_sink = SimContext::with_telemetry(99, Telemetry::metrics_only());
+    let run = |ctx: &SimContext| {
+        ns.iter().map(|&n| Backend::Des.evaluate(&spec, n, ctx).total_energy.value()).sum::<f64>()
+    };
+    // Warm both allocation caches, then take the minimum of interleaved
+    // repetitions so scheduler noise and clock drift cancel out.
+    black_box(run(&disabled));
+    black_box(run(&noop_sink));
+    let (mut base, mut traced) = (Duration::MAX, Duration::MAX);
+    for _ in 0..10 {
+        let t = Instant::now();
+        black_box(run(&disabled));
+        base = base.min(t.elapsed());
+        let t = Instant::now();
+        black_box(run(&noop_sink));
+        traced = traced.min(t.elapsed());
+    }
+    let ratio = traced.as_secs_f64() / base.as_secs_f64();
+    println!("telemetry_overhead: disabled {base:?}, no-op sink {traced:?}, ratio {ratio:.4}");
+    assert!(
+        ratio < 1.02,
+        "no-op-sink telemetry costs {:.2}% on the warm fig7 DES sweep (budget 2%)",
+        (ratio - 1.0) * 100.0
+    );
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.bench_function("disabled", |b| b.iter(|| black_box(run(&disabled))));
+    group.bench_function("noop_sink", |b| b.iter(|| black_box(run(&noop_sink))));
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_single_cycle,
     bench_engine_cache,
+    bench_telemetry_overhead,
     bench_fig6_sweep,
     bench_fig7_sweep,
     bench_fig8_lossy_sweep,

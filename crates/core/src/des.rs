@@ -11,6 +11,7 @@
 //! (`ablation_async` binary).
 
 use crate::server::ServerModel;
+use pb_telemetry::Telemetry;
 use pb_units::{Joules, Seconds, Watts};
 use rand::Rng;
 use std::cmp::Reverse;
@@ -82,6 +83,21 @@ pub fn simulate_async_cycle<R: Rng + ?Sized>(
     server: &ServerModel,
     rng: &mut R,
 ) -> AsyncCycleReport {
+    simulate_async_cycle_traced(n_clients, server, rng, &Telemetry::disabled())
+}
+
+/// [`simulate_async_cycle`] with observability: event counts by type
+/// (`des.events.*`), the peak uplink queue depth (`des.queue_depth.peak`
+/// gauge), the horizon histogram (`des.cycle.horizon_s`), and — when the
+/// sink keeps events — one sim-time-stamped trace record per simulation
+/// event plus a `des.cycle_done` summary. Telemetry never touches the
+/// RNG, so results are bit-identical to the untraced call.
+pub fn simulate_async_cycle_traced<R: Rng + ?Sized>(
+    n_clients: usize,
+    server: &ServerModel,
+    rng: &mut R,
+    telemetry: &Telemetry,
+) -> AsyncCycleReport {
     let cycle = server.cycle.value();
     let transfer = server.receive_duration.value();
     let process = server.process_duration.value();
@@ -116,11 +132,29 @@ pub fn simulate_async_cycle<R: Rng + ?Sized>(
     let mut peak_queue = 0usize;
     let mut last_time = 0.0f64;
 
+    // Event counts stay in locals during the loop; they flush into the
+    // registry once at the end so the hot path pays no atomic traffic.
+    let trace_events = telemetry.events_recording();
+    let mut n_arrivals = 0u64;
+    let mut n_transfers = 0u64;
+    let mut n_processed = 0u64;
+
     while let Some(Reverse((key, idx))) = events.pop() {
         let now = key.time;
         last_time = now;
         match payload[idx] {
             Event::Arrival { client } => {
+                n_arrivals += 1;
+                if trace_events {
+                    telemetry.event(
+                        now,
+                        "des.arrival",
+                        vec![
+                            ("client", client.into()),
+                            ("queued", (uplink_in_use >= server.max_parallel).into()),
+                        ],
+                    );
+                }
                 if uplink_in_use < server.max_parallel {
                     if uplink_in_use == 0 {
                         receive_since = now;
@@ -133,6 +167,14 @@ pub fn simulate_async_cycle<R: Rng + ?Sized>(
                 }
             }
             Event::TransferDone { client } => {
+                n_transfers += 1;
+                if trace_events {
+                    telemetry.event(
+                        now,
+                        "des.transfer_done",
+                        vec![("client", client.into()), ("queue", uplink_wait.len().into())],
+                    );
+                }
                 // Hand the uplink to the next waiter (if any).
                 if let Some(next) = uplink_wait.pop_front() {
                     push(
@@ -163,6 +205,10 @@ pub fn simulate_async_cycle<R: Rng + ?Sized>(
                 }
             }
             Event::ProcessDone { client } => {
+                n_processed += 1;
+                if trace_events {
+                    telemetry.event(now, "des.process_done", vec![("client", client.into())]);
+                }
                 completion[client] = now;
                 if let Some(next) = cpu_wait.pop_front() {
                     cpu_busy_until = Some(now + process);
@@ -192,6 +238,29 @@ pub fn simulate_async_cycle<R: Rng + ?Sized>(
     let mean_latency =
         if n_clients > 0 { latencies.iter().sum::<f64>() / n_clients as f64 } else { 0.0 };
     let max_latency = latencies.iter().copied().fold(0.0, f64::max);
+
+    if telemetry.is_enabled() {
+        telemetry.add_to_counter("des.events.arrival", n_arrivals);
+        telemetry.add_to_counter("des.events.transfer_done", n_transfers);
+        telemetry.add_to_counter("des.events.process_done", n_processed);
+        if let Some(r) = telemetry.registry() {
+            r.gauge("des.queue_depth.peak").set_max(peak_queue as f64);
+        }
+        telemetry.observe("des.cycle.horizon_s", horizon);
+        if trace_events {
+            telemetry.event(
+                horizon,
+                "des.cycle_done",
+                vec![
+                    ("n_clients", n_clients.into()),
+                    ("peak_queue", peak_queue.into()),
+                    ("receive_busy_s", receive_busy.into()),
+                    ("process_busy_s", process_busy.into()),
+                    ("server_energy_j", server_energy.value().into()),
+                ],
+            );
+        }
+    }
 
     AsyncCycleReport {
         n_clients,
@@ -307,6 +376,60 @@ mod tests {
         let r = simulate_async_cycle(400, &server(2), &mut rng);
         assert!(r.peak_queue > 50, "peak queue {}", r.peak_queue);
         assert!(r.horizon > Seconds(2000.0));
+    }
+
+    #[test]
+    fn traced_cycle_counts_every_event_and_matches_untraced() {
+        let n = 120;
+        let tel = Telemetry::enabled();
+        let mut rng = StdRng::seed_from_u64(9);
+        let traced = simulate_async_cycle_traced(n, &server(10), &mut rng, &tel);
+        let plain = simulate_async_cycle(n, &server(10), &mut StdRng::seed_from_u64(9));
+        assert!((traced.server_energy - plain.server_energy).abs() < Joules(1e-12));
+        assert_eq!(traced.peak_queue, plain.peak_queue);
+
+        // Every client arrives, transfers and is processed exactly once.
+        let snap = tel.snapshot();
+        for kind in ["des.events.arrival", "des.events.transfer_done", "des.events.process_done"] {
+            assert_eq!(snap.counter(kind), Some(n as u64), "{kind}");
+        }
+        assert_eq!(snap.gauge("des.queue_depth.peak"), Some(plain.peak_queue as f64));
+        let horizon = snap.histogram("des.cycle.horizon_s").expect("horizon recorded");
+        assert_eq!(horizon.count, 1);
+        assert!((horizon.max - plain.horizon.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_is_jsonl_with_monotone_timestamps() {
+        use pb_telemetry::json::{self, Json};
+        let tel = Telemetry::enabled();
+        let mut rng = StdRng::seed_from_u64(10);
+        let _ = simulate_async_cycle_traced(50, &server(5), &mut rng, &tel);
+        // 3 events per client + the cycle_done summary.
+        assert_eq!(tel.events().len(), 151);
+        let jsonl = tel.to_jsonl();
+        let mut last_t = f64::NEG_INFINITY;
+        let mut kinds_seen = 0usize;
+        for line in jsonl.lines() {
+            let v = json::parse(line).expect("every trace line parses as JSON");
+            let t = v.get("t").and_then(Json::as_f64).expect("t field");
+            assert!(t >= last_t, "timestamps must be monotone non-decreasing");
+            last_t = t;
+            if v.get("kind").and_then(Json::as_str) == Some("des.cycle_done") {
+                kinds_seen += 1;
+                assert_eq!(v.get("n_clients").and_then(Json::as_f64), Some(50.0));
+            }
+        }
+        assert_eq!(kinds_seen, 1, "exactly one cycle summary");
+    }
+
+    #[test]
+    fn metrics_only_telemetry_skips_event_construction() {
+        let tel = Telemetry::metrics_only();
+        let mut rng = StdRng::seed_from_u64(11);
+        let _ = simulate_async_cycle_traced(30, &server(5), &mut rng, &tel);
+        assert!(tel.events().is_empty());
+        assert_eq!(tel.snapshot().counter("des.events.arrival"), Some(30));
     }
 
     mod props {

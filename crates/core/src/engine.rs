@@ -45,7 +45,7 @@ use std::sync::{Arc, RwLock};
 
 use crate::allocator::{allocate, Allocation, FillPolicy};
 use crate::client::ClientModel;
-use crate::des::simulate_async_cycle;
+use crate::des::simulate_async_cycle_traced;
 use crate::loss::LossModel;
 use crate::scenario::presets;
 use crate::server::ServerModel;
@@ -53,6 +53,7 @@ use crate::simulation::{edge_cycle_energy, servers_cycle_energy, CycleReport};
 use crate::sweep::ComparisonPoint;
 use crate::timeline::{clients_energy_from_timelines, servers_energy_from_timelines};
 use crate::ServiceKind;
+use pb_telemetry::{Counter, Histogram, Telemetry};
 use pb_units::Joules;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -111,12 +112,38 @@ pub struct AllocationCache {
     map: RwLock<HashMap<AllocationKey, Arc<Allocation>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Mirrors the hit/miss counters into a telemetry registry and
+    /// records per-slot occupancy when a fresh allocation is computed.
+    telemetry: Option<CacheTelemetry>,
+}
+
+/// Pre-resolved telemetry handles for the cache hot path (one atomic add
+/// per lookup instead of a registry lookup).
+#[derive(Debug)]
+struct CacheTelemetry {
+    hits: Counter,
+    misses: Counter,
+    occupancy: Histogram,
 }
 
 impl AllocationCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache that mirrors its counters into `telemetry` (as
+    /// `allocation_cache.hits` / `allocation_cache.misses`) and records
+    /// each freshly computed allocation's per-slot occupancy into the
+    /// `allocator.slot_occupancy` histogram. With a disabled handle this
+    /// is identical to [`AllocationCache::new`].
+    pub fn with_telemetry(telemetry: &Telemetry) -> Self {
+        let handles = telemetry.registry().map(|r| CacheTelemetry {
+            hits: r.counter("allocation_cache.hits"),
+            misses: r.counter("allocation_cache.misses"),
+            occupancy: r.histogram("allocator.slot_occupancy"),
+        });
+        AllocationCache { telemetry: handles, ..Self::default() }
     }
 
     /// Returns the allocation of `n_clients` onto `server` under
@@ -131,10 +158,21 @@ impl AllocationCache {
         let key = (n_clients, server.n_slots(penalty), server.max_parallel, policy);
         if let Some(hit) = self.map.read().expect("allocation cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(tel) = &self.telemetry {
+                tel.hits.inc();
+            }
             return Arc::clone(hit);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let fresh = Arc::new(allocate(n_clients, server, policy, penalty));
+        if let Some(tel) = &self.telemetry {
+            tel.misses.inc();
+            for sa in &fresh.servers {
+                for &k in &sa.slots {
+                    tel.occupancy.observe(k as f64);
+                }
+            }
+        }
         let mut map = self.map.write().expect("allocation cache poisoned");
         // Another thread may have won the race between the read and the
         // write lock; keep the first insertion so everyone shares one Arc.
@@ -182,17 +220,34 @@ impl AllocationCache {
 pub struct SimContext {
     seed: u64,
     cache: Arc<AllocationCache>,
+    telemetry: Telemetry,
 }
 
 impl SimContext {
-    /// A fresh context with its own empty cache.
+    /// A fresh context with its own empty cache and disabled telemetry.
     pub fn new(seed: u64) -> Self {
-        SimContext { seed, cache: Arc::new(AllocationCache::new()) }
+        SimContext {
+            seed,
+            cache: Arc::new(AllocationCache::new()),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// A fresh context whose cache and backends report into `telemetry`.
+    /// Telemetry never touches the RNG streams, so results are
+    /// bit-identical to [`SimContext::new`] with the same seed.
+    pub fn with_telemetry(seed: u64, telemetry: Telemetry) -> Self {
+        SimContext { seed, cache: Arc::new(AllocationCache::with_telemetry(&telemetry)), telemetry }
     }
 
     /// A context sharing an existing cache (e.g. across sweeps).
     pub fn with_cache(seed: u64, cache: Arc<AllocationCache>) -> Self {
-        SimContext { seed, cache }
+        SimContext { seed, cache, telemetry: Telemetry::disabled() }
+    }
+
+    /// This context's telemetry handle (disabled by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The master seed.
@@ -230,6 +285,7 @@ impl SimContext {
         SimContext {
             seed: self.seed.wrapping_add(r.wrapping_mul(0x9E37_79B9)),
             cache: Arc::clone(&self.cache),
+            telemetry: self.telemetry.clone(),
         }
     }
 }
@@ -253,8 +309,10 @@ pub trait CycleEngine: Send + Sync {
         n_clients: usize,
         ctx: &SimContext,
     ) -> CycleReport {
+        let _span = ctx.telemetry().span("engine.cycle.edge");
         let mut rng = ctx.point_rng(n_clients as u64);
         let active = draw_active(&spec.loss, n_clients, &mut rng);
+        record_client_loss(ctx, n_clients, active);
         let edge_total = spec.edge_client.cycle_energy() * active as f64;
         CycleReport::from_parts(n_clients, active, 0, edge_total, Joules::ZERO)
     }
@@ -277,6 +335,14 @@ fn draw_active<R: Rng + ?Sized>(loss: &LossModel, n_clients: usize, rng: &mut R)
     n_clients - lost
 }
 
+/// Counts Loss-C casualties into `loss.clients_lost` (no-op when the
+/// context's telemetry is disabled or nobody was lost).
+fn record_client_loss(ctx: &SimContext, n_clients: usize, active: usize) {
+    if n_clients > active {
+        ctx.telemetry().add_to_counter("loss.clients_lost", (n_clients - active) as u64);
+    }
+}
+
 /// The closed-form backend: the per-slot algebra of
 /// [`crate::simulation`]. Fastest; exact for the paper's synchronized
 /// slot model.
@@ -285,8 +351,10 @@ pub struct ClosedForm;
 
 impl CycleEngine for ClosedForm {
     fn evaluate(&self, spec: &ScenarioSpec, n_clients: usize, ctx: &SimContext) -> CycleReport {
+        let _span = ctx.telemetry().span("engine.cycle.closed_form");
         let mut rng = ctx.point_rng(n_clients as u64);
         let active = draw_active(&spec.loss, n_clients, &mut rng);
+        record_client_loss(ctx, n_clients, active);
         let allocation = ctx.cache().get_or_allocate(
             active,
             &spec.server,
@@ -308,8 +376,10 @@ pub struct EventTimeline;
 
 impl CycleEngine for EventTimeline {
     fn evaluate(&self, spec: &ScenarioSpec, n_clients: usize, ctx: &SimContext) -> CycleReport {
+        let _span = ctx.telemetry().span("engine.cycle.timeline");
         let mut rng = ctx.point_rng(n_clients as u64);
         let active = draw_active(&spec.loss, n_clients, &mut rng);
+        record_client_loss(ctx, n_clients, active);
         let allocation = ctx.cache().get_or_allocate(
             active,
             &spec.server,
@@ -339,8 +409,10 @@ pub struct Des;
 
 impl CycleEngine for Des {
     fn evaluate(&self, spec: &ScenarioSpec, n_clients: usize, ctx: &SimContext) -> CycleReport {
+        let _span = ctx.telemetry().span("engine.cycle.des");
         let mut rng = ctx.point_rng(n_clients as u64);
         let active = draw_active(&spec.loss, n_clients, &mut rng);
+        record_client_loss(ctx, n_clients, active);
         let allocation = ctx.cache().get_or_allocate(
             active,
             &spec.server,
@@ -352,8 +424,13 @@ impl CycleEngine for Des {
         for (s, sa) in allocation.servers.iter().enumerate() {
             let mut server_rng =
                 StdRng::seed_from_u64(point_seed ^ (s as u64 + 1).wrapping_mul(GOLDEN_GAMMA));
-            server_total +=
-                simulate_async_cycle(sa.n_clients(), &spec.server, &mut server_rng).server_energy;
+            server_total += simulate_async_cycle_traced(
+                sa.n_clients(),
+                &spec.server,
+                &mut server_rng,
+                ctx.telemetry(),
+            )
+            .server_energy;
         }
         // Unsynchronized uploads see no slot contention: each client pays
         // its nominal cycle, penalty-free.
@@ -535,6 +612,79 @@ mod tests {
         ctx.cache().clear();
         assert!(ctx.cache().is_empty());
         assert_eq!(ctx.cache().hits(), 0);
+    }
+
+    #[test]
+    fn telemetry_counts_cache_hits_without_changing_results() {
+        // The engine_cache invariant, observed through pb-telemetry: a
+        // cold sweep is all misses; re-running the same points against the
+        // warm cache adds only hits — the miss count must not move.
+        let spec = spec(35, LossModel::NONE);
+        let ns: Vec<usize> = (100..=2000).step_by(100).collect();
+
+        let tel = Telemetry::metrics_only();
+        let ctx = SimContext::with_telemetry(0xF1E1D, tel.clone());
+        for &n in &ns {
+            let _ = ClosedForm.evaluate(&spec, n, &ctx);
+        }
+        let cold = tel.snapshot();
+        let cold_misses = cold.counter("allocation_cache.misses").expect("misses counted");
+        assert!(cold_misses > 0);
+        assert_eq!(cold.counter("allocation_cache.hits"), Some(0), "cold run has no hits");
+
+        for &n in &ns {
+            let _ = ClosedForm.evaluate(&spec, n, &ctx);
+        }
+        let warm = tel.snapshot();
+        let hits = warm.counter("allocation_cache.hits").unwrap_or(0);
+        assert!(hits > 0, "warm run must hit the cache");
+        assert_eq!(
+            warm.counter("allocation_cache.misses"),
+            Some(cold_misses),
+            "warm run must add no misses"
+        );
+        // The mirror agrees with the cache's own counters.
+        assert_eq!(hits, ctx.cache().hits());
+        assert_eq!(cold_misses, ctx.cache().misses());
+        // Every computed allocation contributed its slot occupancies.
+        let occ = warm.histogram("allocator.slot_occupancy").expect("occupancy recorded");
+        assert!(occ.count > 0);
+        assert!(occ.max <= 35.0, "no slot can exceed the cap");
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_any_backend() {
+        // Acceptance criterion: disabling telemetry reproduces
+        // bit-identical simulation results — and so does enabling it.
+        let spec = spec(10, LossModel::all());
+        for backend in Backend::ALL {
+            for n in [1usize, 90, 180, 406] {
+                let plain = backend.compare(&spec, n, &SimContext::new(0xBEE));
+                let traced = backend.compare(
+                    &spec,
+                    n,
+                    &SimContext::with_telemetry(0xBEE, Telemetry::enabled()),
+                );
+                assert_eq!(plain.cloud, traced.cloud, "{backend} n = {n}");
+                assert_eq!(plain.edge, traced.edge, "{backend} n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn backend_spans_aggregate_per_backend() {
+        let spec = spec(10, LossModel::NONE);
+        let tel = Telemetry::metrics_only();
+        let ctx = SimContext::with_telemetry(5, tel.clone());
+        for backend in Backend::ALL {
+            let _ = backend.evaluate(&spec, 180, &ctx);
+            let _ = backend.evaluate_edge(&spec, 180, &ctx);
+        }
+        let snap = tel.snapshot();
+        for name in ["engine.cycle.closed_form", "engine.cycle.timeline", "engine.cycle.des"] {
+            assert_eq!(snap.histogram(name).expect(name).count, 1, "{name}");
+        }
+        assert_eq!(snap.histogram("engine.cycle.edge").unwrap().count, 3);
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub mod timeline;
 
 pub use allocator::{Allocation, FillPolicy, ServerAllocation};
 pub use client::{Action, ClientModel};
-pub use des::{simulate_async_cycle, AsyncCycleReport};
+pub use des::{simulate_async_cycle, simulate_async_cycle_traced, AsyncCycleReport};
 pub use engine::{AllocationCache, Backend, CycleEngine, ScenarioSpec, SimContext};
 pub use fleet::{simulate_fleet, simulate_fleet_with, FleetGroup, FleetReport};
 pub use loss::{ClientLoss, LossModel, PenaltyMode, SaturationPenalty, TransferPenalty};
@@ -71,6 +71,11 @@ pub use sweep::{ComparisonPoint, CrossoverReport, SweepConfig};
 // Re-exported so downstream callers name one crate for scenario math.
 pub use pb_device::routine::ServiceKind;
 
+// Re-exported so consumers of the engine layer get the matching
+// observability types without naming a second crate.
+pub use pb_telemetry as telemetry;
+pub use pb_telemetry::{Telemetry, TelemetrySnapshot};
+
 /// Convenience prelude for examples and benches.
 pub mod prelude {
     pub use crate::allocator::FillPolicy;
@@ -84,6 +89,7 @@ pub mod prelude {
     pub use crate::simulation::{simulate_edge, simulate_edge_cloud};
     pub use crate::sweep::SweepConfig;
     pub use crate::ServiceKind;
+    pub use pb_telemetry::{Telemetry, TelemetrySnapshot};
 
     /// A deterministic RNG for examples and tests.
     pub fn seeded_rng(seed: u64) -> rand::rngs::StdRng {

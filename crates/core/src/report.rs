@@ -1,6 +1,7 @@
 //! Text rendering of sweep results — the figure regenerators print these.
 
 use crate::sweep::ComparisonPoint;
+use pb_telemetry::TelemetrySnapshot;
 use std::fmt::Write as _;
 
 /// A simple fixed-width text table.
@@ -104,6 +105,52 @@ pub fn comparison_table(points: &[ComparisonPoint]) -> TextTable {
     t
 }
 
+/// Renders a [`TelemetrySnapshot`] as one table: counters and gauges as
+/// single-value rows, histograms with their full summary. The `pb` CLI
+/// prints this under `--metrics`.
+pub fn metrics_table(snapshot: &TelemetrySnapshot) -> TextTable {
+    let mut t =
+        TextTable::new(vec!["metric", "kind", "count", "total", "min", "p50", "p95", "max"]);
+    let blank = || "-".to_string();
+    for (name, v) in &snapshot.counters {
+        t.row(vec![
+            name.clone(),
+            "counter".to_string(),
+            v.to_string(),
+            blank(),
+            blank(),
+            blank(),
+            blank(),
+            blank(),
+        ]);
+    }
+    for (name, v) in &snapshot.gauges {
+        t.row(vec![
+            name.clone(),
+            "gauge".to_string(),
+            blank(),
+            format!("{v:.6}"),
+            blank(),
+            blank(),
+            blank(),
+            blank(),
+        ]);
+    }
+    for (name, h) in &snapshot.histograms {
+        t.row(vec![
+            name.clone(),
+            "histogram".to_string(),
+            h.count.to_string(),
+            format!("{:.6}", h.total),
+            format!("{:.6}", h.min),
+            format!("{:.6}", h.p50),
+            format!("{:.6}", h.p95),
+            format!("{:.6}", h.max),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +188,26 @@ mod tests {
     fn wrong_cell_count_panics() {
         let mut t = TextTable::new(vec!["a", "b"]);
         t.row(vec!["1"]);
+    }
+
+    #[test]
+    fn metrics_table_renders_all_three_kinds() {
+        use pb_telemetry::Telemetry;
+        let tel = Telemetry::metrics_only();
+        tel.add_to_counter("allocation_cache.hits", 7);
+        tel.set_gauge("des.queue_depth.peak", 4.0);
+        tel.observe("dsp.mel", 0.002);
+        tel.observe("dsp.mel", 0.004);
+        let t = metrics_table(&tel.snapshot());
+        assert_eq!(t.len(), 3);
+        let text = t.render();
+        assert!(text.contains("allocation_cache.hits"));
+        assert!(text.contains("counter"));
+        assert!(text.contains("gauge"));
+        assert!(text.contains("histogram"));
+        // Histogram row carries its count and exact extremes.
+        assert!(text.contains("0.002000"));
+        assert!(text.contains("0.004000"));
     }
 
     #[test]

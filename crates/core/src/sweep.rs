@@ -98,9 +98,22 @@ impl SweepConfig {
     /// Runs the sweep through an explicit backend; every point shares one
     /// [`SimContext`] (and therefore one allocation cache).
     pub fn run_with(&self, engine: &dyn CycleEngine, ns: &[usize]) -> Vec<ComparisonPoint> {
+        self.run_with_context(engine, ns, &self.context())
+    }
+
+    /// Runs the sweep through an explicit backend and an explicit
+    /// context — the instrumented entry point: pass a
+    /// [`SimContext::with_telemetry`] context to collect cache counters,
+    /// backend spans and DES traces across the whole sweep. The context's
+    /// seed should equal this config's seed for reproducible results.
+    pub fn run_with_context(
+        &self,
+        engine: &dyn CycleEngine,
+        ns: &[usize],
+        ctx: &SimContext,
+    ) -> Vec<ComparisonPoint> {
         let spec = self.spec();
-        let ctx = self.context();
-        ns.par_iter().map(|&n| engine.compare(&spec, n, &ctx)).collect()
+        ns.par_iter().map(|&n| engine.compare(&spec, n, ctx)).collect()
     }
 
     /// Runs the sweep over an inclusive range with a step.

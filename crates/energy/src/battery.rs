@@ -6,6 +6,7 @@
 //! in Figure 2: when the battery is empty and the panel delivers nothing,
 //! the node stops running.
 
+use pb_telemetry::Telemetry;
 use pb_units::{Joules, Percent, Seconds, WattHours, Watts};
 
 /// A simple coulomb-counting battery with charge/discharge efficiency.
@@ -18,6 +19,8 @@ pub struct Battery {
     /// Fraction of capacity below which the bank's protection circuit cuts
     /// the output (power banks refuse to discharge fully).
     cutoff_fraction: f64,
+    /// Records per-transfer energy and the SoC gauge (disabled by default).
+    telemetry: Telemetry,
 }
 
 impl Battery {
@@ -31,6 +34,7 @@ impl Battery {
             charge_efficiency: 0.9,
             discharge_efficiency: 0.95,
             cutoff_fraction: 0.02,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -52,6 +56,14 @@ impl Battery {
     pub fn with_cutoff(mut self, fraction: f64) -> Self {
         assert!((0.0..1.0).contains(&fraction), "cutoff fraction must be in [0, 1)");
         self.cutoff_fraction = fraction;
+        self
+    }
+
+    /// Mirrors every transfer into `telemetry`: `battery.charge_j` /
+    /// `battery.discharge_j` histograms and the `battery.soc` gauge.
+    /// Telemetry only observes — state-of-charge math is untouched.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -90,6 +102,10 @@ impl Battery {
         let room = self.capacity - self.stored;
         let accepted = offered.min(room);
         self.stored += accepted;
+        if self.telemetry.is_enabled() {
+            self.telemetry.observe("battery.charge_j", accepted.value());
+            self.telemetry.set_gauge("battery.soc", self.soc().fraction());
+        }
         accepted
     }
 
@@ -105,6 +121,10 @@ impl Battery {
         self.stored -= delivered / self.discharge_efficiency;
         // Guard against floating-point undershoot below the hard floor.
         self.stored = self.stored.max(Joules::ZERO);
+        if self.telemetry.is_enabled() {
+            self.telemetry.observe("battery.discharge_j", delivered.value());
+            self.telemetry.set_gauge("battery.soc", self.soc().fraction());
+        }
         delivered
     }
 

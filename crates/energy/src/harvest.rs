@@ -8,6 +8,7 @@
 
 use crate::battery::Battery;
 use crate::solar::{DcDcConverter, Irradiance, SolarPanel};
+use pb_telemetry::Telemetry;
 use pb_units::{Joules, Seconds, TimeOfDay, Watts};
 use rand::Rng;
 
@@ -62,6 +63,7 @@ pub struct PowerSystem {
     total_harvested: Joules,
     total_delivered: Joules,
     brown_out_time: Seconds,
+    telemetry: Telemetry,
 }
 
 impl PowerSystem {
@@ -73,7 +75,18 @@ impl PowerSystem {
             total_harvested: Joules::ZERO,
             total_delivered: Joules::ZERO,
             brown_out_time: Seconds::ZERO,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// A system reporting into `telemetry`: each step updates the
+    /// `battery.soc` gauge and the `harvest.harvested_w` histogram,
+    /// counts `harvest.brown_outs`, and — when the sink keeps events —
+    /// appends a sim-time-stamped `battery.soc` trajectory record.
+    /// Telemetry observes but never changes the simulation (the RNG
+    /// stream is untouched).
+    pub fn with_telemetry(config: PowerSystemConfig, telemetry: Telemetry) -> Self {
+        PowerSystem { telemetry, ..Self::new(config) }
     }
 
     /// Current simulation time.
@@ -140,16 +153,31 @@ impl PowerSystem {
 
         self.total_harvested += harvested_power * dt;
         self.total_delivered += delivered;
+        let t_start = self.clock.value();
         self.clock += dt;
 
-        HarvestStep {
-            time,
-            harvested: harvested_power,
-            delivered,
-            requested,
-            soc: self.config.battery.soc().fraction(),
-            brown_out,
+        let soc = self.config.battery.soc().fraction();
+        if self.telemetry.is_enabled() {
+            self.telemetry.set_gauge("battery.soc", soc);
+            self.telemetry.observe("harvest.harvested_w", harvested_power.value());
+            if brown_out {
+                self.telemetry.add_to_counter("harvest.brown_outs", 1);
+            }
+            if self.telemetry.events_recording() {
+                self.telemetry.event(
+                    t_start,
+                    "battery.soc",
+                    vec![
+                        ("soc", soc.into()),
+                        ("harvested_w", harvested_power.value().into()),
+                        ("delivered_j", delivered.value().into()),
+                        ("brown_out", brown_out.into()),
+                    ],
+                );
+            }
         }
+
+        HarvestStep { time, harvested: harvested_power, delivered, requested, soc, brown_out }
     }
 
     /// Runs the system for `total` at fixed `dt`, with the load given by
@@ -254,6 +282,33 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         sys.run(Seconds::from_days(2.0), Seconds(300.0), &mut rng, |_| Watts(3.0));
         assert!(sys.total_delivered() <= sys.total_harvested() + initial + Joules(1e-6));
+    }
+
+    #[test]
+    fn telemetry_records_soc_trajectory_without_perturbing_the_run() {
+        let tel = Telemetry::enabled();
+        let battery = Battery::new(WattHours(5.0), 0.3).with_cutoff(0.0);
+        let mut traced = PowerSystem::with_telemetry(clear_config(battery.clone()), tel.clone());
+        let mut plain = PowerSystem::new(clear_config(battery));
+        let mut rng_a = StdRng::seed_from_u64(42);
+        let mut rng_b = StdRng::seed_from_u64(42);
+        let day = Seconds::from_days(1.0);
+        let a = traced.run(day, Seconds(600.0), &mut rng_a, |_| Watts(1.3));
+        let b = plain.run(day, Seconds(600.0), &mut rng_b, |_| Watts(1.3));
+        assert_eq!(a, b, "telemetry must not change the simulation");
+
+        // One trajectory event per step, monotone in sim time.
+        let events = tel.events_sorted();
+        assert_eq!(events.len(), 144);
+        assert!(events.windows(2).all(|w| w[0].t_sim <= w[1].t_sim));
+        let snap = tel.snapshot();
+        assert_eq!(snap.histogram("harvest.harvested_w").unwrap().count, 144);
+        let soc = snap.gauge("battery.soc").expect("gauge tracks last soc");
+        assert!((0.0..=1.0).contains(&soc));
+        // A 5 Wh battery under 1.3 W cannot cover the night.
+        let brown_outs = snap.counter("harvest.brown_outs").expect("night brown-outs");
+        assert!(brown_outs > 0);
+        assert_eq!(brown_outs as usize, a.iter().filter(|s| s.brown_out).count());
     }
 
     #[test]

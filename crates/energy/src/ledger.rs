@@ -100,6 +100,23 @@ impl EnergyLedger {
     pub fn extend_from(&mut self, other: &EnergyLedger) {
         self.entries.extend(other.entries.iter().cloned());
     }
+
+    /// Publishes every row into `telemetry` as per-task energy histograms
+    /// named `energy.<scope>.<task>_j` (task names slugged via
+    /// [`crate::metric_slug`]; repeated rows become repeated
+    /// observations) plus a `energy.<scope>.total_j` gauge.
+    pub fn publish_metrics(&self, telemetry: &pb_telemetry::Telemetry, scope: &str) {
+        if !telemetry.is_enabled() {
+            return;
+        }
+        for e in &self.entries {
+            telemetry.observe(
+                &format!("energy.{scope}.{}_j", crate::metric_slug(&e.task)),
+                e.energy.value(),
+            );
+        }
+        telemetry.set_gauge(&format!("energy.{scope}.total_j"), self.total_energy().value());
+    }
 }
 
 impl fmt::Display for EnergyLedger {
@@ -207,6 +224,20 @@ mod tests {
         assert!(text.contains("366.3"));
         assert!(text.contains("Total"));
         assert!(text.contains("300.0"));
+    }
+
+    #[test]
+    fn publish_metrics_slugs_tasks_and_totals() {
+        use pb_telemetry::Telemetry;
+        let tel = Telemetry::metrics_only();
+        table1_svm().publish_metrics(&tel, "edge");
+        let snap = tel.snapshot();
+        let svm = snap.histogram("energy.edge.queen_detection_model_svm_j").expect("slugged row");
+        assert_eq!(svm.count, 1);
+        assert!((svm.total - 98.9).abs() < 1e-9);
+        assert!((snap.gauge("energy.edge.total_j").unwrap() - 366.3).abs() < 1e-9);
+        // Disabled telemetry: a cheap no-op.
+        table1_svm().publish_metrics(&Telemetry::disabled(), "edge");
     }
 
     #[test]

@@ -37,3 +37,36 @@ pub use meter::{CurrentSensor, EnergyMeter};
 pub use solar::{DcDcConverter, Irradiance, SolarPanel};
 pub use state::{PowerState, StateMachine, Transition};
 pub use trace::{PowerTrace, RoutineStats, Segment};
+
+/// Canonicalizes a human-readable task/state label into a metric-name
+/// segment: lowercase, every non-alphanumeric run collapsed to one `_`.
+/// `"Queen detection model (SVM)"` → `"queen_detection_model_svm"`.
+pub fn metric_slug(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    let mut pending_sep = false;
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            if pending_sep && !out.is_empty() {
+                out.push('_');
+            }
+            pending_sep = false;
+            out.push(c.to_ascii_lowercase());
+        } else {
+            pending_sep = true;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod slug_tests {
+    use super::metric_slug;
+
+    #[test]
+    fn slugs_collapse_and_lowercase() {
+        assert_eq!(metric_slug("Queen detection model (SVM)"), "queen_detection_model_svm");
+        assert_eq!(metric_slug("wake+collect"), "wake_collect");
+        assert_eq!(metric_slug("Sleep"), "sleep");
+        assert_eq!(metric_slug("  -- "), "");
+    }
+}

@@ -6,6 +6,7 @@
 //! cycle as an explicit state machine whose history can be replayed into a
 //! [`crate::trace::PowerTrace`].
 
+use pb_telemetry::Telemetry;
 use pb_units::{Seconds, Watts};
 use std::fmt;
 
@@ -93,6 +94,7 @@ pub struct StateMachine {
     current: PowerState,
     history: Vec<Transition>,
     total_energy: pb_units::Joules,
+    telemetry: Telemetry,
 }
 
 impl StateMachine {
@@ -103,7 +105,16 @@ impl StateMachine {
             current: initial,
             history: Vec::new(),
             total_energy: pb_units::Joules::ZERO,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Mirrors every dwell into `telemetry`: per-state energy histograms
+    /// (`energy.state.<label>`) plus, when the sink keeps events, a
+    /// sim-time-stamped `power.dwell` record per transition.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Creates a machine starting in `initial` at an arbitrary origin.
@@ -146,6 +157,25 @@ impl StateMachine {
             "dwell power must be non-negative and finite, got {power}"
         );
         let t = Transition { at: self.clock, state: state.clone(), power, duration };
+        if self.telemetry.is_enabled() {
+            let energy = t.energy();
+            self.telemetry.observe(
+                &format!("energy.state.{}", crate::metric_slug(state.label())),
+                energy.value(),
+            );
+            if self.telemetry.events_recording() {
+                self.telemetry.event(
+                    self.clock.value(),
+                    "power.dwell",
+                    vec![
+                        ("state", state.label().into()),
+                        ("power_w", power.value().into()),
+                        ("duration_s", duration.value().into()),
+                        ("energy_j", energy.value().into()),
+                    ],
+                );
+            }
+        }
         self.total_energy += t.energy();
         self.clock += duration;
         self.current = state;
@@ -281,6 +311,27 @@ mod tests {
         assert!(trace.len() >= 300 && trace.len() <= 305);
         // First sample is the sleep draw.
         assert!((trace.samples()[0].1 - Watts(111.6 / 178.5)).abs() < Watts(1e-9));
+    }
+
+    #[test]
+    fn telemetry_attributes_energy_per_state() {
+        use pb_telemetry::Telemetry;
+        let tel = Telemetry::enabled();
+        let mut m = StateMachine::new(PowerState::Sleep).with_telemetry(tel.clone());
+        m.dwell(PowerState::Sleep, Watts(111.6 / 178.5), Seconds(178.5));
+        m.dwell(PowerState::active("wake+collect"), Watts(131.8 / 64.0), Seconds(64.0));
+        m.dwell(PowerState::Shutdown, Watts(21.0 / 9.9), Seconds(9.9));
+        let snap = tel.snapshot();
+        let sleep = snap.histogram("energy.state.sleep").expect("sleep attributed");
+        assert_eq!(sleep.count, 1);
+        assert!((sleep.total - 111.6).abs() < 1e-9);
+        assert!((snap.histogram("energy.state.wake_collect").unwrap().total - 131.8).abs() < 1e-9);
+        // Dwell events carry the sim clock and the state label.
+        let events = tel.events_sorted();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].t_sim, 0.0);
+        assert!((events[1].t_sim - 178.5).abs() < 1e-9);
+        assert!(events.iter().all(|e| e.kind == "power.dwell"));
     }
 
     #[test]

@@ -198,6 +198,7 @@ pub struct ResNetLite {
     stem: Conv2d,
     blocks: Vec<ResBlock>,
     fc: Dense,
+    telemetry: pb_telemetry::Telemetry,
 }
 
 impl ResBlock {
@@ -284,7 +285,15 @@ impl ResNetLite {
             in_c = s.channels;
         }
         let fc = Dense::new(in_c, config.n_classes, &mut rng);
-        ResNetLite { config, stem, blocks, fc }
+        ResNetLite { config, stem, blocks, fc, telemetry: pb_telemetry::Telemetry::disabled() }
+    }
+
+    /// Times every inference into `telemetry` as the `cnn.forward`
+    /// wall-time histogram. Logits are unchanged — the weights and the
+    /// forward math never see the telemetry handle.
+    pub fn with_telemetry(mut self, telemetry: pb_telemetry::Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The architecture description.
@@ -311,6 +320,7 @@ impl ResNetLite {
 
     /// Inference forward pass producing class logits.
     pub fn forward(&self, x: &FeatureMap) -> Vec<f64> {
+        let _span = self.telemetry.span("cnn.forward");
         let mut cur = relu(&self.stem.forward(x));
         for b in &self.blocks {
             cur = b.forward(&cur);
@@ -428,6 +438,19 @@ mod tests {
             n_classes: 2,
             seed: 1,
         }
+    }
+
+    #[test]
+    fn telemetry_times_forward_without_changing_logits() {
+        let tel = pb_telemetry::Telemetry::metrics_only();
+        let plain = ResNetLite::new(tiny_config());
+        let traced = ResNetLite::new(tiny_config()).with_telemetry(tel.clone());
+        let x = random_input(12, 3);
+        assert_eq!(plain.forward(&x), traced.forward(&x));
+        let _ = traced.forward(&x);
+        let h = tel.snapshot().histogram("cnn.forward").cloned().expect("span recorded");
+        assert_eq!(h.count, 2);
+        assert!(h.total >= 0.0);
     }
 
     fn random_input(side: usize, seed: u64) -> FeatureMap {

@@ -12,6 +12,7 @@ use crate::mel::{MelFilterbank, MelSpectrogram};
 use crate::mfcc::Mfcc;
 use crate::stft::{SpectrogramParams, Stft};
 use crate::window::WindowKind;
+use pb_telemetry::Telemetry;
 
 /// A planned clip→features pipeline: one STFT plan plus one mel filterbank,
 /// built once and reused for every clip.
@@ -19,6 +20,7 @@ use crate::window::WindowKind;
 pub struct MelPipeline {
     stft: Stft,
     bank: MelFilterbank,
+    telemetry: Telemetry,
 }
 
 impl MelPipeline {
@@ -26,13 +28,21 @@ impl MelPipeline {
     /// `n_mels` bands at `sample_rate`.
     pub fn new(params: SpectrogramParams, n_mels: usize, sample_rate: f64) -> Self {
         let bank = MelFilterbank::new(n_mels, params.n_fft, sample_rate, 0.0, sample_rate / 2.0);
-        MelPipeline { stft: Stft::new(params), bank }
+        MelPipeline { stft: Stft::new(params), bank, telemetry: Telemetry::disabled() }
     }
 
     /// Assembles a pipeline from existing parts (FFT sizes must agree).
     pub fn from_parts(stft: Stft, bank: MelFilterbank) -> Self {
         assert_eq!(stft.params().n_fft, bank.n_fft(), "STFT and filterbank must agree on n_fft");
-        MelPipeline { stft, bank }
+        MelPipeline { stft, bank, telemetry: Telemetry::disabled() }
+    }
+
+    /// Times every stage into `telemetry`: per-clip wall-time histograms
+    /// `dsp.mel`, `dsp.mfcc` and `dsp.image` (nested — an `image` call
+    /// also records its inner `mel`). Outputs are unchanged.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The paper's configuration: n_fft 2048, hop 512, Hann window,
@@ -63,17 +73,20 @@ impl MelPipeline {
 
     /// Log-mel spectrogram of `signal`.
     pub fn mel(&self, signal: &[f64]) -> MelSpectrogram {
+        let _span = self.telemetry.span("dsp.mel");
         MelSpectrogram::compute(signal, &self.stft, &self.bank)
     }
 
     /// MFCCs of `signal` (`n_coeffs` per frame).
     pub fn mfcc(&self, signal: &[f64], n_coeffs: usize) -> Mfcc {
+        let _span = self.telemetry.span("dsp.mfcc");
         Mfcc::from_mel(&self.mel(signal), n_coeffs)
     }
 
     /// Normalized `side × side` spectrogram image of `signal` — the CNN
     /// input of the Figure 5 sweep.
     pub fn image(&self, signal: &[f64], side: usize) -> Image {
+        let _span = self.telemetry.span("dsp.image");
         Image::from_mel(&self.mel(signal)).resize_bilinear(side, side).normalize()
     }
 }
@@ -110,6 +123,26 @@ mod tests {
         let clip: Vec<f64> = (0..8192).map(|i| (i as f64 * 0.05).sin()).collect();
         let img = MelPipeline::compact().image(&clip, 24);
         assert_eq!((img.width(), img.height()), (24, 24));
+    }
+
+    #[test]
+    fn telemetry_times_each_stage_without_changing_outputs() {
+        let clip: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.01).sin()).collect();
+        let tel = Telemetry::metrics_only();
+        let plain = MelPipeline::compact();
+        let traced = MelPipeline::compact().with_telemetry(tel.clone());
+        assert_eq!(plain.mel(&clip), traced.mel(&clip));
+        assert_eq!(plain.mfcc(&clip, 13), traced.mfcc(&clip, 13));
+        assert_eq!(plain.image(&clip, 16), traced.image(&clip, 16));
+        let snap = tel.snapshot();
+        // mel is called directly once, plus once inside mfcc and image.
+        assert_eq!(snap.histogram("dsp.mel").unwrap().count, 3);
+        assert_eq!(snap.histogram("dsp.mfcc").unwrap().count, 1);
+        assert_eq!(snap.histogram("dsp.image").unwrap().count, 1);
+        // Outer stages cover their inner mel.
+        let mel = snap.histogram("dsp.mel").unwrap();
+        let mfcc = snap.histogram("dsp.mfcc").unwrap();
+        assert!(mfcc.max >= mel.min);
     }
 
     #[test]

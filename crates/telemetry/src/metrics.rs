@@ -1,0 +1,498 @@
+//! The metrics registry: named counters, gauges and histograms.
+//!
+//! Every metric is a small atomic cell behind an `Arc`, so handles are
+//! cheap to clone, lock-free to update and safe to hammer from rayon
+//! workers. Histograms use exponential buckets (sixteen per octave,
+//! ≈ 4.4 % relative resolution) plus exact count/total/min/max, which is
+//! enough to report p50/p95 within bucket resolution without storing
+//! samples.
+
+use crate::snapshot::TelemetrySnapshot;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Lock-free add on an f64 stored as bits in an [`AtomicU64`].
+fn atomic_f64_add(cell: &AtomicU64, v: f64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = f64::from_bits(current) + v;
+        match cell.compare_exchange_weak(
+            current,
+            next.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+/// Lock-free `min`/`max` fold on an f64 stored as bits.
+fn atomic_f64_fold(cell: &AtomicU64, v: f64, fold: impl Fn(f64, f64) -> f64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let folded = fold(f64::from_bits(current), v);
+        if folded.to_bits() == current {
+            return;
+        }
+        match cell.compare_exchange_weak(
+            current,
+            folded.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct CounterCell {
+    value: AtomicU64,
+}
+
+/// A monotone counter handle. Cloning shares the underlying cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<CounterCell>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `v`.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.0.value.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.value.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct GaugeCell {
+    bits: AtomicU64,
+}
+
+/// A last-value gauge handle (f64). Cloning shares the underlying cell.
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<GaugeCell>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(GaugeCell { bits: AtomicU64::new(0.0f64.to_bits()) }))
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: f64) {
+        self.0.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `v` to the gauge (gauges may go down; pass a negative delta).
+    pub fn add(&self, v: f64) {
+        atomic_f64_add(&self.0.bits, v);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (a high-water mark).
+    pub fn set_max(&self, v: f64) {
+        atomic_f64_fold(&self.0.bits, v, f64::max);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Exponential bucket resolution: sixteen buckets per octave ≈ 4.4 %
+/// relative width, so reported quantiles sit within ~4.4 % of the true
+/// order statistic (then clamped to the exact observed min/max).
+const BUCKETS_PER_OCTAVE: f64 = 16.0;
+/// Bucket index offset so values down to ~2⁻³² (≈ 2.3e-10) are resolved.
+const BUCKET_OFFSET: i64 = 512;
+/// Total buckets; index 0 collects non-positive values.
+const N_BUCKETS: usize = 1024;
+
+fn bucket_index(v: f64) -> usize {
+    if v.is_nan() || v <= 0.0 {
+        return 0; // zero, negative and NaN all land in the underflow bucket
+    }
+    let i = (v.log2() * BUCKETS_PER_OCTAVE).floor() as i64 + BUCKET_OFFSET;
+    i.clamp(1, (N_BUCKETS - 1) as i64) as usize
+}
+
+fn bucket_value(i: usize) -> f64 {
+    if i == 0 {
+        0.0
+    } else {
+        ((i as f64 - BUCKET_OFFSET as f64 + 0.5) / BUCKETS_PER_OCTAVE).exp2()
+    }
+}
+
+struct HistogramCell {
+    count: AtomicU64,
+    total_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+    buckets: Vec<AtomicU64>,
+}
+
+impl fmt::Debug for HistogramCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HistogramCell")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .field("total", &f64::from_bits(self.total_bits.load(Ordering::Relaxed)))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for HistogramCell {
+    fn default() -> Self {
+        HistogramCell {
+            count: AtomicU64::new(0),
+            total_bits: AtomicU64::new(0.0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+/// A histogram handle: exact count/total/min/max plus exponential
+/// buckets for quantiles. Cloning shares the underlying cell.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Arc<HistogramCell>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let c = &*self.0;
+        c.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_add(&c.total_bits, v);
+        atomic_f64_fold(&c.min_bits, v, f64::min);
+        atomic_f64_fold(&c.max_bits, v, f64::max);
+        c.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn total(&self) -> f64 {
+        f64::from_bits(self.0.total_bits.load(Ordering::Relaxed))
+    }
+
+    /// Smallest observation (0.0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count() == 0 {
+            0.0
+        } else {
+            f64::from_bits(self.0.min_bits.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Largest observation (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count() == 0 {
+            0.0
+        } else {
+            f64::from_bits(self.0.max_bits.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.total() / n as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` in \[0, 1\]) estimated from the buckets and
+    /// clamped to the exact observed range. Empty histograms report 0.0.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
+        let counts: Vec<u64> = self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let n: u64 = counts.iter().sum();
+        if n == 0 {
+            return 0.0;
+        }
+        // The extreme quantiles are tracked exactly — skip the buckets.
+        if q == 0.0 {
+            return self.min();
+        }
+        if q == 1.0 {
+            return self.max();
+        }
+        let rank = ((q * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_value(i).clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// A frozen summary of the histogram.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            total: self.total(),
+            min: self.min(),
+            max: self.max(),
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+        }
+    }
+}
+
+/// A frozen view of one histogram: exact count/total/min/max/mean plus
+/// bucket-resolution p50/p95.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub total: f64,
+    /// Smallest observation (0.0 when empty).
+    pub min: f64,
+    /// Largest observation (0.0 when empty).
+    pub max: f64,
+    /// Mean observation (0.0 when empty).
+    pub mean: f64,
+    /// Median, within bucket resolution (≈ 4.4 %).
+    pub p50: f64,
+    /// 95th percentile, within bucket resolution.
+    pub p95: f64,
+}
+
+/// The registry: a name → handle map per metric kind. Handles are
+/// created on first use and shared afterwards; names sort
+/// lexicographically in snapshots.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Counter>>,
+    gauges: RwLock<BTreeMap<String, Gauge>>,
+    histograms: RwLock<BTreeMap<String, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.counters.read().expect("registry poisoned").get(name) {
+            return c.clone();
+        }
+        self.counters
+            .write()
+            .expect("registry poisoned")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self.gauges.read().expect("registry poisoned").get(name) {
+            return g.clone();
+        }
+        self.gauges.write().expect("registry poisoned").entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if let Some(h) = self.histograms.read().expect("registry poisoned").get(name) {
+            return h.clone();
+        }
+        self.histograms
+            .write()
+            .expect("registry poisoned")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// A frozen, name-sorted view of every metric.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            counters: self
+                .counters
+                .read()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.summary()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("c");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("c").get(), 5, "handles share one cell");
+        let g = r.gauge("g");
+        g.set(2.0);
+        g.add(-0.5);
+        assert!((g.get() - 1.5).abs() < 1e-12);
+        g.set_max(1.0);
+        assert!((g.get() - 1.5).abs() < 1e-12, "set_max never lowers");
+        g.set_max(3.0);
+        assert!((g.get() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_exact_stats() {
+        let h = Histogram::default();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.total() - 10.0).abs() < 1e-12);
+        assert!((h.mean() - 2.5).abs() < 1e-12);
+        assert!((h.min() - 1.0).abs() < 1e-12);
+        assert!((h.max() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_on_known_uniform_distribution() {
+        // 1..=1000 uniformly: p50 ≈ 500, p95 ≈ 950, within the ≈ 4.4 %
+        // bucket resolution.
+        let h = Histogram::default();
+        for v in 1..=1000 {
+            h.observe(v as f64);
+        }
+        let p50 = h.quantile(0.50);
+        let p95 = h.quantile(0.95);
+        assert!((p50 - 500.0).abs() / 500.0 < 0.08, "p50 = {p50}");
+        assert!((p95 - 950.0).abs() / 950.0 < 0.08, "p95 = {p95}");
+        assert!((h.quantile(0.0) - 1.0).abs() < 1e-9, "q0 clamps to exact min");
+        assert!((h.quantile(1.0) - 1000.0).abs() < 1e-9, "q1 clamps to exact max");
+    }
+
+    #[test]
+    fn quantiles_on_known_bimodal_distribution() {
+        // 90 observations at 1 ms, 10 at 1 s: p50 must sit at the low
+        // mode and p95 at the high mode — the shape that matters for
+        // latency reporting.
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.observe(0.001);
+        }
+        for _ in 0..10 {
+            h.observe(1.0);
+        }
+        assert!((h.quantile(0.50) - 0.001).abs() / 0.001 < 0.05);
+        assert!((h.quantile(0.95) - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn empty_histogram_edge_case() {
+        let h = Histogram::default();
+        let s = h.summary();
+        assert_eq!(s, HistogramSummary::default());
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_observation_quantiles_are_exact() {
+        let h = Histogram::default();
+        h.observe(42.0);
+        // Clamping to the exact min/max pins every quantile to the value.
+        assert!((h.quantile(0.5) - 42.0).abs() < 1e-9);
+        assert!((h.quantile(0.95) - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_and_negative_values_use_underflow_bucket() {
+        let h = Histogram::default();
+        h.observe(0.0);
+        h.observe(-1.0);
+        h.observe(2.0);
+        assert_eq!(h.count(), 3);
+        assert!((h.min() - (-1.0)).abs() < 1e-12);
+        // Two of three observations are non-positive, so the median sits
+        // in the underflow bucket (reported as the clamp floor).
+        assert!(h.quantile(0.5) <= 0.0 + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0, 1]")]
+    fn out_of_range_quantile_panics() {
+        Histogram::default().quantile(1.5);
+    }
+
+    #[test]
+    fn concurrent_observations_are_not_lost() {
+        let h = Histogram::default();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..1000 {
+                        h.observe((t * 1000 + i) as f64 + 1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 8000);
+        assert!((h.total() - (1..=8000u64).map(|v| v as f64).sum::<f64>()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let r = MetricsRegistry::new();
+        r.counter("zeta").inc();
+        r.counter("alpha").inc();
+        r.histogram("mid").observe(1.0);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters[0].0, "alpha");
+        assert_eq!(snap.counters[1].0, "zeta");
+        assert_eq!(snap.histograms[0].0, "mid");
+    }
+}

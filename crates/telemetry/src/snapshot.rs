@@ -1,0 +1,103 @@
+//! Frozen metric views.
+//!
+//! A [`TelemetrySnapshot`] is the exportable form of a registry: plain
+//! sorted vectors that reports can embed, serialize or render without
+//! holding any lock. `pb-orchestra`'s report module turns one into a
+//! fixed-width table; [`TelemetrySnapshot::render`] is the dependency-free
+//! fallback used by benches and examples.
+
+use crate::metrics::HistogramSummary;
+use std::fmt::Write as _;
+
+/// A frozen, name-sorted view of every metric in a registry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl TelemetrySnapshot {
+    /// The counter named `name`, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// The gauge named `name`, if recorded.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// The histogram summary named `name`, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders a simple human-readable metrics listing (counters, then
+    /// gauges, then histograms with count/mean/p50/p95/max/total).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name} = {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name} = {v:.6}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name}: count {} mean {:.6} p50 {:.6} p95 {:.6} max {:.6} total {:.6}",
+                    h.count, h.mean, h.p50, h.p95, h.max, h.total
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn lookups_and_render() {
+        let r = MetricsRegistry::new();
+        r.counter("hits").add(12);
+        r.gauge("depth").set(3.0);
+        r.histogram("lat").observe(0.5);
+        let snap = r.snapshot();
+        assert!(!snap.is_empty());
+        assert_eq!(snap.counter("hits"), Some(12));
+        assert_eq!(snap.counter("absent"), None);
+        assert_eq!(snap.gauge("depth"), Some(3.0));
+        assert_eq!(snap.histogram("lat").unwrap().count, 1);
+        let text = snap.render();
+        assert!(text.contains("hits = 12"));
+        assert!(text.contains("depth"));
+        assert!(text.contains("lat: count 1"));
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let snap = TelemetrySnapshot::default();
+        assert!(snap.is_empty());
+        assert_eq!(snap.render(), "");
+    }
+}

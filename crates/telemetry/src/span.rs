@@ -1,0 +1,89 @@
+//! RAII wall-time spans.
+//!
+//! A [`Span`] reads the monotonic clock when created and records the
+//! elapsed seconds into a histogram when dropped. Inert spans (from a
+//! disabled [`crate::Telemetry`]) never touch the clock, so the disabled
+//! instrumentation cost is one branch.
+
+use crate::metrics::Histogram;
+use std::time::Instant;
+
+/// A guard that records wall time into a histogram on drop.
+#[derive(Debug)]
+pub struct Span {
+    active: Option<(Histogram, Instant)>,
+}
+
+impl Span {
+    /// A span that does nothing (no clock read, no recording).
+    #[inline]
+    pub fn inert() -> Self {
+        Span { active: None }
+    }
+
+    /// A span recording into `hist` on drop.
+    #[inline]
+    pub fn active(hist: Histogram) -> Self {
+        Span { active: Some((hist, Instant::now())) }
+    }
+
+    /// Seconds elapsed so far (0.0 for inert spans).
+    pub fn elapsed(&self) -> f64 {
+        self.active.as_ref().map_or(0.0, |(_, t0)| t0.elapsed().as_secs_f64())
+    }
+
+    /// Ends the span now, recording the elapsed time (dropping does the
+    /// same; this form reads better when the end is an explicit step).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((hist, t0)) = self.active.take() {
+            hist.observe(t0.elapsed().as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_span_records_once_on_drop() {
+        let h = Histogram::default();
+        {
+            let s = Span::active(h.clone());
+            assert!(s.elapsed() >= 0.0);
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.max() >= 0.0);
+    }
+
+    #[test]
+    fn finish_is_equivalent_to_drop() {
+        let h = Histogram::default();
+        Span::active(h.clone()).finish();
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn inert_span_records_nothing() {
+        let s = Span::inert();
+        assert_eq!(s.elapsed(), 0.0);
+        drop(s);
+    }
+
+    #[test]
+    fn nested_spans_both_record() {
+        let outer = Histogram::default();
+        let inner = Histogram::default();
+        {
+            let _o = Span::active(outer.clone());
+            let _i = Span::active(inner.clone());
+        }
+        assert_eq!((outer.count(), inner.count()), (1, 1));
+        // The outer span covers the inner one.
+        assert!(outer.total() >= inner.total());
+    }
+}

@@ -6,9 +6,14 @@
 //! ```console
 //! $ pb tables                      # the paper's Table I / Table II
 //! $ pb recommend --hives 630 --cap 35 [--losses] [--service svm]
+//! $ pb sweep --backend des --trace trace.jsonl --metrics
+//!                                  # instrumented Fig. 7 sweep
 //! $ pb tune --battery-wh 15       # fastest sustainable wake-up period
 //! $ pb alert --accuracy 0.99 --k 3 # alerting trade-off at a given k
 //! ```
+//!
+//! `pb --backend des --trace trace.jsonl` (flags first, no command word) is
+//! shorthand for `pb sweep …`.
 
 use precision_beekeeping::beehive::alert::AlertPolicy;
 use precision_beekeeping::beehive::apiary::Apiary;
@@ -17,22 +22,38 @@ use precision_beekeeping::beehive::tuner::{FrequencyTuner, ServiceRequirement};
 use precision_beekeeping::device::constants::CYCLE_PERIOD;
 use precision_beekeeping::device::routine::{RoutineBuilder, ServiceKind};
 use precision_beekeeping::energy::battery::Battery;
-use precision_beekeeping::energy::harvest::PowerSystemConfig;
-use precision_beekeeping::orchestra::engine::Backend;
+use precision_beekeeping::energy::harvest::{PowerSystem, PowerSystemConfig};
+use precision_beekeeping::ml::{FeatureMap, ResNetConfig, ResNetLite};
+use precision_beekeeping::orchestra::engine::{Backend, SimContext};
 use precision_beekeeping::orchestra::loss::LossModel;
-use precision_beekeeping::units::{Seconds, WattHours};
+use precision_beekeeping::orchestra::prelude::seeded_rng;
+use precision_beekeeping::orchestra::presets;
+use precision_beekeeping::orchestra::report::metrics_table;
+use precision_beekeeping::orchestra::sweep::{analyze_crossover, SweepConfig};
+use precision_beekeeping::orchestra::FillPolicy;
+use precision_beekeeping::signal::audio::{BeeAudioSynth, ColonyState};
+use precision_beekeeping::signal::pipeline::MelPipeline;
+use precision_beekeeping::telemetry::Telemetry;
+use precision_beekeeping::units::{Seconds, WattHours, Watts};
 use std::collections::HashMap;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let Some(command) = args.next() else {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(first) = argv.first() else {
         usage();
         return;
     };
-    let flags = parse_flags(args);
-    match command.as_str() {
+    // `pb --backend des --trace t.jsonl` (flags first) means `pb sweep …`.
+    let (command, rest) = if first.starts_with("--") && first != "--help" {
+        ("sweep", &argv[..])
+    } else {
+        (first.as_str(), &argv[1..])
+    };
+    let flags = parse_flags(rest.iter().cloned());
+    match command {
         "tables" => tables(),
         "recommend" => recommend(&flags),
+        "sweep" => sweep(&flags),
         "tune" => tune(&flags),
         "alert" => alert(&flags),
         "help" | "--help" | "-h" => usage(),
@@ -51,6 +72,13 @@ fn usage() {
     println!("  recommend --hives N [--cap N] [--service svm|cnn] [--losses]");
     println!("            [--backend closed-form|timeline|des]");
     println!("                                  edge vs edge+cloud for an apiary");
+    println!("  sweep [--backend B] [--cap N] [--from N] [--to N] [--step N]");
+    println!("        [--service svm|cnn] [--losses] [--seed S]");
+    println!("        [--metrics] [--trace FILE]");
+    println!("                                  Fig. 7 population sweep; --metrics");
+    println!("                                  prints the telemetry table, --trace");
+    println!("                                  writes a JSONL simulation event log");
+    println!("                                  (flags first == sweep)");
     println!("  tune [--battery-wh W]           fastest sustainable wake-up period");
     println!("  alert [--accuracy A] [--k K]    queen-loss alerting trade-off");
 }
@@ -136,6 +164,127 @@ fn recommend(flags: &HashMap<String, String>) {
         rec.servers_needed
     );
     println!("  recommend  : {}", rec.scenario.name());
+}
+
+fn sweep(flags: &HashMap<String, String>) {
+    let cap = get(flags, "cap", 35usize);
+    let from = get(flags, "from", 100usize);
+    let to = get(flags, "to", 2000usize);
+    let step = get(flags, "step", 100usize);
+    let seed = get(flags, "seed", 0xF1E1Du64);
+    let backend: Backend = get(flags, "backend", Backend::ClosedForm);
+    if cap == 0 {
+        fail("--cap must be at least 1 client per slot");
+    }
+    if step == 0 {
+        fail("--step must be positive");
+    }
+    if to < from {
+        fail("--to must be at least --from");
+    }
+    let service = service_of(flags);
+    let losses = flags.contains_key("losses");
+    let trace_path = flags.get("trace").cloned();
+    if trace_path.as_deref() == Some("true") {
+        fail("--trace needs a file path");
+    }
+    let metrics = flags.contains_key("metrics");
+
+    // Event recording only pays off when a trace is written; --metrics
+    // alone keeps the cheap no-op event sink. No flags → fully disabled,
+    // and either way the simulation results are bit-identical.
+    let telemetry = if trace_path.is_some() {
+        Telemetry::enabled()
+    } else if metrics {
+        Telemetry::metrics_only()
+    } else {
+        Telemetry::disabled()
+    };
+
+    let config = SweepConfig {
+        edge_client: presets::edge_client(service),
+        cloud_client: presets::edge_cloud_client(),
+        server: presets::cloud_server(service, cap),
+        loss: if losses { LossModel::all() } else { LossModel::NONE },
+        policy: FillPolicy::PackSlots,
+        seed,
+    };
+    let ns: Vec<usize> = (from..=to).step_by(step).collect();
+    let ctx = SimContext::with_telemetry(seed, telemetry.clone());
+    let points = config.run_with_context(&backend, &ns, &ctx);
+    let crossover = analyze_crossover(&points);
+
+    println!(
+        "{} service, {}–{} clients (step {}), {} clients/slot{}, {} backend:",
+        service.name(),
+        from,
+        to,
+        step,
+        cap,
+        if losses { ", with losses" } else { "" },
+        backend
+    );
+    match crossover.first_crossover {
+        Some(n) => println!("  first crossover : {n} clients (edge+cloud first wins)"),
+        None => println!("  first crossover : none (edge wins everywhere sampled)"),
+    }
+    if let Some(n) = crossover.always_after {
+        println!("  always wins from: {n} clients");
+    }
+    if let Some((n, adv)) = crossover.max_advantage {
+        println!("  max advantage   : {:.1} J per client at {} clients", adv.value(), n);
+    }
+
+    if telemetry.is_enabled() {
+        in_vivo_dsp(&telemetry, seed);
+        in_vivo_energy(&telemetry, seed);
+    }
+    if metrics {
+        println!("\ntelemetry metrics:");
+        println!("{}", metrics_table(&telemetry.snapshot()).render());
+    }
+    if let Some(path) = trace_path {
+        match telemetry.write_trace(&path) {
+            Ok(n) => println!("wrote {n} trace events to {path}"),
+            Err(e) => fail(&format!("cannot write trace to {path}: {e}")),
+        }
+    }
+}
+
+/// One instrumented pass through the DSP + CNN hot path: synthesizes a
+/// queenright and a queenless clip, extracts the spectrogram image through
+/// the planned pipeline and classifies it, filling the `dsp.*` and
+/// `cnn.forward` latency histograms.
+fn in_vivo_dsp(telemetry: &Telemetry, seed: u64) {
+    let mut rng = seeded_rng(seed ^ 0xD5B);
+    let synth = BeeAudioSynth::default();
+    let pipeline = MelPipeline::paper_default().with_telemetry(telemetry.clone());
+    let cnn = ResNetLite::new(ResNetConfig::default()).with_telemetry(telemetry.clone());
+    for state in [ColonyState::Queenright, ColonyState::Queenless] {
+        let clip = synth.generate(state, 2.0, &mut rng);
+        let image = pipeline.image(&clip, 32);
+        let features = FeatureMap::from_image(image.width(), image.height(), image.pixels());
+        let _logits = cnn.forward(&features);
+    }
+}
+
+/// One instrumented day of the hive power system (solar harvest, battery
+/// state of charge, brown-outs) plus the per-task cycle energy ledgers,
+/// filling the `battery.*`, `harvest.*` and `energy.*` metrics and the
+/// `battery.soc` event trajectory.
+fn in_vivo_energy(telemetry: &Telemetry, seed: u64) {
+    let mut rng = seeded_rng(seed ^ 0xE6E);
+    let mut power = PowerSystem::with_telemetry(PowerSystemConfig::default(), telemetry.clone());
+    let dt = Seconds(600.0);
+    for _ in 0..144 {
+        power.step(Watts(1.3), dt, &mut rng);
+    }
+    let routines = RoutineBuilder::deployed();
+    routines
+        .edge_cycle(ServiceKind::Cnn, CYCLE_PERIOD)
+        .to_ledger()
+        .publish_metrics(telemetry, "edge");
+    routines.edge_cloud_cycle(CYCLE_PERIOD).to_ledger().publish_metrics(telemetry, "edge_cloud");
 }
 
 fn tune(flags: &HashMap<String, String>) {

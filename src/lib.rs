@@ -8,6 +8,7 @@
 //! re-exports the workspace's public API:
 //!
 //! * [`units`] — typed physical quantities,
+//! * [`telemetry`] — spans, metrics and simulation event tracing,
 //! * [`energy`] — metering, traces, battery and solar-harvest models,
 //! * [`signal`] — FFT/STFT/mel DSP and the synthetic bee-audio corpus,
 //! * [`ml`] — RBF-SVM (SMO) and a residual CNN with backprop,
@@ -37,4 +38,7 @@ pub use pb_energy as energy;
 pub use pb_ml as ml;
 pub use pb_orchestra as orchestra;
 pub use pb_signal as signal;
+/// Observability: spans, metrics and simulation event tracing
+/// (re-export of the dependency-free `pb-telemetry` crate).
+pub use pb_telemetry as telemetry;
 pub use pb_units as units;
