@@ -1,0 +1,304 @@
+//! Serial-vs-pool scaling of the three heaviest parallel workloads: the
+//! Monte Carlo replicate sweep, the Fig. 7 range sweep and one CNN
+//! training epoch.
+//!
+//! Besides the criterion group (exercised by the CI smoke run), the
+//! binary measures each workload under
+//!
+//! * `spawn_per_call` — a faithful local copy of the old shim's
+//!   execution model (a fresh `std::thread::scope` wave per combinator
+//!   call), the baseline this PR retires;
+//! * the persistent pool at 1, 2 and N threads (N =
+//!   `rayon::pool::current_num_threads()`), pinned in-process with
+//!   [`rayon::pool::with_thread_cap`];
+//!
+//! and writes `BENCH_parallel.json` at the repository root. On a
+//! single-core host the interesting column is `pool_1t_ms` vs
+//! `spawn_per_call_ms` (scheduler overhead alone); the 1 → N scaling
+//! shows up on multi-core CI.
+
+use criterion::{black_box, Criterion};
+use pb_ml::nn::resnet::{ResNetConfig, ResNetGrads, ResNetLite, StageSpec};
+use pb_ml::tensor::FeatureMap;
+use pb_orchestra::engine::Backend;
+use pb_orchestra::loss::LossModel;
+use pb_orchestra::montecarlo::replicate_range;
+use pb_orchestra::prelude::*;
+use pb_orchestra::sweep::SweepConfig;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rayon::pool::{current_num_threads, with_thread_cap};
+use rayon::prelude::*;
+use std::time::Instant;
+
+fn cnn_sweep(cap: usize, loss: LossModel) -> SweepConfig {
+    SweepConfig {
+        edge_client: presets::edge_client(ServiceKind::Cnn),
+        cloud_client: presets::edge_cloud_client(),
+        server: presets::cloud_server(ServiceKind::Cnn, cap),
+        loss,
+        policy: FillPolicy::PackSlots,
+        seed: 99,
+    }
+}
+
+/// The old shim's execution model, kept here as the measurement
+/// baseline: every call spawns `current_num_threads()` fresh OS threads
+/// over contiguous chunks and joins them before returning.
+fn spawn_per_call_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let n_threads = current_num_threads().max(1);
+    let len = items.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunk = len.div_ceil(n_threads);
+    let mut slots: Vec<Vec<R>> = Vec::with_capacity(n_threads);
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        let mut items = items;
+        // Split back-to-front so drain indices stay valid.
+        let mut bounds: Vec<Vec<T>> = Vec::new();
+        while !items.is_empty() {
+            let take = items.len().min(chunk);
+            let rest = items.split_off(take);
+            bounds.push(std::mem::replace(&mut items, rest));
+        }
+        for part in bounds {
+            let f = &f;
+            handles.push(s.spawn(move || part.into_iter().map(f).collect::<Vec<R>>()));
+        }
+        for h in handles {
+            slots.push(h.join().expect("bench worker panicked"));
+        }
+    });
+    slots.into_iter().flatten().collect()
+}
+
+/// Times `f` `reps` times; returns the minimum in milliseconds.
+fn time_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut min = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        black_box(f());
+        min = min.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    min
+}
+
+struct Row {
+    name: &'static str,
+    spawn_per_call_ms: f64,
+    pool_1t_ms: f64,
+    pool_2t_ms: f64,
+    pool_nt_ms: f64,
+}
+
+// ---- workload: Monte Carlo replicate sweep --------------------------------
+
+const MC_FROM: usize = 100;
+const MC_TO: usize = 600;
+const MC_STEP: usize = 100;
+const MC_REPS: usize = 32;
+
+fn montecarlo_pooled() -> f64 {
+    let cfg = cnn_sweep(35, LossModel::client_loss_only());
+    let points = replicate_range(&cfg, MC_FROM, MC_TO, MC_STEP, MC_REPS);
+    points.iter().map(|p| p.cloud_mean.value()).sum()
+}
+
+fn montecarlo_spawn_per_call() -> f64 {
+    // The same (point, replicate) draws, but executed the way the old
+    // shim would have: one thread wave per point's replicate batch.
+    let cfg = cnn_sweep(35, LossModel::client_loss_only());
+    let spec = cfg.spec();
+    let mut total = 0.0;
+    for n in (MC_FROM..=MC_TO).step_by(MC_STEP) {
+        let ctx = cfg.context();
+        let draws = spawn_per_call_map((0..MC_REPS as u64).collect(), |r| {
+            Backend::ClosedForm.compare(&spec, n, &ctx.replicate(r)).cloud.total_per_client.value()
+        });
+        total += draws.iter().sum::<f64>() / draws.len() as f64;
+    }
+    total
+}
+
+// ---- workload: Fig. 7 range sweep -----------------------------------------
+
+fn fig7_pooled() -> usize {
+    let cfg = cnn_sweep(35, LossModel::NONE);
+    cfg.run_range(100, 2000, 2).len()
+}
+
+fn fig7_spawn_per_call() -> usize {
+    let cfg = cnn_sweep(35, LossModel::NONE);
+    let spec = cfg.spec();
+    let ctx = cfg.context();
+    let ns: Vec<usize> = (100..=2000).step_by(2).collect();
+    spawn_per_call_map(ns, |n| Backend::ClosedForm.compare(&spec, n, &ctx)).len()
+}
+
+// ---- workload: one CNN training epoch -------------------------------------
+
+fn toy_images(n: usize, side: usize, seed: u64) -> Vec<(FeatureMap, usize)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let label = i % 2;
+            let data: Vec<f64> = (0..side * side)
+                .map(|_| if label == 1 { 0.8 } else { 0.2 } + rng.gen_range(-0.05..0.05))
+                .collect();
+            (FeatureMap::from_vec(1, side, side, data), label)
+        })
+        .collect()
+}
+
+fn tiny_net() -> ResNetLite {
+    ResNetLite::new(ResNetConfig {
+        input_channels: 1,
+        base_width: 4,
+        stages: vec![StageSpec { channels: 4, stride: 1 }, StageSpec { channels: 8, stride: 2 }],
+        n_classes: 2,
+        seed: 3,
+    })
+}
+
+const EPOCH_BATCH: usize = 8;
+
+type GradMap<'a> = dyn Fn(&ResNetLite, &[usize]) -> Vec<(f64, ResNetGrads)> + 'a;
+
+/// One epoch with the batch-gradient map run by `grad_map` — the same
+/// arithmetic for both execution models.
+fn epoch_with(model: &mut ResNetLite, data: &[(FeatureMap, usize)], grad_map: &GradMap<'_>) -> f64 {
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(7));
+    let mut epoch_loss = 0.0;
+    for batch in order.chunks(EPOCH_BATCH) {
+        let parts = grad_map(model, batch);
+        let mut grads = ResNetGrads::zeros_for(model);
+        for (loss, g) in &parts {
+            epoch_loss += loss;
+            grads.add_assign(g);
+        }
+        grads.scale(1.0 / batch.len() as f64);
+        model.apply_gradients(&grads, 0.05);
+    }
+    epoch_loss / data.len() as f64
+}
+
+fn train_epoch_pooled(data: &[(FeatureMap, usize)]) -> f64 {
+    let mut model = tiny_net();
+    epoch_with(&mut model, data, &|model, batch| {
+        batch
+            .par_iter()
+            .with_min_len(2)
+            .map(|&i| {
+                let (x, label) = &data[i];
+                let mut g = ResNetGrads::zeros_for(model);
+                let loss = model.loss_and_gradients(x, *label, &mut g);
+                (loss, g)
+            })
+            .collect()
+    })
+}
+
+fn train_epoch_spawn_per_call(data: &[(FeatureMap, usize)]) -> f64 {
+    let mut model = tiny_net();
+    epoch_with(&mut model, data, &|model, batch| {
+        spawn_per_call_map(batch.to_vec(), |i| {
+            let (x, label) = &data[i];
+            let mut g = ResNetGrads::zeros_for(model);
+            let loss = model.loss_and_gradients(x, *label, &mut g);
+            (loss, g)
+        })
+    })
+}
+
+// ---- measurement ----------------------------------------------------------
+
+fn measure_rows() -> Vec<Row> {
+    let n = current_num_threads();
+    let data = toy_images(48, 12, 1);
+    let reps = 5;
+
+    let measure =
+        |name: &'static str, spawn: &mut dyn FnMut() -> f64, pooled: &mut dyn FnMut() -> f64| {
+            // Warm the pool (and caches) once before timing.
+            let _ = pooled();
+            Row {
+                name,
+                spawn_per_call_ms: time_ms(reps, &mut *spawn),
+                pool_1t_ms: with_thread_cap(1, || time_ms(reps, &mut *pooled)),
+                pool_2t_ms: with_thread_cap(2.min(n), || time_ms(reps, &mut *pooled)),
+                pool_nt_ms: time_ms(reps, &mut *pooled),
+            }
+        };
+
+    vec![
+        measure(
+            "montecarlo_replicate_sweep",
+            &mut montecarlo_spawn_per_call,
+            &mut montecarlo_pooled,
+        ),
+        measure("fig7_range_sweep", &mut || fig7_spawn_per_call() as f64, &mut || {
+            fig7_pooled() as f64
+        }),
+        measure("train_epoch", &mut || train_epoch_spawn_per_call(&data), &mut || {
+            train_epoch_pooled(&data)
+        }),
+    ]
+}
+
+fn write_json(rows: &[Row]) {
+    let n = current_num_threads();
+    let mut out = String::from("{\n  \"bench\": \"parallel_scaling\",\n");
+    out.push_str(&format!("  \"n_threads\": {n},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"spawn_per_call_ms\": {:.3}, \"pool_1t_ms\": {:.3}, \
+             \"pool_2t_ms\": {:.3}, \"pool_nt_ms\": {:.3}}}{}\n",
+            r.name,
+            r.spawn_per_call_ms,
+            r.pool_1t_ms,
+            r.pool_2t_ms,
+            r.pool_nt_ms,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    match std::fs::write(path, &out) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn criterion_groups() {
+    let mut c = Criterion::from_args();
+    let data = toy_images(48, 12, 1);
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(10);
+    group.bench_function("montecarlo_pool", |b| b.iter(|| black_box(montecarlo_pooled())));
+    group.bench_function("fig7_pool", |b| b.iter(|| black_box(fig7_pooled())));
+    group.bench_function("train_epoch_pool", |b| b.iter(|| black_box(train_epoch_pooled(&data))));
+    group.finish();
+    c.final_summary();
+}
+
+fn main() {
+    criterion_groups();
+    let rows = measure_rows();
+    for r in &rows {
+        println!(
+            "{:<28} spawn/call {:>9.3} ms | pool 1t {:>9.3} ms | 2t {:>9.3} ms | {}t {:>9.3} ms",
+            r.name,
+            r.spawn_per_call_ms,
+            r.pool_1t_ms,
+            r.pool_2t_ms,
+            current_num_threads(),
+            r.pool_nt_ms
+        );
+    }
+    write_json(&rows);
+}

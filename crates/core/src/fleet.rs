@@ -16,6 +16,7 @@ use crate::loss::LossModel;
 use crate::server::ServerModel;
 use crate::simulation::{edge_cycle_energy, servers_cycle_energy};
 use pb_units::Joules;
+use rayon::prelude::*;
 
 /// One homogeneous group within the fleet.
 #[derive(Clone, Debug)]
@@ -124,20 +125,33 @@ pub fn simulate_fleet_with(
     // Second pass: energy. Provisioned servers are always on (the paper's
     // "a server that must be turned on and available at all times"), so a
     // cycle that uses fewer servers than provisioned bills the difference
-    // at idle.
+    // at idle. Cycles are independent given the shared allocation cache,
+    // so the hyper-period fans out in parallel; the per-cycle pairs are
+    // then folded in cycle order, keeping the totals deterministic.
+    let per_cycle: Vec<(Joules, Joules)> = (0..hyper_period)
+        .into_par_iter()
+        .map(|j| {
+            let participants = participants_per_cycle[j];
+            let allocation = cache.get_or_allocate(participants, server, policy, penalty);
+            let mut server_energy = servers_cycle_energy(server, &allocation, loss);
+            let spare = servers_provisioned - allocation.n_servers();
+            server_energy += server.idle_cycle_energy() * spare as f64;
+            // Each active group pays one upload cycle of its own client
+            // model; its transfer penalty is evaluated against its own
+            // slot occupancy.
+            let mut edge_energy = Joules::ZERO;
+            for g in groups.iter().filter(|g| g.active_in(j, server)) {
+                let own_allocation = cache.get_or_allocate(g.count, server, policy, penalty);
+                edge_energy += edge_cycle_energy(&g.client, &own_allocation, loss);
+            }
+            (server_energy, edge_energy)
+        })
+        .collect();
     let mut server_energy_total = Joules::ZERO;
     let mut edge_energy_upload_cycles = Joules::ZERO;
-    for (j, &participants) in participants_per_cycle.iter().enumerate() {
-        let allocation = cache.get_or_allocate(participants, server, policy, penalty);
-        server_energy_total += servers_cycle_energy(server, &allocation, loss);
-        let spare = servers_provisioned - allocation.n_servers();
-        server_energy_total += server.idle_cycle_energy() * spare as f64;
-        // Each active group pays one upload cycle of its own client model;
-        // its transfer penalty is evaluated against its own slot occupancy.
-        for g in groups.iter().filter(|g| g.active_in(j, server)) {
-            let own_allocation = cache.get_or_allocate(g.count, server, policy, penalty);
-            edge_energy_upload_cycles += edge_cycle_energy(&g.client, &own_allocation, loss);
-        }
+    for (server_energy, edge_energy) in per_cycle {
+        server_energy_total += server_energy;
+        edge_energy_upload_cycles += edge_energy;
     }
 
     let mean_server = server_energy_total / hyper_period as f64;

@@ -26,21 +26,13 @@ pub struct CiPoint {
     pub cloud_win_fraction: f64,
 }
 
-/// Reruns `sweep` at `n_clients` under `replications` different seeds.
-pub fn replicate_point(sweep: &SweepConfig, n_clients: usize, replications: usize) -> CiPoint {
-    assert!(replications >= 2, "need at least two replications");
-    // One spec and one allocation cache for all replicates: only the
-    // per-replicate seed varies, so most draws re-request the same
-    // allocation shapes.
-    let spec = sweep.spec();
-    let ctx = sweep.context();
-    let results: Vec<(f64, f64, bool)> = (0..replications as u64)
-        .into_par_iter()
-        .map(|r| {
-            let p = Backend::ClosedForm.compare(&spec, n_clients, &ctx.replicate(r));
-            (p.cloud.total_per_client.value(), p.edge.total_per_client.value(), p.cloud_wins())
-        })
-        .collect();
+/// One replicate's draw: (cloud per-client J, edge per-client J, cloud won).
+type Draw = (f64, f64, bool);
+
+/// Folds one point's replicate draws (in replicate order) into a
+/// [`CiPoint`]. Shared by [`replicate_point`] and [`replicate_range`] so
+/// the flattened range fan-out is bit-identical to per-point calls.
+fn summarize(n_clients: usize, results: &[Draw]) -> CiPoint {
     let n = results.len() as f64;
     let cloud_mean = results.iter().map(|r| r.0).sum::<f64>() / n;
     let edge_mean = results.iter().map(|r| r.1).sum::<f64>() / n;
@@ -56,7 +48,33 @@ pub fn replicate_point(sweep: &SweepConfig, n_clients: usize, replications: usiz
     }
 }
 
+/// Reruns `sweep` at `n_clients` under `replications` different seeds.
+pub fn replicate_point(sweep: &SweepConfig, n_clients: usize, replications: usize) -> CiPoint {
+    assert!(replications >= 2, "need at least two replications");
+    // One spec and one allocation cache for all replicates: only the
+    // per-replicate seed varies, so most draws re-request the same
+    // allocation shapes.
+    let spec = sweep.spec();
+    let ctx = sweep.context();
+    let results: Vec<Draw> = (0..replications as u64)
+        .into_par_iter()
+        .map(|r| {
+            let p = Backend::ClosedForm.compare(&spec, n_clients, &ctx.replicate(r));
+            (p.cloud.total_per_client.value(), p.edge.total_per_client.value(), p.cloud_wins())
+        })
+        .collect();
+    summarize(n_clients, &results)
+}
+
 /// Replicates every point of a range sweep.
+///
+/// All (point, replicate) pairs go through **one** parallel fan-out —
+/// not a serial loop over points with an inner parallel replicate — so
+/// the pool sees `points × replications` items at once instead of
+/// `replications` at a time. Seeding is per replicate index exactly as
+/// in [`replicate_point`] (the replicate seed does not depend on the
+/// point), and the point-major pair order plus the order-preserving
+/// `collect` keep the output bit-identical to per-point calls.
 pub fn replicate_range(
     sweep: &SweepConfig,
     from: usize,
@@ -65,7 +83,24 @@ pub fn replicate_range(
     replications: usize,
 ) -> Vec<CiPoint> {
     assert!(step > 0, "step must be positive");
-    (from..=to).step_by(step).map(|n| replicate_point(sweep, n, replications)).collect()
+    assert!(replications >= 2, "need at least two replications");
+    let points: Vec<usize> = (from..=to).step_by(step).collect();
+    let spec = sweep.spec();
+    let ctx = sweep.context();
+    let pairs: Vec<(usize, u64)> =
+        points.iter().flat_map(|&n| (0..replications as u64).map(move |r| (n, r))).collect();
+    let draws: Vec<Draw> = pairs
+        .into_par_iter()
+        .map(|(n, r)| {
+            let p = Backend::ClosedForm.compare(&spec, n, &ctx.replicate(r));
+            (p.cloud.total_per_client.value(), p.edge.total_per_client.value(), p.cloud_wins())
+        })
+        .collect();
+    points
+        .iter()
+        .zip(draws.chunks(replications))
+        .map(|(&n, results)| summarize(n, results))
+        .collect()
 }
 
 #[cfg(test)]
@@ -132,6 +167,19 @@ mod tests {
         assert_eq!(points.len(), 3);
         assert_eq!(points[0].n_clients, 100);
         assert_eq!(points[2].n_clients, 300);
+    }
+
+    #[test]
+    fn flattened_range_matches_per_point_calls_bit_identically() {
+        let cfg = sweep(LossModel::client_loss_only());
+        let flat = replicate_range(&cfg, 100, 400, 150, 16);
+        for point in &flat {
+            let solo = replicate_point(&cfg, point.n_clients, 16);
+            assert_eq!(point.cloud_mean.value().to_bits(), solo.cloud_mean.value().to_bits());
+            assert_eq!(point.cloud_ci95.value().to_bits(), solo.cloud_ci95.value().to_bits());
+            assert_eq!(point.edge_mean.value().to_bits(), solo.edge_mean.value().to_bits());
+            assert_eq!(point.cloud_win_fraction, solo.cloud_win_fraction);
+        }
     }
 
     #[test]

@@ -151,6 +151,33 @@ pub fn metrics_table(snapshot: &TelemetrySnapshot) -> TextTable {
     t
 }
 
+/// Publishes the rayon shim's process-wide pool statistics into `tel`
+/// as `pool.*` metrics: counters for jobs submitted, chunk tasks
+/// executed and tasks stolen by idle workers, gauges for the peak queue
+/// depth and worker threads spawned, and a worker-utilization histogram
+/// (fraction of the eligible lanes that actually engaged per job,
+/// replayed as one observation per job at the owning bucket's
+/// midpoint).
+///
+/// The bridge lives here rather than in the shim so the shim keeps zero
+/// dependencies; call it right before snapshotting, as `pb sweep
+/// --metrics` does.
+pub fn publish_pool_metrics(tel: &pb_telemetry::Telemetry) {
+    let stats = rayon::pool::stats();
+    tel.add_to_counter("pool.jobs", stats.jobs);
+    tel.add_to_counter("pool.tasks_executed", stats.tasks_executed);
+    tel.add_to_counter("pool.steals", stats.steals);
+    tel.set_gauge("pool.queue_depth_peak", stats.queue_depth_peak as f64);
+    tel.set_gauge("pool.threads_spawned", stats.threads_spawned as f64);
+    let n_buckets = stats.worker_utilization.len();
+    for (i, &count) in stats.worker_utilization.iter().enumerate() {
+        let midpoint = (i as f64 + 0.5) / n_buckets as f64;
+        for _ in 0..count {
+            tel.observe("pool.worker_utilization", midpoint);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +208,29 @@ mod tests {
         let mut t = TextTable::new(vec!["x", "y"]);
         t.row(vec!["1", "2"]);
         assert_eq!(t.to_csv(), "x,y\n1,2\n");
+    }
+
+    #[test]
+    fn pool_metrics_publish_into_telemetry() {
+        use rayon::prelude::*;
+        // Touch the pool so the counters are non-zero.
+        let v: Vec<usize> = (0..1000).collect();
+        let _: Vec<usize> = v.par_iter().map(|&x| x + 1).collect();
+        let tel = pb_telemetry::Telemetry::metrics_only();
+        publish_pool_metrics(&tel);
+        let snap = tel.snapshot();
+        assert!(snap.counter("pool.tasks_executed").unwrap() > 0);
+        assert!(snap.counter("pool.jobs").is_some());
+        assert!(snap.counter("pool.steals").is_some());
+        assert!(snap.gauge("pool.queue_depth_peak").is_some());
+        assert!(snap.gauge("pool.threads_spawned").is_some());
+        // Utilization replays one observation per pooled job.
+        let h = snap.histogram("pool.worker_utilization");
+        if let Some(h) = h {
+            assert!(h.min >= 0.0 && h.max <= 1.0);
+        }
+        // Rendering the combined table must not panic.
+        let _ = metrics_table(&snap).render();
     }
 
     #[test]

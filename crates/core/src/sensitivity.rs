@@ -196,21 +196,30 @@ pub struct SensitivityRow {
 }
 
 /// Runs the one-at-a-time sweep over all parameters and factors.
+///
+/// The whole (parameter × factor) grid is one parallel fan-out; each
+/// cell's inner 10–2000 crossover sweep then runs inline on the worker
+/// that claimed it (the pool never oversubscribes on nesting). Output
+/// order is parameter-major, matching the former nested loops.
 pub fn sensitivity_sweep(factors: &[f64]) -> Vec<SensitivityRow> {
+    use rayon::prelude::*;
+
     let base = ScenarioParameters::default();
-    let mut rows = Vec::with_capacity(Parameter::ALL.len() * factors.len());
-    for &parameter in &Parameter::ALL {
-        for &factor in factors {
+    let grid: Vec<(Parameter, f64)> = Parameter::ALL
+        .iter()
+        .flat_map(|&parameter| factors.iter().map(move |&factor| (parameter, factor)))
+        .collect();
+    grid.into_par_iter()
+        .map(|(parameter, factor)| {
             let p = base.perturbed(parameter, factor);
-            rows.push(SensitivityRow {
+            SensitivityRow {
                 parameter,
                 factor,
                 tipping: p.tipping(),
                 crossover_cap35: p.crossover(35),
-            });
-        }
-    }
-    rows
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]

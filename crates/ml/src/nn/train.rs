@@ -1,8 +1,11 @@
 //! SGD training loop for the residual classifier.
 //!
 //! Gradients are computed per sample and summed across the batch in
-//! parallel with rayon; the reduction is order-insensitive up to floating
-//! point, so runs are reproducible to ~1e-12 regardless of thread count.
+//! parallel on the shim's persistent thread pool — batches are issued
+//! every few milliseconds, so reusing warm workers (instead of spawning
+//! a thread wave per batch) is what keeps the scheduler off the
+//! critical path. The shim's fixed chunk plan folds partial gradients
+//! in chunk order, so results are bit-identical at any thread count.
 
 use super::resnet::{ResNetGrads, ResNetLite};
 use crate::tensor::FeatureMap;
@@ -56,8 +59,12 @@ pub fn train(
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         for batch in order.chunks(config.batch_size) {
+            // min_len 2: a per-sample gradient costs a full forward +
+            // backward pass, but one-sample chunks would still schedule
+            // more tasks than workers on small batches for no benefit.
             let (batch_loss, mut grads) = batch
                 .par_iter()
+                .with_min_len(2)
                 .map(|&i| {
                     let (x, label) = &data[i];
                     let mut g = ResNetGrads::zeros_for(model);

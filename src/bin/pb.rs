@@ -28,7 +28,7 @@ use precision_beekeeping::orchestra::engine::{Backend, SimContext};
 use precision_beekeeping::orchestra::loss::LossModel;
 use precision_beekeeping::orchestra::prelude::seeded_rng;
 use precision_beekeeping::orchestra::presets;
-use precision_beekeeping::orchestra::report::metrics_table;
+use precision_beekeeping::orchestra::report::{metrics_table, publish_pool_metrics};
 use precision_beekeeping::orchestra::sweep::{analyze_crossover, SweepConfig};
 use precision_beekeeping::orchestra::FillPolicy;
 use precision_beekeeping::signal::audio::{BeeAudioSynth, ColonyState};
@@ -240,6 +240,9 @@ fn sweep(flags: &HashMap<String, String>) {
         in_vivo_energy(&telemetry, seed);
     }
     if metrics {
+        // Fold the thread pool's counters in so the table shows where
+        // the sweep's parallelism actually went.
+        publish_pool_metrics(&telemetry);
         println!("\ntelemetry metrics:");
         println!("{}", metrics_table(&telemetry.snapshot()).render());
     }

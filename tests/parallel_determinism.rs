@@ -1,0 +1,145 @@
+//! Cross-thread-count determinism of the headline results.
+//!
+//! The rayon shim's contract (see `shims/rayon`) is that chunk
+//! boundaries depend only on `(len, min_len)` and partial results fold
+//! in chunk order — so every number in the repo must come out
+//! **bit-identical** no matter how many threads execute it. These tests
+//! pin that contract on the three workloads the paper's figures hang
+//! off: the Fig. 7 crossover sweep, the Monte Carlo confidence
+//! intervals and CNN training.
+//!
+//! Thread counts are varied in-process with
+//! `rayon::pool::with_thread_cap` (1, 2 and uncapped), because
+//! `RAYON_NUM_THREADS` is read once per process; the CI matrix
+//! additionally reruns the whole suite with `RAYON_NUM_THREADS=2`,
+//! which checks the env-var path against the same pinned values.
+
+use precision_beekeeping::ml::nn::resnet::{ResNetConfig, ResNetLite, StageSpec};
+use precision_beekeeping::ml::nn::train::{train, TrainConfig};
+use precision_beekeeping::ml::tensor::FeatureMap;
+use precision_beekeeping::orchestra::allocator::FillPolicy;
+use precision_beekeeping::orchestra::loss::LossModel;
+use precision_beekeeping::orchestra::montecarlo::replicate_point;
+use precision_beekeeping::orchestra::prelude::*;
+use precision_beekeeping::orchestra::sweep::{analyze_crossover, SweepConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::pool::{current_num_threads, stats, with_thread_cap};
+use std::sync::Once;
+
+/// Gives this test binary a real multi-lane pool even on a single-core
+/// host: pin `RAYON_NUM_THREADS=4` (unless the caller chose a value)
+/// before the pool's first lazy initialization.
+fn init_pool() {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        if std::env::var("RAYON_NUM_THREADS").is_err() {
+            std::env::set_var("RAYON_NUM_THREADS", "4");
+        }
+    });
+}
+
+fn cnn_sweep(loss: LossModel) -> SweepConfig {
+    SweepConfig {
+        edge_client: presets::edge_client(ServiceKind::Cnn),
+        cloud_client: presets::edge_cloud_client(),
+        server: presets::cloud_server(ServiceKind::Cnn, 35),
+        loss,
+        policy: FillPolicy::PackSlots,
+        seed: 7,
+    }
+}
+
+#[test]
+fn sweep_crossover_is_bit_identical_across_thread_counts() {
+    init_pool();
+    let run = || {
+        let cfg = cnn_sweep(LossModel::NONE);
+        let points = cfg.run_range(100, 800, 7);
+        let advantages: Vec<u64> = points.iter().map(|p| p.advantage().value().to_bits()).collect();
+        (advantages, analyze_crossover(&points).first_crossover)
+    };
+    let capped_1 = with_thread_cap(1, run);
+    let capped_2 = with_thread_cap(2, run);
+    let uncapped = run();
+    assert_eq!(capped_1, capped_2, "1-thread vs 2-thread sweep diverged");
+    assert_eq!(capped_1, uncapped, "serial vs {}-thread sweep diverged", current_num_threads());
+}
+
+#[test]
+fn replicate_point_cis_are_bit_identical_across_thread_counts() {
+    init_pool();
+    let run = || {
+        let ci = replicate_point(&cnn_sweep(LossModel::client_loss_only()), 200, 48);
+        (
+            ci.cloud_mean.value().to_bits(),
+            ci.cloud_ci95.value().to_bits(),
+            ci.edge_mean.value().to_bits(),
+            ci.cloud_win_fraction.to_bits(),
+        )
+    };
+    let capped_1 = with_thread_cap(1, run);
+    let capped_2 = with_thread_cap(2, run);
+    let uncapped = run();
+    assert_eq!(capped_1, capped_2, "1-thread vs 2-thread CI diverged");
+    assert_eq!(capped_1, uncapped, "serial vs pooled CI diverged");
+}
+
+fn toy_images(n: usize, side: usize, seed: u64) -> Vec<(FeatureMap, usize)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let label = i % 2;
+            let data: Vec<f64> = (0..side * side)
+                .map(|_| if label == 1 { 0.8 } else { 0.2 } + rng.gen_range(-0.05..0.05))
+                .collect();
+            (FeatureMap::from_vec(1, side, side, data), label)
+        })
+        .collect()
+}
+
+fn tiny_net() -> ResNetLite {
+    ResNetLite::new(ResNetConfig {
+        input_channels: 1,
+        base_width: 4,
+        stages: vec![StageSpec { channels: 4, stride: 1 }, StageSpec { channels: 8, stride: 2 }],
+        n_classes: 2,
+        seed: 3,
+    })
+}
+
+#[test]
+fn trained_weights_are_bit_identical_across_thread_counts() {
+    init_pool();
+    let data = toy_images(24, 8, 5);
+    let cfg = TrainConfig { epochs: 2, lr: 0.05, batch_size: 6, seed: 11 };
+    // Final weights are compared through the forward pass: identical
+    // logits on every training input ⇔ identical effective weights.
+    let run = || {
+        let mut net = tiny_net();
+        let report = train(&mut net, &data, &cfg);
+        let losses: Vec<u64> = report.epoch_losses.iter().map(|l| l.to_bits()).collect();
+        let logits: Vec<u64> =
+            data.iter().flat_map(|(x, _)| net.forward(x).into_iter().map(f64::to_bits)).collect();
+        (losses, logits)
+    };
+    let capped_1 = with_thread_cap(1, run);
+    let capped_2 = with_thread_cap(2, run);
+    let uncapped = run();
+    assert_eq!(capped_1, capped_2, "1-thread vs 2-thread training diverged");
+    assert_eq!(capped_1, uncapped, "serial vs pooled training diverged");
+}
+
+#[test]
+fn pool_never_spawns_beyond_rayon_num_threads() {
+    init_pool();
+    // Nested fan-out: Monte Carlo replicates inside a parallel range.
+    // Inner `par_iter`s on workers must run inline, so the process-wide
+    // worker count stays ≤ configured threads − 1 (the submitting
+    // thread is the Nth lane).
+    let cfg = cnn_sweep(LossModel::client_loss_only());
+    let _ = precision_beekeeping::orchestra::montecarlo::replicate_range(&cfg, 100, 400, 100, 16);
+    let n = current_num_threads() as u64;
+    let spawned = stats().threads_spawned;
+    assert!(spawned <= n.saturating_sub(1), "{spawned} workers spawned for {n} configured threads");
+}
