@@ -10,6 +10,7 @@
 //! so the slotted and asynchronous designs can be compared head-to-head
 //! (`ablation_async` binary).
 
+use crate::faults::{exact_transfer, ClientClass, FaultPlan};
 use crate::server::ServerModel;
 use pb_telemetry::Telemetry;
 use pb_units::{Joules, Seconds, Watts};
@@ -99,6 +100,168 @@ pub fn simulate_async_cycle_traced<R: Rng + ?Sized>(
     telemetry: &Telemetry,
 ) -> AsyncCycleReport {
     let cycle = server.cycle.value();
+    let mut arrivals: Vec<f64> = (0..n_clients).map(|_| rng.gen_range(0.0..cycle)).collect();
+    arrivals.sort_by(f64::total_cmp);
+    let entries: Vec<(f64, usize)> =
+        arrivals.iter().enumerate().map(|(client, &t)| (t, client)).collect();
+    let out = run_event_loop(n_clients, &entries, server, telemetry);
+
+    let horizon = out.last_time.max(cycle);
+    let server_energy = energy_over(server, horizon, out.receive_busy, out.process_busy);
+    let latencies: Vec<f64> = out.completion.iter().zip(&arrivals).map(|(c, a)| c - a).collect();
+    let mean_latency =
+        if n_clients > 0 { latencies.iter().sum::<f64>() / n_clients as f64 } else { 0.0 };
+    let max_latency = latencies.iter().copied().fold(0.0, f64::max);
+
+    flush_telemetry(telemetry, n_clients, &out, horizon, server_energy);
+
+    AsyncCycleReport {
+        n_clients,
+        horizon: Seconds(horizon),
+        server_energy,
+        receive_busy: Seconds(out.receive_busy),
+        process_busy: Seconds(out.process_busy),
+        mean_latency: Seconds(mean_latency),
+        max_latency: Seconds(max_latency),
+        peak_queue: out.peak_queue,
+    }
+}
+
+/// [`simulate_async_cycle_traced`] under a [`FaultPlan`]: every client
+/// still wakes at a uniform random instant (the same arrival stream as
+/// the fault-free run, bit for bit), but its participation follows its
+/// drawn [`ClientClass`] — browned-out and sensor-dropped clients never
+/// touch the uplink, and uploaders resolve their transfer through the
+/// outage/packet-loss/retry machinery of the faults module *before*
+/// entering the server's event loop (a failed attempt never occupies the
+/// uplink; a successful retry arrives at its final attempt time). Fault
+/// draws come from the dedicated `fault_rng` stream so the arrival
+/// stream is untouched.
+pub fn simulate_async_cycle_faulted<R: Rng + ?Sized, F: Rng + ?Sized>(
+    n_clients: usize,
+    server: &ServerModel,
+    rng: &mut R,
+    fault_rng: &mut F,
+    plan: &FaultPlan,
+    classes: &[ClientClass],
+    telemetry: &Telemetry,
+) -> FaultedAsyncReport {
+    assert_eq!(classes.len(), n_clients, "one class per client");
+    let cycle = server.cycle.value();
+    let mut arrivals: Vec<f64> = (0..n_clients).map(|_| rng.gen_range(0.0..cycle)).collect();
+    arrivals.sort_by(f64::total_cmp);
+
+    let mut attempts = 0u64;
+    let mut retries = 0u64;
+    let mut fallbacks = 0u64;
+    let mut entries: Vec<(f64, usize)> = Vec::with_capacity(n_clients);
+    for (client, &t) in arrivals.iter().enumerate() {
+        match classes[client] {
+            ClientClass::Brownout => fallbacks += 1,
+            ClientClass::SensorDropout => {}
+            ClientClass::Uploader => {
+                let (a, success) = exact_transfer(plan, Seconds(t), fault_rng, telemetry);
+                attempts += a;
+                retries += a - 1;
+                match success {
+                    Some(t_eff) => entries.push((t_eff.value(), client)),
+                    None => fallbacks += 1,
+                }
+            }
+        }
+    }
+    let delivered = entries.len() as u64;
+    let out = run_event_loop(n_clients, &entries, server, telemetry);
+
+    let horizon = out.last_time.max(cycle);
+    let server_energy = energy_over(server, horizon, out.receive_busy, out.process_busy);
+    // Latency from the *original* wake-up instant, over delivered
+    // clients only (the others never produce a server-side completion).
+    let latencies: Vec<f64> = out
+        .completion
+        .iter()
+        .zip(&arrivals)
+        .zip(classes)
+        .filter(|((c, _), class)| **class == ClientClass::Uploader && **c > 0.0)
+        .map(|((c, a), _)| c - a)
+        .collect();
+    let mean_latency =
+        if delivered > 0 { latencies.iter().sum::<f64>() / delivered as f64 } else { 0.0 };
+    let max_latency = latencies.iter().copied().fold(0.0, f64::max);
+
+    flush_telemetry(telemetry, n_clients, &out, horizon, server_energy);
+
+    FaultedAsyncReport {
+        report: AsyncCycleReport {
+            n_clients,
+            horizon: Seconds(horizon),
+            server_energy,
+            receive_busy: Seconds(out.receive_busy),
+            process_busy: Seconds(out.process_busy),
+            mean_latency: Seconds(mean_latency),
+            max_latency: Seconds(max_latency),
+            peak_queue: out.peak_queue,
+        },
+        attempts,
+        retries,
+        delivered,
+        fallbacks,
+    }
+}
+
+/// [`simulate_async_cycle_faulted`]'s outcome: the cycle report plus the
+/// server's share of the fault accounting.
+#[derive(Clone, Debug)]
+pub struct FaultedAsyncReport {
+    /// The usual asynchronous-cycle report (latency over delivered
+    /// clients only).
+    pub report: AsyncCycleReport,
+    /// Transfer attempts made by this server's uploaders.
+    pub attempts: u64,
+    /// Attempts beyond each uploader's first.
+    pub retries: u64,
+    /// Uploads that reached the server.
+    pub delivered: u64,
+    /// Clients that fell back to edge inference (brown-outs plus
+    /// exhausted retry budgets).
+    pub fallbacks: u64,
+}
+
+/// What the event loop measures; energy and latency are derived by the
+/// callers.
+struct LoopOutcome {
+    receive_busy: f64,
+    process_busy: f64,
+    /// Per-client completion instant (0 when the client never completed).
+    completion: Vec<f64>,
+    peak_queue: usize,
+    last_time: f64,
+    n_arrivals: u64,
+    n_transfers: u64,
+    n_processed: u64,
+}
+
+/// The slotted accounting's energy model over an asynchronous horizon:
+/// idle power throughout, plus the receive/process power *deltas* while
+/// the NIC or CPU is busy.
+fn energy_over(server: &ServerModel, horizon: f64, receive_busy: f64, process_busy: f64) -> Joules {
+    let receive_delta = server.receive_power - server.idle_power;
+    let process_delta = (server.process_power - server.idle_power).max(Watts::ZERO);
+    server.idle_power * Seconds(horizon)
+        + receive_delta * Seconds(receive_busy)
+        + process_delta * Seconds(process_busy)
+}
+
+/// Runs the capacity-limited uplink + single-CPU event loop over
+/// `entries` (one `(wake time, client id)` pair per participating
+/// client, pushed in order). Shared verbatim by the fault-free and
+/// faulted cycles so the two stay bit-identical on identical entries.
+fn run_event_loop(
+    n_clients: usize,
+    entries: &[(f64, usize)],
+    server: &ServerModel,
+    telemetry: &Telemetry,
+) -> LoopOutcome {
     let transfer = server.receive_duration.value();
     let process = server.process_duration.value();
 
@@ -114,9 +277,7 @@ pub fn simulate_async_cycle_traced<R: Rng + ?Sized>(
         seq += 1;
     };
 
-    let mut arrivals: Vec<f64> = (0..n_clients).map(|_| rng.gen_range(0.0..cycle)).collect();
-    arrivals.sort_by(f64::total_cmp);
-    for (client, &t) in arrivals.iter().enumerate() {
+    for &(t, client) in entries {
         push(&mut events, &mut payload, t, Event::Arrival { client });
     }
 
@@ -227,50 +388,49 @@ pub fn simulate_async_cycle_traced<R: Rng + ?Sized>(
         receive_busy += last_time - receive_since;
     }
 
-    let horizon = last_time.max(cycle);
-    let receive_delta = server.receive_power - server.idle_power;
-    let process_delta = (server.process_power - server.idle_power).max(Watts::ZERO);
-    let server_energy = server.idle_power * Seconds(horizon)
-        + receive_delta * Seconds(receive_busy)
-        + process_delta * Seconds(process_busy);
-
-    let latencies: Vec<f64> = completion.iter().zip(&arrivals).map(|(c, a)| c - a).collect();
-    let mean_latency =
-        if n_clients > 0 { latencies.iter().sum::<f64>() / n_clients as f64 } else { 0.0 };
-    let max_latency = latencies.iter().copied().fold(0.0, f64::max);
-
-    if telemetry.is_enabled() {
-        telemetry.add_to_counter("des.events.arrival", n_arrivals);
-        telemetry.add_to_counter("des.events.transfer_done", n_transfers);
-        telemetry.add_to_counter("des.events.process_done", n_processed);
-        if let Some(r) = telemetry.registry() {
-            r.gauge("des.queue_depth.peak").set_max(peak_queue as f64);
-        }
-        telemetry.observe("des.cycle.horizon_s", horizon);
-        if trace_events {
-            telemetry.event(
-                horizon,
-                "des.cycle_done",
-                vec![
-                    ("n_clients", n_clients.into()),
-                    ("peak_queue", peak_queue.into()),
-                    ("receive_busy_s", receive_busy.into()),
-                    ("process_busy_s", process_busy.into()),
-                    ("server_energy_j", server_energy.value().into()),
-                ],
-            );
-        }
-    }
-
-    AsyncCycleReport {
-        n_clients,
-        horizon: Seconds(horizon),
-        server_energy,
-        receive_busy: Seconds(receive_busy),
-        process_busy: Seconds(process_busy),
-        mean_latency: Seconds(mean_latency),
-        max_latency: Seconds(max_latency),
+    LoopOutcome {
+        receive_busy,
+        process_busy,
+        completion,
         peak_queue,
+        last_time,
+        n_arrivals,
+        n_transfers,
+        n_processed,
+    }
+}
+
+/// Mirrors one cycle's event counts, queue peak, horizon and — when the
+/// sink keeps events — the `des.cycle_done` summary into telemetry.
+fn flush_telemetry(
+    telemetry: &Telemetry,
+    n_clients: usize,
+    out: &LoopOutcome,
+    horizon: f64,
+    server_energy: Joules,
+) {
+    if !telemetry.is_enabled() {
+        return;
+    }
+    telemetry.add_to_counter("des.events.arrival", out.n_arrivals);
+    telemetry.add_to_counter("des.events.transfer_done", out.n_transfers);
+    telemetry.add_to_counter("des.events.process_done", out.n_processed);
+    if let Some(r) = telemetry.registry() {
+        r.gauge("des.queue_depth.peak").set_max(out.peak_queue as f64);
+    }
+    telemetry.observe("des.cycle.horizon_s", horizon);
+    if telemetry.events_recording() {
+        telemetry.event(
+            horizon,
+            "des.cycle_done",
+            vec![
+                ("n_clients", n_clients.into()),
+                ("peak_queue", out.peak_queue.into()),
+                ("receive_busy_s", out.receive_busy.into()),
+                ("process_busy_s", out.process_busy.into()),
+                ("server_energy_j", server_energy.value().into()),
+            ],
+        );
     }
 }
 

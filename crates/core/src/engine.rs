@@ -46,6 +46,7 @@ use std::sync::{Arc, RwLock};
 use crate::allocator::{allocate, Allocation, FillPolicy};
 use crate::client::ClientModel;
 use crate::des::simulate_async_cycle_traced;
+use crate::faults::{self, FaultPlan, FAULT_GAMMA};
 use crate::loss::LossModel;
 use crate::scenario::presets;
 use crate::server::ServerModel;
@@ -97,9 +98,12 @@ impl ScenarioSpec {
 }
 
 /// Allocation shapes are pure functions of this key: the population, the
-/// server's (penalty-adjusted) slot count, its slot capacity, and the
-/// fill policy. Server *powers* don't matter to the allocator.
-pub type AllocationKey = (usize, usize, usize, FillPolicy);
+/// server's (penalty-adjusted) slot count, its slot capacity, the fill
+/// policy, and the [`FaultPlan`] fingerprint (a slow-down changes the
+/// slot count the allocator sees, so a shape cached for the fault-free
+/// plan must never be served for a faulted run). Server *powers* don't
+/// matter to the allocator.
+pub type AllocationKey = (usize, usize, usize, FillPolicy, u64);
 
 /// A thread-safe memo of allocator output.
 ///
@@ -147,7 +151,8 @@ impl AllocationCache {
     }
 
     /// Returns the allocation of `n_clients` onto `server` under
-    /// `policy`/`penalty`, computing and memoizing it on first request.
+    /// `policy`/`penalty` for the fault-free plan, computing and
+    /// memoizing it on first request.
     pub fn get_or_allocate(
         &self,
         n_clients: usize,
@@ -155,7 +160,25 @@ impl AllocationCache {
         policy: FillPolicy,
         penalty: Option<&crate::loss::TransferPenalty>,
     ) -> Arc<Allocation> {
-        let key = (n_clients, server.n_slots(penalty), server.max_parallel, policy);
+        self.get_or_allocate_for(n_clients, server, policy, penalty, 0)
+    }
+
+    /// Like [`AllocationCache::get_or_allocate`], keyed additionally by a
+    /// [`FaultPlan::fingerprint`] so shapes computed for different plans
+    /// never alias (pass 0 for the fault-free plan). The caller passes
+    /// the *degraded* server; the fingerprint guards against two plans
+    /// that happen to degrade to the same slot count but differ
+    /// elsewhere.
+    pub fn get_or_allocate_for(
+        &self,
+        n_clients: usize,
+        server: &ServerModel,
+        policy: FillPolicy,
+        penalty: Option<&crate::loss::TransferPenalty>,
+        fault_fingerprint: u64,
+    ) -> Arc<Allocation> {
+        let key =
+            (n_clients, server.n_slots(penalty), server.max_parallel, policy, fault_fingerprint);
         if let Some(hit) = self.map.read().expect("allocation cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             if let Some(tel) = &self.telemetry {
@@ -221,15 +244,18 @@ pub struct SimContext {
     seed: u64,
     cache: Arc<AllocationCache>,
     telemetry: Telemetry,
+    faults: FaultPlan,
 }
 
 impl SimContext {
-    /// A fresh context with its own empty cache and disabled telemetry.
+    /// A fresh context with its own empty cache, disabled telemetry and
+    /// no faults.
     pub fn new(seed: u64) -> Self {
         SimContext {
             seed,
             cache: Arc::new(AllocationCache::new()),
             telemetry: Telemetry::disabled(),
+            faults: FaultPlan::NONE,
         }
     }
 
@@ -237,12 +263,29 @@ impl SimContext {
     /// Telemetry never touches the RNG streams, so results are
     /// bit-identical to [`SimContext::new`] with the same seed.
     pub fn with_telemetry(seed: u64, telemetry: Telemetry) -> Self {
-        SimContext { seed, cache: Arc::new(AllocationCache::with_telemetry(&telemetry)), telemetry }
+        SimContext {
+            seed,
+            cache: Arc::new(AllocationCache::with_telemetry(&telemetry)),
+            telemetry,
+            faults: FaultPlan::NONE,
+        }
     }
 
     /// A context sharing an existing cache (e.g. across sweeps).
     pub fn with_cache(seed: u64, cache: Arc<AllocationCache>) -> Self {
-        SimContext { seed, cache, telemetry: Telemetry::disabled() }
+        SimContext { seed, cache, telemetry: Telemetry::disabled(), faults: FaultPlan::NONE }
+    }
+
+    /// This context with `plan` injected into every evaluation. The
+    /// structural [`FaultPlan::NONE`] keeps the exact fault-free paths.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// The active fault plan ([`FaultPlan::NONE`] by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// This context's telemetry handle (disabled by default).
@@ -277,6 +320,17 @@ impl SimContext {
         StdRng::seed_from_u64(self.point_seed(n))
     }
 
+    /// The fault-stream seed of point `n`: the point seed XOR'd with its
+    /// own odd constant, so fault draws never alias the loss draws.
+    pub fn fault_seed(&self, n: u64) -> u64 {
+        self.point_seed(n) ^ FAULT_GAMMA
+    }
+
+    /// An independent deterministic RNG for point `n`'s fault draws.
+    pub fn fault_rng(&self, n: u64) -> StdRng {
+        StdRng::seed_from_u64(self.fault_seed(n))
+    }
+
     /// A derived context for Monte-Carlo replicate `r`, sharing this
     /// context's cache. Uses the additive split
     /// `seed + r·0x9E37_79B9` that [`crate::montecarlo`] established,
@@ -286,6 +340,7 @@ impl SimContext {
             seed: self.seed.wrapping_add(r.wrapping_mul(0x9E37_79B9)),
             cache: Arc::clone(&self.cache),
             telemetry: self.telemetry.clone(),
+            faults: self.faults,
         }
     }
 }
@@ -309,6 +364,9 @@ pub trait CycleEngine: Send + Sync {
         n_clients: usize,
         ctx: &SimContext,
     ) -> CycleReport {
+        if !ctx.fault_plan().is_none() {
+            return faults::edge_with_faults(spec, n_clients, ctx);
+        }
         let _span = ctx.telemetry().span("engine.cycle.edge");
         let mut rng = ctx.point_rng(n_clients as u64);
         let active = draw_active(&spec.loss, n_clients, &mut rng);
@@ -330,14 +388,18 @@ pub trait CycleEngine: Send + Sync {
 }
 
 /// Loss C draw shared by every backend: how many clients participate.
-fn draw_active<R: Rng + ?Sized>(loss: &LossModel, n_clients: usize, rng: &mut R) -> usize {
+pub(crate) fn draw_active<R: Rng + ?Sized>(
+    loss: &LossModel,
+    n_clients: usize,
+    rng: &mut R,
+) -> usize {
     let lost = loss.client_loss.map_or(0, |l| l.draw(n_clients, rng));
     n_clients - lost
 }
 
 /// Counts Loss-C casualties into `loss.clients_lost` (no-op when the
 /// context's telemetry is disabled or nobody was lost).
-fn record_client_loss(ctx: &SimContext, n_clients: usize, active: usize) {
+pub(crate) fn record_client_loss(ctx: &SimContext, n_clients: usize, active: usize) {
     if n_clients > active {
         ctx.telemetry().add_to_counter("loss.clients_lost", (n_clients - active) as u64);
     }
@@ -351,6 +413,9 @@ pub struct ClosedForm;
 
 impl CycleEngine for ClosedForm {
     fn evaluate(&self, spec: &ScenarioSpec, n_clients: usize, ctx: &SimContext) -> CycleReport {
+        if !ctx.fault_plan().is_none() {
+            return faults::closed_form_with_faults(spec, n_clients, ctx);
+        }
         let _span = ctx.telemetry().span("engine.cycle.closed_form");
         let mut rng = ctx.point_rng(n_clients as u64);
         let active = draw_active(&spec.loss, n_clients, &mut rng);
@@ -376,6 +441,9 @@ pub struct EventTimeline;
 
 impl CycleEngine for EventTimeline {
     fn evaluate(&self, spec: &ScenarioSpec, n_clients: usize, ctx: &SimContext) -> CycleReport {
+        if !ctx.fault_plan().is_none() {
+            return faults::timeline_with_faults(spec, n_clients, ctx);
+        }
         let _span = ctx.telemetry().span("engine.cycle.timeline");
         let mut rng = ctx.point_rng(n_clients as u64);
         let active = draw_active(&spec.loss, n_clients, &mut rng);
@@ -409,6 +477,9 @@ pub struct Des;
 
 impl CycleEngine for Des {
     fn evaluate(&self, spec: &ScenarioSpec, n_clients: usize, ctx: &SimContext) -> CycleReport {
+        if !ctx.fault_plan().is_none() {
+            return faults::des_with_faults(spec, n_clients, ctx);
+        }
         let _span = ctx.telemetry().span("engine.cycle.des");
         let mut rng = ctx.point_rng(n_clients as u64);
         let active = draw_active(&spec.loss, n_clients, &mut rng);

@@ -38,6 +38,7 @@ pub mod allocator;
 pub mod client;
 pub mod des;
 pub mod engine;
+pub mod faults;
 pub mod fleet;
 pub mod loss;
 pub mod montecarlo;
@@ -53,11 +54,17 @@ pub mod timeline;
 
 pub use allocator::{Allocation, FillPolicy, ServerAllocation};
 pub use client::{Action, ClientModel};
-pub use des::{simulate_async_cycle, simulate_async_cycle_traced, AsyncCycleReport};
+pub use des::{
+    simulate_async_cycle, simulate_async_cycle_faulted, simulate_async_cycle_traced,
+    AsyncCycleReport, FaultedAsyncReport,
+};
 pub use engine::{AllocationCache, Backend, CycleEngine, ScenarioSpec, SimContext};
+pub use faults::{Brownout, ClientClass, FaultPlan, FaultStats, OutageWindow, RetryPolicy};
 pub use fleet::{simulate_fleet, simulate_fleet_with, FleetGroup, FleetReport};
 pub use loss::{ClientLoss, LossModel, PenaltyMode, SaturationPenalty, TransferPenalty};
-pub use montecarlo::{replicate_point, replicate_range, CiPoint};
+pub use montecarlo::{
+    replicate_point, replicate_point_with, replicate_range, replicate_range_with, CiPoint,
+};
 pub use planner::{plan_slot_capacity, CapacityPlan, CapacityPoint};
 pub use plot::AsciiChart;
 pub use scenario::{presets, Scenario};
@@ -81,6 +88,7 @@ pub mod prelude {
     pub use crate::allocator::FillPolicy;
     pub use crate::client::{Action, ClientModel};
     pub use crate::engine::{AllocationCache, Backend, CycleEngine, ScenarioSpec, SimContext};
+    pub use crate::faults::{FaultPlan, FaultStats, OutageWindow, RetryPolicy};
     pub use crate::loss::LossModel;
     pub use crate::scenario::{presets, Scenario};
     pub use crate::server::ServerModel;

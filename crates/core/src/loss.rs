@@ -248,4 +248,88 @@ mod tests {
         let all = LossModel::all();
         assert!(all.saturation.is_some() && all.transfer.is_some() && all.client_loss.is_some());
     }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn saturation_multiplier_is_monotone_in_severity(
+                occupancy in 0usize..60,
+                max_parallel in 1usize..60,
+                margin in 0usize..10,
+                factor in 0.0f64..0.5,
+                bump in 0.0f64..0.5,
+            ) {
+                // More clients, a wider saturation margin (the penalty
+                // starts `margin` clients *below* the slot maximum, so a
+                // larger margin bites earlier) or a steeper factor never
+                // *reduce* the penalty — and it never drops below the
+                // loss-free multiplier.
+                let p = SaturationPenalty { margin, factor_per_client: factor };
+                let here = p.multiplier(occupancy, max_parallel);
+                prop_assert!(here >= 1.0, "multiplier {here} below identity");
+                prop_assert!(p.multiplier(occupancy + 1, max_parallel) >= here);
+                let earlier = SaturationPenalty { margin: margin + 1, ..p };
+                prop_assert!(earlier.multiplier(occupancy, max_parallel) >= here);
+                let steeper = SaturationPenalty { factor_per_client: factor + bump, ..p };
+                prop_assert!(steeper.multiplier(occupancy, max_parallel) >= here);
+            }
+
+            #[test]
+            fn transfer_extra_is_monotone_and_ordered_across_modes(
+                occupancy in 0usize..60,
+                extra in 0.0f64..5.0,
+            ) {
+                // Per-slot ≤ per-extra-client ≤ per-client at every
+                // occupancy, and each mode is monotone in occupancy.
+                let mk = |mode| TransferPenalty { extra_per_client: Seconds(extra), mode };
+                let slot = mk(PenaltyMode::PerSlot);
+                let per_extra = mk(PenaltyMode::PerExtraClient);
+                let per_client = mk(PenaltyMode::PerClient);
+                prop_assert!(slot.extra_for(occupancy) <= per_extra.extra_for(occupancy + 1));
+                prop_assert!(per_extra.extra_for(occupancy) <= per_client.extra_for(occupancy));
+                for p in [slot, per_extra, per_client] {
+                    prop_assert!(p.extra_for(occupancy) >= Seconds(0.0));
+                    prop_assert!(p.extra_for(occupancy + 1) >= p.extra_for(occupancy));
+                }
+            }
+
+            #[test]
+            fn client_loss_casualties_never_exceed_the_population(
+                n in 0usize..2000,
+                mean_fraction in 0.0f64..1.5,
+                std_clients in 0.0f64..50.0,
+                seed in 0u64..500,
+            ) {
+                // Even with an out-of-range mean or a huge σ the draw is
+                // clamped into [0, n].
+                let loss = ClientLoss { mean_fraction, std_clients };
+                let mut rng = StdRng::seed_from_u64(seed);
+                let lost = loss.draw(n, &mut rng);
+                prop_assert!(lost <= n, "lost {lost} of {n}");
+            }
+
+            #[test]
+            fn zero_probability_draws_are_identity(
+                n in 0usize..2000,
+                seed in 0u64..500,
+            ) {
+                // A degenerate Loss C (mean 0, σ 0) never loses anyone —
+                // the stochastic model collapses to the ideal one.
+                let loss = ClientLoss { mean_fraction: 0.0, std_clients: 0.0 };
+                let mut rng = StdRng::seed_from_u64(seed);
+                prop_assert_eq!(loss.draw(n, &mut rng), 0);
+                // And the degenerate penalties are exact identities.
+                let sat = SaturationPenalty { margin: 0, factor_per_client: 0.0 };
+                prop_assert_eq!(sat.multiplier(n, 1), 1.0);
+                let tp = TransferPenalty {
+                    extra_per_client: Seconds(0.0),
+                    mode: PenaltyMode::PerClient,
+                };
+                prop_assert_eq!(tp.extra_for(n), Seconds(0.0));
+            }
+        }
+    }
 }

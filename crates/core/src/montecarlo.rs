@@ -6,7 +6,7 @@
 //! many seeds and reports mean and a normal-approximation confidence
 //! interval, separating the model's signal from the draw's noise.
 
-use crate::engine::{Backend, CycleEngine};
+use crate::engine::{Backend, CycleEngine, SimContext};
 use crate::sweep::SweepConfig;
 use pb_units::Joules;
 use rayon::prelude::*;
@@ -50,12 +50,25 @@ fn summarize(n_clients: usize, results: &[Draw]) -> CiPoint {
 
 /// Reruns `sweep` at `n_clients` under `replications` different seeds.
 pub fn replicate_point(sweep: &SweepConfig, n_clients: usize, replications: usize) -> CiPoint {
+    replicate_point_with(sweep, n_clients, replications, &sweep.context())
+}
+
+/// [`replicate_point`] through an explicit base context — the entry point
+/// for replicating under a fault plan (build the context with
+/// [`SweepConfig::context_with_faults`]) or with telemetry attached.
+/// Each replicate derives its seed from the context exactly as before,
+/// and carries the context's fault plan and cache.
+pub fn replicate_point_with(
+    sweep: &SweepConfig,
+    n_clients: usize,
+    replications: usize,
+    ctx: &SimContext,
+) -> CiPoint {
     assert!(replications >= 2, "need at least two replications");
     // One spec and one allocation cache for all replicates: only the
     // per-replicate seed varies, so most draws re-request the same
     // allocation shapes.
     let spec = sweep.spec();
-    let ctx = sweep.context();
     let results: Vec<Draw> = (0..replications as u64)
         .into_par_iter()
         .map(|r| {
@@ -82,11 +95,23 @@ pub fn replicate_range(
     step: usize,
     replications: usize,
 ) -> Vec<CiPoint> {
+    replicate_range_with(sweep, from, to, step, replications, &sweep.context())
+}
+
+/// [`replicate_range`] through an explicit base context (fault plans,
+/// telemetry, shared caches) — same flattened fan-out, same seeding.
+pub fn replicate_range_with(
+    sweep: &SweepConfig,
+    from: usize,
+    to: usize,
+    step: usize,
+    replications: usize,
+    ctx: &SimContext,
+) -> Vec<CiPoint> {
     assert!(step > 0, "step must be positive");
     assert!(replications >= 2, "need at least two replications");
     let points: Vec<usize> = (from..=to).step_by(step).collect();
     let spec = sweep.spec();
-    let ctx = sweep.context();
     let pairs: Vec<(usize, u64)> =
         points.iter().flat_map(|&n| (0..replications as u64).map(move |r| (n, r))).collect();
     let draws: Vec<Draw> = pairs

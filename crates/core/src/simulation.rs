@@ -6,6 +6,7 @@
 
 use crate::allocator::{allocate, Allocation, FillPolicy};
 use crate::client::ClientModel;
+use crate::faults::FaultStats;
 use crate::loss::LossModel;
 use crate::server::ServerModel;
 use pb_units::Joules;
@@ -32,6 +33,8 @@ pub struct CycleReport {
     pub total_energy: Joules,
     /// Grand total per active client (zero when no clients).
     pub total_per_client: Joules,
+    /// Fault/retry/fallback accounting (all zero without a fault plan).
+    pub faults: FaultStats,
 }
 
 impl CycleReport {
@@ -41,6 +44,24 @@ impl CycleReport {
         n_servers: usize,
         edge_total: Joules,
         server_total: Joules,
+    ) -> Self {
+        Self::from_parts_with_faults(
+            n_requested,
+            n_active,
+            n_servers,
+            edge_total,
+            server_total,
+            FaultStats::default(),
+        )
+    }
+
+    pub(crate) fn from_parts_with_faults(
+        n_requested: usize,
+        n_active: usize,
+        n_servers: usize,
+        edge_total: Joules,
+        server_total: Joules,
+        faults: FaultStats,
     ) -> Self {
         let per = |e: Joules| if n_active > 0 { e / n_active as f64 } else { Joules::ZERO };
         CycleReport {
@@ -53,6 +74,7 @@ impl CycleReport {
             server_energy_per_client: per(server_total),
             total_energy: edge_total + server_total,
             total_per_client: per(edge_total + server_total),
+            faults,
         }
     }
 }

@@ -85,6 +85,13 @@ impl SweepConfig {
         SimContext::new(self.seed)
     }
 
+    /// A fresh context carrying a [`FaultPlan`](crate::faults::FaultPlan):
+    /// every point evaluated through it injects the plan's outages, packet
+    /// losses, slow-downs, brown-outs and sensor dropouts.
+    pub fn context_with_faults(&self, plan: crate::faults::FaultPlan) -> SimContext {
+        self.context().with_fault_plan(plan)
+    }
+
     /// Evaluates both scenarios at one population size.
     pub fn compare_at(&self, n_clients: usize) -> ComparisonPoint {
         Backend::ClosedForm.compare(&self.spec(), n_clients, &self.context())

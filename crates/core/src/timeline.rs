@@ -59,6 +59,27 @@ pub fn client_timeline(client: &ClientModel, occupancy: usize, loss: &LossModel)
     m
 }
 
+/// The scheduled start time of every slot in `slots`, mirroring
+/// [`server_timeline`]'s chronology: used slots run back-to-back from the
+/// cycle start (receive window then processing), empty slots report the
+/// clock where they would have started. This is where a slot's clients
+/// begin their upload — the fault layer checks these instants against
+/// the outage window.
+pub fn slot_start_times(server: &ServerModel, slots: &[usize], loss: &LossModel) -> Vec<Seconds> {
+    let penalty = loss.transfer.as_ref();
+    let mut clock = Seconds::ZERO;
+    slots
+        .iter()
+        .map(|&k| {
+            let start = clock;
+            if k > 0 {
+                clock += server.receive_window(k, penalty) + server.process_duration;
+            }
+            start
+        })
+        .collect()
+}
+
 /// Total server energy of an allocation, integrated from event timelines.
 /// Must agree with [`crate::simulation::servers_cycle_energy`] — an
 /// internal consistency check exposed for tests and validation binaries.
@@ -146,6 +167,23 @@ mod tests {
             (m.total_energy() - client.cycle_energy_with_transfer_penalty(Seconds(13.5))).abs()
                 < Joules(1e-9)
         );
+    }
+
+    #[test]
+    fn slot_start_times_mirror_the_timeline_chronology() {
+        let (_, server) = setup(10);
+        // Paper setting: 16 s per used slot (15 s receive + 1 s process).
+        let starts = slot_start_times(&server, &[10, 10, 3, 0, 0], &LossModel::NONE);
+        assert_eq!(starts.len(), 5);
+        assert!((starts[0] - Seconds(0.0)).abs() < Seconds(1e-9));
+        assert!((starts[1] - Seconds(16.0)).abs() < Seconds(1e-9));
+        assert!((starts[2] - Seconds(32.0)).abs() < Seconds(1e-9));
+        // Empty slots don't advance the clock.
+        assert!((starts[3] - Seconds(48.0)).abs() < Seconds(1e-9));
+        assert!((starts[4] - Seconds(48.0)).abs() < Seconds(1e-9));
+        // Loss B stretches the receive window with occupancy.
+        let b = slot_start_times(&server, &[10, 10], &LossModel::transfer_only());
+        assert!(b[1] > starts[1]);
     }
 
     #[test]

@@ -136,6 +136,22 @@ impl Battery {
         }
         self.deliverable() / load
     }
+
+    /// Probability that a burst of `load` over `dt` browns the node out,
+    /// from the battery's current headroom: 0 while the deliverable
+    /// energy holds a 20 % margin over the burst, rising linearly to 1 as
+    /// the headroom vanishes. This is the hook the orchestration layer's
+    /// fault plans use to derive per-cycle brown-out probabilities from
+    /// battery state instead of hand-picking them.
+    pub fn brownout_risk(&self, load: Watts, dt: Seconds) -> f64 {
+        let need = (load * dt).value();
+        if need <= 0.0 {
+            return 0.0;
+        }
+        let margin = 1.2 * need;
+        let have = self.deliverable().value();
+        ((margin - have) / margin).clamp(0.0, 1.0)
+    }
 }
 
 #[cfg(test)]
@@ -200,6 +216,28 @@ mod tests {
         let rt = b.runtime_at(Watts(100.0 / 75.0));
         assert!((rt.as_hours() - 75.0).abs() < 1e-9);
         assert!(b.runtime_at(Watts::ZERO).value().is_infinite());
+    }
+
+    #[test]
+    fn brownout_risk_tracks_headroom() {
+        // A full bank laughs at a transmit burst.
+        let full = Battery::power_bank_20ah();
+        assert_eq!(full.brownout_risk(Watts(2.5), Seconds(15.0)), 0.0);
+        // An empty (cut-off) bank cannot serve it at all.
+        let empty = Battery::new(WattHours(100.0), 0.0);
+        assert_eq!(empty.brownout_risk(Watts(2.5), Seconds(15.0)), 1.0);
+        // In between (just above the 2 % cutoff floor), the risk falls
+        // monotonically with stored energy.
+        let lower = Battery::new(WattHours(100.0), 0.020_06);
+        let higher = Battery::new(WattHours(100.0), 0.020_10);
+        let (rl, rh) = (
+            lower.brownout_risk(Watts(2.5), Seconds(15.0)),
+            higher.brownout_risk(Watts(2.5), Seconds(15.0)),
+        );
+        assert!(rl > rh, "risk {rl} should exceed {rh}");
+        assert!(rl < 1.0 && rh > 0.0, "both partial: {rl}, {rh}");
+        // A zero-energy burst carries no risk even when empty.
+        assert_eq!(empty.brownout_risk(Watts::ZERO, Seconds(15.0)), 0.0);
     }
 
     #[test]

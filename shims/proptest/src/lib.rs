@@ -14,7 +14,7 @@
 pub mod strategy {
     //! The [`Strategy`] trait and combinators.
 
-    use rand::rngs::StdRng;
+    pub use rand::rngs::StdRng;
 
     /// A recipe for generating random values of type `Value`.
     pub trait Strategy {
@@ -70,6 +70,20 @@ pub mod strategy {
 
     range_strategy!(f64, f32, usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
 
+    /// Strategy backed by a closure over the RNG. Support type for the
+    /// [`prop_compose!`](crate::prop_compose) expansion.
+    pub struct FnStrategy<F>(pub F);
+
+    impl<F, O> Strategy for FnStrategy<F>
+    where
+        F: Fn(&mut StdRng) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.0)(rng)
+        }
+    }
+
     /// Strategy that always yields a clone of the given value.
     #[derive(Clone, Debug)]
     pub struct Just<T: Clone>(pub T);
@@ -99,6 +113,37 @@ pub mod strategy {
         (A.0, B.1, C.2, D.3)
         (A.0, B.1, C.2, D.3, E.4)
         (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Strategy produced by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `None` half the time and `Some(inner)` otherwise
+    /// (upstream's default `Probability` is also 0.5).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            // Draw the coin first so the inner strategy's stream stays
+            // aligned whether or not the value is kept.
+            if rand::Rng::gen::<::core::primitive::bool>(rng) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
     }
 }
 
@@ -256,6 +301,24 @@ macro_rules! __proptest_impl {
     )*};
 }
 
+/// Declares a named strategy function: draws each `arg in strategy` in
+/// order, then evaluates the body to the composed value — upstream's
+/// `prop_compose!` without the shrinking machinery. The optional first
+/// parameter list becomes ordinary function parameters.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident ($($param:ident: $pty:ty),* $(,)?)
+        ($($arg:ident in $strat:expr),* $(,)?) -> $out:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($param: $pty),*) -> impl $crate::strategy::Strategy<Value = $out> {
+            $crate::strategy::FnStrategy(move |__rng: &mut $crate::strategy::StdRng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)*
+                $body
+            })
+        }
+    };
+}
+
 /// Asserts a boolean property inside a [`proptest!`] body.
 #[macro_export]
 macro_rules! prop_assert {
@@ -293,7 +356,7 @@ pub mod prelude {
     //! Convenience re-exports, mirroring `proptest::prelude`.
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::Config;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, proptest};
 }
 
 #[cfg(test)]
@@ -324,6 +387,36 @@ mod tests {
         fn bool_any(b in crate::bool::ANY) {
             prop_assert!([true, false].contains(&b));
         }
+
+        #[test]
+        fn option_of_covers_both_arms(o in crate::option::of(0.25f64..0.75)) {
+            if let Some(x) = o {
+                prop_assert!((0.25..0.75).contains(&x));
+            }
+        }
+
+        #[test]
+        fn composed_strategy_draws_in_order(p in scaled_pair(10.0)) {
+            prop_assert!(p.1 >= p.0, "({}, {}) should be ordered", p.0, p.1);
+            prop_assert!(p.1 <= 20.0 + 1e-9);
+        }
+    }
+
+    prop_compose! {
+        /// An ordered pair with the second element scaled by `factor`.
+        fn scaled_pair(factor: f64)(lo in 0.0f64..1.0, hi in 1.0f64..2.0) -> (f64, f64) {
+            (lo, hi * factor)
+        }
+    }
+
+    #[test]
+    fn option_strategy_eventually_yields_both_arms() {
+        use crate::strategy::Strategy;
+        let strat = crate::option::of(0u32..10);
+        let mut rng = crate::__rng_for("option::both_arms");
+        let draws: Vec<_> = (0..64).map(|_| strat.generate(&mut rng)).collect();
+        assert!(draws.iter().any(|d| d.is_some()));
+        assert!(draws.iter().any(|d| d.is_none()));
     }
 
     #[test]

@@ -25,6 +25,7 @@ use precision_beekeeping::energy::battery::Battery;
 use precision_beekeeping::energy::harvest::{PowerSystem, PowerSystemConfig};
 use precision_beekeeping::ml::{FeatureMap, ResNetConfig, ResNetLite};
 use precision_beekeeping::orchestra::engine::{Backend, SimContext};
+use precision_beekeeping::orchestra::faults::{FaultPlan, FaultStats};
 use precision_beekeeping::orchestra::loss::LossModel;
 use precision_beekeeping::orchestra::prelude::seeded_rng;
 use precision_beekeeping::orchestra::presets;
@@ -74,11 +75,15 @@ fn usage() {
     println!("                                  edge vs edge+cloud for an apiary");
     println!("  sweep [--backend B] [--cap N] [--from N] [--to N] [--step N]");
     println!("        [--service svm|cnn] [--losses] [--seed S]");
-    println!("        [--metrics] [--trace FILE]");
+    println!("        [--metrics] [--trace FILE] [--faults SPEC]");
     println!("                                  Fig. 7 population sweep; --metrics");
     println!("                                  prints the telemetry table, --trace");
     println!("                                  writes a JSONL simulation event log");
     println!("                                  (flags first == sweep)");
+    println!("                                  --faults injects a deterministic fault");
+    println!("                                  plan: 'mid', 'none' or a spec like");
+    println!("                                  outage=60..120,loss=0.05,slowdown=1.1,");
+    println!("                                  brownout=0.02,dropout=0.02,retries=3");
     println!("  tune [--battery-wh W]           fastest sustainable wake-up period");
     println!("  alert [--accuracy A] [--k K]    queen-loss alerting trade-off");
 }
@@ -189,6 +194,11 @@ fn sweep(flags: &HashMap<String, String>) {
         fail("--trace needs a file path");
     }
     let metrics = flags.contains_key("metrics");
+    let fault_plan: FaultPlan = match flags.get("faults") {
+        None => FaultPlan::NONE,
+        Some(raw) if raw == "true" => fail("--faults needs a spec ('mid' or key=value,…)"),
+        Some(raw) => raw.parse().unwrap_or_else(|e: String| fail(&format!("--faults: {e}"))),
+    };
 
     // Event recording only pays off when a trace is written; --metrics
     // alone keeps the cheap no-op event sink. No flags → fully disabled,
@@ -210,7 +220,7 @@ fn sweep(flags: &HashMap<String, String>) {
         seed,
     };
     let ns: Vec<usize> = (from..=to).step_by(step).collect();
-    let ctx = SimContext::with_telemetry(seed, telemetry.clone());
+    let ctx = SimContext::with_telemetry(seed, telemetry.clone()).with_fault_plan(fault_plan);
     let points = config.run_with_context(&backend, &ns, &ctx);
     let crossover = analyze_crossover(&points);
 
@@ -224,6 +234,9 @@ fn sweep(flags: &HashMap<String, String>) {
         if losses { ", with losses" } else { "" },
         backend
     );
+    if !fault_plan.is_none() {
+        println!("  fault plan      : {fault_plan}");
+    }
     match crossover.first_crossover {
         Some(n) => println!("  first crossover : {n} clients (edge+cloud first wins)"),
         None => println!("  first crossover : none (edge wins everywhere sampled)"),
@@ -233,6 +246,28 @@ fn sweep(flags: &HashMap<String, String>) {
     }
     if let Some((n, adv)) = crossover.max_advantage {
         println!("  max advantage   : {:.1} J per client at {} clients", adv.value(), n);
+    }
+    if !fault_plan.is_none() {
+        let mut agg = FaultStats::default();
+        for p in &points {
+            let f = &p.cloud.faults;
+            agg.attempts += f.attempts;
+            agg.retries += f.retries;
+            agg.fallbacks += f.fallbacks;
+            agg.brownouts += f.brownouts;
+            agg.sensor_dropouts += f.sensor_dropouts;
+            agg.delivered += f.delivered;
+        }
+        println!(
+            "  faults (cloud)  : {} attempts, {} retries, {} fallbacks \
+             ({} brown-outs), {} sensor dropouts, {} delivered",
+            agg.attempts,
+            agg.retries,
+            agg.fallbacks,
+            agg.brownouts,
+            agg.sensor_dropouts,
+            agg.delivered
+        );
     }
 
     if telemetry.is_enabled() {

@@ -3,10 +3,11 @@
 
 use precision_beekeeping::device::constants as k;
 use precision_beekeeping::device::routine::{RoutineBuilder, ServiceKind};
+use precision_beekeeping::orchestra::faults::{Brownout, OutageWindow};
 use precision_beekeeping::orchestra::loss::LossModel;
 use precision_beekeeping::orchestra::prelude::*;
 use precision_beekeeping::orchestra::sweep::{
-    analyze_crossover, tipping_slot_capacity, SweepConfig,
+    analyze_crossover, tipping_slot_capacity, CrossoverReport, SweepConfig,
 };
 use precision_beekeeping::units::{Joules, Seconds, Watts};
 
@@ -178,4 +179,154 @@ fn figure9_regime() {
     }
     let wide = sweep.run_range(100, 2000, 10);
     assert!(wide.iter().any(|p| p.cloud_wins()), "no winning interval under losses");
+}
+
+/// Fig. 7 crossover structure under the paper's four loss configurations
+/// (NONE / Loss A saturation / Loss B transfer / Loss C client loss),
+/// pinned on every backend so perf work can't silently drift them:
+///
+/// * **NONE** — closed form and timeline agree exactly: first crossover
+///   406–408, peak advantage ≈12 J at 630, stable win from ~815;
+/// * **Loss A** and **Loss B** — at cap 35 the packed slots sit deep in
+///   the saturation/contention regime, the server cost inflates and the
+///   crossover vanishes on every backend;
+/// * **Loss C** — losing ≈10 % of clients shifts the whole structure
+///   ~10 % right (452 / 699 / 907) but preserves its shape and the
+///   ≈12 J peak;
+/// * the **DES** ablation never crosses under any configuration (each
+///   async upload bills its own receive window).
+#[test]
+fn figure7b_crossovers_under_loss_configurations() {
+    let configs = [
+        ("none", LossModel::NONE),
+        ("loss-a", LossModel::saturation_only()),
+        ("loss-b", LossModel::transfer_only()),
+        ("loss-c", LossModel::client_loss_only()),
+    ];
+    for (name, loss) in configs {
+        let cfg = SweepConfig { loss, ..cnn_sweep(35) };
+        let mut synchronized = Vec::new();
+        for backend in [Backend::ClosedForm, Backend::EventTimeline] {
+            let r = analyze_crossover(&cfg.run_range_with(&backend, 100, 2000, 1));
+            match name {
+                "none" => {
+                    let first = r.first_crossover.unwrap();
+                    assert!((405..=408).contains(&first), "{backend} {name} first {first}");
+                    let (n, adv) = r.max_advantage.unwrap();
+                    assert_eq!(n, 630, "{backend} {name} peak position");
+                    assert!((adv - Joules(12.1)).abs() < Joules(1.0), "{backend} {name} {adv}");
+                    let stable = r.always_after.unwrap();
+                    assert!((800..=820).contains(&stable), "{backend} {name} stable {stable}");
+                }
+                "loss-c" => {
+                    let first = r.first_crossover.unwrap();
+                    assert!((448..=456).contains(&first), "{backend} {name} first {first}");
+                    let (n, adv) = r.max_advantage.unwrap();
+                    assert!((695..=703).contains(&n), "{backend} {name} peak at {n}");
+                    assert!((adv - Joules(12.0)).abs() < Joules(1.0), "{backend} {name} {adv}");
+                    let stable = r.always_after.unwrap();
+                    assert!((900..=915).contains(&stable), "{backend} {name} stable {stable}");
+                }
+                _ => {
+                    assert_eq!(r.first_crossover, None, "{backend} {name} must not cross");
+                }
+            }
+            synchronized.push(r);
+        }
+        // The two synchronized backends agree on the whole structure.
+        assert_eq!(synchronized[0], synchronized[1], "{name}: closed-form vs timeline");
+
+        let des = analyze_crossover(&cfg.run_range_with(&Backend::Des, 100, 2000, 5));
+        assert_eq!(des.first_crossover, None, "des {name} must not cross");
+    }
+}
+
+/// Fault severity A: a lightly lossy uplink (2 % packet loss, 1 % sensor
+/// dropout) — retries absorb almost everything.
+fn severity_a() -> FaultPlan {
+    let mut p = FaultPlan::NONE;
+    p.packet_loss = 0.02;
+    p.sensor_dropout = 0.01;
+    p
+}
+
+/// Fault severity C: a heavily degraded deployment — a 150 s outage each
+/// cycle, 15 % packet loss, 25 % server slow-down, 5 % radio brown-outs
+/// and 5 % sensor dropouts.
+fn severity_c() -> FaultPlan {
+    let mut p = FaultPlan::NONE;
+    p.outage = Some(OutageWindow::new(Seconds(0.0), Seconds(150.0)));
+    p.packet_loss = 0.15;
+    p.slowdown = 1.25;
+    p.brownout = Some(Brownout { probability: 0.05 });
+    p.sensor_dropout = 0.05;
+    p
+}
+
+fn crossover_under(backend: Backend, plan: FaultPlan, step: usize) -> CrossoverReport {
+    let cfg = cnn_sweep(35);
+    let ctx = cfg.context_with_faults(plan);
+    let ns: Vec<usize> = (100..=2000).step_by(step).collect();
+    analyze_crossover(&cfg.run_with_context(&backend, &ns, &ctx))
+}
+
+/// Fig. 7b under fault severities NONE / A / B / C, pinned per backend:
+/// faults push the edge-vs-edge+cloud crossover to larger populations and
+/// eventually erase it.
+///
+/// * **NONE** — the synchronized backends reproduce the fault-free
+///   crossover structure (406–408, max advantage at 630, stable from
+///   ~815) through the fault-plan plumbing;
+/// * **A** (light loss) — the crossover slips a handful of clients later
+///   and the peak advantage shrinks, but the green region survives;
+/// * **B** (mid severity) — only a marginal closed-form crossing with a
+///   sub-joule advantage remains; the timeline's stochastic draws never
+///   find one;
+/// * **C** (heavy) — no backend crosses anywhere in 100–2000 clients:
+///   offloading can no longer pay for itself.
+///
+/// The DES ablation prices each async upload's own receive window, which
+/// makes the cloud side so expensive it never crosses even fault-free —
+/// pinned too, under every severity, so a regression that accidentally
+/// synchronizes it shows up here.
+#[test]
+fn figure7b_crossovers_under_fault_severities() {
+    for backend in [Backend::ClosedForm, Backend::EventTimeline] {
+        let none = crossover_under(backend, FaultPlan::NONE, 1);
+        let first_none = none.first_crossover.unwrap();
+        assert!((405..=408).contains(&first_none), "{backend} NONE first {first_none}");
+        let (n, adv_none) = none.max_advantage.unwrap();
+        assert_eq!(n, 630, "{backend} NONE peak position");
+        let stable = none.always_after.unwrap();
+        assert!((800..=820).contains(&stable), "{backend} NONE stable from {stable}");
+
+        let a = crossover_under(backend, severity_a(), 1);
+        let first_a = a.first_crossover.unwrap();
+        assert!((409..=416).contains(&first_a), "{backend} A first {first_a}");
+        assert!(first_a > first_none, "{backend}: severity A must delay the crossover");
+        let (n, adv_a) = a.max_advantage.unwrap();
+        assert_eq!(n, 630, "{backend} A peak position");
+        assert!(adv_a < adv_none, "{backend}: A peak {adv_a} vs NONE {adv_none}");
+        let stable_a = a.always_after.unwrap();
+        assert!((820..=835).contains(&stable_a), "{backend} A stable from {stable_a}");
+
+        let c = crossover_under(backend, severity_c(), 1);
+        assert_eq!(c.first_crossover, None, "{backend}: severity C must erase the crossover");
+    }
+
+    // Severity B: the crossover region thins to (at most) a sliver.
+    let b_cf = crossover_under(Backend::ClosedForm, FaultPlan::mid_severity(), 1);
+    let first_b = b_cf.first_crossover.unwrap();
+    assert!((560..=620).contains(&first_b), "closed-form B first {first_b}");
+    let (_, adv_b) = b_cf.max_advantage.unwrap();
+    assert!(adv_b < Joules(1.0), "closed-form B peak advantage {adv_b}");
+    assert_eq!(b_cf.always_after, None, "closed-form B never stabilizes");
+    let b_tl = crossover_under(Backend::EventTimeline, FaultPlan::mid_severity(), 1);
+    assert_eq!(b_tl.first_crossover, None, "timeline B: draws never cross");
+
+    // The DES ablation: no crossover under any severity.
+    for plan in [FaultPlan::NONE, severity_a(), FaultPlan::mid_severity(), severity_c()] {
+        let des = crossover_under(Backend::Des, plan, 25);
+        assert_eq!(des.first_crossover, None, "des under {plan}");
+    }
 }
