@@ -48,11 +48,19 @@ impl ServerAllocation {
     }
 }
 
-/// A complete allocation of clients onto servers.
+/// A complete allocation of clients onto servers, stored run-length
+/// encoded: a uniform population allocates at most **two** distinct
+/// server shapes (full + partial under packing; two even shares under
+/// balancing), so a million-client fleet is represented by a handful of
+/// slot vectors instead of one `ServerAllocation` per server. Iteration
+/// still yields one (shared) `ServerAllocation` per logical server, in
+/// the exact order the historical dense representation listed them.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Allocation {
-    /// Per-server slot occupancies.
-    pub servers: Vec<ServerAllocation>,
+    /// `(repeat count, shape)` runs, in server order.
+    groups: Vec<(usize, ServerAllocation)>,
+    /// Total server count (the sum of the group counts, cached).
+    n_servers: usize,
     /// Slots available per server when the allocation was made.
     pub n_slots: usize,
     /// Slot capacity when the allocation was made.
@@ -60,14 +68,49 @@ pub struct Allocation {
 }
 
 impl Allocation {
+    /// Builds an allocation from `(count, shape)` runs.
+    pub fn from_groups(
+        groups: Vec<(usize, ServerAllocation)>,
+        n_slots: usize,
+        max_parallel: usize,
+    ) -> Self {
+        let n_servers = groups.iter().map(|(c, _)| c).sum();
+        Allocation { groups, n_servers, n_slots, max_parallel }
+    }
+
     /// Total clients allocated.
     pub fn n_clients(&self) -> usize {
-        self.servers.iter().map(ServerAllocation::n_clients).sum()
+        self.groups.iter().map(|(c, s)| c * s.n_clients()).sum()
     }
 
     /// Number of servers used.
     pub fn n_servers(&self) -> usize {
-        self.servers.len()
+        self.n_servers
+    }
+
+    /// The run-length-encoded `(count, shape)` groups, in server order.
+    /// Energy accounting iterates these to price each distinct shape
+    /// once instead of once per server.
+    pub fn groups(&self) -> &[(usize, ServerAllocation)] {
+        &self.groups
+    }
+
+    /// Iterates the allocation server by server (group shapes are
+    /// yielded by reference `count` times each), in server order.
+    pub fn servers(&self) -> impl Iterator<Item = &ServerAllocation> + '_ {
+        self.groups.iter().flat_map(|(c, s)| std::iter::repeat_n(s, *c))
+    }
+
+    /// The shape of server `index` (0-based, in server order).
+    pub fn server(&self, index: usize) -> &ServerAllocation {
+        let mut at = index;
+        for (count, shape) in &self.groups {
+            if at < *count {
+                return shape;
+            }
+            at -= count;
+        }
+        panic!("server index {index} out of range ({} servers)", self.n_servers);
     }
 }
 
@@ -75,6 +118,10 @@ impl Allocation {
 /// within each server according to `policy`. The transfer penalty (when
 /// active) shrinks each server's slot count exactly as in
 /// [`ServerModel::n_slots`].
+///
+/// Purely arithmetic: the result is computed from division/remainder
+/// alone — O(`n_slots`) time and space regardless of the client count,
+/// with no per-client (or even per-server) vector materialized.
 pub fn allocate(
     n_clients: usize,
     server: &ServerModel,
@@ -85,36 +132,48 @@ pub fn allocate(
     assert!(n_slots > 0, "server admits no time slots");
     let capacity = n_slots * server.max_parallel;
     let n_servers = n_clients.div_ceil(capacity);
-    let mut servers = Vec::with_capacity(n_servers);
+    let mut groups: Vec<(usize, ServerAllocation)> = Vec::with_capacity(2);
     match policy {
         FillPolicy::PackSlots => {
-            let mut remaining = n_clients;
-            while remaining > 0 {
-                let here = remaining.min(capacity);
+            // All full servers share one shape (every slot at capacity);
+            // the remainder fills a final server slot by slot.
+            let n_full = n_clients / capacity;
+            let rem = n_clients % capacity;
+            if n_full > 0 {
+                groups
+                    .push((n_full, ServerAllocation { slots: vec![server.max_parallel; n_slots] }));
+            }
+            if rem > 0 {
                 let mut slots = Vec::with_capacity(n_slots);
-                let mut left = here;
+                let mut left = rem;
                 for _ in 0..n_slots {
                     let k = left.min(server.max_parallel);
                     slots.push(k);
                     left -= k;
                 }
-                servers.push(ServerAllocation { slots });
-                remaining -= here;
+                groups.push((1, ServerAllocation { slots }));
             }
         }
         FillPolicy::BalanceSlots => {
-            for s in 0..n_servers {
-                // Server s's even share of the population…
-                let here = n_clients / n_servers + usize::from(s < n_clients % n_servers);
-                // …spread evenly over its slots.
-                let slots = (0..n_slots)
-                    .map(|i| here / n_slots + usize::from(i < here % n_slots))
-                    .collect();
-                servers.push(ServerAllocation { slots });
+            // Even shares differ by at most one client: the first
+            // `n_clients % n_servers` servers carry the extra.
+            let spread = |share: usize| ServerAllocation {
+                slots: (0..n_slots)
+                    .map(|i| share / n_slots + usize::from(i < share % n_slots))
+                    .collect(),
+            };
+            if let Some(share) = n_clients.checked_div(n_servers) {
+                let extra = n_clients % n_servers;
+                if extra > 0 {
+                    groups.push((extra, spread(share + 1)));
+                }
+                if n_servers > extra {
+                    groups.push((n_servers - extra, spread(share)));
+                }
             }
         }
     }
-    Allocation { servers, n_slots, max_parallel: server.max_parallel }
+    Allocation::from_groups(groups, n_slots, server.max_parallel)
 }
 
 #[cfg(test)]
@@ -139,12 +198,12 @@ mod tests {
     fn pack_fills_slot_by_slot() {
         let a = allocate(25, &paper_server(10), FillPolicy::PackSlots, None);
         assert_eq!(a.n_servers(), 1);
-        assert_eq!(a.servers[0].slots[0], 10);
-        assert_eq!(a.servers[0].slots[1], 10);
-        assert_eq!(a.servers[0].slots[2], 5);
-        assert!(a.servers[0].slots[3..].iter().all(|&k| k == 0));
+        assert_eq!(a.server(0).slots[0], 10);
+        assert_eq!(a.server(0).slots[1], 10);
+        assert_eq!(a.server(0).slots[2], 5);
+        assert!(a.server(0).slots[3..].iter().all(|&k| k == 0));
         assert_eq!(a.n_clients(), 25);
-        assert_eq!(a.servers[0].used_slots(), 3);
+        assert_eq!(a.server(0).used_slots(), 3);
     }
 
     #[test]
@@ -152,8 +211,8 @@ mod tests {
         let a = allocate(25, &paper_server(10), FillPolicy::BalanceSlots, None);
         assert_eq!(a.n_servers(), 1);
         // 25 over 18 slots: seven slots of 2, eleven of 1.
-        let twos = a.servers[0].slots.iter().filter(|&&k| k == 2).count();
-        let ones = a.servers[0].slots.iter().filter(|&&k| k == 1).count();
+        let twos = a.server(0).slots.iter().filter(|&&k| k == 2).count();
+        let ones = a.server(0).slots.iter().filter(|&&k| k == 1).count();
         assert_eq!((twos, ones), (7, 11));
         assert_eq!(a.n_clients(), 25);
     }
@@ -163,17 +222,23 @@ mod tests {
         // Capacity is 180 per server.
         let a = allocate(400, &paper_server(10), FillPolicy::PackSlots, None);
         assert_eq!(a.n_servers(), 3);
-        assert_eq!(a.servers[0].n_clients(), 180);
-        assert_eq!(a.servers[1].n_clients(), 180);
-        assert_eq!(a.servers[2].n_clients(), 40);
+        assert_eq!(a.server(0).n_clients(), 180);
+        assert_eq!(a.server(1).n_clients(), 180);
+        assert_eq!(a.server(2).n_clients(), 40);
+        // Run-length encoding: the two full servers share one shape.
+        assert_eq!(a.groups().len(), 2);
+        assert_eq!(a.groups()[0].0, 2);
+        assert_eq!(a.groups()[1].0, 1);
     }
 
     #[test]
     fn exact_capacity_uses_exactly_full_servers() {
         let a = allocate(360, &paper_server(10), FillPolicy::PackSlots, None);
         assert_eq!(a.n_servers(), 2);
-        assert!(a.servers.iter().all(|s| s.n_clients() == 180));
-        assert!(a.servers.iter().all(|s| s.slots.iter().all(|&k| k == 10)));
+        assert!(a.servers().all(|s| s.n_clients() == 180));
+        assert!(a.servers().all(|s| s.slots.iter().all(|&k| k == 10)));
+        // Exactly one RLE group: every server is the full shape.
+        assert_eq!(a.groups().len(), 1);
     }
 
     #[test]
@@ -203,7 +268,7 @@ mod tests {
                 let a = allocate(n, &paper_server(10), policy, None);
                 assert_eq!(a.n_clients(), n, "policy {policy:?}, n {n}");
                 // No slot exceeds the maximum.
-                for s in &a.servers {
+                for s in a.servers() {
                     assert!(s.slots.iter().all(|&k| k <= 10));
                     assert_eq!(s.slots.len(), a.n_slots);
                 }
@@ -240,15 +305,15 @@ mod tests {
                 match policy {
                     // Packing leaves all but the last server full.
                     FillPolicy::PackSlots => {
-                        for s in a.servers.iter().rev().skip(1) {
+                        for s in a.servers().take(a.n_servers().saturating_sub(1)) {
                             prop_assert_eq!(s.n_clients(), capacity);
                         }
                     }
                     // Balancing leaves server loads within one client.
                     FillPolicy::BalanceSlots => {
                         if let (Some(max), Some(min)) = (
-                            a.servers.iter().map(ServerAllocation::n_clients).max(),
-                            a.servers.iter().map(ServerAllocation::n_clients).min(),
+                            a.servers().map(ServerAllocation::n_clients).max(),
+                            a.servers().map(ServerAllocation::n_clients).min(),
                         ) {
                             prop_assert!(max - min <= 1);
                         }

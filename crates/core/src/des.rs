@@ -10,13 +10,14 @@
 //! so the slotted and asynchronous designs can be compared head-to-head
 //! (`ablation_async` binary).
 
+use crate::calendar::{CalendarQueue, EventKey};
+use crate::columns::ClassView;
 use crate::faults::{exact_transfer, ClientClass, FaultPlan};
 use crate::server::ServerModel;
 use pb_telemetry::Telemetry;
 use pb_units::{Joules, Seconds, Watts};
 use rand::Rng;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 /// Outcome of one asynchronous cycle.
 #[derive(Clone, Debug)]
@@ -38,27 +39,6 @@ pub struct AsyncCycleReport {
     pub max_latency: Seconds,
     /// Largest number of clients simultaneously waiting for the uplink.
     pub peak_queue: usize,
-}
-
-/// Ordered event-queue key (time then sequence number for determinism).
-#[derive(Clone, Copy, PartialEq)]
-struct EventKey {
-    time: f64,
-    seq: u64,
-}
-
-impl Eq for EventKey {}
-
-impl PartialOrd for EventKey {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for EventKey {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time.total_cmp(&other.time).then(self.seq.cmp(&other.seq))
-    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -143,7 +123,7 @@ pub fn simulate_async_cycle_faulted<R: Rng + ?Sized, F: Rng + ?Sized>(
     rng: &mut R,
     fault_rng: &mut F,
     plan: &FaultPlan,
-    classes: &[ClientClass],
+    classes: ClassView<'_>,
     telemetry: &Telemetry,
 ) -> FaultedAsyncReport {
     assert_eq!(classes.len(), n_clients, "one class per client");
@@ -156,7 +136,7 @@ pub fn simulate_async_cycle_faulted<R: Rng + ?Sized, F: Rng + ?Sized>(
     let mut fallbacks = 0u64;
     let mut entries: Vec<(f64, usize)> = Vec::with_capacity(n_clients);
     for (client, &t) in arrivals.iter().enumerate() {
-        match classes[client] {
+        match classes.get(client) {
             ClientClass::Brownout => fallbacks += 1,
             ClientClass::SensorDropout => {}
             ClientClass::Uploader => {
@@ -181,8 +161,8 @@ pub fn simulate_async_cycle_faulted<R: Rng + ?Sized, F: Rng + ?Sized>(
         .completion
         .iter()
         .zip(&arrivals)
-        .zip(classes)
-        .filter(|((c, _), class)| **class == ClientClass::Uploader && **c > 0.0)
+        .zip(classes.iter())
+        .filter(|((c, _), class)| *class == ClientClass::Uploader && **c > 0.0)
         .map(|((c, a), _)| c - a)
         .collect();
     let mean_latency =
@@ -239,6 +219,10 @@ struct LoopOutcome {
     n_arrivals: u64,
     n_transfers: u64,
     n_processed: u64,
+    /// Highest calendar-queue occupancy the cycle reached.
+    peak_events: usize,
+    /// Calendar-queue bucket resizes the cycle performed.
+    queue_resizes: u64,
 }
 
 /// The slotted accounting's energy model over an asynchronous horizon:
@@ -256,6 +240,11 @@ fn energy_over(server: &ServerModel, horizon: f64, receive_busy: f64, process_bu
 /// `entries` (one `(wake time, client id)` pair per participating
 /// client, pushed in order). Shared verbatim by the fault-free and
 /// faulted cycles so the two stay bit-identical on identical entries.
+///
+/// Events are scheduled through a [`CalendarQueue`], which preserves the
+/// exact (time, seq) pop order of the `BinaryHeap` it replaced (pinned
+/// by the `calendar_parity` suite) while staying O(1) per operation at
+/// high occupancy.
 fn run_event_loop(
     n_clients: usize,
     entries: &[(f64, usize)],
@@ -265,20 +254,18 @@ fn run_event_loop(
     let transfer = server.receive_duration.value();
     let process = server.process_duration.value();
 
-    let mut events: BinaryHeap<Reverse<(EventKey, usize)>> = BinaryHeap::new();
-    let mut payload: Vec<Event> = Vec::with_capacity(3 * n_clients + 1);
+    // All arrivals land up front, so the entry count is the occupancy
+    // high-water mark and the cycle duration spans their times.
+    let mut events: CalendarQueue<Event> =
+        CalendarQueue::with_hint(entries.len(), server.cycle.value());
     let mut seq = 0u64;
-    let mut push = |events: &mut BinaryHeap<Reverse<(EventKey, usize)>>,
-                    payload: &mut Vec<Event>,
-                    time: f64,
-                    ev: Event| {
-        payload.push(ev);
-        events.push(Reverse((EventKey { time, seq }, payload.len() - 1)));
+    let mut push = |events: &mut CalendarQueue<Event>, time: f64, ev: Event| {
+        events.push(EventKey { time, seq }, ev);
         seq += 1;
     };
 
     for &(t, client) in entries {
-        push(&mut events, &mut payload, t, Event::Arrival { client });
+        push(&mut events, t, Event::Arrival { client });
     }
 
     let mut uplink_in_use = 0usize;
@@ -300,10 +287,10 @@ fn run_event_loop(
     let mut n_transfers = 0u64;
     let mut n_processed = 0u64;
 
-    while let Some(Reverse((key, idx))) = events.pop() {
+    while let Some((key, ev)) = events.pop() {
         let now = key.time;
         last_time = now;
-        match payload[idx] {
+        match ev {
             Event::Arrival { client } => {
                 n_arrivals += 1;
                 if trace_events {
@@ -321,7 +308,7 @@ fn run_event_loop(
                         receive_since = now;
                     }
                     uplink_in_use += 1;
-                    push(&mut events, &mut payload, now + transfer, Event::TransferDone { client });
+                    push(&mut events, now + transfer, Event::TransferDone { client });
                 } else {
                     uplink_wait.push_back(client);
                     peak_queue = peak_queue.max(uplink_wait.len());
@@ -338,12 +325,7 @@ fn run_event_loop(
                 }
                 // Hand the uplink to the next waiter (if any).
                 if let Some(next) = uplink_wait.pop_front() {
-                    push(
-                        &mut events,
-                        &mut payload,
-                        now + transfer,
-                        Event::TransferDone { client: next },
-                    );
+                    push(&mut events, now + transfer, Event::TransferDone { client: next });
                 } else {
                     uplink_in_use -= 1;
                     if uplink_in_use == 0 {
@@ -356,12 +338,7 @@ fn run_event_loop(
                     _ => {
                         cpu_busy_until = Some(now + process);
                         process_busy += process;
-                        push(
-                            &mut events,
-                            &mut payload,
-                            now + process,
-                            Event::ProcessDone { client },
-                        );
+                        push(&mut events, now + process, Event::ProcessDone { client });
                     }
                 }
             }
@@ -374,12 +351,7 @@ fn run_event_loop(
                 if let Some(next) = cpu_wait.pop_front() {
                     cpu_busy_until = Some(now + process);
                     process_busy += process;
-                    push(
-                        &mut events,
-                        &mut payload,
-                        now + process,
-                        Event::ProcessDone { client: next },
-                    );
+                    push(&mut events, now + process, Event::ProcessDone { client: next });
                 }
             }
         }
@@ -397,6 +369,8 @@ fn run_event_loop(
         n_arrivals,
         n_transfers,
         n_processed,
+        peak_events: events.peak_len(),
+        queue_resizes: events.resizes(),
     }
 }
 
@@ -415,9 +389,11 @@ fn flush_telemetry(
     telemetry.add_to_counter("des.events.arrival", out.n_arrivals);
     telemetry.add_to_counter("des.events.transfer_done", out.n_transfers);
     telemetry.add_to_counter("des.events.process_done", out.n_processed);
+    telemetry.add_to_counter("des.queue.resizes", out.queue_resizes);
     if let Some(r) = telemetry.registry() {
         r.gauge("des.queue_depth.peak").set_max(out.peak_queue as f64);
     }
+    telemetry.observe("des.queue.occupancy", out.peak_events as f64);
     telemetry.observe("des.cycle.horizon_s", horizon);
     if telemetry.events_recording() {
         telemetry.event(

@@ -58,6 +58,7 @@ use pb_telemetry::{Counter, Histogram, Telemetry};
 use pb_units::Joules;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 /// The odd multiplier of the golden-ratio seed split: distinct inputs
 /// map to well-separated seeds (Weyl sequence over 2⁶⁴).
@@ -190,7 +191,7 @@ impl AllocationCache {
         let fresh = Arc::new(allocate(n_clients, server, policy, penalty));
         if let Some(tel) = &self.telemetry {
             tel.misses.inc();
-            for sa in &fresh.servers {
+            for sa in fresh.servers() {
                 for &k in &sa.slots {
                     tel.occupancy.observe(k as f64);
                 }
@@ -491,17 +492,25 @@ impl CycleEngine for Des {
             spec.loss.transfer.as_ref(),
         );
         let point_seed = ctx.point_seed(n_clients as u64);
+        // Each server owns an independent salted RNG stream, so the
+        // per-server simulations parallelize; folding the reports in
+        // server order keeps the energy sum bit-identical to the serial
+        // loop regardless of the worker count.
+        let jobs: Vec<(usize, usize)> =
+            allocation.servers().enumerate().map(|(s, sa)| (s, sa.n_clients())).collect();
+        let telemetry = ctx.telemetry();
+        let reports: Vec<Joules> = jobs
+            .par_iter()
+            .map(|&(s, k)| {
+                let mut server_rng =
+                    StdRng::seed_from_u64(point_seed ^ (s as u64 + 1).wrapping_mul(GOLDEN_GAMMA));
+                simulate_async_cycle_traced(k, &spec.server, &mut server_rng, telemetry)
+                    .server_energy
+            })
+            .collect();
         let mut server_total = Joules::ZERO;
-        for (s, sa) in allocation.servers.iter().enumerate() {
-            let mut server_rng =
-                StdRng::seed_from_u64(point_seed ^ (s as u64 + 1).wrapping_mul(GOLDEN_GAMMA));
-            server_total += simulate_async_cycle_traced(
-                sa.n_clients(),
-                &spec.server,
-                &mut server_rng,
-                ctx.telemetry(),
-            )
-            .server_energy;
+        for e in reports {
+            server_total += e;
         }
         // Unsynchronized uploads see no slot contention: each client pays
         // its nominal cycle, penalty-free.

@@ -50,6 +50,7 @@ use std::fmt;
 use std::str::FromStr;
 
 use crate::client::ClientModel;
+use crate::columns::{publish_columns, CountingRng, FleetColumns};
 use crate::engine::{draw_active, record_client_loss, ScenarioSpec, SimContext, GOLDEN_GAMMA};
 use crate::server::ServerModel;
 use crate::simulation::{edge_cycle_energy, servers_cycle_energy, CycleReport};
@@ -59,6 +60,7 @@ use pb_telemetry::Telemetry;
 use pb_units::{Joules, Seconds, Watts};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 /// XOR'd into a point seed to derive its independent fault stream
 /// (disjoint from the loss-draw stream by construction).
@@ -430,37 +432,6 @@ pub enum ClientClass {
     SensorDropout,
 }
 
-/// Draws every client's class for the cycle, in client-index order, from
-/// the point's fault stream — identical across all three backends (and
-/// the pure-edge side), so per-class counts agree everywhere. Zero
-/// probabilities consume no RNG.
-pub(crate) fn draw_population<R: Rng + ?Sized>(
-    plan: &FaultPlan,
-    active: usize,
-    rng: &mut R,
-) -> Vec<ClientClass> {
-    let p_brown = plan.brownout.map_or(0.0, |b| b.probability);
-    let p_sensor = plan.sensor_dropout;
-    (0..active)
-        .map(|_| {
-            if p_brown > 0.0 && rng.gen::<f64>() < p_brown {
-                ClientClass::Brownout
-            } else if p_sensor > 0.0 && rng.gen::<f64>() < p_sensor {
-                ClientClass::SensorDropout
-            } else {
-                ClientClass::Uploader
-            }
-        })
-        .collect()
-}
-
-/// Counts (brown-outs, sensor dropouts) in a drawn population.
-pub(crate) fn class_counts(classes: &[ClientClass]) -> (usize, usize) {
-    let b = classes.iter().filter(|c| **c == ClientClass::Brownout).count();
-    let s = classes.iter().filter(|c| **c == ClientClass::SensorDropout).count();
-    (b, s)
-}
-
 /// Energy of one extra transfer attempt: the transmit action re-runs,
 /// displacing sleep time — `(tx_power − sleep_power) · tx_duration`.
 pub(crate) fn retry_energy(client: &ClientModel) -> Joules {
@@ -525,11 +496,11 @@ pub(crate) fn publish_stats(telemetry: &Telemetry, stats: &FaultStats) {
     telemetry.add_to_counter("fault.delivered", stats.delivered);
 }
 
-/// Shared faulted-cycle preamble: loss-C draw, population classes, the
-/// degraded server and its (fingerprint-keyed) allocation.
+/// Shared faulted-cycle preamble: loss-C draw, the columnar population
+/// state, the degraded server and its (fingerprint-keyed) allocation.
 struct FaultedSetup {
     active: usize,
-    classes: Vec<ClientClass>,
+    columns: FleetColumns,
     brownouts: usize,
     sensor_dropouts: usize,
     eff: ServerModel,
@@ -547,8 +518,9 @@ fn setup(
     let active = draw_active(&spec.loss, n_clients, &mut rng);
     record_client_loss(ctx, n_clients, active);
     let mut frng = ctx.fault_rng(n_clients as u64);
-    let classes = draw_population(plan, active, &mut frng);
-    let (brownouts, sensor_dropouts) = class_counts(&classes);
+    let columns = FleetColumns::draw(plan, active, &mut frng);
+    let (brownouts, sensor_dropouts) = columns.class_counts();
+    publish_columns(ctx.telemetry(), &columns);
     let eff = plan.effective_server(&spec.server);
     let allocation = ctx.cache().get_or_allocate_for(
         active,
@@ -557,7 +529,7 @@ fn setup(
         spec.loss.transfer.as_ref(),
         plan.fingerprint(),
     );
-    FaultedSetup { active, classes, brownouts, sensor_dropouts, eff, allocation, frng }
+    FaultedSetup { active, columns, brownouts, sensor_dropouts, eff, allocation, frng }
 }
 
 /// Closed-form backend under a fault plan: exact brown-out / sensor
@@ -637,7 +609,7 @@ pub(crate) fn timeline_with_faults(
     };
     let mut edge_total = Joules::ZERO;
     let mut idx = 0usize;
-    for sa in &s.allocation.servers {
+    for sa in s.allocation.servers() {
         let starts = slot_start_times(&s.eff, &sa.slots, &spec.loss);
         for (i, &k) in sa.slots.iter().enumerate() {
             if k == 0 {
@@ -649,13 +621,14 @@ pub(crate) fn timeline_with_faults(
             let t0 = starts[i];
             let mut paying_slot_cost = 0usize;
             for _ in 0..k {
-                match s.classes[idx] {
+                match s.columns.class(idx) {
                     ClientClass::Brownout => edge_total += fallback_cost,
                     ClientClass::SensorDropout => paying_slot_cost += 1,
                     ClientClass::Uploader => {
-                        let (attempts, success) = exact_transfer(plan, t0, &mut s.frng, telemetry);
-                        stats.attempts += attempts;
-                        stats.retries += attempts - 1;
+                        let mut frng = CountingRng::new(&mut s.frng);
+                        let (attempts, success) = exact_transfer(plan, t0, &mut frng, telemetry);
+                        let draws = frng.draws();
+                        s.columns.record_transfer(idx, attempts, draws);
                         if attempts > 1 {
                             edge_total += retry_cost * (attempts - 1) as f64;
                         }
@@ -674,6 +647,14 @@ pub(crate) fn timeline_with_faults(
         }
     }
     debug_assert_eq!(idx, s.active, "allocation must cover every active client");
+    // Attempt/retry totals come off the attempts column: chunked integer
+    // reductions over the pool, bit-identical at any thread count.
+    stats.attempts = s.columns.total_attempts();
+    stats.retries = s.columns.total_retries();
+    if telemetry.is_enabled() {
+        s.columns.fill_retry_energy(retry_cost);
+        telemetry.observe("columns.retry_energy_j", s.columns.energy_total().value());
+    }
     publish_stats(telemetry, &stats);
     CycleReport::from_parts_with_faults(
         n_clients,
@@ -707,30 +688,46 @@ pub(crate) fn des_with_faults(
         sensor_dropouts: s.sensor_dropouts as u64,
         ..FaultStats::default()
     };
-    let mut server_total = Joules::ZERO;
+    // One job per server: (server index, class-column offset, clients).
+    // Each server derives its own RNG streams from the point seed, so
+    // the servers are independent and fan out over the pool; the fold
+    // below walks the results in server order, keeping the energy sum
+    // bit-identical to the historical serial loop at any thread count.
+    let mut jobs: Vec<(usize, usize, usize)> = Vec::with_capacity(s.allocation.n_servers());
     let mut offset = 0usize;
-    for (i, sa) in s.allocation.servers.iter().enumerate() {
+    for (i, sa) in s.allocation.servers().enumerate() {
         let k = sa.n_clients();
-        let salt = (i as u64 + 1).wrapping_mul(GOLDEN_GAMMA);
-        let mut server_rng = StdRng::seed_from_u64(point_seed ^ salt);
-        let mut server_frng = StdRng::seed_from_u64(fault_seed ^ salt);
-        let out = crate::des::simulate_async_cycle_faulted(
-            k,
-            &s.eff,
-            &mut server_rng,
-            &mut server_frng,
-            plan,
-            &s.classes[offset..offset + k],
-            ctx.telemetry(),
-        );
+        jobs.push((i, offset, k));
+        offset += k;
+    }
+    debug_assert_eq!(offset, s.active, "allocation must cover every active client");
+    let classes = s.columns.classes();
+    let telemetry = ctx.telemetry();
+    let outs: Vec<crate::des::FaultedAsyncReport> = jobs
+        .par_iter()
+        .map(|&(i, offset, k)| {
+            let salt = (i as u64 + 1).wrapping_mul(GOLDEN_GAMMA);
+            let mut server_rng = StdRng::seed_from_u64(point_seed ^ salt);
+            let mut server_frng = StdRng::seed_from_u64(fault_seed ^ salt);
+            crate::des::simulate_async_cycle_faulted(
+                k,
+                &s.eff,
+                &mut server_rng,
+                &mut server_frng,
+                plan,
+                classes.slice(offset..offset + k),
+                telemetry,
+            )
+        })
+        .collect();
+    let mut server_total = Joules::ZERO;
+    for out in &outs {
         server_total += out.report.server_energy;
         stats.attempts += out.attempts;
         stats.retries += out.retries;
         stats.delivered += out.delivered;
         stats.fallbacks += out.fallbacks;
-        offset += k;
     }
-    debug_assert_eq!(offset, s.active, "allocation must cover every active client");
 
     // Unsynchronized uploads see no slot contention (penalty-free cycle
     // cost); sensor-dropout clients still run their full routine.
@@ -766,8 +763,8 @@ pub(crate) fn edge_with_faults(
     record_client_loss(ctx, n_clients, active);
     let edge_total = spec.edge_client.cycle_energy() * active as f64;
     let mut frng = ctx.fault_rng(n_clients as u64);
-    let classes = draw_population(plan, active, &mut frng);
-    let (_, sensor_dropouts) = class_counts(&classes);
+    let columns = FleetColumns::draw(plan, active, &mut frng);
+    let (_, sensor_dropouts) = columns.class_counts();
     let stats = FaultStats {
         sensor_dropouts: sensor_dropouts as u64,
         delivered: (active - sensor_dropouts) as u64,
@@ -911,18 +908,18 @@ mod tests {
             p.brownout = Some(Brownout { probability: 0.3 });
             p.sensor_dropout = 0.3;
         });
-        let a = draw_population(&plan, 500, &mut StdRng::seed_from_u64(9));
-        let b = draw_population(&plan, 500, &mut StdRng::seed_from_u64(9));
+        let a = FleetColumns::draw(&plan, 500, &mut StdRng::seed_from_u64(9));
+        let b = FleetColumns::draw(&plan, 500, &mut StdRng::seed_from_u64(9));
         assert_eq!(a, b);
-        let (brown, sensor) = class_counts(&a);
+        let (brown, sensor) = a.class_counts();
         assert!(brown > 0 && sensor > 0);
         // Zero probabilities consume no RNG and produce only uploaders.
         use rand::RngCore;
         let mut rng = StdRng::seed_from_u64(9);
         let before = rng.clone().next_u64();
-        let none = draw_population(&FaultPlan::NONE, 100, &mut rng);
+        let none = FleetColumns::draw(&FaultPlan::NONE, 100, &mut rng);
         assert_eq!(rng.next_u64(), before, "no RNG consumed");
-        assert!(none.iter().all(|c| *c == ClientClass::Uploader));
+        assert!(none.classes().iter().all(|c| c == ClientClass::Uploader));
     }
 
     #[test]

@@ -35,7 +35,9 @@
 //! ```
 
 pub mod allocator;
+pub mod calendar;
 pub mod client;
+pub mod columns;
 pub mod des;
 pub mod engine;
 pub mod faults;
@@ -53,7 +55,9 @@ pub mod sweep;
 pub mod timeline;
 
 pub use allocator::{Allocation, FillPolicy, ServerAllocation};
+pub use calendar::{CalendarQueue, EventKey};
 pub use client::{Action, ClientModel};
+pub use columns::{ClassView, FleetColumns};
 pub use des::{
     simulate_async_cycle, simulate_async_cycle_faulted, simulate_async_cycle_traced,
     AsyncCycleReport, FaultedAsyncReport,
@@ -73,7 +77,9 @@ pub use server::ServerModel;
 pub use simulation::CycleReport;
 #[allow(deprecated)] // re-exported for one transition release
 pub use simulation::{simulate_edge, simulate_edge_cloud};
-pub use sweep::{ComparisonPoint, CrossoverReport, SweepConfig};
+pub use sweep::{
+    validate_client_count, ComparisonPoint, CrossoverReport, SweepConfig, MAX_SWEEP_CLIENTS,
+};
 
 // Re-exported so downstream callers name one crate for scenario math.
 pub use pb_device::routine::ServiceKind;

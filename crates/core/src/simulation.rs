@@ -130,7 +130,10 @@ pub fn servers_cycle_energy(
 ) -> Joules {
     let penalty = loss.transfer.as_ref();
     let mut total = Joules::ZERO;
-    for sa in &allocation.servers {
+    for (count, sa) in allocation.groups() {
+        // Price the shape once; every server in the group is identical, so
+        // repeated addition reproduces the historical per-server sum bit
+        // for bit (a single multiply would round differently).
         let mut busy = pb_units::Seconds::ZERO;
         let mut slot_energy = Joules::ZERO;
         for &k in &sa.slots {
@@ -148,7 +151,10 @@ pub fn servers_cycle_energy(
             busy.value() <= server.cycle.value() + 1e-9,
             "server busy time {busy} exceeds the cycle"
         );
-        total += server.idle_power * (server.cycle - busy) + slot_energy;
+        let per_server = server.idle_power * (server.cycle - busy) + slot_energy;
+        for _ in 0..*count {
+            total += per_server;
+        }
     }
     total
 }
@@ -164,12 +170,20 @@ pub fn edge_cycle_energy(
         None => client.cycle_energy() * allocation.n_clients() as f64,
         Some(p) => {
             let mut total = Joules::ZERO;
-            for sa in &allocation.servers {
-                for &k in &sa.slots {
-                    if k == 0 {
-                        continue;
+            for (count, sa) in allocation.groups() {
+                // Per-slot contributions priced once per distinct shape,
+                // then replayed per server to keep the addition order —
+                // and hence the rounding — identical to a dense loop.
+                let per_slot: Vec<Joules> = sa
+                    .slots
+                    .iter()
+                    .filter(|&&k| k > 0)
+                    .map(|&k| client.cycle_energy_with_transfer_penalty(p.extra_for(k)) * k as f64)
+                    .collect();
+                for _ in 0..*count {
+                    for &e in &per_slot {
+                        total += e;
                     }
-                    total += client.cycle_energy_with_transfer_penalty(p.extra_for(k)) * k as f64;
                 }
             }
             total

@@ -14,6 +14,28 @@ use crate::simulation::CycleReport;
 use pb_units::Joules;
 use rayon::prelude::*;
 
+/// Largest population size a sweep point may evaluate.
+///
+/// Per-point randomness derives from the master seed as
+/// `seed ^ n·GOLDEN_GAMMA` over 64-bit wrapping arithmetic, and
+/// Monte-Carlo replicates offset the master seed with a 32-bit gamma.
+/// Populations beyond `u32::MAX` push those derivations into the region
+/// where two distinct points can silently alias the same stream, so
+/// sweeps reject them up front instead of wrapping.
+pub const MAX_SWEEP_CLIENTS: usize = u32::MAX as usize;
+
+/// Checks that a population size is within the seed-derivation range
+/// ([`MAX_SWEEP_CLIENTS`]); `Err` carries a human-readable message.
+pub fn validate_client_count(n: usize) -> Result<(), String> {
+    if n > MAX_SWEEP_CLIENTS {
+        return Err(format!(
+            "population {n} exceeds the seed-derivation limit of {MAX_SWEEP_CLIENTS} \
+             clients per point (derived streams would alias)"
+        ));
+    }
+    Ok(())
+}
+
 /// Everything needed to sweep the two scenarios over population sizes.
 #[derive(Clone, Debug)]
 pub struct SweepConfig {
@@ -119,6 +141,11 @@ impl SweepConfig {
         ns: &[usize],
         ctx: &SimContext,
     ) -> Vec<ComparisonPoint> {
+        for &n in ns {
+            if let Err(e) = validate_client_count(n) {
+                panic!("{e}");
+            }
+        }
         let spec = self.spec();
         ns.par_iter().map(|&n| engine.compare(&spec, n, ctx)).collect()
     }
@@ -209,6 +236,21 @@ mod tests {
             policy: FillPolicy::PackSlots,
             seed: 0xF1E1D,
         }
+    }
+
+    #[test]
+    fn client_counts_within_the_seed_stream_are_accepted() {
+        assert!(validate_client_count(0).is_ok());
+        assert!(validate_client_count(1_000_000).is_ok());
+        assert!(validate_client_count(MAX_SWEEP_CLIENTS).is_ok());
+        assert!(validate_client_count(MAX_SWEEP_CLIENTS + 1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "seed-derivation limit")]
+    fn oversized_populations_are_rejected_not_wrapped() {
+        let sweep = cnn_sweep(35, LossModel::NONE);
+        let _ = sweep.run(&[MAX_SWEEP_CLIENTS + 1]);
     }
 
     #[test]

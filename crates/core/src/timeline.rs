@@ -89,9 +89,13 @@ pub fn servers_energy_from_timelines(
     loss: &LossModel,
 ) -> Joules {
     allocation
-        .servers
+        .groups()
         .iter()
-        .map(|sa| server_timeline(server, &sa.slots, loss).total_energy())
+        .flat_map(|(count, sa)| {
+            // One timeline per distinct shape; its energy is added once
+            // per server so the sum order matches a dense iteration.
+            std::iter::repeat_n(server_timeline(server, &sa.slots, loss).total_energy(), *count)
+        })
         .sum()
 }
 
@@ -102,11 +106,20 @@ pub fn clients_energy_from_timelines(
     loss: &LossModel,
 ) -> Joules {
     allocation
-        .servers
+        .groups()
         .iter()
-        .flat_map(|sa| sa.slots.iter())
-        .filter(|&&k| k > 0)
-        .map(|&k| client_timeline(client, k, loss).total_energy() * k as f64)
+        .flat_map(|(count, sa)| {
+            // One timeline per distinct occupancy; the per-slot energies
+            // are replayed per server in the group, preserving the exact
+            // addition order of a dense per-server iteration.
+            let per_slot: Vec<Joules> = sa
+                .slots
+                .iter()
+                .filter(|&&k| k > 0)
+                .map(|&k| client_timeline(client, k, loss).total_energy() * k as f64)
+                .collect();
+            std::iter::repeat_n(per_slot, *count).flatten()
+        })
         .sum()
 }
 

@@ -1,0 +1,328 @@
+//! Batched, columnar battery state for fleet-scale simulation.
+//!
+//! [`BatteryBank`] holds one [`Battery`](crate::Battery)-equivalent state
+//! of charge per hive as a flat `f64` column and applies charge /
+//! discharge / brown-out-risk updates over the whole fleet at once,
+//! chunked across the persistent worker pool. Every per-element update
+//! replays the scalar [`Battery`](crate::Battery) arithmetic bit for
+//! bit, and every fleet-wide reduction folds fixed-size chunks in chunk
+//! order — so results are identical to a serial per-battery loop and
+//! invariant under `RAYON_NUM_THREADS`.
+
+use pb_telemetry::Telemetry;
+use pb_units::{Joules, Seconds, WattHours, Watts};
+use rayon::prelude::*;
+
+/// Fixed reduction/update granularity. Chunk boundaries depend only on
+/// the fleet size, never on the worker count, which is what makes the
+/// floating-point fold order deterministic.
+const CHUNK: usize = 8192;
+
+/// A fleet of identical batteries stored as one state-of-charge column.
+///
+/// The per-battery parameters (capacity, efficiencies, cutoff) are
+/// shared — the paper's fleet deploys one power-bank model — while the
+/// stored energy varies per hive.
+#[derive(Clone, Debug)]
+pub struct BatteryBank {
+    capacity: f64,
+    stored: Vec<f64>,
+    charge_efficiency: f64,
+    discharge_efficiency: f64,
+    cutoff_fraction: f64,
+    telemetry: Telemetry,
+}
+
+impl BatteryBank {
+    /// A bank of `n` batteries of `capacity`, all at `initial_soc` (0–1).
+    pub fn uniform(capacity: WattHours, n: usize, initial_soc: f64) -> Self {
+        assert!(capacity.value() > 0.0, "battery capacity must be positive");
+        assert!((0.0..=1.0).contains(&initial_soc), "initial SoC must be in [0, 1]");
+        let cap = capacity.to_joules().value();
+        BatteryBank {
+            capacity: cap,
+            stored: vec![cap * initial_soc; n],
+            charge_efficiency: 0.9,
+            discharge_efficiency: 0.95,
+            cutoff_fraction: 0.02,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// A bank of batteries of `capacity` with per-hive initial SoCs.
+    pub fn from_socs(capacity: WattHours, socs: &[f64]) -> Self {
+        assert!(capacity.value() > 0.0, "battery capacity must be positive");
+        let cap = capacity.to_joules().value();
+        let stored = socs
+            .iter()
+            .map(|&s| {
+                assert!((0.0..=1.0).contains(&s), "initial SoC must be in [0, 1]");
+                cap * s
+            })
+            .collect();
+        BatteryBank { capacity: cap, stored, ..BatteryBank::uniform(capacity, 0, 1.0) }
+    }
+
+    /// Overrides the charge/discharge efficiencies (both in (0, 1]).
+    pub fn with_efficiencies(mut self, charge: f64, discharge: f64) -> Self {
+        assert!(charge > 0.0 && charge <= 1.0, "charge efficiency must be in (0, 1]");
+        assert!(discharge > 0.0 && discharge <= 1.0, "discharge efficiency must be in (0, 1]");
+        self.charge_efficiency = charge;
+        self.discharge_efficiency = discharge;
+        self
+    }
+
+    /// Overrides the low-voltage cutoff fraction (0–1).
+    pub fn with_cutoff(mut self, fraction: f64) -> Self {
+        assert!((0.0..1.0).contains(&fraction), "cutoff fraction must be in [0, 1)");
+        self.cutoff_fraction = fraction;
+        self
+    }
+
+    /// Mirrors fleet-wide totals into `telemetry`: the
+    /// `battery.bank.charge_j` / `battery.bank.discharge_j` histograms
+    /// and the `battery.bank.soc_mean` gauge.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Number of batteries in the bank.
+    pub fn len(&self) -> usize {
+        self.stored.len()
+    }
+
+    /// True when the bank holds no batteries.
+    pub fn is_empty(&self) -> bool {
+        self.stored.is_empty()
+    }
+
+    /// Per-battery capacity.
+    pub fn capacity(&self) -> Joules {
+        Joules(self.capacity)
+    }
+
+    /// Stored energy of battery `i`.
+    pub fn stored(&self, i: usize) -> Joules {
+        Joules(self.stored[i])
+    }
+
+    /// Total stored energy across the fleet (chunk-ordered fold).
+    pub fn stored_total(&self) -> Joules {
+        Joules(chunked_sum(&self.stored))
+    }
+
+    /// Mean state of charge across the fleet as a fraction of capacity
+    /// (zero for an empty bank).
+    pub fn soc_mean(&self) -> f64 {
+        if self.stored.is_empty() {
+            return 0.0;
+        }
+        chunked_sum(&self.stored) / (self.capacity * self.stored.len() as f64)
+    }
+
+    /// Energy battery `i` can still deliver before cutoff.
+    fn deliverable_at(&self, stored: f64) -> f64 {
+        (stored - self.capacity * self.cutoff_fraction).max(0.0) * self.discharge_efficiency
+    }
+
+    /// Number of batteries whose protection circuit has cut the output.
+    pub fn cut_off_count(&self) -> usize {
+        let floor = self.capacity * self.cutoff_fraction;
+        if self.stored.is_empty() {
+            return 0;
+        }
+        self.stored
+            .par_chunks(CHUNK)
+            .map(|c| c.iter().filter(|&&s| s <= floor).count())
+            .reduce(|| 0, |a, b| a + b)
+    }
+
+    /// Charges every battery with `power` for `dt` (the fleet shares one
+    /// solar profile); energy above capacity is rejected per battery.
+    /// Returns the total energy actually stored.
+    pub fn charge_all(&mut self, power: Watts, dt: Seconds) -> Joules {
+        assert!(power.value() >= 0.0, "charge power must be non-negative");
+        let offered = (power * dt).value() * self.charge_efficiency;
+        let cap = self.capacity;
+        let next: Vec<(f64, f64)> = self
+            .stored
+            .par_iter()
+            .with_min_len(CHUNK)
+            .map(|&s| {
+                let accepted = offered.min(cap - s);
+                (s + accepted, accepted)
+            })
+            .collect();
+        let total = self.commit(next);
+        if self.telemetry.is_enabled() {
+            self.telemetry.observe("battery.bank.charge_j", total);
+            self.telemetry.set_gauge("battery.bank.soc_mean", self.soc_mean());
+        }
+        Joules(total)
+    }
+
+    /// Discharges every battery to serve a per-hive load of `power` for
+    /// `dt`, truncating at each battery's cutoff. Returns the total
+    /// energy delivered to the loads.
+    pub fn discharge_all(&mut self, power: Watts, dt: Seconds) -> Joules {
+        assert!(power.value() >= 0.0, "discharge power must be non-negative");
+        let requested = (power * dt).value();
+        let floor = self.capacity * self.cutoff_fraction;
+        let eff = self.discharge_efficiency;
+        let next: Vec<(f64, f64)> = self
+            .stored
+            .par_iter()
+            .with_min_len(CHUNK)
+            .map(|&s| {
+                let deliverable = (s - floor).max(0.0) * eff;
+                let delivered = requested.min(deliverable);
+                ((s - delivered / eff).max(0.0), delivered)
+            })
+            .collect();
+        let total = self.commit(next);
+        if self.telemetry.is_enabled() {
+            self.telemetry.observe("battery.bank.discharge_j", total);
+            self.telemetry.set_gauge("battery.bank.soc_mean", self.soc_mean());
+        }
+        Joules(total)
+    }
+
+    /// Per-hive brown-out risk of a burst of `load` over `dt`, mirroring
+    /// [`Battery::brownout_risk`](crate::Battery::brownout_risk) element
+    /// by element: 0 with a 20 % headroom margin, rising linearly to 1
+    /// as the deliverable energy vanishes.
+    pub fn brownout_risks(&self, load: Watts, dt: Seconds) -> Vec<f64> {
+        let need = (load * dt).value();
+        if need <= 0.0 {
+            return vec![0.0; self.stored.len()];
+        }
+        let margin = 1.2 * need;
+        self.stored
+            .par_iter()
+            .with_min_len(CHUNK)
+            .map(|&s| ((margin - self.deliverable_at(s)) / margin).clamp(0.0, 1.0))
+            .collect()
+    }
+
+    /// Installs the new stored column and folds the per-battery transfer
+    /// amounts in chunk order (thread-count invariant).
+    fn commit(&mut self, next: Vec<(f64, f64)>) -> f64 {
+        let mut total = 0.0;
+        if !next.is_empty() {
+            total = next
+                .par_chunks(CHUNK)
+                .map(|c| c.iter().map(|&(_, amount)| amount).sum::<f64>())
+                .reduce(|| 0.0, |a, b| a + b);
+        }
+        self.stored.clear();
+        self.stored.extend(next.into_iter().map(|(s, _)| s));
+        total
+    }
+}
+
+/// Sums a column by fixed-size chunks, folding chunk partials in chunk
+/// order — bit-identical across worker counts.
+fn chunked_sum(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.par_chunks(CHUNK).map(|c| c.iter().sum::<f64>()).reduce(|| 0.0, |a, b| a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Battery;
+
+    fn scalar_fleet(n: usize, soc: f64) -> Vec<Battery> {
+        (0..n)
+            .map(|_| {
+                Battery::new(WattHours(1.0), soc).with_efficiencies(0.9, 0.95).with_cutoff(0.02)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_charge_matches_scalar_batteries() {
+        let mut bank = BatteryBank::uniform(WattHours(1.0), 100, 0.5);
+        let mut fleet = scalar_fleet(100, 0.5);
+        let total = bank.charge_all(Watts(10.0), Seconds(30.0));
+        let scalar: f64 =
+            fleet.iter_mut().map(|b| b.charge(Watts(10.0), Seconds(30.0)).value()).sum();
+        assert!((total.value() - scalar).abs() < 1e-9, "batched {total} vs scalar {scalar}");
+        for (i, b) in fleet.iter().enumerate() {
+            assert_eq!(bank.stored(i), b.stored(), "battery {i}");
+        }
+    }
+
+    #[test]
+    fn batched_discharge_matches_scalar_batteries() {
+        let mut bank = BatteryBank::uniform(WattHours(1.0), 64, 0.3);
+        let mut fleet = scalar_fleet(64, 0.3);
+        let total = bank.discharge_all(Watts(5.0), Seconds(120.0));
+        let scalar: f64 =
+            fleet.iter_mut().map(|b| b.discharge(Watts(5.0), Seconds(120.0)).value()).sum();
+        assert!((total.value() - scalar).abs() < 1e-9);
+        for (i, b) in fleet.iter().enumerate() {
+            assert_eq!(bank.stored(i), b.stored(), "battery {i}");
+        }
+    }
+
+    #[test]
+    fn brownout_risks_match_scalar_batteries() {
+        let socs: Vec<f64> = (0..50).map(|i| i as f64 / 49.0 * 0.05).collect();
+        let bank = BatteryBank::from_socs(WattHours(1.0), &socs);
+        let risks = bank.brownout_risks(Watts(2.5), Seconds(15.0));
+        for (i, &soc) in socs.iter().enumerate() {
+            let b = Battery::new(WattHours(1.0), soc);
+            let scalar = b.brownout_risk(Watts(2.5), Seconds(15.0));
+            assert_eq!(risks[i], scalar, "hive {i}");
+        }
+        // Risk is monotone non-increasing in SoC.
+        for w in risks.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn totals_are_thread_count_invariant() {
+        // Irregular SoCs across several chunks so the fold order matters.
+        let socs: Vec<f64> =
+            (0..20_000).map(|i| ((i * 2_654_435_761_usize) % 1000) as f64 / 1000.0).collect();
+        let reference = {
+            let mut bank = BatteryBank::from_socs(WattHours(1.0), &socs);
+            bank.charge_all(Watts(3.0), Seconds(17.0));
+            (bank.discharge_all(Watts(1.0), Seconds(41.0)), bank.stored_total())
+        };
+        let single = rayon::pool::with_thread_cap(1, || {
+            let mut bank = BatteryBank::from_socs(WattHours(1.0), &socs);
+            bank.charge_all(Watts(3.0), Seconds(17.0));
+            (bank.discharge_all(Watts(1.0), Seconds(41.0)), bank.stored_total())
+        });
+        assert_eq!(reference, single);
+    }
+
+    #[test]
+    fn cutoff_count_and_soc_mean_are_consistent() {
+        let mut bank = BatteryBank::uniform(WattHours(1.0), 10, 0.5).with_cutoff(0.1);
+        assert_eq!(bank.cut_off_count(), 0);
+        assert!((bank.soc_mean() - 0.5).abs() < 1e-12);
+        // Drain far past the cutoff: everyone trips the protection circuit.
+        bank.discharge_all(Watts(100.0), Seconds(3600.0));
+        assert_eq!(bank.cut_off_count(), 10);
+        assert!(bank.soc_mean() <= 0.1 + 1e-12);
+    }
+
+    #[test]
+    fn empty_bank_is_well_behaved() {
+        let mut bank = BatteryBank::uniform(WattHours(1.0), 0, 1.0);
+        assert!(bank.is_empty());
+        assert_eq!(bank.charge_all(Watts(1.0), Seconds(1.0)), Joules::ZERO);
+        assert_eq!(bank.discharge_all(Watts(1.0), Seconds(1.0)), Joules::ZERO);
+        assert_eq!(bank.stored_total(), Joules::ZERO);
+        assert_eq!(bank.soc_mean(), 0.0);
+        assert_eq!(bank.cut_off_count(), 0);
+        assert!(bank.brownout_risks(Watts(1.0), Seconds(1.0)).is_empty());
+    }
+}

@@ -30,7 +30,9 @@ use precision_beekeeping::orchestra::loss::LossModel;
 use precision_beekeeping::orchestra::prelude::seeded_rng;
 use precision_beekeeping::orchestra::presets;
 use precision_beekeeping::orchestra::report::{metrics_table, publish_pool_metrics};
-use precision_beekeeping::orchestra::sweep::{analyze_crossover, SweepConfig};
+use precision_beekeeping::orchestra::sweep::{
+    analyze_crossover, validate_client_count, SweepConfig,
+};
 use precision_beekeeping::orchestra::FillPolicy;
 use precision_beekeeping::signal::audio::{BeeAudioSynth, ColonyState};
 use precision_beekeeping::signal::pipeline::MelPipeline;
@@ -187,6 +189,9 @@ fn sweep(flags: &HashMap<String, String>) {
     if to < from {
         fail("--to must be at least --from");
     }
+    if let Err(e) = validate_client_count(to) {
+        fail(&format!("--to: {e}"));
+    }
     let service = service_of(flags);
     let losses = flags.contains_key("losses");
     let trace_path = flags.get("trace").cloned();
@@ -249,6 +254,7 @@ fn sweep(flags: &HashMap<String, String>) {
     }
     if !fault_plan.is_none() {
         let mut agg = FaultStats::default();
+        let mut active = 0usize;
         for p in &points {
             let f = &p.cloud.faults;
             agg.attempts += f.attempts;
@@ -257,6 +263,7 @@ fn sweep(flags: &HashMap<String, String>) {
             agg.brownouts += f.brownouts;
             agg.sensor_dropouts += f.sensor_dropouts;
             agg.delivered += f.delivered;
+            active += p.cloud.n_active;
         }
         println!(
             "  faults (cloud)  : {} attempts, {} retries, {} fallbacks \
@@ -267,6 +274,16 @@ fn sweep(flags: &HashMap<String, String>) {
             agg.brownouts,
             agg.sensor_dropouts,
             agg.delivered
+        );
+        let accounted = agg.delivered + agg.fallbacks + agg.sensor_dropouts;
+        let active = active as u64;
+        println!(
+            "  conservation    : delivered {} + fallbacks {} + dropouts {} == active {} ({})",
+            agg.delivered,
+            agg.fallbacks,
+            agg.sensor_dropouts,
+            active,
+            if accounted == active { "ok" } else { "VIOLATED" }
         );
     }
 

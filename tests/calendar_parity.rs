@@ -1,0 +1,137 @@
+//! Calendar-queue ⇄ binary-heap parity suite.
+//!
+//! The DES event loop swapped its `BinaryHeap` for a bucketed calendar
+//! queue; golden traces and fault-replay bit-identity both hinge on the
+//! two structures popping events in *exactly* the same order, including
+//! `(t, seq)` ties. This suite pins that contract with property tests
+//! over adversarial time distributions — uniform, heavily tied,
+//! clustered, and streams shaped like the fault layer's retry/backoff
+//! and outage-fallback schedules.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use pb_units::Seconds;
+use precision_beekeeping::orchestra::calendar::{CalendarQueue, EventKey};
+use precision_beekeeping::orchestra::faults::{OutageWindow, RetryPolicy};
+use precision_beekeeping::orchestra::prelude::seeded_rng;
+use proptest::prelude::*;
+
+/// Pops everything from a reference heap and the calendar queue,
+/// asserting the full drain orders match key-for-key and payload-for-
+/// payload.
+fn assert_drain_parity(times: &[f64]) {
+    let mut calendar = CalendarQueue::new();
+    let mut heap: BinaryHeap<Reverse<(EventKey, u32)>> = BinaryHeap::new();
+    for (seq, &time) in times.iter().enumerate() {
+        let key = EventKey { time, seq: seq as u64 };
+        calendar.push(key, seq as u32);
+        heap.push(Reverse((key, seq as u32)));
+    }
+    let mut popped = 0usize;
+    while let Some(Reverse((want_key, want_payload))) = heap.pop() {
+        let (got_key, got_payload) = calendar.pop().expect("calendar drained early");
+        assert_eq!(got_key, want_key, "key order diverged at pop {popped}");
+        assert_eq!(got_payload, want_payload, "payload diverged at pop {popped}");
+        popped += 1;
+    }
+    assert!(calendar.pop().is_none(), "calendar held extra events");
+}
+
+/// A fault-shaped event stream: per-client slot arrivals (exact ties by
+/// construction), retry attempts pushed at backoff offsets, and
+/// fallback wake-ups after an outage window — the time distribution the
+/// DES actually feeds its queue under a fault plan.
+fn fault_stream(n_clients: usize, seed: u64) -> Vec<f64> {
+    let policy = RetryPolicy::default();
+    let outage = OutageWindow::new(Seconds(60.0), Seconds(120.0));
+    let mut rng = seeded_rng(seed);
+    let mut times = Vec::new();
+    for c in 0..n_clients {
+        // Synchronized slot starts: every tenth client shares an arrival.
+        let arrival = (c / 10) as f64 * 16.0;
+        times.push(arrival);
+        let mut t = arrival;
+        for retry in 1..=3u32 {
+            t += policy.backoff(retry, &mut rng).value();
+            times.push(t);
+        }
+        if outage.contains(Seconds(arrival)) {
+            times.push(outage.duration().value() + arrival);
+        }
+    }
+    times
+}
+
+proptest! {
+    #[test]
+    fn uniform_times_pop_in_heap_order(
+        times in proptest::collection::vec(0.0f64..3000.0, 0..400),
+    ) {
+        assert_drain_parity(&times);
+    }
+
+    #[test]
+    fn tied_times_pop_in_seq_order(
+        // Times drawn from a tiny discrete set force long (t, seq) tie
+        // chains — the case a sloppy within-bucket scan would scramble.
+        picks in proptest::collection::vec(0usize..5, 1..300),
+    ) {
+        let times: Vec<f64> = picks.iter().map(|&p| p as f64 * 16.0).collect();
+        assert_drain_parity(&times);
+    }
+
+    #[test]
+    fn clustered_and_sparse_times_agree(
+        clusters in proptest::collection::vec((0.0f64..10.0, 0usize..40), 1..12),
+        outliers in proptest::collection::vec(0.0f64..1.0e6, 0..10),
+    ) {
+        // Dense clusters stress one bucket; far outliers force day-scan
+        // skips and resizes.
+        let mut times = Vec::new();
+        for &(base, n) in &clusters {
+            for i in 0..n {
+                times.push(base + i as f64 * 1e-9);
+            }
+        }
+        times.extend_from_slice(&outliers);
+        assert_drain_parity(&times);
+    }
+
+    #[test]
+    fn fault_injected_streams_agree(n_clients in 0usize..120, seed in 0u64..64) {
+        assert_drain_parity(&fault_stream(n_clients, seed));
+    }
+
+    #[test]
+    fn interleaved_push_pop_matches_heap(
+        program in proptest::collection::vec((0.0f64..500.0, proptest::bool::ANY), 0..300),
+    ) {
+        let mut calendar = CalendarQueue::new();
+        let mut heap: BinaryHeap<Reverse<(EventKey, u32)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        for &(time, is_pop) in &program {
+            if is_pop {
+                let want = heap.pop();
+                let got = calendar.pop();
+                prop_assert_eq!(got, want.map(|Reverse(kv)| kv));
+            } else {
+                let key = EventKey { time, seq };
+                calendar.push(key, seq as u32);
+                heap.push(Reverse((key, seq as u32)));
+                seq += 1;
+            }
+        }
+        while let Some(Reverse(want)) = heap.pop() {
+            prop_assert_eq!(calendar.pop(), Some(want));
+        }
+        prop_assert!(calendar.pop().is_none());
+    }
+}
+
+#[test]
+fn retry_heavy_stream_with_exact_ties_drains_identically() {
+    // Deterministic smoke for the CI fast path: a full fault-shaped
+    // stream with hundreds of exact ties.
+    assert_drain_parity(&fault_stream(500, 0xBEE5));
+}

@@ -85,6 +85,28 @@ fn replicate_point_cis_are_bit_identical_across_thread_counts() {
     assert_eq!(capped_1, uncapped, "serial vs pooled CI diverged");
 }
 
+#[test]
+fn hundred_thousand_client_point_is_bit_identical_across_thread_counts() {
+    // The million-hive exit bar, scaled to test budget: one Fig. 7-style
+    // point at 10⁵ clients through every backend, with the full report
+    // (energy f64s included) compared for exact equality across worker
+    // counts. Exercises the columnar draw, the RLE allocation's
+    // repeated-addition energy loops and the parallel per-server DES.
+    init_pool();
+    let n = 100_000;
+    for backend in Backend::ALL {
+        let run = || {
+            let cfg = cnn_sweep(LossModel::NONE);
+            backend.evaluate(&cfg.spec(), n, &cfg.context())
+        };
+        let capped_1 = with_thread_cap(1, run);
+        let capped_2 = with_thread_cap(2, run);
+        let uncapped = run();
+        assert_eq!(capped_1, capped_2, "{backend}: 1 vs 2 threads diverged at {n} clients");
+        assert_eq!(capped_1, uncapped, "{backend}: serial vs pooled diverged at {n} clients");
+    }
+}
+
 fn toy_images(n: usize, side: usize, seed: u64) -> Vec<(FeatureMap, usize)> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
