@@ -10,6 +10,7 @@
 
 use criterion::{black_box, Criterion};
 use pb_ml::nn::resnet::{ResNetConfig, ResNetLite};
+use pb_ml::quant::{QuantScratch, QuantizedResNetLite};
 use pb_ml::tensor::FeatureMap;
 use pb_signal::audio::{BeeAudioSynth, ColonyState};
 use pb_signal::pipeline::MelPipeline;
@@ -24,6 +25,19 @@ const CNN_SIDE: usize = 100;
 fn paper_clip() -> Vec<f64> {
     let synth = BeeAudioSynth::default();
     synth.generate(ColonyState::Queenright, 10.0, &mut StdRng::seed_from_u64(2))
+}
+
+/// Eight paper-length clips with alternating colony state — the pending
+/// backlog a batched inference pass drains in one call.
+fn batch_clips() -> Vec<Vec<f64>> {
+    let synth = BeeAudioSynth::default();
+    let mut rng = StdRng::seed_from_u64(7);
+    (0..8)
+        .map(|i| {
+            let state = if i % 2 == 0 { ColonyState::Queenright } else { ColonyState::Queenless };
+            synth.generate(state, 10.0, &mut rng)
+        })
+        .collect()
 }
 
 fn to_feature_map(img: &pb_signal::image::Image) -> FeatureMap {
@@ -82,10 +96,39 @@ fn measure_rows() -> Vec<Row> {
         net.forward(&input)[0]
     });
 
+    // Int8 engine: cold includes the one-shot calibration + weight
+    // quantization; warm is the steady forward with a reused scratch.
+    let qnet = QuantizedResNetLite::quantize(&net, std::slice::from_ref(&cnn_input));
+    let mut scratch = QuantScratch::default();
+    let cnn_int8_cold = time_ms(1, || {
+        let q = QuantizedResNetLite::quantize(&net, std::slice::from_ref(&cnn_input));
+        let mut s = QuantScratch::default();
+        q.forward(&cnn_input, &mut s)[0]
+    });
+    let cnn_int8 = time_ms(reps, || qnet.forward(&cnn_input, &mut scratch)[0]);
+
+    // Batched end-to-end: eight pending clips through the shared pipeline
+    // and one `forward_batch` call on the quantized network.
+    let clips8 = batch_clips();
+    let batch8_cold = time_ms(1, || {
+        let p = MelPipeline::paper_default();
+        let inputs: Vec<FeatureMap> =
+            p.images(&clips8, CNN_SIDE).iter().map(to_feature_map).collect();
+        let q = QuantizedResNetLite::quantize(&net, &inputs);
+        let mut s = QuantScratch::default();
+        q.forward_batch(&inputs, &mut s)[0][0]
+    });
+    let batch8 = time_ms(reps, || {
+        let inputs: Vec<FeatureMap> =
+            pipeline.images(&clips8, CNN_SIDE).iter().map(to_feature_map).collect();
+        qnet.forward_batch(&inputs, &mut scratch)[0][0]
+    });
+
     vec![
         Row { name: "clip_to_mel", cold_ms: clip_to_mel_cold, warm_ms: clip_to_mel },
         Row { name: "clip_to_mfcc13", cold_ms: clip_to_mfcc_cold, warm_ms: clip_to_mfcc },
         Row { name: "cnn_forward_100px", cold_ms: cnn, warm_ms: cnn },
+        Row { name: "cnn_forward_100px_int8", cold_ms: cnn_int8_cold, warm_ms: cnn_int8 },
         Row { name: "conv3x3_8c_50px_direct", cold_ms: conv_direct, warm_ms: conv_direct },
         Row { name: "conv3x3_8c_50px_gemm", cold_ms: conv_gemm, warm_ms: conv_gemm },
         Row {
@@ -93,6 +136,7 @@ fn measure_rows() -> Vec<Row> {
             cold_ms: end_to_end_cold,
             warm_ms: end_to_end,
         },
+        Row { name: "end_to_end_batch8", cold_ms: batch8_cold, warm_ms: batch8 },
     ]
 }
 
@@ -130,6 +174,11 @@ fn criterion_groups() {
         b.iter(|| black_box(pipeline.mfcc(&clip, 13).n_frames()))
     });
     group.bench_function("cnn_forward_100px", |b| b.iter(|| black_box(net.forward(&cnn_input)[0])));
+    let qnet = QuantizedResNetLite::quantize(&net, std::slice::from_ref(&cnn_input));
+    let mut scratch = QuantScratch::default();
+    group.bench_function("cnn_forward_100px_int8", |b| {
+        b.iter(|| black_box(qnet.forward(&cnn_input, &mut scratch)[0]))
+    });
     group.bench_function("end_to_end", |b| {
         b.iter(|| {
             let input = to_feature_map(&pipeline.image(&clip, CNN_SIDE));

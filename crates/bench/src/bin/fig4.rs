@@ -34,7 +34,7 @@ fn main() {
     let t_send = k::EDGE_SEND_AUDIO_TIME.value();
     let exec = match service {
         ServiceKind::Svm => server.svm_exec.1.value(),
-        ServiceKind::Cnn => server.cnn_exec.1.value(),
+        ServiceKind::Cnn | ServiceKind::CnnInt8 => server.cnn_exec.1.value(),
     };
     let t_shutdown = k::EDGE_SHUTDOWN_TIME.value();
     let cycle = k::CYCLE_PERIOD.value();

@@ -26,7 +26,7 @@ fn main() {
         // then idle for the rest of the shutdown.
         let exec = match service {
             ServiceKind::Svm => server.svm_exec,
-            ServiceKind::Cnn => server.cnn_exec,
+            ServiceKind::Cnn | ServiceKind::CnnInt8 => server.cnn_exec,
         };
         let sleep = edge.sleep_duration();
         let collect = Seconds(64.0);

@@ -60,7 +60,9 @@ pub mod presets {
         let p = CloudServerProfile::i7_rtx2070();
         let exec = match service {
             ServiceKind::Svm => p.svm_exec,
-            ServiceKind::Cnn => p.cnn_exec,
+            // Quantization targets the CPU-bound edge device; the GPU
+            // server keeps running the f32 model at Table II cost.
+            ServiceKind::Cnn | ServiceKind::CnnInt8 => p.cnn_exec,
         };
         ServerModel::new(
             p.idle_power,

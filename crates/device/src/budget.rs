@@ -50,6 +50,7 @@ impl DailyBudget {
                 let exec = match service {
                     ServiceKind::Svm => profile.svm_exec,
                     ServiceKind::Cnn => profile.cnn_exec,
+                    ServiceKind::CnnInt8 => profile.cnn_int8_exec,
                 };
                 push("detect", exec, &mut active_time);
                 push("send", profile.send_results, &mut active_time);

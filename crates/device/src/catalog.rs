@@ -57,6 +57,7 @@ impl HardwareOption {
                 shutdown: scale_io(base.shutdown),
                 svm_exec: scale_compute(base.svm_exec),
                 cnn_exec: scale_compute(base.cnn_exec),
+                cnn_int8_exec: scale_compute(base.cnn_int8_exec),
             },
             compute_speedup,
             active_power_factor,

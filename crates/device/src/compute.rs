@@ -57,7 +57,20 @@ impl ComputeModel {
             macs_at_100,
             crate::constants::EDGE_CNN_ENERGY,
             crate::constants::EDGE_CNN_TIME,
-            Seconds(2.0),
+            crate::constants::EDGE_CNN_OVERHEAD,
+        )
+    }
+
+    /// Raspberry Pi 3b+ int8-quantized CNN inference: the same anchor
+    /// workload, executed at the derived int8 cost (the compute phase is
+    /// [`crate::constants::EDGE_INT8_SPEEDUP`]× faster; the fixed
+    /// per-invocation overhead is untouched).
+    pub fn pi3b_cnn_int8(macs_at_100: u64) -> Self {
+        ComputeModel::calibrated(
+            macs_at_100,
+            crate::constants::EDGE_CNN_INT8_ENERGY,
+            crate::constants::EDGE_CNN_INT8_TIME,
+            crate::constants::EDGE_CNN_OVERHEAD,
         )
     }
 
@@ -74,6 +87,19 @@ impl ComputeModel {
     /// Executes a workload of `macs` operations.
     pub fn execute(&self, macs: u64) -> Execution {
         let duration = self.overhead + Seconds(macs as f64 / self.macs_per_second);
+        Execution { duration, energy: self.active_power * duration }
+    }
+
+    /// Executes a batch of `n` identical workloads of `macs` operations
+    /// each, paying the fixed per-invocation overhead **once** for the
+    /// whole batch — the energy model of a batched inference pass that
+    /// amortizes interpreter start-up and buffer setup across clips.
+    /// A zero-length batch costs nothing.
+    pub fn execute_batch(&self, macs: u64, n: usize) -> Execution {
+        if n == 0 {
+            return Execution { duration: Seconds::ZERO, energy: Joules::ZERO };
+        }
+        let duration = self.overhead + Seconds(n as f64 * macs as f64 / self.macs_per_second);
         Execution { duration, energy: self.active_power * duration }
     }
 }
@@ -130,6 +156,39 @@ mod tests {
         let base = m.active_power * m.overhead;
         let r = (e200 - base).value() / (e50 - base).value();
         assert!((r - 16.0).abs() < 0.1, "ratio {r}");
+    }
+
+    #[test]
+    fn int8_model_is_cheaper_but_not_free() {
+        let f32_model = ComputeModel::pi3b_cnn(ANCHOR_MACS);
+        let int8 = ComputeModel::pi3b_cnn_int8(ANCHOR_MACS);
+        let ef = f32_model.execute(ANCHOR_MACS);
+        let ei = int8.execute(ANCHOR_MACS);
+        // Anchor reproduces the derived constants.
+        assert!((ei.duration - crate::constants::EDGE_CNN_INT8_TIME).abs() < Seconds(1e-9));
+        assert!((ei.energy - crate::constants::EDGE_CNN_INT8_ENERGY).abs() < Joules(1e-6));
+        // Cheaper than f32, but bounded below by the shared overhead.
+        assert!(ei.energy < ef.energy && ei.duration < ef.duration);
+        assert!(ei.duration > int8.overhead);
+        // Compute-phase speedup is exactly the derived constant.
+        let speedup =
+            (ef.duration - f32_model.overhead).value() / (ei.duration - int8.overhead).value();
+        assert!((speedup - crate::constants::EDGE_INT8_SPEEDUP).abs() < 1e-9, "{speedup}");
+    }
+
+    #[test]
+    fn batched_execution_amortizes_the_overhead() {
+        let m = ComputeModel::pi3b_cnn_int8(ANCHOR_MACS);
+        let single = m.execute(ANCHOR_MACS);
+        let batch8 = m.execute_batch(ANCHOR_MACS, 8);
+        // One overhead for eight clips: cheaper than eight singles.
+        assert!(batch8.energy < single.energy * 8.0);
+        let amortized = (single.energy * 8.0 - batch8.energy).value();
+        let overhead_energy = (m.active_power * m.overhead).value();
+        assert!((amortized - 7.0 * overhead_energy).abs() < 1e-6, "saved {amortized}");
+        // Degenerate cases.
+        assert_eq!(m.execute_batch(ANCHOR_MACS, 1), single);
+        assert_eq!(m.execute_batch(ANCHOR_MACS, 0).energy, Joules::ZERO);
     }
 
     #[test]

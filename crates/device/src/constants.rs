@@ -56,6 +56,28 @@ pub const EDGE_SVM_CYCLE_TOTAL: Joules = Joules(366.3);
 /// Table I total, edge scenario with CNN.
 pub const EDGE_CNN_CYCLE_TOTAL: Joules = Joules(367.5);
 
+// --- Int8 quantized edge inference (derived, beyond the paper) -------------
+
+/// Fixed per-invocation overhead of CNN inference on the Pi 3b+
+/// (interpreter start-up, model load, buffer setup) — the portion of the
+/// 37.6 s Table I execution that does not scale with the MAC count. Also
+/// the anchor overhead of [`crate::compute::ComputeModel::pi3b_cnn`].
+pub const EDGE_CNN_OVERHEAD: Seconds = Seconds(2.0);
+/// Compute-phase speedup of the int8 engine over the f64 path on a
+/// Pi-class CPU core. Conservative floor of the measured single-clip
+/// speedup of this repo's int8 GEMM (`BENCH_dsp.json`,
+/// `cnn_forward_100px` vs `cnn_forward_100px_int8`); the per-invocation
+/// overhead is *not* accelerated.
+pub const EDGE_INT8_SPEEDUP: f64 = 2.5;
+/// Derived int8 CNN execution time on the Pi 3b+: the fixed overhead plus
+/// the compute phase divided by the int8 speedup.
+pub const EDGE_CNN_INT8_TIME: Seconds =
+    Seconds(EDGE_CNN_OVERHEAD.0 + (EDGE_CNN_TIME.0 - EDGE_CNN_OVERHEAD.0) / EDGE_INT8_SPEEDUP);
+/// Derived int8 CNN execution energy at the Table I active power
+/// (94.8 J / 37.6 s ≈ 2.52 W — the core is equally busy, just shorter).
+pub const EDGE_CNN_INT8_ENERGY: Joules =
+    Joules(EDGE_CNN_ENERGY.0 / EDGE_CNN_TIME.0 * EDGE_CNN_INT8_TIME.0);
+
 // --- Table II: edge+cloud scenario, per 5-minute cycle ---------------------
 
 /// "Send audio" to the cloud: 37.3 J over 15.0 s.

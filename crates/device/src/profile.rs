@@ -22,6 +22,8 @@ pub struct EdgeDeviceProfile {
     pub svm_exec: (Joules, Seconds),
     /// On-device CNN (100×100) queen-detection execution.
     pub cnn_exec: (Joules, Seconds),
+    /// On-device int8-quantized CNN execution (same input, integer GEMM).
+    pub cnn_int8_exec: (Joules, Seconds),
 }
 
 impl EdgeDeviceProfile {
@@ -36,6 +38,7 @@ impl EdgeDeviceProfile {
             shutdown: (k::EDGE_SHUTDOWN_ENERGY, k::EDGE_SHUTDOWN_TIME),
             svm_exec: (k::EDGE_SVM_ENERGY, k::EDGE_SVM_TIME),
             cnn_exec: (k::EDGE_CNN_ENERGY, k::EDGE_CNN_TIME),
+            cnn_int8_exec: (k::EDGE_CNN_INT8_ENERGY, k::EDGE_CNN_INT8_TIME),
         }
     }
 
@@ -53,6 +56,7 @@ impl EdgeDeviceProfile {
             shutdown: (Joules::ZERO, Seconds::ZERO),
             svm_exec: (Joules::ZERO, Seconds::ZERO),
             cnn_exec: (Joules::ZERO, Seconds::ZERO),
+            cnn_int8_exec: (Joules::ZERO, Seconds::ZERO),
         }
     }
 

@@ -21,14 +21,19 @@ pub enum ServiceKind {
     Svm,
     /// Deep model: residual CNN on 100×100 spectrogram images.
     Cnn,
+    /// The CNN quantized to int8 (per-channel weights, integer GEMM) —
+    /// same classifier, shorter on-device execution.
+    CnnInt8,
 }
 
 impl ServiceKind {
-    /// Display name matching the paper's tables.
+    /// Display name matching the paper's tables (the int8 variant extends
+    /// them).
     pub fn name(self) -> &'static str {
         match self {
             ServiceKind::Svm => "SVM",
             ServiceKind::Cnn => "CNN",
+            ServiceKind::CnnInt8 => "CNN-int8",
         }
     }
 }
@@ -167,6 +172,7 @@ impl RoutineBuilder {
         let model = match service {
             ServiceKind::Svm => p.svm_exec,
             ServiceKind::Cnn => p.cnn_exec,
+            ServiceKind::CnnInt8 => p.cnn_int8_exec,
         };
         CyclePlan::new(
             vec![
@@ -253,6 +259,22 @@ mod tests {
     }
 
     #[test]
+    fn int8_cycle_is_cheaper_than_f32_and_sleeps_longer() {
+        let b = RoutineBuilder::deployed();
+        let f32_cycle = b.edge_cycle(ServiceKind::Cnn, k::CYCLE_PERIOD);
+        let int8_cycle = b.edge_cycle(ServiceKind::CnnInt8, k::CYCLE_PERIOD);
+        assert!(int8_cycle.total_energy() < f32_cycle.total_energy());
+        assert!(int8_cycle.sleep_duration() > f32_cycle.sleep_duration());
+        // Active model time is overhead + compute/speedup: 2.0 + 35.6/2.5.
+        let model = &int8_cycle.tasks[1];
+        assert_eq!(model.name, "Queen detection model (CNN-int8)");
+        assert!((model.duration - Seconds(16.24)).abs() < Seconds(1e-9));
+        // Same active power as the f32 execution, shorter task.
+        let f32_model = &f32_cycle.tasks[1];
+        assert!((model.power() - f32_model.power()).abs() < Watts(1e-9));
+    }
+
+    #[test]
     fn table2_edge_cycle_matches_paper() {
         let cycle = RoutineBuilder::deployed().edge_cloud_cycle(k::CYCLE_PERIOD);
         assert!((cycle.total_energy() - Joules(322.0)).abs() < Joules(0.5));
@@ -323,6 +345,7 @@ mod tests {
     fn service_names() {
         assert_eq!(ServiceKind::Svm.name(), "SVM");
         assert_eq!(ServiceKind::Cnn.name(), "CNN");
+        assert_eq!(ServiceKind::CnnInt8.name(), "CNN-int8");
     }
 
     use rand::SeedableRng;

@@ -37,7 +37,10 @@ pub use metrics::{accuracy, confusion_matrix, ConfusionMatrix};
 pub use model_selection::{cross_validate_svm, grid_search_svm, kfold_indices, GridPoint};
 pub use nn::resnet::{ResNetConfig, ResNetLite};
 pub use nn::train::{TrainConfig, TrainReport};
-pub use quant::{quantize_resnet, quantize_tensor, ModelQuantReport, QuantParams};
+pub use quant::{
+    quantize_resnet, quantize_tensor, ModelQuantReport, QuantParams, QuantScratch, QuantizedConv2d,
+    QuantizedDense, QuantizedResNetLite,
+};
 pub use roc::{auc, auc_from_scores, best_threshold, roc_curve, RocPoint};
 pub use svm::{RbfSvm, SvmConfig};
 pub use tensor::FeatureMap;

@@ -18,6 +18,14 @@ use rand::Rng;
 /// resident in L1 while streaming output rows.
 const GEMM_KB: usize = 48;
 
+/// Reusable im2col buffer for the f32 forward path. Holding one of these
+/// across calls keeps the patch matrix's capacity warm, so steady-state
+/// forward passes stop reallocating `cols` per layer.
+#[derive(Clone, Debug, Default)]
+pub struct ConvScratch {
+    cols: Vec<f64>,
+}
+
 /// A 2-D convolution layer with square kernels, zero padding and bias.
 #[derive(Clone, Debug)]
 pub struct Conv2d {
@@ -204,13 +212,20 @@ impl Conv2d {
     /// Forward pass (im2col + blocked GEMM; bit-identical to
     /// [`Conv2d::forward_direct`]).
     pub fn forward(&self, x: &FeatureMap) -> FeatureMap {
+        self.forward_with_scratch(x, &mut ConvScratch::default())
+    }
+
+    /// Forward pass reusing a caller-held [`ConvScratch`] for the patch
+    /// matrix. Numerically identical to [`Conv2d::forward`] — the scratch
+    /// only changes where the `fan_in × (oh·ow)` buffer lives, so warm
+    /// calls with stable geometry allocate nothing for `cols`.
+    pub fn forward_with_scratch(&self, x: &FeatureMap, scratch: &mut ConvScratch) -> FeatureMap {
         assert_eq!(x.channels(), self.in_c, "input channel mismatch");
         let (h, w) = (x.height(), x.width());
         let (oh, ow) = self.output_size(h, w);
-        let mut cols = Vec::new();
-        self.im2col(x, oh, ow, &mut cols);
+        self.im2col(x, oh, ow, &mut scratch.cols);
         let mut out = FeatureMap::zeros(self.out_c, oh, ow);
-        self.gemm_bias(&cols, oh * ow, out.data_mut());
+        self.gemm_bias(&scratch.cols, oh * ow, out.data_mut());
         out
     }
 
@@ -576,6 +591,25 @@ mod tests {
             // Both paths accumulate taps in the same order → bit-identical.
             assert_eq!(fast.data(), direct.data(), "case {i}: {:?}", PARITY_CASES[i]);
         }
+    }
+
+    #[test]
+    fn scratch_forward_is_bit_identical_and_reuses_capacity() {
+        let mut scratch = ConvScratch::default();
+        for (i, &(in_c, out_c, k, stride, pad, h, w)) in PARITY_CASES.iter().enumerate() {
+            let (conv, x) = random_case((in_c, out_c, k, stride, pad, h, w), 400 + i as u64);
+            let fresh = conv.forward(&x);
+            let reused = conv.forward_with_scratch(&x, &mut scratch);
+            assert_eq!(fresh.data(), reused.data(), "case {i}");
+        }
+        // Warm repeat with stable geometry must not grow the buffer.
+        let (conv, x) = random_case(PARITY_CASES[1], 450);
+        let _ = conv.forward_with_scratch(&x, &mut scratch);
+        let cap = scratch.cols.capacity();
+        for _ in 0..3 {
+            let _ = conv.forward_with_scratch(&x, &mut scratch);
+        }
+        assert_eq!(scratch.cols.capacity(), cap, "warm forward reallocated cols");
     }
 
     #[test]

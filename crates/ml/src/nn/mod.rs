@@ -10,7 +10,7 @@ pub mod layers;
 pub mod resnet;
 pub mod train;
 
-pub use conv::Conv2d;
+pub use conv::{Conv2d, ConvScratch};
 pub use layers::{
     global_avg_pool, global_avg_pool_backward, relu, relu_backward, softmax_cross_entropy, Dense,
     MaxPool2,

@@ -7,7 +7,7 @@
 //! to the synthetic task, so that accuracy-vs-input-size (Figure 5) and
 //! FLOP-derived energy keep the same shape without hours of training.
 
-use super::conv::Conv2d;
+use super::conv::{Conv2d, ConvScratch};
 use super::layers::{
     global_avg_pool, global_avg_pool_backward, relu, relu_backward, softmax_cross_entropy, Dense,
 };
@@ -62,9 +62,9 @@ impl Default for ResNetConfig {
 /// projection on the skip when shape changes.
 #[derive(Clone, Debug)]
 pub struct ResBlock {
-    conv1: Conv2d,
-    conv2: Conv2d,
-    projection: Option<Conv2d>,
+    pub(crate) conv1: Conv2d,
+    pub(crate) conv2: Conv2d,
+    pub(crate) projection: Option<Conv2d>,
 }
 
 /// Per-block forward cache for backpropagation.
@@ -195,9 +195,9 @@ pub struct ForwardCache {
 #[derive(Clone, Debug)]
 pub struct ResNetLite {
     config: ResNetConfig,
-    stem: Conv2d,
-    blocks: Vec<ResBlock>,
-    fc: Dense,
+    pub(crate) stem: Conv2d,
+    pub(crate) blocks: Vec<ResBlock>,
+    pub(crate) fc: Dense,
     telemetry: pb_telemetry::Telemetry,
 }
 
@@ -213,11 +213,11 @@ impl ResBlock {
         ResBlock { conv1, conv2, projection }
     }
 
-    fn forward(&self, x: &FeatureMap) -> FeatureMap {
-        let r1 = relu(&self.conv1.forward(x));
-        let a2 = self.conv2.forward(&r1);
+    fn forward(&self, x: &FeatureMap, scratch: &mut ConvScratch) -> FeatureMap {
+        let r1 = relu(&self.conv1.forward_with_scratch(x, scratch));
+        let a2 = self.conv2.forward_with_scratch(&r1, scratch);
         let skip = match &self.projection {
-            Some(p) => p.forward(x),
+            Some(p) => p.forward_with_scratch(x, scratch),
             None => x.clone(),
         };
         relu(&a2.add(&skip))
@@ -320,10 +320,18 @@ impl ResNetLite {
 
     /// Inference forward pass producing class logits.
     pub fn forward(&self, x: &FeatureMap) -> Vec<f64> {
+        self.forward_with_scratch(x, &mut ConvScratch::default())
+    }
+
+    /// Forward pass threading a caller-held [`ConvScratch`] through every
+    /// convolution, so a warm loop over many clips reuses one im2col
+    /// buffer instead of reallocating `cols` per layer. Logits are
+    /// bit-identical to [`ResNetLite::forward`].
+    pub fn forward_with_scratch(&self, x: &FeatureMap, scratch: &mut ConvScratch) -> Vec<f64> {
         let _span = self.telemetry.span("cnn.forward");
-        let mut cur = relu(&self.stem.forward(x));
+        let mut cur = relu(&self.stem.forward_with_scratch(x, scratch));
         for b in &self.blocks {
-            cur = b.forward(&cur);
+            cur = b.forward(&cur, scratch);
         }
         self.fc.forward(&global_avg_pool(&cur))
     }
@@ -465,6 +473,16 @@ mod tests {
         let logits = net.forward(&random_input(8, 2));
         assert_eq!(logits.len(), 2);
         assert!(logits.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn scratch_forward_matches_plain_forward() {
+        let net = ResNetLite::new(tiny_config());
+        let mut scratch = ConvScratch::default();
+        for seed in 0..5u64 {
+            let x = random_input(10, 40 + seed);
+            assert_eq!(net.forward(&x), net.forward_with_scratch(&x, &mut scratch));
+        }
     }
 
     #[test]

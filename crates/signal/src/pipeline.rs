@@ -89,6 +89,16 @@ impl MelPipeline {
         let _span = self.telemetry.span("dsp.image");
         Image::from_mel(&self.mel(signal)).resize_bilinear(side, side).normalize()
     }
+
+    /// Batch variant of [`MelPipeline::image`]: one normalized `side × side`
+    /// spectrogram image per clip, sharing this pipeline's plans across the
+    /// whole batch. Records one `dsp.image` span per clip plus a
+    /// `dsp.batch.size` gauge, so batched callers show up in telemetry with
+    /// the same per-clip histograms as the loop they replace.
+    pub fn images<S: AsRef<[f64]>>(&self, clips: &[S], side: usize) -> Vec<Image> {
+        self.telemetry.set_gauge("dsp.batch.size", clips.len() as f64);
+        clips.iter().map(|c| self.image(c.as_ref(), side)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +153,24 @@ mod tests {
         let mel = snap.histogram("dsp.mel").unwrap();
         let mfcc = snap.histogram("dsp.mfcc").unwrap();
         assert!(mfcc.max >= mel.min);
+    }
+
+    #[test]
+    fn batched_images_match_the_per_clip_loop() {
+        let clips: Vec<Vec<f64>> = (0..3)
+            .map(|k| (0..4096).map(|i| (i as f64 * 0.01 * (k + 1) as f64).sin()).collect())
+            .collect();
+        let tel = Telemetry::metrics_only();
+        let p = MelPipeline::compact().with_telemetry(tel.clone());
+        let batched = p.images(&clips, 16);
+        assert_eq!(batched.len(), 3);
+        for (clip, img) in clips.iter().zip(&batched) {
+            assert_eq!(img, &p.image(clip, 16));
+        }
+        let snap = tel.snapshot();
+        assert_eq!(snap.gauge("dsp.batch.size"), Some(3.0));
+        // 3 from the batch + 3 from the comparison loop.
+        assert_eq!(snap.histogram("dsp.image").unwrap().count, 6);
     }
 
     #[test]

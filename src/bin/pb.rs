@@ -23,7 +23,9 @@ use precision_beekeeping::device::constants::CYCLE_PERIOD;
 use precision_beekeeping::device::routine::{RoutineBuilder, ServiceKind};
 use precision_beekeeping::energy::battery::Battery;
 use precision_beekeeping::energy::harvest::{PowerSystem, PowerSystemConfig};
-use precision_beekeeping::ml::{FeatureMap, ResNetConfig, ResNetLite};
+use precision_beekeeping::ml::{
+    FeatureMap, QuantScratch, QuantizedResNetLite, ResNetConfig, ResNetLite,
+};
 use precision_beekeeping::orchestra::engine::{Backend, SimContext};
 use precision_beekeeping::orchestra::faults::{FaultPlan, FaultStats};
 use precision_beekeeping::orchestra::loss::LossModel;
@@ -72,11 +74,11 @@ fn usage() {
     println!("pb — energy-aware precision beekeeping toolkit\n");
     println!("commands:");
     println!("  tables                          print the per-cycle energy tables");
-    println!("  recommend --hives N [--cap N] [--service svm|cnn] [--losses]");
+    println!("  recommend --hives N [--cap N] [--service svm|cnn|cnn-int8] [--losses]");
     println!("            [--backend closed-form|timeline|des]");
     println!("                                  edge vs edge+cloud for an apiary");
     println!("  sweep [--backend B] [--cap N] [--from N] [--to N] [--step N]");
-    println!("        [--service svm|cnn] [--losses] [--seed S]");
+    println!("        [--service svm|cnn|cnn-int8] [--losses] [--seed S]");
     println!("        [--metrics] [--trace FILE] [--faults SPEC]");
     println!("                                  Fig. 7 population sweep; --metrics");
     println!("                                  prints the telemetry table, --trace");
@@ -128,13 +130,14 @@ fn fail(message: &str) -> ! {
 fn service_of(flags: &HashMap<String, String>) -> ServiceKind {
     match flags.get("service").map(String::as_str) {
         Some("svm") => ServiceKind::Svm,
+        Some("cnn-int8") => ServiceKind::CnnInt8,
         _ => ServiceKind::Cnn,
     }
 }
 
 fn tables() {
     let b = RoutineBuilder::deployed();
-    for service in [ServiceKind::Svm, ServiceKind::Cnn] {
+    for service in [ServiceKind::Svm, ServiceKind::Cnn, ServiceKind::CnnInt8] {
         println!("Scenario: Edge ({})", service.name());
         println!("{}\n", b.edge_cycle(service, CYCLE_PERIOD).to_ledger());
     }
@@ -307,20 +310,34 @@ fn sweep(flags: &HashMap<String, String>) {
 }
 
 /// One instrumented pass through the DSP + CNN hot path: synthesizes a
-/// queenright and a queenless clip, extracts the spectrogram image through
-/// the planned pipeline and classifies it, filling the `dsp.*` and
-/// `cnn.forward` latency histograms.
+/// batch of clips, extracts spectrogram images through the planned
+/// pipeline, classifies the first two one at a time with the f32 network,
+/// then calibrates an int8 copy of the network on the batch and classifies
+/// every clip in one batched int8 call — filling the `dsp.*`,
+/// `cnn.forward`, `cnn.forward.int8` and `quant.batch.size` metrics.
 fn in_vivo_dsp(telemetry: &Telemetry, seed: u64) {
     let mut rng = seeded_rng(seed ^ 0xD5B);
     let synth = BeeAudioSynth::default();
     let pipeline = MelPipeline::paper_default().with_telemetry(telemetry.clone());
     let cnn = ResNetLite::new(ResNetConfig::default()).with_telemetry(telemetry.clone());
-    for state in [ColonyState::Queenright, ColonyState::Queenless] {
-        let clip = synth.generate(state, 2.0, &mut rng);
-        let image = pipeline.image(&clip, 32);
-        let features = FeatureMap::from_image(image.width(), image.height(), image.pixels());
-        let _logits = cnn.forward(&features);
+    let clips: Vec<Vec<f64>> = (0..8)
+        .map(|i| {
+            let state = if i % 2 == 0 { ColonyState::Queenright } else { ColonyState::Queenless };
+            synth.generate(state, 2.0, &mut rng)
+        })
+        .collect();
+    let features: Vec<FeatureMap> = pipeline
+        .images(&clips, 32)
+        .iter()
+        .map(|img| FeatureMap::from_image(img.width(), img.height(), img.pixels()))
+        .collect();
+    for f in &features[..2] {
+        let _logits = cnn.forward(f);
     }
+    let quantized =
+        QuantizedResNetLite::quantize(&cnn, &features).with_telemetry(telemetry.clone());
+    let mut scratch = QuantScratch::default();
+    let _logits = quantized.forward_batch(&features, &mut scratch);
 }
 
 /// One instrumented day of the hive power system (solar harvest, battery

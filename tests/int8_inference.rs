@@ -1,0 +1,52 @@
+//! Int8 engine accuracy pin: on the synthetic queen-detection corpus the
+//! quantized network must track the f32 oracle within one accuracy point,
+//! and the batched path must agree with the single-clip path exactly.
+//!
+//! CI runs this in release alongside the dsp bench smoke — the pin is on
+//! the same engine the `cnn_forward_100px_int8` perf row measures.
+
+use precision_beekeeping::beehive::service::{PipelineConfig, QueenDetectionPipeline};
+use precision_beekeeping::ml::{FeatureMap, QuantScratch, QuantizedResNetLite};
+
+fn argmax(logits: &[f64]) -> usize {
+    logits
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[test]
+fn int8_accuracy_tracks_f32_within_one_point() {
+    let pipeline = QueenDetectionPipeline::new(PipelineConfig::small(48, 1.0, 7));
+    let (cnn, train_acc) = pipeline.train_cnn(32);
+    assert!(train_acc >= 0.85, "f32 training failed to converge: {train_acc}");
+
+    let data = pipeline.image_dataset(32);
+    let inputs: Vec<FeatureMap> = data.iter().map(|(x, _)| x.clone()).collect();
+    let labels: Vec<usize> = data.iter().map(|&(_, y)| y).collect();
+
+    // One-shot calibration over the corpus the model serves.
+    let quantized = QuantizedResNetLite::quantize(&cnn, &inputs);
+    let mut scratch = QuantScratch::default();
+    let batch_logits = quantized.forward_batch(&inputs, &mut scratch);
+
+    let n = labels.len() as f64;
+    let acc_f32 =
+        inputs.iter().zip(&labels).filter(|(x, &y)| cnn.predict(x) == y).count() as f64 / n;
+    let acc_int8 =
+        batch_logits.iter().zip(&labels).filter(|(logits, &y)| argmax(logits) == y).count() as f64
+            / n;
+
+    // The acceptance pin: quantization costs at most one accuracy point.
+    assert!(
+        (acc_f32 - acc_int8).abs() <= 0.01 + 1e-12,
+        "accuracy drifted: f32 {acc_f32} vs int8 {acc_int8}"
+    );
+
+    // The batched fan-out and the single-clip path are the same engine.
+    for (x, logits) in inputs.iter().zip(&batch_logits) {
+        assert_eq!(&quantized.forward(x, &mut scratch), logits);
+    }
+}
