@@ -150,6 +150,11 @@ fn bench_fleet(c: &mut Criterion) {
 /// (where every span collapses to a single branch). The DES backend is the
 /// telemetry-heaviest path — it counts every simulated event — so this
 /// bounds the worst per-backend cost of leaving `--metrics` on.
+///
+/// A third row measures full causal tracing (ring sink + span tags on
+/// every DES event + per-client `trace.*` spans) — the price of
+/// `pb sweep --causal --trace`, recorded for visibility but unbounded:
+/// materializing events is allowed to cost real time.
 fn bench_telemetry_overhead(c: &mut Criterion) {
     use std::time::{Duration, Instant};
     let sweep = cnn_sweep(35, LossModel::NONE);
@@ -157,14 +162,18 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     let ns: Vec<usize> = (100..=2000).step_by(100).collect();
     let disabled = SimContext::new(99);
     let noop_sink = SimContext::with_telemetry(99, Telemetry::metrics_only());
+    // Causal tracing needs a recording sink; a bounded ring keeps the
+    // benchmark's memory flat across iterations.
+    let causal = SimContext::with_telemetry(99, Telemetry::ring(65_536).with_tracing());
     let run = |ctx: &SimContext| {
         ns.iter().map(|&n| Backend::Des.evaluate(&spec, n, ctx).total_energy.value()).sum::<f64>()
     };
-    // Warm both allocation caches, then take the minimum of interleaved
+    // Warm the allocation caches, then take the minimum of interleaved
     // repetitions so scheduler noise and clock drift cancel out.
     black_box(run(&disabled));
     black_box(run(&noop_sink));
-    let (mut base, mut traced) = (Duration::MAX, Duration::MAX);
+    black_box(run(&causal));
+    let (mut base, mut traced, mut tagged) = (Duration::MAX, Duration::MAX, Duration::MAX);
     for _ in 0..10 {
         let t = Instant::now();
         black_box(run(&disabled));
@@ -172,9 +181,16 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
         let t = Instant::now();
         black_box(run(&noop_sink));
         traced = traced.min(t.elapsed());
+        let t = Instant::now();
+        black_box(run(&causal));
+        tagged = tagged.min(t.elapsed());
     }
     let ratio = traced.as_secs_f64() / base.as_secs_f64();
-    println!("telemetry_overhead: disabled {base:?}, no-op sink {traced:?}, ratio {ratio:.4}");
+    let causal_ratio = tagged.as_secs_f64() / base.as_secs_f64();
+    println!(
+        "telemetry_overhead: disabled {base:?}, no-op sink {traced:?} (ratio {ratio:.4}), \
+         causal tracing {tagged:?} (ratio {causal_ratio:.4})"
+    );
     assert!(
         ratio < 1.02,
         "no-op-sink telemetry costs {:.2}% on the warm fig7 DES sweep (budget 2%)",
@@ -183,6 +199,7 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("telemetry_overhead");
     group.bench_function("disabled", |b| b.iter(|| black_box(run(&disabled))));
     group.bench_function("noop_sink", |b| b.iter(|| black_box(run(&noop_sink))));
+    group.bench_function("causal_tracing", |b| b.iter(|| black_box(run(&causal))));
     group.finish();
 }
 

@@ -1,0 +1,201 @@
+//! CI bench-regression sentinel.
+//!
+//! Reads the machine-readable baselines the bench harnesses write at the
+//! repository root — `BENCH_dsp.json` (per-stage DSP/CNN latencies) and
+//! `BENCH_scale.json` (per-backend sweep throughput) — and fails (exit 1)
+//! when any pinned row regressed beyond the allowed envelope.
+//!
+//! The envelope has two named factors so the policy reads off the code:
+//!
+//! * [`MACHINE_SLACK`] absorbs the spread between the dev box that pinned
+//!   the reference numbers and whatever shared runner CI lands on;
+//! * [`REGRESSION_FACTOR`] is the actual gate — a change that makes a
+//!   pinned row more than 25 % worse than the slack-adjusted reference
+//!   fails the job.
+//!
+//! Missing files and missing rows are *tolerated with a notice*, never a
+//! failure: CI's bench-smoke runs a `SCALE_SWEEP_MAX`-capped sweep that
+//! legitimately omits the 10⁶ rows, and a future rename should not brick
+//! the pipeline — the sentinel prints what it skipped so silent coverage
+//! loss is visible in the log.
+//!
+//! Usage: `bench_sentinel [--dsp FILE] [--scale FILE]` (defaults to the
+//! repo-root filenames, resolved against the current directory).
+
+use pb_telemetry::json::{self, Json};
+use std::process::ExitCode;
+
+/// Dev-box-to-CI-runner spread the envelope absorbs before the
+/// regression gate applies.
+const MACHINE_SLACK: f64 = 1.6;
+
+/// The gate: >25 % worse than the slack-adjusted reference fails.
+const REGRESSION_FACTOR: f64 = 1.25;
+
+/// Pinned warm-path latencies (milliseconds) from `BENCH_dsp.json` on the
+/// reference box — see that file's committed copy for provenance.
+const DSP_WARM_MS: &[(&str, f64)] = &[
+    ("clip_to_mel", 6.117),
+    ("clip_to_mfcc13", 13.252),
+    ("cnn_forward_100px", 10.576),
+    ("cnn_forward_100px_int8", 3.965),
+    ("conv3x3_8c_50px_gemm", 0.352),
+    ("end_to_end_clip_to_prediction", 17.198),
+    ("end_to_end_batch8", 90.131),
+];
+
+/// Pinned throughput floors (clients/second) from `BENCH_scale.json`,
+/// keyed by `(backend, n_clients)`. Only the CI-sized populations are
+/// gated; the 10⁶ rows are absent under `SCALE_SWEEP_MAX=100000`.
+const SCALE_CLIENTS_PER_SEC: &[(&str, u64, f64)] = &[
+    ("closed-form", 10_000, 7_980_845_969.7),
+    ("closed-form", 100_000, 74_460_163_812.4),
+    ("timeline", 10_000, 424_538_314.6),
+    ("timeline", 100_000, 2_937_806_633.6),
+    ("des", 10_000, 2_327_568.5),
+    ("des", 100_000, 2_662_023.0),
+];
+
+struct Outcome {
+    checked: usize,
+    skipped: usize,
+    failures: Vec<String>,
+}
+
+impl Outcome {
+    fn new() -> Self {
+        Outcome { checked: 0, skipped: 0, failures: Vec::new() }
+    }
+
+    fn skip(&mut self, what: &str) {
+        self.skipped += 1;
+        println!("  skip  {what}");
+    }
+}
+
+fn load(path: &str) -> Option<Json> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            println!("bench_sentinel: {path}: {e} — skipping this baseline");
+            return None;
+        }
+    };
+    match json::parse(&text) {
+        Ok(j) => Some(j),
+        Err(e) => {
+            println!("bench_sentinel: {path}: parse error: {e} — skipping this baseline");
+            None
+        }
+    }
+}
+
+fn rows(doc: &Json) -> &[Json] {
+    match doc.get("results") {
+        Some(Json::Arr(items)) => items,
+        _ => &[],
+    }
+}
+
+/// Latency gate: measured must stay under `pinned × slack × factor`.
+fn check_dsp(doc: &Json, out: &mut Outcome) {
+    let rows = rows(doc);
+    for (name, pinned_ms) in DSP_WARM_MS {
+        let Some(row) = rows.iter().find(|r| r.get("name").and_then(Json::as_str) == Some(name))
+        else {
+            out.skip(&format!("dsp row `{name}` missing"));
+            continue;
+        };
+        let Some(warm_ms) = row.get("warm_ms").and_then(Json::as_f64) else {
+            out.skip(&format!("dsp row `{name}` has no warm_ms"));
+            continue;
+        };
+        out.checked += 1;
+        let limit = pinned_ms * MACHINE_SLACK * REGRESSION_FACTOR;
+        let verdict = if warm_ms > limit { "FAIL" } else { "ok" };
+        println!("  {verdict:<4}  dsp   {name:<30} {warm_ms:>10.3} ms (limit {limit:.3})");
+        if warm_ms > limit {
+            out.failures.push(format!(
+                "dsp `{name}`: {warm_ms:.3} ms > {limit:.3} ms \
+                 (pinned {pinned_ms:.3} × {MACHINE_SLACK} machine × {REGRESSION_FACTOR} gate)"
+            ));
+        }
+    }
+}
+
+/// Throughput gate: measured must stay above `pinned / (slack × factor)`.
+fn check_scale(doc: &Json, out: &mut Outcome) {
+    let rows = rows(doc);
+    for (backend, n_clients, pinned_cps) in SCALE_CLIENTS_PER_SEC {
+        let Some(row) = rows.iter().find(|r| {
+            r.get("backend").and_then(Json::as_str) == Some(backend)
+                && r.get("n_clients").and_then(Json::as_f64) == Some(*n_clients as f64)
+        }) else {
+            out.skip(&format!("scale row `{backend}` @ {n_clients} missing"));
+            continue;
+        };
+        let Some(cps) = row.get("clients_per_sec").and_then(Json::as_f64) else {
+            out.skip(&format!("scale row `{backend}` @ {n_clients} has no clients_per_sec"));
+            continue;
+        };
+        out.checked += 1;
+        let floor = pinned_cps / (MACHINE_SLACK * REGRESSION_FACTOR);
+        let verdict = if cps < floor { "FAIL" } else { "ok" };
+        println!(
+            "  {verdict:<4}  scale {:<30} {cps:>14.0} clients/s (floor {floor:.0})",
+            format!("{backend} @ {n_clients}")
+        );
+        if cps < floor {
+            out.failures.push(format!(
+                "scale `{backend}` @ {n_clients}: {cps:.0} clients/s < {floor:.0} \
+                 (pinned {pinned_cps:.0} ÷ {MACHINE_SLACK} machine ÷ {REGRESSION_FACTOR} gate)"
+            ));
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dsp_path = "BENCH_dsp.json".to_string();
+    let mut scale_path = "BENCH_scale.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dsp" => dsp_path = it.next().cloned().unwrap_or(dsp_path),
+            "--scale" => scale_path = it.next().cloned().unwrap_or(scale_path),
+            other => {
+                eprintln!("bench_sentinel: unknown argument `{other}`");
+                eprintln!("usage: bench_sentinel [--dsp FILE] [--scale FILE]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut out = Outcome::new();
+    println!("bench_sentinel: gate ×{REGRESSION_FACTOR} over ×{MACHINE_SLACK} machine slack");
+    if let Some(doc) = load(&dsp_path) {
+        check_dsp(&doc, &mut out);
+    } else {
+        out.skipped += DSP_WARM_MS.len();
+    }
+    if let Some(doc) = load(&scale_path) {
+        check_scale(&doc, &mut out);
+    } else {
+        out.skipped += SCALE_CLIENTS_PER_SEC.len();
+    }
+
+    println!(
+        "bench_sentinel: {} rows checked, {} skipped, {} regressed",
+        out.checked,
+        out.skipped,
+        out.failures.len()
+    );
+    if out.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for f in &out.failures {
+            eprintln!("bench_sentinel: REGRESSION: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -12,8 +12,12 @@
 
 use crate::calendar::{CalendarQueue, EventKey};
 use crate::columns::ClassView;
-use crate::faults::{exact_transfer, ClientClass, FaultPlan};
+use crate::faults::{
+    emit_brownout_fallback, emit_delivered, emit_sample, exact_transfer, ClientClass, FaultPlan,
+    TransferTrace,
+};
 use crate::server::ServerModel;
+use pb_telemetry::trace::{trace_id, SpanCtx, HOP_ARRIVAL, HOP_PROCESS, HOP_TRANSFER};
 use pb_telemetry::Telemetry;
 use pb_units::{Joules, Seconds, Watts};
 use rand::Rng;
@@ -79,12 +83,68 @@ pub fn simulate_async_cycle_traced<R: Rng + ?Sized>(
     rng: &mut R,
     telemetry: &Telemetry,
 ) -> AsyncCycleReport {
+    simulate_async_cycle_causal(n_clients, server, rng, telemetry, None)
+}
+
+/// Causal-tagging context for one DES server job: where this server's
+/// clients sit in the fleet's global index space and what each terminal
+/// hop costs, so the `des.*` and `trace.*` events can carry exact trace
+/// ids and energy attribution. Tags only materialize when the
+/// telemetry's tracing flag is active ([`Telemetry::with_tracing`]);
+/// `None` (or an inactive flag) keeps the event stream byte-identical
+/// to the untagged historical shape. Never touches the RNG streams.
+#[derive(Clone, Copy, Debug)]
+pub struct DesTrace {
+    /// The sweep point's seed; trace ids derive from `(seed, client)`.
+    pub point_seed: u64,
+    /// Global index of this server's first client.
+    pub base: usize,
+    /// Client-side energy of a delivered sample.
+    pub deliver_energy_j: f64,
+    /// Energy charged per extra transfer attempt.
+    pub retry_energy_j: f64,
+    /// Energy of the edge fallback after a brown-out or retry
+    /// exhaustion.
+    pub fallback_energy_j: f64,
+}
+
+/// [`simulate_async_cycle_traced`] with causal span tags: each client
+/// gets a root `trace.sample` span at its arrival instant, the
+/// `des.{arrival,transfer_done,process_done}` hops chain under it, and
+/// a terminal `trace.delivered` span lands at the client's processing
+/// completion. Results are bit-identical to the untagged call.
+pub fn simulate_async_cycle_causal<R: Rng + ?Sized>(
+    n_clients: usize,
+    server: &ServerModel,
+    rng: &mut R,
+    telemetry: &Telemetry,
+    causal: Option<&DesTrace>,
+) -> AsyncCycleReport {
     let cycle = server.cycle.value();
     let mut arrivals: Vec<f64> = (0..n_clients).map(|_| rng.gen_range(0.0..cycle)).collect();
     arrivals.sort_by(f64::total_cmp);
     let entries: Vec<(f64, usize)> =
         arrivals.iter().enumerate().map(|(client, &t)| (t, client)).collect();
-    let out = run_event_loop(n_clients, &entries, server, telemetry);
+    let tag = causal.filter(|_| telemetry.tracing_active());
+    let links: Option<Vec<Option<SpanCtx>>> = tag.map(|dt| {
+        entries
+            .iter()
+            .map(|&(t, client)| {
+                let tid = trace_id(dt.point_seed, (dt.base + client) as u64);
+                emit_sample(telemetry, t, tid, (dt.base + client) as u64, "uploader");
+                Some(SpanCtx::root(tid))
+            })
+            .collect()
+    });
+    let out = run_event_loop(n_clients, &entries, server, telemetry, links.as_deref());
+    if let Some(dt) = tag {
+        for client in 0..n_clients {
+            let t_done = out.completion[client];
+            let global = (dt.base + client) as u64;
+            let tid = trace_id(dt.point_seed, global);
+            emit_delivered(telemetry, t_done, tid, global, 1, dt.deliver_energy_j);
+        }
+    }
 
     let horizon = out.last_time.max(cycle);
     let server_energy = energy_over(server, horizon, out.receive_busy, out.process_busy);
@@ -116,7 +176,10 @@ pub fn simulate_async_cycle_traced<R: Rng + ?Sized>(
 /// entering the server's event loop (a failed attempt never occupies the
 /// uplink; a successful retry arrives at its final attempt time). Fault
 /// draws come from the dedicated `fault_rng` stream so the arrival
-/// stream is untouched.
+/// stream is untouched. With a [`DesTrace`] and an active tracing flag,
+/// every client's events carry the causal span chain
+/// (sample → attempt(s) → network hops → delivered-or-fallback).
+#[allow(clippy::too_many_arguments)] // the two RNG streams and the causal tag are all distinct concerns
 pub fn simulate_async_cycle_faulted<R: Rng + ?Sized, F: Rng + ?Sized>(
     n_clients: usize,
     server: &ServerModel,
@@ -125,33 +188,82 @@ pub fn simulate_async_cycle_faulted<R: Rng + ?Sized, F: Rng + ?Sized>(
     plan: &FaultPlan,
     classes: ClassView<'_>,
     telemetry: &Telemetry,
+    causal: Option<&DesTrace>,
 ) -> FaultedAsyncReport {
     assert_eq!(classes.len(), n_clients, "one class per client");
     let cycle = server.cycle.value();
     let mut arrivals: Vec<f64> = (0..n_clients).map(|_| rng.gen_range(0.0..cycle)).collect();
     arrivals.sort_by(f64::total_cmp);
 
+    let tag = causal.filter(|_| telemetry.tracing_active());
     let mut attempts = 0u64;
     let mut retries = 0u64;
     let mut fallbacks = 0u64;
     let mut entries: Vec<(f64, usize)> = Vec::with_capacity(n_clients);
+    // Per local client: the span its network hops chain under (the
+    // successful attempt), plus the delivered set's attempt counts for
+    // the terminal spans emitted after the loop.
+    let mut links: Vec<Option<SpanCtx>> =
+        if tag.is_some() { vec![None; n_clients] } else { vec![] };
+    let mut delivered_tags: Vec<(usize, u64, u64)> = Vec::new();
     for (client, &t) in arrivals.iter().enumerate() {
+        let tid = tag.map(|dt| trace_id(dt.point_seed, (dt.base + client) as u64));
         match classes.get(client) {
-            ClientClass::Brownout => fallbacks += 1,
-            ClientClass::SensorDropout => {}
+            ClientClass::Brownout => {
+                fallbacks += 1;
+                if let (Some(dt), Some(tid)) = (tag, tid) {
+                    let global = (dt.base + client) as u64;
+                    emit_sample(telemetry, t, tid, global, "brownout");
+                    emit_brownout_fallback(telemetry, t, tid, global, dt.fallback_energy_j);
+                }
+            }
+            ClientClass::SensorDropout => {
+                if let (Some(dt), Some(tid)) = (tag, tid) {
+                    emit_sample(telemetry, t, tid, (dt.base + client) as u64, "dropout");
+                }
+            }
             ClientClass::Uploader => {
-                let (a, success) = exact_transfer(plan, Seconds(t), fault_rng, telemetry);
+                let tc = tag.zip(tid).map(|(dt, tid)| {
+                    let global = (dt.base + client) as u64;
+                    emit_sample(telemetry, t, tid, global, "uploader");
+                    TransferTrace {
+                        client: global,
+                        trace: tid,
+                        retry_energy_j: dt.retry_energy_j,
+                        fallback_energy_j: dt.fallback_energy_j,
+                    }
+                });
+                let (a, success) =
+                    exact_transfer(plan, Seconds(t), fault_rng, telemetry, tc.as_ref());
                 attempts += a;
                 retries += a - 1;
                 match success {
-                    Some(t_eff) => entries.push((t_eff.value(), client)),
+                    Some(t_eff) => {
+                        entries.push((t_eff.value(), client));
+                        if let Some(tid) = tid {
+                            links[client] = Some(SpanCtx::attempt(tid, a as u32));
+                            delivered_tags.push((client, tid, a));
+                        }
+                    }
                     None => fallbacks += 1,
                 }
             }
         }
     }
     let delivered = entries.len() as u64;
-    let out = run_event_loop(n_clients, &entries, server, telemetry);
+    let out = run_event_loop(
+        n_clients,
+        &entries,
+        server,
+        telemetry,
+        if tag.is_some() { Some(&links) } else { None },
+    );
+    if let Some(dt) = tag {
+        for &(client, tid, a) in &delivered_tags {
+            let global = (dt.base + client) as u64;
+            emit_delivered(telemetry, out.completion[client], tid, global, a, dt.deliver_energy_j);
+        }
+    }
 
     let horizon = out.last_time.max(cycle);
     let server_energy = energy_over(server, horizon, out.receive_busy, out.process_busy);
@@ -250,7 +362,10 @@ fn run_event_loop(
     entries: &[(f64, usize)],
     server: &ServerModel,
     telemetry: &Telemetry,
+    links: Option<&[Option<SpanCtx>]>,
 ) -> LoopOutcome {
+    // The span each client's network hops chain under (None = untagged).
+    let link = |client: usize| links.and_then(|l| l[client]);
     let transfer = server.receive_duration.value();
     let process = server.process_duration.value();
 
@@ -294,14 +409,21 @@ fn run_event_loop(
             Event::Arrival { client } => {
                 n_arrivals += 1;
                 if trace_events {
-                    telemetry.event(
-                        now,
-                        "des.arrival",
-                        vec![
-                            ("client", client.into()),
-                            ("queued", (uplink_in_use >= server.max_parallel).into()),
-                        ],
-                    );
+                    let fields = vec![
+                        ("client", client.into()),
+                        ("queued", (uplink_in_use >= server.max_parallel).into()),
+                    ];
+                    match link(client) {
+                        Some(ctx) => {
+                            telemetry.trace_event(
+                                now,
+                                "des.arrival",
+                                ctx.child(HOP_ARRIVAL),
+                                fields,
+                            );
+                        }
+                        None => telemetry.event(now, "des.arrival", fields),
+                    }
                 }
                 if uplink_in_use < server.max_parallel {
                     if uplink_in_use == 0 {
@@ -317,11 +439,15 @@ fn run_event_loop(
             Event::TransferDone { client } => {
                 n_transfers += 1;
                 if trace_events {
-                    telemetry.event(
-                        now,
-                        "des.transfer_done",
-                        vec![("client", client.into()), ("queue", uplink_wait.len().into())],
-                    );
+                    let fields =
+                        vec![("client", client.into()), ("queue", uplink_wait.len().into())];
+                    match link(client) {
+                        Some(ctx) => {
+                            let span = ctx.child(HOP_ARRIVAL).child(HOP_TRANSFER);
+                            telemetry.trace_event(now, "des.transfer_done", span, fields);
+                        }
+                        None => telemetry.event(now, "des.transfer_done", fields),
+                    }
                 }
                 // Hand the uplink to the next waiter (if any).
                 if let Some(next) = uplink_wait.pop_front() {
@@ -345,7 +471,15 @@ fn run_event_loop(
             Event::ProcessDone { client } => {
                 n_processed += 1;
                 if trace_events {
-                    telemetry.event(now, "des.process_done", vec![("client", client.into())]);
+                    let fields = vec![("client", client.into())];
+                    match link(client) {
+                        Some(ctx) => {
+                            let span =
+                                ctx.child(HOP_ARRIVAL).child(HOP_TRANSFER).child(HOP_PROCESS);
+                            telemetry.trace_event(now, "des.process_done", span, fields);
+                        }
+                        None => telemetry.event(now, "des.process_done", fields),
+                    }
                 }
                 completion[client] = now;
                 if let Some(next) = cpu_wait.pop_front() {

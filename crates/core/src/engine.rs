@@ -45,7 +45,7 @@ use std::sync::{Arc, RwLock};
 
 use crate::allocator::{allocate, Allocation, FillPolicy};
 use crate::client::ClientModel;
-use crate::des::simulate_async_cycle_traced;
+use crate::des::{simulate_async_cycle_causal, DesTrace};
 use crate::faults::{self, FaultPlan, FAULT_GAMMA};
 use crate::loss::LossModel;
 use crate::scenario::presets;
@@ -294,6 +294,14 @@ impl SimContext {
         &self.telemetry
     }
 
+    /// Whether causal trace tagging is active: the telemetry handle
+    /// carries the [`Telemetry::with_tracing`] flag *and* its sink
+    /// records events. Backends consult this before emitting
+    /// `trace.*` spans or tagging events with span ids.
+    pub fn tracing_active(&self) -> bool {
+        self.telemetry.tracing_active()
+    }
+
     /// The master seed.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -495,17 +503,38 @@ impl CycleEngine for Des {
         // Each server owns an independent salted RNG stream, so the
         // per-server simulations parallelize; folding the reports in
         // server order keeps the energy sum bit-identical to the serial
-        // loop regardless of the worker count.
-        let jobs: Vec<(usize, usize)> =
-            allocation.servers().enumerate().map(|(s, sa)| (s, sa.n_clients())).collect();
+        // loop regardless of the worker count. Jobs carry the global
+        // index of their first client so causal trace ids (derived from
+        // the point seed and the global index) are thread-count-stable.
+        let mut jobs: Vec<(usize, usize, usize)> = Vec::with_capacity(allocation.n_servers());
+        let mut base = 0usize;
+        for (s, sa) in allocation.servers().enumerate() {
+            jobs.push((s, base, sa.n_clients()));
+            base += sa.n_clients();
+        }
         let telemetry = ctx.telemetry();
+        let causal = telemetry.tracing_active();
+        let deliver_cost = spec.cloud_client.cycle_energy();
         let reports: Vec<Joules> = jobs
             .par_iter()
-            .map(|&(s, k)| {
+            .map(|&(s, base, k)| {
                 let mut server_rng =
                     StdRng::seed_from_u64(point_seed ^ (s as u64 + 1).wrapping_mul(GOLDEN_GAMMA));
-                simulate_async_cycle_traced(k, &spec.server, &mut server_rng, telemetry)
-                    .server_energy
+                let tr = DesTrace {
+                    point_seed,
+                    base,
+                    deliver_energy_j: deliver_cost.value(),
+                    retry_energy_j: 0.0,
+                    fallback_energy_j: 0.0,
+                };
+                simulate_async_cycle_causal(
+                    k,
+                    &spec.server,
+                    &mut server_rng,
+                    telemetry,
+                    causal.then_some(&tr),
+                )
+                .server_energy
             })
             .collect();
         let mut server_total = Joules::ZERO;

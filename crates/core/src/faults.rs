@@ -56,6 +56,7 @@ use crate::server::ServerModel;
 use crate::simulation::{edge_cycle_energy, servers_cycle_energy, CycleReport};
 use crate::timeline::{client_timeline, servers_energy_from_timelines, slot_start_times};
 use pb_energy::battery::Battery;
+use pb_telemetry::trace::{trace_id, SpanCtx, HOP_TERMINAL};
 use pb_telemetry::Telemetry;
 use pb_units::{Joules, Seconds, Watts};
 use rand::rngs::StdRng;
@@ -444,43 +445,164 @@ pub(crate) fn retry_energy(client: &ClientModel) -> Joules {
     }
 }
 
+/// Causal-trace context for one uploader's transfer resolution: the
+/// client's global identity plus the per-hop energy attributions only
+/// the call site knows. `None` keeps [`exact_transfer`]'s event stream
+/// byte-identical to the untagged historical shape; the fault draws are
+/// never affected either way.
+pub(crate) struct TransferTrace {
+    /// Global client index (bit-stable across thread counts).
+    pub client: u64,
+    /// The client's trace id ([`pb_telemetry::trace::trace_id`]).
+    pub trace: u64,
+    /// Energy charged per extra attempt, attributed to `fault.retry`.
+    pub retry_energy_j: f64,
+    /// Energy of the edge fallback, attributed to `fault.fallback`.
+    pub fallback_energy_j: f64,
+}
+
 /// Exact per-client transfer resolution: attempt at `t0`, fail on outage
 /// or packet loss, retry on the backoff schedule. Returns the attempt
 /// count and the successful attempt's start time (`None` = budget
 /// exhausted, the client falls back to edge inference). Emits
 /// `fault.{outage,packet_drop,retry,fallback}` trace events when the
-/// telemetry sink records events.
+/// telemetry sink records events; with a [`TransferTrace`] each event
+/// additionally carries the causal span chain (attempt *k* is hop *k*,
+/// parented on hop *k−1*) and the fallback carries its root cause,
+/// attempt count and energy attribution.
 pub(crate) fn exact_transfer<R: Rng + ?Sized>(
     plan: &FaultPlan,
     t0: Seconds,
     rng: &mut R,
     telemetry: &Telemetry,
+    causal: Option<&TransferTrace>,
 ) -> (u64, Option<Seconds>) {
     let trace = telemetry.events_recording();
     let mut t = t0.value();
     let max = plan.retry.max_retries;
+    let mut saw_outage = false;
+    let mut saw_drop = false;
     for attempt in 0..=max {
         let in_outage = plan.outage.is_some_and(|w| w.contains(Seconds(t)));
         let dropped = !in_outage && plan.packet_loss > 0.0 && rng.gen::<f64>() < plan.packet_loss;
         if !in_outage && !dropped {
             return (u64::from(attempt) + 1, Some(Seconds(t)));
         }
+        saw_outage |= in_outage;
+        saw_drop |= dropped;
         if trace {
             let kind = if in_outage { "fault.outage" } else { "fault.packet_drop" };
-            telemetry.event(t, kind, vec![("attempt", (attempt as usize + 1).into())]);
+            let fields = vec![("attempt", (attempt as usize + 1).into())];
+            match causal {
+                None => telemetry.event(t, kind, fields),
+                Some(tc) => {
+                    let mut fields = fields;
+                    fields.push(("client", tc.client.into()));
+                    telemetry.trace_event(t, kind, SpanCtx::attempt(tc.trace, attempt + 1), fields);
+                }
+            }
         }
         if attempt == max {
             break;
         }
         t += plan.retry.backoff(attempt + 1, rng).value();
         if trace {
-            telemetry.event(t, "fault.retry", vec![("attempt", (attempt as usize + 2).into())]);
+            let fields = vec![("attempt", (attempt as usize + 2).into())];
+            match causal {
+                None => telemetry.event(t, "fault.retry", fields),
+                Some(tc) => {
+                    let mut fields = fields;
+                    fields.push(("client", tc.client.into()));
+                    fields.push(("energy_j", tc.retry_energy_j.into()));
+                    let span = SpanCtx::attempt(tc.trace, attempt + 2);
+                    telemetry.trace_event(t, "fault.retry", span, fields);
+                }
+            }
         }
     }
     if trace {
-        telemetry.event(t, "fault.fallback", vec![("t0", t0.value().into())]);
+        let fields = vec![("t0", t0.value().into())];
+        match causal {
+            None => telemetry.event(t, "fault.fallback", fields),
+            Some(tc) => {
+                let cause = match (saw_outage, saw_drop) {
+                    (true, true) => "mixed",
+                    (true, false) => "outage",
+                    _ => "packet-loss",
+                };
+                let mut fields = fields;
+                fields.push(("client", tc.client.into()));
+                fields.push(("attempts", u64::from(max + 1).into()));
+                fields.push(("cause", cause.into()));
+                fields.push(("energy_j", tc.fallback_energy_j.into()));
+                let span = SpanCtx::attempt(tc.trace, max + 1).child(HOP_TERMINAL);
+                telemetry.trace_event(t, "fault.fallback", span, fields);
+            }
+        }
     }
     (u64::from(max) + 1, None)
+}
+
+/// Emits the root `trace.sample` span for client `client` of trace
+/// `trace` (`class` is the drawn [`ClientClass`] in lowercase).
+pub(crate) fn emit_sample(
+    telemetry: &Telemetry,
+    t: f64,
+    trace: u64,
+    client: u64,
+    class: &'static str,
+) {
+    telemetry.trace_event(
+        t,
+        "trace.sample",
+        SpanCtx::root(trace),
+        vec![("client", client.into()), ("class", class.into())],
+    );
+}
+
+/// Emits the terminal `trace.delivered` span: the sample reached the
+/// cloud on attempt `attempts`, costing `energy_j` on the client.
+pub(crate) fn emit_delivered(
+    telemetry: &Telemetry,
+    t: f64,
+    trace: u64,
+    client: u64,
+    attempts: u64,
+    energy_j: f64,
+) {
+    let span = SpanCtx::attempt(trace, attempts as u32).child(HOP_TERMINAL);
+    telemetry.trace_event(
+        t,
+        "trace.delivered",
+        span,
+        vec![
+            ("client", client.into()),
+            ("attempt", attempts.into()),
+            ("energy_j", energy_j.into()),
+        ],
+    );
+}
+
+/// Emits the terminal `fault.fallback` span for a browned-out client:
+/// no attempts were possible, the cause is the brown-out itself.
+pub(crate) fn emit_brownout_fallback(
+    telemetry: &Telemetry,
+    t: f64,
+    trace: u64,
+    client: u64,
+    energy_j: f64,
+) {
+    telemetry.trace_event(
+        t,
+        "fault.fallback",
+        SpanCtx::root(trace).child(HOP_TERMINAL),
+        vec![
+            ("client", client.into()),
+            ("attempts", 0u64.into()),
+            ("cause", "brownout".into()),
+            ("energy_j", energy_j.into()),
+        ],
+    );
 }
 
 /// Mirrors a cycle's fault accounting into the `fault.*` counters.
@@ -600,6 +722,10 @@ pub(crate) fn timeline_with_faults(
     let fallback_cost = spec.edge_client.cycle_energy();
     let retry_cost = retry_energy(&spec.cloud_client);
     let telemetry = ctx.telemetry();
+    // Causal tagging is opt-in (`Telemetry::with_tracing`): without it
+    // the event stream stays byte-identical to the untagged shape.
+    let causal = telemetry.tracing_active();
+    let trace_seed = ctx.point_seed(n_clients as u64);
 
     let mut stats = FaultStats {
         brownouts: s.brownouts as u64,
@@ -621,20 +747,58 @@ pub(crate) fn timeline_with_faults(
             let t0 = starts[i];
             let mut paying_slot_cost = 0usize;
             for _ in 0..k {
+                let tid = if causal { trace_id(trace_seed, idx as u64) } else { 0 };
                 match s.columns.class(idx) {
-                    ClientClass::Brownout => edge_total += fallback_cost,
-                    ClientClass::SensorDropout => paying_slot_cost += 1,
+                    ClientClass::Brownout => {
+                        edge_total += fallback_cost;
+                        if causal {
+                            emit_sample(telemetry, t0.value(), tid, idx as u64, "brownout");
+                            emit_brownout_fallback(
+                                telemetry,
+                                t0.value(),
+                                tid,
+                                idx as u64,
+                                fallback_cost.value(),
+                            );
+                        }
+                    }
+                    ClientClass::SensorDropout => {
+                        paying_slot_cost += 1;
+                        if causal {
+                            emit_sample(telemetry, t0.value(), tid, idx as u64, "dropout");
+                        }
+                    }
                     ClientClass::Uploader => {
+                        let tc = TransferTrace {
+                            client: idx as u64,
+                            trace: tid,
+                            retry_energy_j: retry_cost.value(),
+                            fallback_energy_j: fallback_cost.value(),
+                        };
+                        if causal {
+                            emit_sample(telemetry, t0.value(), tid, idx as u64, "uploader");
+                        }
                         let mut frng = CountingRng::new(&mut s.frng);
-                        let (attempts, success) = exact_transfer(plan, t0, &mut frng, telemetry);
+                        let (attempts, success) =
+                            exact_transfer(plan, t0, &mut frng, telemetry, causal.then_some(&tc));
                         let draws = frng.draws();
                         s.columns.record_transfer(idx, attempts, draws);
                         if attempts > 1 {
                             edge_total += retry_cost * (attempts - 1) as f64;
                         }
-                        if success.is_some() {
+                        if let Some(t_eff) = success {
                             paying_slot_cost += 1;
                             stats.delivered += 1;
+                            if causal {
+                                emit_delivered(
+                                    telemetry,
+                                    t_eff.value(),
+                                    tid,
+                                    idx as u64,
+                                    attempts,
+                                    slot_cost.value(),
+                                );
+                            }
                         } else {
                             edge_total += fallback_cost;
                             stats.fallbacks += 1;
@@ -703,12 +867,26 @@ pub(crate) fn des_with_faults(
     debug_assert_eq!(offset, s.active, "allocation must cover every active client");
     let classes = s.columns.classes();
     let telemetry = ctx.telemetry();
+    let causal = telemetry.tracing_active();
+    let deliver_cost = spec.cloud_client.cycle_energy();
+    let fallback_cost = spec.edge_client.cycle_energy();
+    let retry_cost = retry_energy(&spec.cloud_client);
     let outs: Vec<crate::des::FaultedAsyncReport> = jobs
         .par_iter()
         .map(|&(i, offset, k)| {
             let salt = (i as u64 + 1).wrapping_mul(GOLDEN_GAMMA);
             let mut server_rng = StdRng::seed_from_u64(point_seed ^ salt);
             let mut server_frng = StdRng::seed_from_u64(fault_seed ^ salt);
+            // Trace ids derive from the point seed and the client's
+            // *global* index (`offset + local`), so tags are bit-stable
+            // no matter how the jobs land on the worker pool.
+            let tr = crate::des::DesTrace {
+                point_seed,
+                base: offset,
+                deliver_energy_j: deliver_cost.value(),
+                retry_energy_j: retry_cost.value(),
+                fallback_energy_j: fallback_cost.value(),
+            };
             crate::des::simulate_async_cycle_faulted(
                 k,
                 &s.eff,
@@ -717,6 +895,7 @@ pub(crate) fn des_with_faults(
                 plan,
                 classes.slice(offset..offset + k),
                 telemetry,
+                causal.then_some(&tr),
             )
         })
         .collect();
@@ -731,10 +910,9 @@ pub(crate) fn des_with_faults(
 
     // Unsynchronized uploads see no slot contention (penalty-free cycle
     // cost); sensor-dropout clients still run their full routine.
-    let cloud_cycle = spec.cloud_client.cycle_energy();
-    let edge_total = cloud_cycle * (stats.delivered + stats.sensor_dropouts) as f64
-        + spec.edge_client.cycle_energy() * stats.fallbacks as f64
-        + retry_energy(&spec.cloud_client) * stats.retries as f64;
+    let edge_total = deliver_cost * (stats.delivered + stats.sensor_dropouts) as f64
+        + fallback_cost * stats.fallbacks as f64
+        + retry_cost * stats.retries as f64;
     publish_stats(ctx.telemetry(), &stats);
     CycleReport::from_parts_with_faults(
         n_clients,
@@ -931,7 +1109,7 @@ mod tests {
         });
         let tel = Telemetry::disabled();
         let (attempts, success) =
-            exact_transfer(&plan, Seconds(0.0), &mut StdRng::seed_from_u64(1), &tel);
+            exact_transfer(&plan, Seconds(0.0), &mut StdRng::seed_from_u64(1), &tel, None);
         assert_eq!(attempts, 2, "one retry at t = 30 s clears the window");
         assert_eq!(success, Some(Seconds(30.0)));
         // Retries that cannot escape the window exhaust the budget.
@@ -939,7 +1117,7 @@ mod tests {
             p.outage = Some(OutageWindow::new(Seconds(0.0), Seconds(1e9)));
         });
         let (attempts, success) =
-            exact_transfer(&stuck, Seconds(10.0), &mut StdRng::seed_from_u64(1), &tel);
+            exact_transfer(&stuck, Seconds(10.0), &mut StdRng::seed_from_u64(1), &tel, None);
         assert_eq!(attempts, 1 + u64::from(stuck.retry.max_retries));
         assert_eq!(success, None);
     }

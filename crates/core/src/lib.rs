@@ -59,8 +59,8 @@ pub use calendar::{CalendarQueue, EventKey};
 pub use client::{Action, ClientModel};
 pub use columns::{ClassView, FleetColumns};
 pub use des::{
-    simulate_async_cycle, simulate_async_cycle_faulted, simulate_async_cycle_traced,
-    AsyncCycleReport, FaultedAsyncReport,
+    simulate_async_cycle, simulate_async_cycle_causal, simulate_async_cycle_faulted,
+    simulate_async_cycle_traced, AsyncCycleReport, DesTrace, FaultedAsyncReport,
 };
 pub use engine::{AllocationCache, Backend, CycleEngine, ScenarioSpec, SimContext};
 pub use faults::{Brownout, ClientClass, FaultPlan, FaultStats, OutageWindow, RetryPolicy};

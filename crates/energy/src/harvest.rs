@@ -174,6 +174,21 @@ impl PowerSystem {
                         ("brown_out", brown_out.into()),
                     ],
                 );
+                // An explicit anomaly event (a flight-recorder dump
+                // trigger) — only under the causal-tracing flag, so the
+                // plain trace stays byte-identical to its historical
+                // shape.
+                if brown_out && self.telemetry.tracing_active() {
+                    self.telemetry.event(
+                        t_start,
+                        "anomaly.brownout",
+                        vec![
+                            ("soc", soc.into()),
+                            ("requested_j", requested.value().into()),
+                            ("delivered_j", delivered.value().into()),
+                        ],
+                    );
+                }
             }
         }
 

@@ -104,16 +104,34 @@ impl EnergyLedger {
     /// Publishes every row into `telemetry` as per-task energy histograms
     /// named `energy.<scope>.<task>_j` (task names slugged via
     /// [`crate::metric_slug`]; repeated rows become repeated
-    /// observations) plus a `energy.<scope>.total_j` gauge.
+    /// observations) plus a `energy.<scope>.total_j` gauge. Under the
+    /// causal-tracing flag each row additionally lands in the event
+    /// stream as an `energy.ledger` record (cumulative row time as the
+    /// stamp), so forensic traces can attribute energy per task.
     pub fn publish_metrics(&self, telemetry: &pb_telemetry::Telemetry, scope: &str) {
         if !telemetry.is_enabled() {
             return;
         }
+        let tracing = telemetry.tracing_active();
+        let mut t = 0.0f64;
         for e in &self.entries {
             telemetry.observe(
                 &format!("energy.{scope}.{}_j", crate::metric_slug(&e.task)),
                 e.energy.value(),
             );
+            t += e.time.value();
+            if tracing {
+                telemetry.event(
+                    t,
+                    "energy.ledger",
+                    vec![
+                        ("scope", scope.into()),
+                        ("task", e.task.as_str().into()),
+                        ("energy_j", e.energy.value().into()),
+                        ("time_s", e.time.value().into()),
+                    ],
+                );
+            }
         }
         telemetry.set_gauge(&format!("energy.{scope}.total_j"), self.total_energy().value());
     }

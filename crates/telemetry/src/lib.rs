@@ -49,17 +49,22 @@
 //! ```
 
 pub mod events;
+pub mod export;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 
 pub use events::{BufferSink, Event, EventSink, NoopSink, RingBufferSink, Value};
+pub use flight::FlightRecorderSink;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry};
 pub use snapshot::TelemetrySnapshot;
 pub use span::Span;
+pub use trace::{Forensics, SpanCtx};
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 #[derive(Debug)]
@@ -67,6 +72,7 @@ struct Inner {
     registry: MetricsRegistry,
     sink: Box<dyn EventSink>,
     seq: AtomicU64,
+    tracing: AtomicBool,
 }
 
 /// A cheaply clonable telemetry handle: either enabled (registry + event
@@ -112,8 +118,32 @@ impl Telemetry {
                 registry: MetricsRegistry::new(),
                 sink,
                 seq: AtomicU64::new(0),
+                tracing: AtomicBool::new(false),
             })),
         }
+    }
+
+    /// Turns on causal tracing for this handle (and every clone sharing
+    /// it): replay paths additionally emit `trace.*` span events and tag
+    /// fault/DES events with `trace`/`span`/`parent` ids. A no-op on a
+    /// disabled handle. With tracing *off*, recorded events are
+    /// byte-identical to pre-tracing builds.
+    #[must_use]
+    pub fn with_tracing(self) -> Self {
+        if let Some(inner) = &self.inner {
+            inner.tracing.store(true, Ordering::Relaxed);
+        }
+        self
+    }
+
+    /// True when causal tracing was requested *and* events actually reach
+    /// a retaining sink — the gate instrumented replay paths check before
+    /// building span contexts.
+    #[inline]
+    pub fn tracing_active(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.tracing.load(Ordering::Relaxed) && i.sink.is_recording())
     }
 
     /// True when this handle carries a registry (metrics are recorded).
@@ -178,6 +208,26 @@ impl Telemetry {
                 let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
                 inner.sink.record(Event { t_sim, seq, kind: kind.to_string(), fields });
             }
+        }
+    }
+
+    /// [`Telemetry::event`] with the span context appended as
+    /// `trace`/`span`/`parent` fields (16-digit hex strings, since the
+    /// raw 64-bit ids exceed JSON's exact-integer range). This is the
+    /// one way causal tags enter a trace, so every tagged event shares
+    /// the same field names and encoding.
+    pub fn trace_event(
+        &self,
+        t_sim: f64,
+        kind: &str,
+        span: SpanCtx,
+        mut fields: Vec<(&'static str, Value)>,
+    ) {
+        if self.events_recording() {
+            fields.push(("trace", trace::hex(span.trace).into()));
+            fields.push(("span", trace::hex(span.span).into()));
+            fields.push(("parent", trace::hex(span.parent).into()));
+            self.event(t_sim, kind, fields);
         }
     }
 
@@ -320,6 +370,19 @@ mod tests {
             }
         });
         assert_eq!(tel.snapshot().histogram("par").unwrap().count, 800);
+    }
+
+    #[test]
+    fn tracing_flag_requires_a_recording_sink() {
+        assert!(!Telemetry::disabled().with_tracing().tracing_active());
+        // Metrics-only sinks drop events, so tracing stays inactive.
+        assert!(!Telemetry::metrics_only().with_tracing().tracing_active());
+        let tel = Telemetry::enabled();
+        assert!(!tel.tracing_active());
+        let tel = tel.with_tracing();
+        assert!(tel.tracing_active());
+        // Clones share the flag.
+        assert!(tel.clone().tracing_active());
     }
 
     #[test]

@@ -38,7 +38,8 @@ use precision_beekeeping::orchestra::sweep::{
 use precision_beekeeping::orchestra::FillPolicy;
 use precision_beekeeping::signal::audio::{BeeAudioSynth, ColonyState};
 use precision_beekeeping::signal::pipeline::MelPipeline;
-use precision_beekeeping::telemetry::Telemetry;
+use precision_beekeeping::telemetry::export::{chrome_trace, chrome_trace_from_jsonl, openmetrics};
+use precision_beekeeping::telemetry::{FlightRecorderSink, Forensics, Telemetry};
 use precision_beekeeping::units::{Seconds, WattHours, Watts};
 use std::collections::HashMap;
 
@@ -54,6 +55,11 @@ fn main() {
     } else {
         (first.as_str(), &argv[1..])
     };
+    // `trace` takes a positional file path, so it parses its own args.
+    if command == "trace" {
+        trace_cmd(rest);
+        return;
+    }
     let flags = parse_flags(rest.iter().cloned());
     match command {
         "tables" => tables(),
@@ -79,7 +85,8 @@ fn usage() {
     println!("                                  edge vs edge+cloud for an apiary");
     println!("  sweep [--backend B] [--cap N] [--from N] [--to N] [--step N]");
     println!("        [--service svm|cnn|cnn-int8] [--losses] [--seed S]");
-    println!("        [--metrics] [--trace FILE] [--faults SPEC]");
+    println!("        [--metrics] [--trace FILE] [--faults SPEC] [--causal]");
+    println!("        [--flight FILE] [--chrome FILE] [--openmetrics FILE]");
     println!("                                  Fig. 7 population sweep; --metrics");
     println!("                                  prints the telemetry table, --trace");
     println!("                                  writes a JSONL simulation event log");
@@ -88,6 +95,17 @@ fn usage() {
     println!("                                  plan: 'mid', 'none' or a spec like");
     println!("                                  outage=60..120,loss=0.05,slowdown=1.1,");
     println!("                                  brownout=0.02,dropout=0.02,retries=3");
+    println!("                                  --causal tags events with trace/span ids");
+    println!("                                  (one trace per client service cycle);");
+    println!("                                  --faults without --trace records into a");
+    println!("                                  bounded flight recorder that dumps FILE");
+    println!("                                  (default pb-flight.jsonl) on anomalies;");
+    println!("                                  --chrome exports a Perfetto-loadable");
+    println!("                                  span view, --openmetrics the metrics");
+    println!("  trace FILE [--top K] [--chrome FILE]");
+    println!("                                  offline forensics over a JSONL event");
+    println!("                                  log: causal chains, retry histogram,");
+    println!("                                  fallback root causes, critical paths");
     println!("  tune [--battery-wh W]           fastest sustainable wake-up period");
     println!("  alert [--accuracy A] [--k K]    queen-loss alerting trade-off");
 }
@@ -125,6 +143,15 @@ fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default
 fn fail(message: &str) -> ! {
     eprintln!("error: {message}");
     std::process::exit(2);
+}
+
+/// A flag that must carry a file path when present.
+fn path_flag(flags: &HashMap<String, String>, key: &str) -> Option<String> {
+    match flags.get(key) {
+        None => None,
+        Some(p) if p == "true" => fail(&format!("--{key} needs a file path")),
+        Some(p) => Some(p.clone()),
+    }
 }
 
 fn service_of(flags: &HashMap<String, String>) -> ServiceKind {
@@ -208,16 +235,38 @@ fn sweep(flags: &HashMap<String, String>) {
         Some(raw) => raw.parse().unwrap_or_else(|e: String| fail(&format!("--faults: {e}"))),
     };
 
+    let causal = flags.contains_key("causal");
+    let chrome_path = path_flag(flags, "chrome");
+    let openmetrics_path = path_flag(flags, "openmetrics");
+    let flight_path = match flags.get("flight") {
+        Some(p) if p != "true" => p.clone(),
+        _ => "pb-flight.jsonl".to_string(),
+    };
+
     // Event recording only pays off when a trace is written; --metrics
     // alone keeps the cheap no-op event sink. No flags → fully disabled,
-    // and either way the simulation results are bit-identical.
-    let telemetry = if trace_path.is_some() {
+    // and either way the simulation results are bit-identical. Faulted
+    // sweeps without an explicit trace default to the bounded flight
+    // recorder, which auto-dumps a post-mortem JSONL on anomalies
+    // (brown-out, retry exhaustion, conservation mismatch).
+    let wants_events = trace_path.is_some() || chrome_path.is_some();
+    let flight = if !fault_plan.is_none() && !wants_events {
+        Some(std::sync::Arc::new(
+            FlightRecorderSink::new(4096).with_auto_dump(flight_path.clone(), 1),
+        ))
+    } else {
+        None
+    };
+    let telemetry = if wants_events {
         Telemetry::enabled()
+    } else if let Some(fr) = &flight {
+        Telemetry::with_sink(Box::new(std::sync::Arc::clone(fr)))
     } else if metrics {
         Telemetry::metrics_only()
     } else {
         Telemetry::disabled()
     };
+    let telemetry = if causal { telemetry.with_tracing() } else { telemetry };
 
     let config = SweepConfig {
         edge_client: presets::edge_client(service),
@@ -288,6 +337,20 @@ fn sweep(flags: &HashMap<String, String>) {
             active,
             if accounted == active { "ok" } else { "VIOLATED" }
         );
+        // A broken conservation sum is an anomaly worth a post-mortem:
+        // the event is a flight-recorder dump trigger.
+        if accounted != active && telemetry.events_recording() {
+            telemetry.event(
+                0.0,
+                "anomaly.conservation",
+                vec![
+                    ("delivered", agg.delivered.into()),
+                    ("fallbacks", agg.fallbacks.into()),
+                    ("dropouts", agg.sensor_dropouts.into()),
+                    ("active", active.into()),
+                ],
+            );
+        }
     }
 
     if telemetry.is_enabled() {
@@ -307,6 +370,61 @@ fn sweep(flags: &HashMap<String, String>) {
             Err(e) => fail(&format!("cannot write trace to {path}: {e}")),
         }
     }
+    if let Some(path) = chrome_path {
+        match std::fs::write(&path, chrome_trace(&telemetry.events_sorted())) {
+            Ok(()) => println!("wrote Chrome trace-event span view to {path}"),
+            Err(e) => fail(&format!("cannot write Chrome trace to {path}: {e}")),
+        }
+    }
+    if let Some(path) = openmetrics_path {
+        match std::fs::write(&path, openmetrics(&telemetry.snapshot())) {
+            Ok(()) => println!("wrote OpenMetrics exposition to {path}"),
+            Err(e) => fail(&format!("cannot write OpenMetrics to {path}: {e}")),
+        }
+    }
+    if let Some(fr) = &flight {
+        let (info, warn, error) = fr.len_by_severity();
+        println!(
+            "flight recorder : {} info / {} warn / {} error events retained, {} trigger(s)",
+            info,
+            warn,
+            error,
+            fr.triggers_fired()
+        );
+        match (fr.dumps_written(), fr.last_trigger()) {
+            (n, Some(kind)) if n > 0 => {
+                println!("  post-mortem   : {flight_path} (first trigger: {kind})");
+            }
+            (_, Some(kind)) => println!("  trigger seen  : {kind} (dump budget exhausted)"),
+            _ => println!("  no anomalies  : nothing dumped"),
+        }
+    }
+}
+
+/// `pb trace FILE [--top K] [--chrome FILE]` — offline forensics over a
+/// JSONL event log produced by `pb sweep --trace` (or a flight-recorder
+/// dump): reconstructs causal chains, the retry histogram, the fallback
+/// root-cause table and the top-k slowest / most energy-expensive
+/// traces; `--chrome` additionally converts the log into a
+/// Perfetto-loadable Chrome trace-event file.
+fn trace_cmd(args: &[String]) {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        fail("trace needs a JSONL file path: pb trace FILE [--top K] [--chrome FILE]");
+    };
+    let flags = parse_flags(args[1..].iter().cloned());
+    let top = get(&flags, "top", 5usize);
+    let jsonl =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let forensics = Forensics::from_jsonl(&jsonl).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+    if let Some(out) = path_flag(&flags, "chrome") {
+        let chrome =
+            chrome_trace_from_jsonl(&jsonl).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+        match std::fs::write(&out, chrome) {
+            Ok(()) => println!("wrote Chrome trace-event span view to {out}\n"),
+            Err(e) => fail(&format!("cannot write Chrome trace to {out}: {e}")),
+        }
+    }
+    print!("{}", forensics.render(top));
 }
 
 /// One instrumented pass through the DSP + CNN hot path: synthesizes a
