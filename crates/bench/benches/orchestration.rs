@@ -151,10 +151,13 @@ fn bench_fleet(c: &mut Criterion) {
 /// telemetry-heaviest path — it counts every simulated event — so this
 /// bounds the worst per-backend cost of leaving `--metrics` on.
 ///
-/// A third row measures full causal tracing (ring sink + span tags on
-/// every DES event + per-client `trace.*` spans) — the price of
-/// `pb sweep --causal --trace`, recorded for visibility but unbounded:
-/// materializing events is allowed to cost real time.
+/// A third row measures event recording without span tags (ring sink,
+/// no tracing flag) — the price of keeping `--trace` on, which also
+/// forces the DES off the shape-memoized replay and onto the exact
+/// event loop. A fourth adds causal span tags on every DES event +
+/// per-client `trace.*` spans — the full `pb sweep --causal --trace`
+/// cost. Both are recorded for visibility but unbounded: materializing
+/// events is allowed to cost real time.
 fn bench_telemetry_overhead(c: &mut Criterion) {
     use std::time::{Duration, Instant};
     let sweep = cnn_sweep(35, LossModel::NONE);
@@ -162,8 +165,9 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     let ns: Vec<usize> = (100..=2000).step_by(100).collect();
     let disabled = SimContext::new(99);
     let noop_sink = SimContext::with_telemetry(99, Telemetry::metrics_only());
-    // Causal tracing needs a recording sink; a bounded ring keeps the
-    // benchmark's memory flat across iterations.
+    // Recording sinks use a bounded ring so the benchmark's memory stays
+    // flat across iterations.
+    let recorded = SimContext::with_telemetry(99, Telemetry::ring(65_536));
     let causal = SimContext::with_telemetry(99, Telemetry::ring(65_536).with_tracing());
     let run = |ctx: &SimContext| {
         ns.iter().map(|&n| Backend::Des.evaluate(&spec, n, ctx).total_energy.value()).sum::<f64>()
@@ -172,23 +176,23 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     // repetitions so scheduler noise and clock drift cancel out.
     black_box(run(&disabled));
     black_box(run(&noop_sink));
+    black_box(run(&recorded));
     black_box(run(&causal));
-    let (mut base, mut traced, mut tagged) = (Duration::MAX, Duration::MAX, Duration::MAX);
+    let mut mins = [Duration::MAX; 4];
     for _ in 0..10 {
-        let t = Instant::now();
-        black_box(run(&disabled));
-        base = base.min(t.elapsed());
-        let t = Instant::now();
-        black_box(run(&noop_sink));
-        traced = traced.min(t.elapsed());
-        let t = Instant::now();
-        black_box(run(&causal));
-        tagged = tagged.min(t.elapsed());
+        for (min, ctx) in mins.iter_mut().zip([&disabled, &noop_sink, &recorded, &causal]) {
+            let t = Instant::now();
+            black_box(run(ctx));
+            *min = (*min).min(t.elapsed());
+        }
     }
+    let [base, traced, rec, tagged] = mins;
     let ratio = traced.as_secs_f64() / base.as_secs_f64();
+    let rec_ratio = rec.as_secs_f64() / base.as_secs_f64();
     let causal_ratio = tagged.as_secs_f64() / base.as_secs_f64();
     println!(
         "telemetry_overhead: disabled {base:?}, no-op sink {traced:?} (ratio {ratio:.4}), \
+         recording {rec:?} (ratio {rec_ratio:.4}), \
          causal tracing {tagged:?} (ratio {causal_ratio:.4})"
     );
     assert!(
@@ -199,6 +203,7 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("telemetry_overhead");
     group.bench_function("disabled", |b| b.iter(|| black_box(run(&disabled))));
     group.bench_function("noop_sink", |b| b.iter(|| black_box(run(&noop_sink))));
+    group.bench_function("recorded", |b| b.iter(|| black_box(run(&recorded))));
     group.bench_function("causal_tracing", |b| b.iter(|| black_box(run(&causal))));
     group.finish();
 }

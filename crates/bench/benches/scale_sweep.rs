@@ -41,6 +41,15 @@ fn evaluate(backend: Backend, n: usize) -> CycleReport {
     backend.evaluate(&spec, n, &SimContext::new(SEED))
 }
 
+/// The same DES sweep point under the `mid` fault plan: the columnar
+/// fault pre-pass resolves every client's outage/retry fate, then the
+/// clean/divergent split feeds the shape-memoized replay.
+fn evaluate_faulted(n: usize) -> CycleReport {
+    let spec = fig7_spec();
+    let ctx = SimContext::new(SEED).with_fault_plan(FaultPlan::mid_severity());
+    Backend::Des.evaluate(&spec, n, &ctx)
+}
+
 /// Times `f` `reps` times; returns the minimum in milliseconds.
 fn time_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
     let mut min = f64::INFINITY;
@@ -89,6 +98,24 @@ fn measure_rows() -> Vec<Row> {
                 clients_per_sec: n as f64 / (elapsed_ms / 1e3),
             });
         }
+    }
+    // The faulted DES point (mid severity) rides the same exit bar:
+    // bit-identical across worker counts, clients/sec recorded.
+    for n in SIZES.into_iter().filter(|&n| n <= cap_n) {
+        let nt = evaluate_faulted(n);
+        let one = with_thread_cap(1, || evaluate_faulted(n));
+        let two = with_thread_cap(2.min(n_threads), || evaluate_faulted(n));
+        assert_eq!(nt, one, "faulted des at {n} clients diverges at 1 thread");
+        assert_eq!(nt, two, "faulted des at {n} clients diverges at 2 threads");
+
+        let reps = if n >= 1_000_000 { 2 } else { 3 };
+        let elapsed_ms = time_ms(reps, || evaluate_faulted(n));
+        rows.push(Row {
+            backend: "des_faulted_mid",
+            n_clients: n,
+            elapsed_ms,
+            clients_per_sec: n as f64 / (elapsed_ms / 1e3),
+        });
     }
     rows
 }

@@ -1,8 +1,9 @@
 //! CI bench-regression sentinel.
 //!
 //! Reads the machine-readable baselines the bench harnesses write at the
-//! repository root — `BENCH_dsp.json` (per-stage DSP/CNN latencies) and
-//! `BENCH_scale.json` (per-backend sweep throughput) — and fails (exit 1)
+//! repository root — `BENCH_dsp.json` (per-stage DSP/CNN latencies),
+//! `BENCH_scale.json` (per-backend sweep throughput) and
+//! `BENCH_parallel.json` (pooled sweep latencies) — and fails (exit 1)
 //! when any pinned row regressed beyond the allowed envelope.
 //!
 //! The envelope has two named factors so the policy reads off the code:
@@ -19,8 +20,9 @@
 //! the pipeline — the sentinel prints what it skipped so silent coverage
 //! loss is visible in the log.
 //!
-//! Usage: `bench_sentinel [--dsp FILE] [--scale FILE]` (defaults to the
-//! repo-root filenames, resolved against the current directory).
+//! Usage: `bench_sentinel [--dsp FILE] [--scale FILE] [--parallel FILE]`
+//! (defaults to the repo-root filenames, resolved against the current
+//! directory).
 
 use pb_telemetry::json::{self, Json};
 use std::process::ExitCode;
@@ -52,9 +54,20 @@ const SCALE_CLIENTS_PER_SEC: &[(&str, u64, f64)] = &[
     ("closed-form", 100_000, 74_460_163_812.4),
     ("timeline", 10_000, 424_538_314.6),
     ("timeline", 100_000, 2_937_806_633.6),
-    ("des", 10_000, 2_327_568.5),
-    ("des", 100_000, 2_662_023.0),
+    // The DES floors assume the shape-memoized replay fast path; losing
+    // it (a ~10× drop back to the per-event loop) fails these rows.
+    ("des", 10_000, 36_463_214.1),
+    ("des", 100_000, 31_511_655.1),
+    ("des_faulted_mid", 10_000, 14_564_626.9),
+    ("des_faulted_mid", 100_000, 13_354_888.1),
 ];
+
+/// Pinned pooled-sweep latencies (milliseconds, `pool_nt_ms`) from
+/// `BENCH_parallel.json` on the reference box. These guard the persistent
+/// pool's dispatch path: a row regressing past the envelope means either
+/// the chunk plan or the per-point evaluation got slower.
+const PARALLEL_MS: &[(&str, f64)] =
+    &[("montecarlo_replicate_sweep", 0.059), ("fig7_range_sweep", 0.646), ("train_epoch", 7.221)];
 
 struct Outcome {
     checked: usize,
@@ -154,18 +167,47 @@ fn check_scale(doc: &Json, out: &mut Outcome) {
     }
 }
 
+/// Pooled-sweep latency gate: `pool_nt_ms` must stay under
+/// `pinned × slack × factor`, same envelope as the DSP rows.
+fn check_parallel(doc: &Json, out: &mut Outcome) {
+    let rows = rows(doc);
+    for (name, pinned_ms) in PARALLEL_MS {
+        let Some(row) = rows.iter().find(|r| r.get("name").and_then(Json::as_str) == Some(name))
+        else {
+            out.skip(&format!("parallel row `{name}` missing"));
+            continue;
+        };
+        let Some(pool_ms) = row.get("pool_nt_ms").and_then(Json::as_f64) else {
+            out.skip(&format!("parallel row `{name}` has no pool_nt_ms"));
+            continue;
+        };
+        out.checked += 1;
+        let limit = pinned_ms * MACHINE_SLACK * REGRESSION_FACTOR;
+        let verdict = if pool_ms > limit { "FAIL" } else { "ok" };
+        println!("  {verdict:<4}  pool  {name:<30} {pool_ms:>10.3} ms (limit {limit:.3})");
+        if pool_ms > limit {
+            out.failures.push(format!(
+                "parallel `{name}`: {pool_ms:.3} ms > {limit:.3} ms \
+                 (pinned {pinned_ms:.3} × {MACHINE_SLACK} machine × {REGRESSION_FACTOR} gate)"
+            ));
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut dsp_path = "BENCH_dsp.json".to_string();
     let mut scale_path = "BENCH_scale.json".to_string();
+    let mut parallel_path = "BENCH_parallel.json".to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--dsp" => dsp_path = it.next().cloned().unwrap_or(dsp_path),
             "--scale" => scale_path = it.next().cloned().unwrap_or(scale_path),
+            "--parallel" => parallel_path = it.next().cloned().unwrap_or(parallel_path),
             other => {
                 eprintln!("bench_sentinel: unknown argument `{other}`");
-                eprintln!("usage: bench_sentinel [--dsp FILE] [--scale FILE]");
+                eprintln!("usage: bench_sentinel [--dsp FILE] [--scale FILE] [--parallel FILE]");
                 return ExitCode::FAILURE;
             }
         }
@@ -182,6 +224,11 @@ fn main() -> ExitCode {
         check_scale(&doc, &mut out);
     } else {
         out.skipped += SCALE_CLIENTS_PER_SEC.len();
+    }
+    if let Some(doc) = load(&parallel_path) {
+        check_parallel(&doc, &mut out);
+    } else {
+        out.skipped += PARALLEL_MS.len();
     }
 
     println!(

@@ -244,6 +244,169 @@ impl<T> Default for CalendarQueue<T> {
     }
 }
 
+/// Occupancy-only mirror of a [`CalendarQueue`]: tracks the length,
+/// peak occupancy and resize history of a queue fed the same push/pop
+/// sequence, without storing any events. The DES fast path replays a
+/// cycle's scheduling decisions through this model so its
+/// `des.queue.{occupancy,resizes}` telemetry stays bit-identical to the
+/// real queue the exact event loop would have run — the grow/shrink
+/// triggers and the resize-validity guard are copied verbatim from
+/// [`CalendarQueue::push`]/[`CalendarQueue::pop`] (pinned by the
+/// `bucket_model_mirrors_real_queue` test below).
+#[derive(Clone, Debug)]
+pub(crate) struct BucketModel {
+    n_buckets: usize,
+    /// Day width; only consulted by the resize-validity guard.
+    width: f64,
+    len: usize,
+    peak_len: usize,
+    resizes: u64,
+}
+
+impl BucketModel {
+    /// Mirror of [`CalendarQueue::with_hint`]'s calibration constants.
+    pub(crate) fn with_hint(n_events: usize, span: f64) -> Self {
+        let n_buckets = n_events.clamp(MIN_BUCKETS, 1 << 20).next_power_of_two();
+        let width = if span.is_finite() && span > 0.0 && n_events > 0 {
+            (span / n_events as f64).max(f64::MIN_POSITIVE)
+        } else {
+            1.0
+        };
+        BucketModel { n_buckets, width, len: 0, peak_len: 0, resizes: 0 }
+    }
+
+    /// Mirror of the occupancy effects of [`CalendarQueue::push`].
+    /// Reference implementation for the batch/sweep equivalence tests;
+    /// the replay itself uses the folded forms.
+    #[cfg(test)]
+    pub(crate) fn push(&mut self) {
+        self.len += 1;
+        self.peak_len = self.peak_len.max(self.len);
+        if self.len > 2 * self.n_buckets {
+            self.resize(self.n_buckets * 2, self.width / 2.0);
+        }
+    }
+
+    /// Occupancy effect of pushing `m` events into a fresh model in one
+    /// batch, equivalent to `m` consecutive [`BucketModel::push`] calls:
+    /// the counter climbs 1..=m, so the peak is `m` and grows fire at
+    /// each crossing of `2 * n_buckets` on the way up (reachable only
+    /// when `m` exceeds the `with_hint` bucket cap). A grow rejected by
+    /// the width guard stays rejected for every later push — the width
+    /// never changes again — so the walk stops at the first failure,
+    /// exactly like the per-push sequence.
+    pub(crate) fn seed_batch(&mut self, m: usize) {
+        debug_assert_eq!(self.len, 0, "seed_batch on a used model");
+        self.len = m;
+        self.peak_len = self.peak_len.max(m);
+        while self.len > 2 * self.n_buckets {
+            let new_width = self.width / 2.0;
+            if !(new_width.is_finite() && new_width > 0.0) {
+                break;
+            }
+            self.resizes += 1;
+            self.n_buckets *= 2;
+            self.width = new_width;
+        }
+    }
+
+    /// Mirror of the occupancy effects of [`CalendarQueue::pop`] on a
+    /// non-empty queue. Reference implementation for the equivalence
+    /// tests; the replay itself uses [`BucketModel::sweep_event`].
+    #[cfg(test)]
+    pub(crate) fn pop(&mut self) {
+        debug_assert!(self.len > 0, "BucketModel::pop on an empty model");
+        self.len -= 1;
+        if self.len * 8 < self.n_buckets && self.n_buckets > MIN_BUCKETS {
+            self.resize(self.n_buckets / 2, self.width * 2.0);
+        }
+    }
+
+    /// One pop followed by `pushes` pushes, equivalent to
+    /// [`BucketModel::pop`] then that many [`BucketModel::push`] calls,
+    /// but branch-free on the push count in the common case: the grow
+    /// trigger is monotone in `len`, so if the final occupancy clears
+    /// the threshold no intermediate push crossed it either, and the
+    /// per-push walk is only replayed when a grow actually fires.
+    #[inline(always)]
+    pub(crate) fn sweep_event(&mut self, pushes: u8) {
+        debug_assert!(self.len > 0, "BucketModel::sweep_event on an empty model");
+        self.len -= 1;
+        if self.len * 8 < self.n_buckets && self.n_buckets > MIN_BUCKETS {
+            self.resize(self.n_buckets / 2, self.width * 2.0);
+        }
+        self.len += pushes as usize;
+        self.peak_len = self.peak_len.max(self.len);
+        if self.len > 2 * self.n_buckets {
+            // Rare: redo the pushes one at a time so intra-event grow
+            // crossings count exactly like sequential push() calls.
+            self.len -= pushes as usize;
+            for _ in 0..pushes {
+                self.len += 1;
+                if self.len > 2 * self.n_buckets {
+                    self.resize(self.n_buckets * 2, self.width / 2.0);
+                }
+            }
+        }
+    }
+
+    /// How many pop-rooted events can run from the current state
+    /// before a resize could possibly fire. Each event pops once and
+    /// pushes at most twice, so across `e` events the occupancy stays
+    /// within `[len - e, len + e]`; a shrink needs a post-pop occupancy
+    /// below `n/8` and a grow a post-push occupancy above `2n`, so
+    /// both are unreachable while `e` stays under the returned gap.
+    /// Returns 0 when the model sits mid-cascade (occupancy already
+    /// below the shrink line, waiting for the next pop to halve again).
+    pub(crate) fn safe_event_budget(&self) -> usize {
+        let shrink_gap = if self.n_buckets > MIN_BUCKETS {
+            self.len.saturating_sub(self.n_buckets / 8)
+        } else {
+            usize::MAX
+        };
+        let grow_gap = (2 * self.n_buckets).saturating_sub(self.len);
+        shrink_gap.min(grow_gap)
+    }
+
+    /// Applies a block of `popped` pops and `pushed` pushes whose
+    /// interleaving the caller has proven resize-free (every event of
+    /// the block fits within [`BucketModel::safe_event_budget`]): only
+    /// the occupancy moves, exactly as the per-op sequence would have
+    /// left it. The peak is untouched — a replayed sweep never exceeds
+    /// the seeded batch peak.
+    pub(crate) fn skip_events(&mut self, popped: usize, pushed: usize) {
+        debug_assert!(popped <= self.len, "cannot pop more than the occupancy");
+        debug_assert!(
+            self.n_buckets == MIN_BUCKETS || (self.len - popped) * 8 >= self.n_buckets,
+            "skip crossed the shrink threshold"
+        );
+        self.len = self.len - popped + pushed;
+        debug_assert!(self.len <= 2 * self.n_buckets, "skip crossed the grow threshold");
+        debug_assert!(self.len <= self.peak_len, "skip exceeded the seeded peak");
+    }
+
+    /// Highest occupancy the model has reached.
+    pub(crate) fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    /// Resizes the mirrored queue would have performed.
+    pub(crate) fn resizes(&self) -> u64 {
+        self.resizes
+    }
+
+    fn resize(&mut self, new_n: usize, new_width: f64) {
+        // Same validity guard as CalendarQueue::resize: an underflowed
+        // width rejects the resize without counting it.
+        if !(new_width.is_finite() && new_width > 0.0) {
+            return;
+        }
+        self.resizes += 1;
+        self.n_buckets = new_n;
+        self.width = new_width;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,6 +503,93 @@ mod tests {
             q2.push(EventKey { time: seq as f64 * 0.1, seq }, ());
         }
         assert_eq!(q2.resizes(), grow_resizes);
+    }
+
+    #[test]
+    fn bucket_model_mirrors_real_queue() {
+        // Feed the same deterministic push/pop interleaving to the real
+        // queue and the occupancy model: peak and resize history must
+        // agree at every step (the DES fast path depends on this).
+        let mut q = CalendarQueue::with_hint(16, 40.0);
+        let mut model = BucketModel::with_hint(16, 40.0);
+        let mut state = 0x0123_4567_89AB_CDEFu64;
+        let mut seq = 0u64;
+        for _ in 0..5000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if state % 5 < 3 || q.is_empty() {
+                let time = (state >> 16) as f64 % 997.0 / 7.0;
+                q.push(EventKey { time, seq }, ());
+                model.push();
+                seq += 1;
+            } else {
+                q.pop();
+                model.pop();
+            }
+            assert_eq!(model.peak_len(), q.peak_len());
+            assert_eq!(model.resizes(), q.resizes());
+        }
+        while q.pop().is_some() {
+            model.pop();
+        }
+        assert_eq!(model.peak_len(), q.peak_len());
+        assert_eq!(model.resizes(), q.resizes());
+    }
+
+    #[test]
+    fn seed_batch_equals_sequential_pushes() {
+        // The batch seeding used by the DES fast path must leave the
+        // model in exactly the state m consecutive pushes would,
+        // including the grows that fire past the bucket-count cap.
+        for (hint, m) in
+            [(0usize, 0usize), (8, 8), (180, 180), (1000, 1000), (1 << 21, (1 << 21) + 3)]
+        {
+            let mut batch = BucketModel::with_hint(hint, 300.0);
+            batch.seed_batch(m);
+            let mut seq = BucketModel::with_hint(hint, 300.0);
+            for _ in 0..m {
+                seq.push();
+            }
+            assert_eq!(batch.peak_len(), seq.peak_len(), "peak for m={m}");
+            assert_eq!(batch.resizes(), seq.resizes(), "resizes for m={m}");
+            assert_eq!(batch.n_buckets, seq.n_buckets, "buckets for m={m}");
+            assert_eq!(batch.len, seq.len, "len for m={m}");
+            assert_eq!(batch.width.to_bits(), seq.width.to_bits(), "width for m={m}");
+        }
+    }
+
+    #[test]
+    fn sweep_event_equals_pop_then_pushes() {
+        // Drive two models through a randomized schedule, one via
+        // sweep_event and one via the primitive ops, across enough
+        // occupancy swing to exercise both resize directions.
+        let mut fused = BucketModel::with_hint(64, 300.0);
+        let mut prim = BucketModel::with_hint(64, 300.0);
+        fused.seed_batch(600);
+        prim.seed_batch(600);
+        let mut state = 0xDEAD_BEEF_u64;
+        let mut live = 600usize;
+        // Slight downward drift (avg 0.5 pushes per pop) walks the
+        // occupancy from 600 to 0 through every shrink threshold.
+        for _ in 0..50_000 {
+            if live == 0 {
+                break;
+            }
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pushes = ((state >> 33) % 2) as u8;
+            fused.sweep_event(pushes);
+            prim.pop();
+            for _ in 0..pushes {
+                prim.push();
+            }
+            live = live - 1 + pushes as usize;
+            assert_eq!(fused.len, prim.len);
+            assert_eq!(fused.n_buckets, prim.n_buckets);
+            assert_eq!(fused.resizes(), prim.resizes());
+            assert_eq!(fused.peak_len(), prim.peak_len());
+            assert_eq!(fused.width.to_bits(), prim.width.to_bits());
+        }
+        assert_eq!(live, 0, "drift should drain the model");
+        assert!(prim.resizes() > 0, "the walk should cross resize thresholds");
     }
 
     #[test]

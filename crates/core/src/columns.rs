@@ -266,6 +266,116 @@ impl FleetColumns {
     }
 }
 
+/// Columnar record of one server's *resolved* transfers: effective
+/// arrival time, local client index and attempt count as flat columns,
+/// filled in client order by the faulted cycle's fault pre-pass.
+///
+/// The DES fast path partitions these rows into **clean** deliveries
+/// (first attempt succeeded, so the effective time *is* the client's
+/// sorted wake-up instant — the rows are already time-ordered) and
+/// **divergent** ones (retries pushed the client to a later, unordered
+/// instant). Merging the sorted clean run with the sorted divergent
+/// tail reproduces the calendar queue's exact `(time, push index)` pop
+/// order in O(m + d log d) for `d` divergent clients, instead of
+/// re-sorting all m rows — and instead of running the event loop at
+/// all.
+#[derive(Clone, Debug, Default)]
+pub struct TransferColumns {
+    t_eff: Vec<f64>,
+    client: Vec<u32>,
+    attempts: Vec<u32>,
+}
+
+impl TransferColumns {
+    /// An empty column set with room for `n` rows.
+    pub fn with_capacity(n: usize) -> Self {
+        TransferColumns {
+            t_eff: Vec::with_capacity(n),
+            client: Vec::with_capacity(n),
+            attempts: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends a resolved transfer (rows arrive in client order).
+    pub fn push(&mut self, t_eff: f64, client: usize, attempts: u64) {
+        self.t_eff.push(t_eff);
+        self.client.push(client as u32);
+        self.attempts.push(attempts.min(u32::MAX as u64) as u32);
+    }
+
+    /// Number of resolved transfers.
+    pub fn len(&self) -> usize {
+        self.t_eff.len()
+    }
+
+    /// True when no transfer resolved.
+    pub fn is_empty(&self) -> bool {
+        self.t_eff.is_empty()
+    }
+
+    /// Rows whose effective time diverged from the arrival stream
+    /// (needed more than one attempt).
+    pub fn divergent_count(&self) -> usize {
+        self.attempts.iter().filter(|&&a| a > 1).count()
+    }
+
+    /// The rows as `(time, client)` pairs in *push* order (client
+    /// order) — what the exact event loop consumes, so its sequence
+    /// numbers match the historical per-client push loop.
+    pub fn push_order_entries(&self) -> Vec<(f64, usize)> {
+        self.t_eff.iter().zip(&self.client).map(|(&t, &c)| (t, c as usize)).collect()
+    }
+
+    /// The rows in calendar *pop* order — time ascending, ties in push
+    /// order — as separate time and client columns (the shape the DES
+    /// replay consumes), via the clean/divergent merge described on
+    /// the type.
+    pub fn pop_order_columns(&self) -> (Vec<f64>, Vec<u32>) {
+        let m = self.len();
+        let mut clean: Vec<(f64, u32, u32)> = Vec::with_capacity(m);
+        let mut divergent: Vec<(f64, u32, u32)> = Vec::new();
+        for i in 0..m {
+            let row = (self.t_eff[i], i as u32, self.client[i]);
+            if self.attempts[i] > 1 {
+                divergent.push(row);
+            } else {
+                clean.push(row);
+            }
+        }
+        // Clean rows inherit the arrival sort; only the divergent tail
+        // needs ordering. The sort key (time, push index) matches the
+        // calendar queue's (time, seq) tie-break exactly.
+        divergent.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut times: Vec<f64> = Vec::with_capacity(m);
+        let mut clients: Vec<u32> = Vec::with_capacity(m);
+        let (mut ci, mut di) = (0usize, 0usize);
+        while ci < clean.len() || di < divergent.len() {
+            let take_clean = match (clean.get(ci), divergent.get(di)) {
+                (Some(c), Some(d)) => c.0.total_cmp(&d.0).then(c.1.cmp(&d.1)).is_lt(),
+                (Some(_), None) => true,
+                _ => false,
+            };
+            let (t, _, client) = if take_clean {
+                ci += 1;
+                clean[ci - 1]
+            } else {
+                di += 1;
+                divergent[di - 1]
+            };
+            times.push(t);
+            clients.push(client);
+        }
+        (times, clients)
+    }
+
+    /// [`TransferColumns::pop_order_columns`] zipped into `(time,
+    /// client)` pairs.
+    pub fn pop_order_entries(&self) -> Vec<(f64, usize)> {
+        let (times, clients) = self.pop_order_columns();
+        times.into_iter().zip(clients).map(|(t, c)| (t, c as usize)).collect()
+    }
+}
+
 /// Mirrors the fleet's columnar shape into telemetry: the
 /// `columns.clients` and `columns.chunks` gauges record the largest
 /// fleet seen and how many pool chunks its batched operations span.
@@ -437,6 +547,41 @@ mod tests {
         assert_eq!((x, y), (b.gen::<f64>(), b.gen::<f64>()));
         // The wrapped stream continues where the wrapper left off.
         assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn pop_order_merge_matches_a_stable_sort() {
+        // Clean rows keep a sorted time column; divergent rows scatter.
+        // The merge must equal a stable sort of all rows by time (stable
+        // sort preserves push order at ties — the calendar tie-break).
+        let mut cols = TransferColumns::with_capacity(8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut t = 0.0;
+        let mut reference: Vec<(f64, usize)> = Vec::new();
+        for client in 0..200usize {
+            t += rng.gen::<f64>();
+            let retried = rng.gen::<f64>() < 0.3;
+            let (t_eff, attempts) = if retried { (t + 40.0 * rng.gen::<f64>(), 3) } else { (t, 1) };
+            cols.push(t_eff, client, attempts);
+            reference.push((t_eff, client));
+        }
+        assert_eq!(cols.push_order_entries(), reference);
+        reference.sort_by(|a, b| a.0.total_cmp(&b.0));
+        assert_eq!(cols.pop_order_entries(), reference);
+        assert!(cols.divergent_count() > 10);
+        assert_eq!(cols.len(), 200);
+        assert!(!cols.is_empty());
+    }
+
+    #[test]
+    fn all_clean_pop_order_is_push_order() {
+        let mut cols = TransferColumns::with_capacity(4);
+        for (i, t) in [1.0, 2.5, 7.0].into_iter().enumerate() {
+            cols.push(t, i, 1);
+        }
+        assert_eq!(cols.pop_order_entries(), cols.push_order_entries());
+        assert_eq!(cols.divergent_count(), 0);
+        assert!(TransferColumns::default().pop_order_entries().is_empty());
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //! so the slotted and asynchronous designs can be compared head-to-head
 //! (`ablation_async` binary).
 
-use crate::calendar::{CalendarQueue, EventKey};
-use crate::columns::ClassView;
+use crate::calendar::{BucketModel, CalendarQueue, EventKey};
+use crate::columns::{ClassView, TransferColumns};
 use crate::faults::{
     emit_brownout_fallback, emit_delivered, emit_sample, exact_transfer, ClientClass, FaultPlan,
     TransferTrace,
@@ -108,6 +108,61 @@ pub struct DesTrace {
     pub fallback_energy_j: f64,
 }
 
+/// Shape-memoized per-trajectory constants, shared by every server of
+/// the same shape within one sweep point.
+///
+/// The paper's populations are uniform, so after the RLE allocation a
+/// million clients collapse to at most two distinct per-server client
+/// counts. The quantities a DES trajectory accumulates by *repeated
+/// addition of a constant* — today the CPU busy time, `m` additions of
+/// the process duration — are therefore identical bit-for-bit across
+/// every server of the same shape, and can be folded once per distinct
+/// shape instead of once per server. Repeated addition is deliberate:
+/// `m × p` rounds differently from `p + p + ⋯ + p` for non-dyadic `p`,
+/// and the exact event loop performs the additions one at a time.
+#[derive(Clone, Debug)]
+pub struct ShapeMemo {
+    process: f64,
+    /// `(client count, Σ process)` per distinct shape, folded once.
+    shapes: Vec<(usize, f64)>,
+}
+
+impl ShapeMemo {
+    /// Folds the repeated-addition process-busy sum for every distinct
+    /// shape in `shape_counts` (duplicates are folded once).
+    pub fn for_server(server: &ServerModel, shape_counts: impl IntoIterator<Item = usize>) -> Self {
+        let process = server.process_duration.value();
+        let mut shapes: Vec<(usize, f64)> = Vec::new();
+        for k in shape_counts {
+            if !shapes.iter().any(|&(seen, _)| seen == k) {
+                shapes.push((k, repeated_sum(process, k)));
+            }
+        }
+        ShapeMemo { process, shapes }
+    }
+
+    /// The repeated-addition sum of `m` process durations: memoized for
+    /// the allocation's shapes, folded inline for divergent counts (a
+    /// faulted server delivers fewer clients than its shape holds).
+    fn busy_for(&self, m: usize) -> f64 {
+        self.shapes
+            .iter()
+            .find(|&&(k, _)| k == m)
+            .map(|&(_, sum)| sum)
+            .unwrap_or_else(|| repeated_sum(self.process, m))
+    }
+}
+
+/// `value + value + ⋯` (`m` terms), the exact fold order of the event
+/// loop's per-client `process_busy += process` accumulation.
+fn repeated_sum(value: f64, m: usize) -> f64 {
+    let mut sum = 0.0f64;
+    for _ in 0..m {
+        sum += value;
+    }
+    sum
+}
+
 /// [`simulate_async_cycle_traced`] with causal span tags: each client
 /// gets a root `trace.sample` span at its arrival instant, the
 /// `des.{arrival,transfer_done,process_done}` hops chain under it, and
@@ -120,23 +175,45 @@ pub fn simulate_async_cycle_causal<R: Rng + ?Sized>(
     telemetry: &Telemetry,
     causal: Option<&DesTrace>,
 ) -> AsyncCycleReport {
+    simulate_async_cycle_memoized(n_clients, server, rng, telemetry, causal, None)
+}
+
+/// [`simulate_async_cycle_causal`] with a [`ShapeMemo`]: when the
+/// caller simulates many servers of identical shape (the engine's
+/// normal fan-out), the memo supplies the shape's repeated-addition
+/// constants so each replayed trajectory skips re-folding them. Results
+/// are bit-identical with or without the memo.
+pub fn simulate_async_cycle_memoized<R: Rng + ?Sized>(
+    n_clients: usize,
+    server: &ServerModel,
+    rng: &mut R,
+    telemetry: &Telemetry,
+    causal: Option<&DesTrace>,
+    memo: Option<&ShapeMemo>,
+) -> AsyncCycleReport {
     let cycle = server.cycle.value();
     let mut arrivals: Vec<f64> = (0..n_clients).map(|_| rng.gen_range(0.0..cycle)).collect();
-    arrivals.sort_by(f64::total_cmp);
-    let entries: Vec<(f64, usize)> =
-        arrivals.iter().enumerate().map(|(client, &t)| (t, client)).collect();
+    sort_arrival_times(&mut arrivals);
     let tag = causal.filter(|_| telemetry.tracing_active());
-    let links: Option<Vec<Option<SpanCtx>>> = tag.map(|dt| {
-        entries
-            .iter()
-            .map(|&(t, client)| {
-                let tid = trace_id(dt.point_seed, (dt.base + client) as u64);
-                emit_sample(telemetry, t, tid, (dt.base + client) as u64, "uploader");
-                Some(SpanCtx::root(tid))
-            })
-            .collect()
-    });
-    let out = run_event_loop(n_clients, &entries, server, telemetry, links.as_deref());
+    let out = if fast_path_eligible(telemetry, tag.is_some(), server) {
+        // Sorted fault-free arrivals are already in pop order with
+        // client i at position i — no entry list needed.
+        replay_core(n_clients, &arrivals, None, server, memo)
+    } else {
+        let entries: Vec<(f64, usize)> =
+            arrivals.iter().enumerate().map(|(client, &t)| (t, client)).collect();
+        let links: Option<Vec<Option<SpanCtx>>> = tag.map(|dt| {
+            entries
+                .iter()
+                .map(|&(t, client)| {
+                    let tid = trace_id(dt.point_seed, (dt.base + client) as u64);
+                    emit_sample(telemetry, t, tid, (dt.base + client) as u64, "uploader");
+                    Some(SpanCtx::root(tid))
+                })
+                .collect()
+        });
+        exact_event_loop(n_clients, &entries, server, telemetry, links.as_deref())
+    };
     if let Some(dt) = tag {
         for client in 0..n_clients {
             let t_done = out.completion[client];
@@ -148,10 +225,16 @@ pub fn simulate_async_cycle_causal<R: Rng + ?Sized>(
 
     let horizon = out.last_time.max(cycle);
     let server_energy = energy_over(server, horizon, out.receive_busy, out.process_busy);
-    let latencies: Vec<f64> = out.completion.iter().zip(&arrivals).map(|(c, a)| c - a).collect();
-    let mean_latency =
-        if n_clients > 0 { latencies.iter().sum::<f64>() / n_clients as f64 } else { 0.0 };
-    let max_latency = latencies.iter().copied().fold(0.0, f64::max);
+    // Client-order latency accumulation, same fold order as the
+    // historical intermediate `Vec` (sum first, then a 0-seeded max).
+    let mut lat_sum = 0.0f64;
+    let mut max_latency = 0.0f64;
+    for (c, a) in out.completion.iter().zip(&arrivals) {
+        let l = c - a;
+        lat_sum += l;
+        max_latency = max_latency.max(l);
+    }
+    let mean_latency = if n_clients > 0 { lat_sum / n_clients as f64 } else { 0.0 };
 
     flush_telemetry(telemetry, n_clients, &out, horizon, server_energy);
 
@@ -179,7 +262,7 @@ pub fn simulate_async_cycle_causal<R: Rng + ?Sized>(
 /// stream is untouched. With a [`DesTrace`] and an active tracing flag,
 /// every client's events carry the causal span chain
 /// (sample → attempt(s) → network hops → delivered-or-fallback).
-#[allow(clippy::too_many_arguments)] // the two RNG streams and the causal tag are all distinct concerns
+#[allow(clippy::too_many_arguments)] // the two RNG streams, the causal tag and the memo are all distinct concerns
 pub fn simulate_async_cycle_faulted<R: Rng + ?Sized, F: Rng + ?Sized>(
     n_clients: usize,
     server: &ServerModel,
@@ -189,17 +272,22 @@ pub fn simulate_async_cycle_faulted<R: Rng + ?Sized, F: Rng + ?Sized>(
     classes: ClassView<'_>,
     telemetry: &Telemetry,
     causal: Option<&DesTrace>,
+    memo: Option<&ShapeMemo>,
 ) -> FaultedAsyncReport {
     assert_eq!(classes.len(), n_clients, "one class per client");
     let cycle = server.cycle.value();
     let mut arrivals: Vec<f64> = (0..n_clients).map(|_| rng.gen_range(0.0..cycle)).collect();
-    arrivals.sort_by(f64::total_cmp);
+    sort_arrival_times(&mut arrivals);
 
     let tag = causal.filter(|_| telemetry.tracing_active());
     let mut attempts = 0u64;
     let mut retries = 0u64;
     let mut fallbacks = 0u64;
-    let mut entries: Vec<(f64, usize)> = Vec::with_capacity(n_clients);
+    // Columnar fault pre-pass: resolved transfers land as flat columns
+    // (effective time, client, attempt count) so the fast path can
+    // partition clean first-attempt deliveries from divergent retried
+    // ones without re-walking per-client structs.
+    let mut cols = TransferColumns::with_capacity(n_clients);
     // Per local client: the span its network hops chain under (the
     // successful attempt), plus the delivered set's attempt counts for
     // the terminal spans emitted after the loop.
@@ -239,7 +327,7 @@ pub fn simulate_async_cycle_faulted<R: Rng + ?Sized, F: Rng + ?Sized>(
                 retries += a - 1;
                 match success {
                     Some(t_eff) => {
-                        entries.push((t_eff.value(), client));
+                        cols.push(t_eff.value(), client, a);
                         if let Some(tid) = tid {
                             links[client] = Some(SpanCtx::attempt(tid, a as u32));
                             delivered_tags.push((client, tid, a));
@@ -250,14 +338,24 @@ pub fn simulate_async_cycle_faulted<R: Rng + ?Sized, F: Rng + ?Sized>(
             }
         }
     }
-    let delivered = entries.len() as u64;
-    let out = run_event_loop(
-        n_clients,
-        &entries,
-        server,
-        telemetry,
-        if tag.is_some() { Some(&links) } else { None },
-    );
+    let delivered = cols.len() as u64;
+    // The replay needs entries in calendar *pop* order — (time, push
+    // index) — which the clean/divergent merge produces in O(m + d log d)
+    // for d divergent clients; the exact loop needs the original push
+    // order so its event sequence numbers stay bit-identical.
+    let out = if fast_path_eligible(telemetry, tag.is_some(), server) {
+        let (times, clients) = cols.pop_order_columns();
+        replay_core(n_clients, &times, Some(&clients), server, memo)
+    } else {
+        let entries = cols.push_order_entries();
+        exact_event_loop(
+            n_clients,
+            &entries,
+            server,
+            telemetry,
+            if tag.is_some() { Some(&links) } else { None },
+        )
+    };
     if let Some(dt) = tag {
         for &(client, tid, a) in &delivered_tags {
             let global = (dt.base + client) as u64;
@@ -335,6 +433,9 @@ struct LoopOutcome {
     peak_events: usize,
     /// Calendar-queue bucket resizes the cycle performed.
     queue_resizes: u64,
+    /// Clients whose trajectory the shape-memoized fast path replayed
+    /// (0 when the exact event loop ran).
+    replayed: u64,
 }
 
 /// The slotted accounting's energy model over an asynchronous horizon:
@@ -348,16 +449,355 @@ fn energy_over(server: &ServerModel, horizon: f64, receive_busy: f64, process_bu
         + process_delta * Seconds(process_busy)
 }
 
-/// Runs the capacity-limited uplink + single-CPU event loop over
-/// `entries` (one `(wake time, client id)` pair per participating
-/// client, pushed in order). Shared verbatim by the fault-free and
-/// faulted cycles so the two stay bit-identical on identical entries.
+/// True when a cycle may take the shape-memoized replay instead of the
+/// exact event loop. Recording sinks and causal tags force the exact
+/// path: the replay produces no per-event records, and span chains must
+/// follow the real pop sequence. (`max_parallel == 0` starves the
+/// uplink forever — a degenerate shape the recurrence does not model.)
+fn fast_path_eligible(telemetry: &Telemetry, tagged: bool, server: &ServerModel) -> bool {
+    !(telemetry.events_recording() || tagged || server.max_parallel == 0)
+}
+
+/// Per-worker scratch for [`replay_core`]: the intermediate per-entry
+/// columns are reused across the thousands of servers a sweep point
+/// fans over one worker, so the replay allocates nothing but its
+/// completion column. Every cell is rewritten before it is read (the
+/// columns are rebuilt front to back each call), so reuse cannot leak
+/// state between servers.
+#[derive(Default)]
+struct ReplayScratch {
+    finish: Vec<f64>,
+    proc_end: Vec<f64>,
+    queued: Vec<bool>,
+    cpu_free: Vec<bool>,
+    queued_starts: Vec<f64>,
+}
+
+thread_local! {
+    static REPLAY_SCRATCH: std::cell::RefCell<ReplayScratch> =
+        std::cell::RefCell::new(ReplayScratch::default());
+    static SORT_SCRATCH: std::cell::RefCell<(Vec<u32>, Vec<f64>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Sorts an arrival-time array ascending, byte-identical to
+/// `sort_unstable_by(f64::total_cmp)`.
+///
+/// Arrival draws are uniform over the cycle, so a bucket scatter leaves
+/// ~1 element per bucket and a single insertion pass finishes the job
+/// in O(m) — roughly 2–3× faster than the comparison sort at the fleet
+/// populations the scale sweep runs. Stability is irrelevant (values
+/// carry no payload), and the inputs are finite and non-negative (no
+/// NaN, no `-0.0`), so value order fully determines the output bytes.
+/// A skewed or degenerate distribution only costs speed, not
+/// correctness: the insertion pass repairs any bucketing.
+fn sort_arrival_times(times: &mut [f64]) {
+    let m = times.len();
+    if m < 64 {
+        times.sort_unstable_by(f64::total_cmp);
+        return;
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &t in times.iter() {
+        lo = lo.min(t);
+        hi = hi.max(t);
+    }
+    let span = hi - lo;
+    if !(span.is_finite() && span > 0.0) {
+        // All-equal (already sorted) or non-finite garbage: fall back.
+        times.sort_unstable_by(f64::total_cmp);
+        return;
+    }
+    let n_buckets = m.next_power_of_two();
+    let scale = n_buckets as f64 / span;
+    let bucket_of = |t: f64| (((t - lo) * scale) as usize).min(n_buckets - 1);
+    SORT_SCRATCH.with(|s| {
+        let mut s = s.borrow_mut();
+        let (counts, aux) = &mut *s;
+        counts.clear();
+        counts.resize(n_buckets, 0);
+        aux.clear();
+        aux.resize(m, 0.0);
+        for &t in times.iter() {
+            counts[bucket_of(t)] += 1;
+        }
+        let mut offset = 0u32;
+        for c in counts.iter_mut() {
+            let n = *c;
+            *c = offset;
+            offset += n;
+        }
+        for &t in times.iter() {
+            let slot = &mut counts[bucket_of(t)];
+            aux[*slot as usize] = t;
+            *slot += 1;
+        }
+        times.copy_from_slice(aux);
+    });
+    // Buckets are ordered by value; the pass below orders within them
+    // (expected O(1) displacement per element).
+    for i in 1..m {
+        let t = times[i];
+        let mut j = i;
+        while j > 0 && times[j - 1] > t {
+            times[j] = times[j - 1];
+            j -= 1;
+        }
+        times[j] = t;
+    }
+    debug_assert!(times.windows(2).all(|w| w[0] <= w[1]));
+}
+
+/// The `i`-th value of a sorted event stream, `+inf` past the end (the
+/// block-skip merge in [`replay_core`] treats an exhausted stream as an
+/// event at the end of time).
+#[inline(always)]
+fn stream_at(v: &[f64], i: usize) -> f64 {
+    v.get(i).copied().unwrap_or(f64::INFINITY)
+}
+
+/// Bit-exact O(m) replay of [`exact_event_loop`].
+///
+/// `times` holds the participating clients' effective arrival instants
+/// in calendar *pop* order (time ascending, ties in push order);
+/// `clients` maps pop position to client id, or `None` when position
+/// `i` *is* client `i` (the sorted fault-free case). In pop order the
+/// event loop's behaviour is a pure recurrence — no calendar queue
+/// needed:
+///
+/// * **Uplink**: client `i` (capacity `C`) starts its upload at
+///   `max(aᵢ, fᵢ₋C)` where `f` is the upload-finish sequence; it queued
+///   iff `fᵢ₋C ≥ aᵢ` (non-strict: at equal times the arrival pops
+///   before the transfer-done, so client `i−C` still occupies a lane).
+/// * **Receive-busy**: the union of `[startᵢ, fᵢ]` intervals, one
+///   `end − begin` addition per maximal busy period in chronological
+///   order — operand-identical to the loop's `now − receive_since`. A
+///   gap opens iff `startᵢ > fᵢ₋₁` strictly (at a tie the arrival pops
+///   first and keeps the NIC busy).
+/// * **CPU**: jobs start at `max(fᵢ, procᵢ₋₁)` with the loop's strict
+///   wait condition (`busy_until > now`), finish `process` later;
+///   `process_busy` is the repeated-addition fold the [`ShapeMemo`]
+///   caches per shape.
+/// * **Wait queue**: the waiting set at a queued arrival `aᵢ` is the
+///   suffix of queued clients whose start is `≥ aᵢ` — a two-pointer
+///   scan, since starts and arrivals are both monotone.
+/// * **Calendar telemetry**: the queue's occupancy peak and resize
+///   history are replayed through a [`BucketModel`] (see the sweep
+///   below). This runs even with telemetry disabled so enabling
+///   metrics never changes the work done (the overhead gate in
+///   `bench_telemetry_overhead` pins that).
+///
+/// Simultaneous events of different kinds (an arrival at exactly a
+/// transfer-finish instant, etc.) are resolved Arrival < TransferDone <
+/// ProcessDone, matching the loop's sequence-number order for every
+/// reachable tie; with continuously distributed arrival times,
+/// cross-kind ties have probability zero and the equivalence suite
+/// pins the observable results.
+fn replay_core(
+    n_clients: usize,
+    times: &[f64],
+    clients: Option<&[u32]>,
+    server: &ServerModel,
+    memo: Option<&ShapeMemo>,
+) -> LoopOutcome {
+    let m = times.len();
+    let transfer = server.receive_duration.value();
+    let process = server.process_duration.value();
+    let cap = server.max_parallel;
+
+    REPLAY_SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        let ReplayScratch { finish, proc_end, queued, cpu_free, queued_starts } = &mut *scratch;
+        finish.clear();
+        proc_end.clear();
+        queued.clear();
+        cpu_free.clear();
+        queued_starts.clear();
+        finish.reserve(m);
+        proc_end.reserve(m);
+        queued.reserve(m);
+        cpu_free.reserve(m);
+
+        let mut receive_busy = 0.0f64;
+        let mut peak_queue = 0usize;
+        // `released` counts the prefix of queued clients whose uplink
+        // handoff already happened (starts are monotone).
+        let mut released = 0usize;
+
+        // Current receive-busy period.
+        let mut busy_begin = 0.0f64;
+        let mut busy_end = 0.0f64;
+        let mut prev_proc_end = 0.0f64;
+
+        for i in 0..m {
+            let a = times[i];
+            debug_assert!(i == 0 || times[i - 1] <= a, "replay entries must be in pop order");
+            let (start, q) =
+                if i >= cap && finish[i - cap] >= a { (finish[i - cap], true) } else { (a, false) };
+            queued.push(q);
+            let f = start + transfer;
+            finish.push(f);
+            if q {
+                queued_starts.push(start);
+                while released < queued_starts.len() && queued_starts[released] < a {
+                    released += 1;
+                }
+                peak_queue = peak_queue.max(queued_starts.len() - released);
+            }
+            if i == 0 {
+                busy_begin = start;
+                busy_end = f;
+            } else if start > busy_end {
+                receive_busy += busy_end - busy_begin;
+                busy_begin = start;
+                busy_end = f;
+            } else {
+                busy_end = f;
+            }
+            // `free` is the loop's "CPU idle at this transfer-finish"
+            // test; recorded so the calendar replay below can look it
+            // up without re-deriving the float comparison.
+            let free = !(i > 0 && prev_proc_end > f);
+            cpu_free.push(free);
+            let cpu_start = if free { f } else { prev_proc_end };
+            prev_proc_end = cpu_start + process;
+            proc_end.push(prev_proc_end);
+        }
+        if m > 0 {
+            receive_busy += busy_end - busy_begin;
+        }
+
+        let process_busy = match memo {
+            Some(memo) => memo.busy_for(m),
+            None => repeated_sum(process, m),
+        };
+        let last_time = if m > 0 { proc_end[m - 1] } else { 0.0 };
+
+        let completion = match clients {
+            None => {
+                // Pop position i is client i: the process-finish column
+                // *is* the completion column.
+                debug_assert_eq!(n_clients, m, "positional replay needs one entry per client");
+                proc_end.clone()
+            }
+            Some(cl) => {
+                debug_assert_eq!(cl.len(), m, "one client id per entry");
+                let mut completion = vec![0.0f64; n_clients];
+                for (i, &c) in cl.iter().enumerate() {
+                    completion[c as usize] = proc_end[i];
+                }
+                completion
+            }
+        };
+
+        // Replay the calendar queue's bookkeeping. The m batch arrival
+        // pushes are folded analytically by `seed_batch`: the occupancy
+        // peak is exactly m, since a client's transfer-done is pushed
+        // only at or after its arrival's pop and its process-done only
+        // at or after its transfer-done's pop, so the queue never holds
+        // more than one pending event per client. The pop sweep is a
+        // 3-way merge of the (each individually sorted) arrival /
+        // transfer-finish / process-finish streams.
+        //
+        // Pushes at each pop: an arrival pushes its transfer-done iff
+        // it starts immediately; a transfer-done hands the lane to the
+        // (cap)-later queued client and pushes its process-done iff the
+        // CPU is free; a process-done pushes the next process-done iff
+        // that one was waiting on the CPU.
+        //
+        // The merge runs block-skipped: while `safe_event_budget`
+        // proves no resize can fire, a whole block of the merge
+        // collapses to three linear scans up to a cutoff time τ (the
+        // per-event occupancy walk only moves `len`, which
+        // `skip_events` applies in one shot). τ is chosen a third of
+        // the budget into each stream, so each scan advances at most
+        // budget/3 positions and the block never exceeds the budget;
+        // `< τ` strictly keeps the cut time-consistent with the true
+        // merge order. Only near a resize boundary (or when τ yields
+        // no progress) does the sweep fall back to stepping single
+        // events through the branchy 3-way compare.
+        let mut model = BucketModel::with_hint(m, server.cycle.value());
+        model.seed_batch(m);
+        const STEP: usize = 32;
+        let (mut ai, mut ti, mut pi) = (0usize, 0usize, 0usize);
+        let mut remaining = 3 * m;
+        while remaining > 0 {
+            let budget = model.safe_event_budget().min(remaining);
+            if budget >= STEP {
+                let q = budget / 3;
+                let tau = stream_at(times, ai + q)
+                    .min(stream_at(finish, ti + q))
+                    .min(stream_at(proc_end, pi + q));
+                let (a0, t0, p0) = (ai, ti, pi);
+                let mut gained = 0usize;
+                while ai < m && times[ai] < tau {
+                    gained += !queued[ai] as usize;
+                    ai += 1;
+                }
+                while ti < m && finish[ti] < tau {
+                    gained += (ti + cap < m && queued[ti + cap]) as usize + cpu_free[ti] as usize;
+                    ti += 1;
+                }
+                while pi < m && proc_end[pi] < tau {
+                    gained += (pi + 1 < m && !cpu_free[pi + 1]) as usize;
+                    pi += 1;
+                }
+                let popped = (ai - a0) + (ti - t0) + (pi - p0);
+                if popped > 0 {
+                    model.skip_events(popped, gained);
+                    remaining -= popped;
+                    continue;
+                }
+                // τ made no progress (duplicate head times): step.
+            }
+            let steps = STEP.min(remaining);
+            for _ in 0..steps {
+                let ta = stream_at(times, ai);
+                let tt = stream_at(finish, ti);
+                let tp = stream_at(proc_end, pi);
+                // Ties resolve Arrival < TransferDone < ProcessDone,
+                // the loop's sequence-number order for every reachable
+                // tie.
+                if ta <= tt && ta <= tp {
+                    model.sweep_event(!queued[ai] as u8);
+                    ai += 1;
+                } else if tt <= tp {
+                    model
+                        .sweep_event((ti + cap < m && queued[ti + cap]) as u8 + cpu_free[ti] as u8);
+                    ti += 1;
+                } else {
+                    model.sweep_event((pi + 1 < m && !cpu_free[pi + 1]) as u8);
+                    pi += 1;
+                }
+            }
+            remaining -= steps;
+        }
+
+        LoopOutcome {
+            receive_busy,
+            process_busy,
+            completion,
+            peak_queue,
+            last_time,
+            n_arrivals: m as u64,
+            n_transfers: m as u64,
+            n_processed: m as u64,
+            peak_events: model.peak_len(),
+            queue_resizes: model.resizes(),
+            replayed: m as u64,
+        }
+    })
+}
+
+/// The exact event-by-event loop (the historical hot path; now the
+/// recording/traced path and the fast path's reference).
 ///
 /// Events are scheduled through a [`CalendarQueue`], which preserves the
 /// exact (time, seq) pop order of the `BinaryHeap` it replaced (pinned
 /// by the `calendar_parity` suite) while staying O(1) per operation at
 /// high occupancy.
-fn run_event_loop(
+fn exact_event_loop(
     n_clients: usize,
     entries: &[(f64, usize)],
     server: &ServerModel,
@@ -404,6 +844,7 @@ fn run_event_loop(
 
     while let Some((key, ev)) = events.pop() {
         let now = key.time;
+        debug_assert!(now >= last_time, "event popped out of order: {now} after {last_time}");
         last_time = now;
         match ev {
             Event::Arrival { client } => {
@@ -458,9 +899,17 @@ fn run_event_loop(
                         receive_busy += now - receive_since;
                     }
                 }
-                // Queue for processing.
+                // Queue for processing. The CPU is free only when no
+                // one is waiting AND the current run has ended. The
+                // wait-queue check matters at exact float ties: when a
+                // transfer finishes at precisely `cpu_busy_until` (the
+                // constant transfer/process durations put both event
+                // streams on a shared lattice under saturation), the
+                // pending process-done for that instant has not popped
+                // yet — starting this client here would jump it past
+                // the FIFO waiters and double-book the CPU.
                 match cpu_busy_until {
-                    Some(t) if t > now => cpu_wait.push_back(client),
+                    Some(t) if t > now || !cpu_wait.is_empty() => cpu_wait.push_back(client),
                     _ => {
                         cpu_busy_until = Some(now + process);
                         process_busy += process;
@@ -505,6 +954,7 @@ fn run_event_loop(
         n_processed,
         peak_events: events.peak_len(),
         queue_resizes: events.resizes(),
+        replayed: 0,
     }
 }
 
@@ -524,6 +974,9 @@ fn flush_telemetry(
     telemetry.add_to_counter("des.events.transfer_done", out.n_transfers);
     telemetry.add_to_counter("des.events.process_done", out.n_processed);
     telemetry.add_to_counter("des.queue.resizes", out.queue_resizes);
+    if out.replayed > 0 {
+        telemetry.add_to_counter("des.fastpath.replayed", out.replayed);
+    }
     if let Some(r) = telemetry.registry() {
         r.gauge("des.queue_depth.peak").set_max(out.peak_queue as f64);
     }
@@ -554,6 +1007,121 @@ mod tests {
 
     fn server(cap: usize) -> ServerModel {
         presets::cloud_server(ServiceKind::Cnn, cap)
+    }
+
+    #[test]
+    #[ignore = "manual profiling aid"]
+    fn profile_fastpath_phases() {
+        use std::time::Instant;
+        let srv = server(35);
+        let n_servers = 5556usize;
+        let k = 180usize;
+        let total = (n_servers * k) as f64;
+        let memo = ShapeMemo::for_server(&srv, std::iter::repeat_n(k, n_servers));
+        let telemetry = Telemetry::disabled();
+        let cycle = srv.cycle.value();
+        let mut sink = 0.0f64;
+
+        let mut time = |label: &str, f: &mut dyn FnMut() -> f64| {
+            let mut best = f64::INFINITY;
+            for _ in 0..5 {
+                let t0 = Instant::now();
+                sink += f();
+                best = best.min(t0.elapsed().as_secs_f64());
+            }
+            eprintln!("{label:<18} {:>8.1} ms  {:>6.1} ns/client", best * 1e3, best * 1e9 / total);
+        };
+
+        time("rng only", &mut || {
+            let mut acc = 0.0;
+            for s in 0..n_servers {
+                let mut rng = StdRng::seed_from_u64(s as u64);
+                for _ in 0..k {
+                    acc += rng.gen_range(0.0..cycle);
+                }
+            }
+            acc
+        });
+        time("rng+sort_unstable", &mut || {
+            let mut acc = 0.0;
+            for s in 0..n_servers {
+                let mut rng = StdRng::seed_from_u64(s as u64);
+                let mut arrivals: Vec<f64> = (0..k).map(|_| rng.gen_range(0.0..cycle)).collect();
+                arrivals.sort_unstable_by(f64::total_cmp);
+                acc += arrivals[0];
+            }
+            acc
+        });
+        time("rng+bucket_sort", &mut || {
+            let mut acc = 0.0;
+            for s in 0..n_servers {
+                let mut rng = StdRng::seed_from_u64(s as u64);
+                let mut arrivals: Vec<f64> = (0..k).map(|_| rng.gen_range(0.0..cycle)).collect();
+                sort_arrival_times(&mut arrivals);
+                acc += arrivals[0];
+            }
+            acc
+        });
+        time("+replay_core", &mut || {
+            let mut acc = 0.0;
+            for s in 0..n_servers {
+                let mut rng = StdRng::seed_from_u64(s as u64);
+                let mut arrivals: Vec<f64> = (0..k).map(|_| rng.gen_range(0.0..cycle)).collect();
+                sort_arrival_times(&mut arrivals);
+                let out = replay_core(k, &arrivals, None, &srv, Some(&memo));
+                acc += out.receive_busy;
+            }
+            acc
+        });
+        time("full memoized", &mut || {
+            let mut acc = 0.0;
+            for s in 0..n_servers {
+                let mut rng = StdRng::seed_from_u64(s as u64);
+                let r =
+                    simulate_async_cycle_memoized(k, &srv, &mut rng, &telemetry, None, Some(&memo));
+                acc += r.server_energy.value();
+            }
+            acc
+        });
+        time("Des::evaluate 1e6", &mut || {
+            use crate::engine::{Backend, CycleEngine, ScenarioSpec, SimContext};
+            use crate::loss::LossModel;
+            let spec = ScenarioSpec::paper(ServiceKind::Cnn, 35, LossModel::NONE);
+            let ctx = SimContext::new(0xF1E1D);
+            let r = Backend::Des.evaluate(&spec, 1_000_000, &ctx);
+            r.edge_energy_total.value()
+        });
+        eprintln!("sink={sink}");
+    }
+
+    /// The CPU hand-off at an exact float tie: a transfer finishing at
+    /// precisely `cpu_busy_until` must join the back of a non-empty
+    /// wait queue, not seize the CPU past the FIFO waiters. Constant
+    /// transfer/process durations put both event streams on a shared
+    /// lattice once the uplink saturates, so these ties are reachable
+    /// (transfer 15 s, process 1 s, cap 35, 1000 clients hits them);
+    /// the single-CPU makespan lower bound `m × process` is the
+    /// tell-tale a queue-jump would break.
+    #[test]
+    fn cpu_ties_keep_fifo_order_and_single_occupancy() {
+        let srv = server(35);
+        let k = 1000usize;
+        let cycle = srv.cycle.value();
+        let mut rng = StdRng::seed_from_u64(0xABCD ^ k as u64);
+        let mut arrivals: Vec<f64> = (0..k).map(|_| rng.gen_range(0.0..cycle)).collect();
+        sort_arrival_times(&mut arrivals);
+        let entries: Vec<(f64, usize)> =
+            arrivals.iter().enumerate().map(|(client, &t)| (t, client)).collect();
+        let exact = exact_event_loop(k, &entries, &srv, &Telemetry::ring(1), None);
+        let process = srv.process_duration.value();
+        assert!(
+            exact.last_time >= k as f64 * process,
+            "single CPU cannot finish {k} jobs of {process} s by {} s",
+            exact.last_time
+        );
+        let fast = replay_core(k, &arrivals, None, &srv, None);
+        assert_eq!(fast.completion, exact.completion);
+        assert_eq!(fast.last_time, exact.last_time);
     }
 
     #[test]

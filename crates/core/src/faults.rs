@@ -871,6 +871,10 @@ pub(crate) fn des_with_faults(
     let deliver_cost = spec.cloud_client.cycle_energy();
     let fallback_cost = spec.edge_client.cycle_energy();
     let retry_cost = retry_energy(&spec.cloud_client);
+    // Shape memo over the degraded server: servers whose every transfer
+    // resolves cleanly keep their allocation shape and hit the memo;
+    // divergent counts fold inline.
+    let memo = crate::des::ShapeMemo::for_server(&s.eff, jobs.iter().map(|&(_, _, k)| k));
     let outs: Vec<crate::des::FaultedAsyncReport> = jobs
         .par_iter()
         .map(|&(i, offset, k)| {
@@ -896,6 +900,7 @@ pub(crate) fn des_with_faults(
                 classes.slice(offset..offset + k),
                 telemetry,
                 causal.then_some(&tr),
+                Some(&memo),
             )
         })
         .collect();

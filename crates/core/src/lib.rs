@@ -57,10 +57,11 @@ pub mod timeline;
 pub use allocator::{Allocation, FillPolicy, ServerAllocation};
 pub use calendar::{CalendarQueue, EventKey};
 pub use client::{Action, ClientModel};
-pub use columns::{ClassView, FleetColumns};
+pub use columns::{ClassView, FleetColumns, TransferColumns};
 pub use des::{
     simulate_async_cycle, simulate_async_cycle_causal, simulate_async_cycle_faulted,
-    simulate_async_cycle_traced, AsyncCycleReport, DesTrace, FaultedAsyncReport,
+    simulate_async_cycle_memoized, simulate_async_cycle_traced, AsyncCycleReport, DesTrace,
+    FaultedAsyncReport, ShapeMemo,
 };
 pub use engine::{AllocationCache, Backend, CycleEngine, ScenarioSpec, SimContext};
 pub use faults::{Brownout, ClientClass, FaultPlan, FaultStats, OutageWindow, RetryPolicy};

@@ -9,6 +9,7 @@ use crate::client::ClientModel;
 use crate::faults::FaultStats;
 use crate::loss::LossModel;
 use crate::server::ServerModel;
+use pb_energy::EnergyLedger;
 use pb_units::Joules;
 use rand::Rng;
 
@@ -76,6 +77,27 @@ impl CycleReport {
             total_per_client: per(edge_total + server_total),
             faults,
         }
+    }
+
+    /// Renders the report as a two-row system [`EnergyLedger`] — the edge
+    /// fleet and the server fleet — in the layout of the paper's scenario
+    /// tables. The row energies are the report's totals carried over
+    /// verbatim (not re-folded from per-instance values), so the ledger's
+    /// total is bitwise equal to [`total_energy`](Self::total_energy):
+    /// both are the single addition `edge + server`.
+    pub fn to_ledger(&self) -> EnergyLedger {
+        let mut ledger = EnergyLedger::new();
+        ledger.record(
+            format!("Edge clients ({} active)", self.n_active),
+            self.edge_energy_total,
+            pb_units::Seconds::ZERO,
+        );
+        ledger.record(
+            format!("Cloud servers ({})", self.n_servers),
+            self.server_energy_total,
+            pb_units::Seconds::ZERO,
+        );
+        ledger
     }
 }
 
@@ -283,6 +305,33 @@ mod tests {
             "total {}",
             r.total_per_client
         );
+    }
+
+    #[test]
+    fn ledger_view_carries_totals_verbatim() {
+        let client = paper_client();
+        let server = paper_server(10);
+        let mut rng = StdRng::seed_from_u64(7);
+        let r = simulate_edge_cloud(
+            180,
+            &client,
+            &server,
+            &LossModel::NONE,
+            FillPolicy::PackSlots,
+            &mut rng,
+        );
+        let ledger = r.to_ledger();
+        assert_eq!(ledger.len(), 2);
+        // Totals carry over bitwise — both sides are the same single
+        // `edge + server` addition, nothing is re-folded.
+        assert_eq!(ledger.total_energy(), r.total_energy);
+        assert_eq!(ledger.energy_of("Edge clients (180 active)"), r.edge_energy_total);
+        assert_eq!(ledger.energy_of("Cloud servers (1)"), r.server_energy_total);
+        assert_eq!(ledger.total_time(), Seconds::ZERO);
+        // The rendered table keeps the paper's layout.
+        let text = format!("{ledger}");
+        assert!(text.contains("Edge clients"));
+        assert!(text.contains("Total"));
     }
 
     #[test]

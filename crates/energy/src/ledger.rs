@@ -49,6 +49,31 @@ impl EnergyLedger {
         self.entries.push(LedgerEntry { task: task.into(), energy, time });
     }
 
+    /// Appends one row attributing a *group* of `count` identical task
+    /// instances (a fleet of same-shape servers, a batch of identical
+    /// hives). The row's energy and time are the repeated-addition fold
+    /// of the per-instance values — `e + e + ⋯` (`count` terms), never
+    /// `count × e`, which rounds differently for non-dyadic values — so
+    /// a grouped ledger's totals stay bit-identical to a ledger that
+    /// recorded every instance as its own row. This is the same
+    /// bit-identity contract the engine's shape-memoized energy sums
+    /// keep when they collapse identical per-server trajectories.
+    pub fn record_group(
+        &mut self,
+        task: impl Into<String>,
+        count: usize,
+        energy_each: Joules,
+        time_each: Seconds,
+    ) {
+        let mut energy = Joules::ZERO;
+        let mut time = Seconds::ZERO;
+        for _ in 0..count {
+            energy += energy_each;
+            time += time_each;
+        }
+        self.record(task, energy, time);
+    }
+
     /// All rows in insertion order.
     pub fn entries(&self) -> &[LedgerEntry] {
         &self.entries
@@ -263,5 +288,32 @@ mod tests {
     fn negative_energy_panics() {
         let mut l = EnergyLedger::new();
         l.record("bad", Joules(-1.0), Seconds(1.0));
+    }
+
+    #[test]
+    fn group_rows_fold_bit_identically_to_per_instance_rows() {
+        // 0.1 J is non-dyadic: 1000 repeated additions round differently
+        // from 1000 × 0.1, so this pins the fold order, not just the sum.
+        let (e, t) = (Joules(0.1), Seconds(0.3));
+        let mut grouped = EnergyLedger::new();
+        grouped.record_group("Uplink receive", 1000, e, t);
+        let mut dense = EnergyLedger::new();
+        for _ in 0..1000 {
+            dense.record("Uplink receive", e, t);
+        }
+        assert_eq!(grouped.len(), 1);
+        assert_eq!(grouped.total_energy(), dense.total_energy());
+        assert_eq!(grouped.total_time(), dense.total_time());
+        assert_eq!(grouped.energy_of("Uplink receive"), dense.energy_of("Uplink receive"));
+        assert_ne!(grouped.total_energy(), e * 1000.0, "multiply must round differently here");
+    }
+
+    #[test]
+    fn empty_group_records_a_zero_row() {
+        let mut l = EnergyLedger::new();
+        l.record_group("Idle servers", 0, Joules(5.0), Seconds(1.0));
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.total_energy(), Joules::ZERO);
+        assert_eq!(l.total_time(), Seconds::ZERO);
     }
 }

@@ -24,6 +24,12 @@ pub enum Value {
     Bool(bool),
     /// String.
     Str(String),
+    /// A 64-bit trace/span id, serialized as a quoted 16-digit hex
+    /// string (the JSONL layer parses numbers as `f64`, which cannot
+    /// hold a full `u64` exactly). Storing the raw id keeps the hot
+    /// tagging path allocation-free; the hex rendering happens once at
+    /// export time.
+    Hex(u64),
 }
 
 impl From<u64> for Value {
@@ -85,6 +91,11 @@ impl Value {
                 let _ = write!(out, "{v}");
             }
             Value::Str(s) => out.push_str(&json::escape(s)),
+            Value::Hex(id) => {
+                out.push('"');
+                crate::trace::push_hex(out, *id);
+                out.push('"');
+            }
         }
     }
 }
@@ -108,6 +119,13 @@ impl Event {
     /// `{"t":…,"seq":…,"kind":"…", <fields>…}`.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(48 + 16 * self.fields.len());
+        self.write_json(&mut out);
+        out
+    }
+
+    /// [`Event::to_json`] into a caller-supplied buffer, so bulk export
+    /// loops reuse one allocation across thousands of events.
+    pub fn write_json(&self, out: &mut String) {
         out.push_str("{\"t\":");
         if self.t_sim.is_finite() {
             let _ = write!(out, "{}", self.t_sim);
@@ -117,10 +135,9 @@ impl Event {
         let _ = write!(out, ",\"seq\":{},\"kind\":{}", self.seq, json::escape(&self.kind));
         for (key, value) in &self.fields {
             let _ = write!(out, ",{}:", json::escape(key));
-            value.write_json(&mut out);
+            value.write_json(out);
         }
         out.push('}');
-        out
     }
 }
 
@@ -272,6 +289,27 @@ mod tests {
         assert_eq!(parsed.get("soc").and_then(Json::as_f64), Some(0.5));
         assert_eq!(parsed.get("label").and_then(Json::as_str), Some("a \"quoted\"\nname"));
         assert!(matches!(parsed.get("nan"), Some(Json::Null)), "non-finite floats become null");
+    }
+
+    #[test]
+    fn hex_values_serialize_as_quoted_16_digit_strings() {
+        let id = 0x0123_4567_89AB_CDEFu64;
+        let e = Event {
+            t_sim: 1.0,
+            seq: 0,
+            kind: "trace.sample".into(),
+            fields: vec![("trace", Value::Hex(id)), ("zero", Value::Hex(0))],
+        };
+        let json = e.to_json();
+        // Byte-identical to the historical pre-rendered form.
+        assert!(json.contains("\"trace\":\"0123456789abcdef\""), "{json}");
+        assert!(json.contains("\"zero\":\"0000000000000000\""), "{json}");
+        let parsed = parse(&json).expect("valid JSON");
+        assert_eq!(parsed.get("trace").and_then(Json::as_str), Some("0123456789abcdef"));
+        // write_json appends without clearing the caller's buffer.
+        let mut buf = String::from("x");
+        e.write_json(&mut buf);
+        assert_eq!(&buf[1..], json);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use crate::events::{Event, Value};
 use crate::json::{self, Json};
 use crate::snapshot::TelemetrySnapshot;
-use crate::trace::parse_hex;
+use crate::trace::{hex, parse_hex};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -95,6 +95,7 @@ fn value_json(v: &Value) -> String {
         Value::F64(_) => "null".to_string(),
         Value::Bool(v) => v.to_string(),
         Value::Str(s) => json::escape(s),
+        Value::Hex(id) => format!("\"{}\"", hex(*id)),
     }
 }
 
@@ -115,8 +116,10 @@ fn rec_from_event(e: &Event) -> Rec {
     let mut args = String::from("{");
     for (i, (k, v)) in e.fields.iter().enumerate() {
         if *k == "trace" {
-            if let Value::Str(s) = v {
-                trace = parse_hex(s);
+            match v {
+                Value::Str(s) => trace = parse_hex(s),
+                Value::Hex(id) => trace = Some(*id),
+                _ => {}
             }
         }
         if i > 0 {

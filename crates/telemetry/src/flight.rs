@@ -132,7 +132,7 @@ impl FlightRecorderSink {
         events.sort_by(|a, b| a.t_sim.total_cmp(&b.t_sim).then(a.seq.cmp(&b.seq)));
         let mut out = String::new();
         for e in &events {
-            out.push_str(&e.to_json());
+            e.write_json(&mut out);
             out.push('\n');
         }
         out

@@ -224,9 +224,12 @@ impl Telemetry {
         mut fields: Vec<(&'static str, Value)>,
     ) {
         if self.events_recording() {
-            fields.push(("trace", trace::hex(span.trace).into()));
-            fields.push(("span", trace::hex(span.span).into()));
-            fields.push(("parent", trace::hex(span.parent).into()));
+            // Raw ids, not pre-rendered hex strings: `Value::Hex` defers
+            // the 16-digit formatting to export time, so tagging an
+            // event allocates nothing beyond the fields vector itself.
+            fields.push(("trace", Value::Hex(span.trace)));
+            fields.push(("span", Value::Hex(span.span)));
+            fields.push(("parent", Value::Hex(span.parent)));
             self.event(t_sim, kind, fields);
         }
     }
@@ -250,7 +253,7 @@ impl Telemetry {
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for e in self.events_sorted() {
-            out.push_str(&e.to_json());
+            e.write_json(&mut out);
             out.push('\n');
         }
         out
@@ -261,7 +264,7 @@ impl Telemetry {
         let events = self.events_sorted();
         let mut out = String::new();
         for e in &events {
-            out.push_str(&e.to_json());
+            e.write_json(&mut out);
             out.push('\n');
         }
         std::fs::write(path, out)?;

@@ -85,10 +85,27 @@ pub fn span_id(trace: u64, hop: u32) -> u64 {
     mix64(trace ^ u64::from(hop).wrapping_add(1).wrapping_mul(SPAN_GAMMA))
 }
 
+/// Appends `id` to `out` as exactly 16 lower-case hex digits, without
+/// going through the `fmt` machinery (the event exporter renders two to
+/// three ids per traced event, so the formatting shows up in traced
+/// sweeps).
+#[inline]
+pub(crate) fn push_hex(out: &mut String, id: u64) {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut buf = [0u8; 16];
+    for (i, b) in buf.iter_mut().enumerate() {
+        *b = DIGITS[((id >> (60 - 4 * i)) & 0xF) as usize];
+    }
+    // All bytes are ASCII hex digits, so the buffer is valid UTF-8.
+    out.push_str(std::str::from_utf8(&buf).expect("hex digits are ASCII"));
+}
+
 /// Renders an id the way event fields carry it: 16 hex digits.
 #[inline]
 pub fn hex(id: u64) -> String {
-    format!("{id:016x}")
+    let mut out = String::with_capacity(16);
+    push_hex(&mut out, id);
+    out
 }
 
 /// Parses a 16-hex-digit id back to its `u64` value.

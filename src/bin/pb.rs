@@ -86,7 +86,7 @@ fn usage() {
     println!("  sweep [--backend B] [--cap N] [--from N] [--to N] [--step N]");
     println!("        [--service svm|cnn|cnn-int8] [--losses] [--seed S]");
     println!("        [--metrics] [--trace FILE] [--faults SPEC] [--causal]");
-    println!("        [--flight FILE] [--chrome FILE] [--openmetrics FILE]");
+    println!("        [--flight FILE | --no-flight] [--chrome FILE] [--openmetrics FILE]");
     println!("                                  Fig. 7 population sweep; --metrics");
     println!("                                  prints the telemetry table, --trace");
     println!("                                  writes a JSONL simulation event log");
@@ -100,6 +100,8 @@ fn usage() {
     println!("                                  --faults without --trace records into a");
     println!("                                  bounded flight recorder that dumps FILE");
     println!("                                  (default pb-flight.jsonl) on anomalies;");
+    println!("                                  --no-flight opts out (keeps the DES on");
+    println!("                                  its memoized fast path);");
     println!("                                  --chrome exports a Perfetto-loadable");
     println!("                                  span view, --openmetrics the metrics");
     println!("  trace FILE [--top K] [--chrome FILE]");
@@ -248,9 +250,12 @@ fn sweep(flags: &HashMap<String, String>) {
     // and either way the simulation results are bit-identical. Faulted
     // sweeps without an explicit trace default to the bounded flight
     // recorder, which auto-dumps a post-mortem JSONL on anomalies
-    // (brown-out, retry exhaustion, conservation mismatch).
+    // (brown-out, retry exhaustion, conservation mismatch). Any
+    // recording sink — the flight recorder included — forces the DES
+    // off its shape-memoized fast path (events must be observable in
+    // order), so `--no-flight` opts out for throughput-sensitive runs.
     let wants_events = trace_path.is_some() || chrome_path.is_some();
-    let flight = if !fault_plan.is_none() && !wants_events {
+    let flight = if !fault_plan.is_none() && !wants_events && !flags.contains_key("no-flight") {
         Some(std::sync::Arc::new(
             FlightRecorderSink::new(4096).with_auto_dump(flight_path.clone(), 1),
         ))
