@@ -64,8 +64,29 @@ impl Apiary {
         max_parallel: usize,
         loss: LossModel,
     ) -> ScenarioRecommendation {
+        self.recommend_in(backend, service, max_parallel, loss, &SimContext::new(Self::SEED))
+    }
+
+    /// The recommender's fixed master seed: every recommendation prices
+    /// the same loss draw, so verdicts are reproducible across calls,
+    /// processes and serving contexts.
+    pub const SEED: u64 = 0xAB1A;
+
+    /// [`Apiary::recommend_with`] against a caller-supplied
+    /// [`SimContext`], so a resident process can share one allocation
+    /// cache and telemetry registry across recommendations. Pass a
+    /// context seeded with [`Apiary::SEED`] to reproduce
+    /// [`Apiary::recommend_with`] bit-for-bit.
+    pub fn recommend_in(
+        &self,
+        backend: Backend,
+        service: ServiceKind,
+        max_parallel: usize,
+        loss: LossModel,
+        ctx: &SimContext,
+    ) -> ScenarioRecommendation {
         let spec = ScenarioSpec::paper(service, max_parallel, loss);
-        let point = backend.compare(&spec, self.n_hives, &SimContext::new(0xAB1A));
+        let point = backend.compare(&spec, self.n_hives, ctx);
         let scenario =
             if point.cloud_wins() { Scenario::EdgeCloud(service) } else { Scenario::Edge(service) };
         ScenarioRecommendation {

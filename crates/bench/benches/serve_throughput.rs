@@ -1,0 +1,193 @@
+//! Serving-layer throughput: sustained req/s through a resident
+//! `pb serve` daemon under concurrent clients, with client-side latency
+//! percentiles.
+//!
+//! Three workloads, all over loopback TCP through the real framed
+//! protocol (so the numbers include codec, admission and fan-out cost):
+//!
+//! * `recommend_distinct`    — every request is unique; nothing can
+//!   coalesce, so this is the daemon's per-request floor.
+//! * `recommend_coalesced`   — every client asks the same question;
+//!   in-flight duplicates share one execution.
+//! * `montecarlo_distinct`   — a heavier op (32 replications) that
+//!   exercises the engine through the shared allocation cache.
+//!
+//! Results (req/s plus p50/p95/p99 ms computed from the raw client-side
+//! samples — the telemetry histograms only summarize to p95) go to
+//! `BENCH_serve.json` at the repository root, which
+//! `bench_sentinel --serve` gates in CI.
+//!
+//! Set `SERVE_BENCH_REQUESTS` to cap per-client request counts — CI's
+//! smoke run shrinks the sweep to fit the job budget.
+
+use criterion::{black_box, Criterion};
+use precision_beekeeping::serve::{spawn, ServeClient, ServeOptions};
+use rayon::pool::current_num_threads;
+use std::time::Instant;
+
+/// Concurrent client connections per workload.
+const CLIENTS: usize = 8;
+
+/// Requests each client issues, per workload (before the env cap).
+const REQUESTS_PER_CLIENT: usize = 50;
+
+fn requests_per_client() -> usize {
+    std::env::var("SERVE_BENCH_REQUESTS")
+        .ok()
+        .and_then(|raw| raw.parse().ok())
+        .unwrap_or(REQUESTS_PER_CLIENT)
+}
+
+struct Row {
+    name: &'static str,
+    requests: usize,
+    req_per_sec: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+/// Nearest-rank percentile over sorted samples (milliseconds).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Runs one workload: `CLIENTS` connections each issuing `per_client`
+/// requests produced by `request(client, i)`, against a fresh daemon.
+/// Returns the throughput row; panics if any reply is not ok/shed-retried
+/// or conservation is violated at drain.
+fn run_workload(
+    name: &'static str,
+    per_client: usize,
+    request: impl Fn(usize, usize) -> String + Send + Sync + Clone + 'static,
+) -> Row {
+    let daemon = spawn(
+        "127.0.0.1:0",
+        ServeOptions { queue_capacity: 1024, workers: 4, ..ServeOptions::default() },
+    )
+    .expect("spawn daemon");
+    let addr = daemon.addr();
+
+    let started = Instant::now();
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let request = request.clone();
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                let mut latencies_ms = Vec::with_capacity(per_client);
+                for i in 0..per_client {
+                    let t = Instant::now();
+                    let reply = client.call_with_retry(&request(c, i), 16).expect("request failed");
+                    assert!(
+                        reply.starts_with("{\"status\":\"ok\""),
+                        "{name}: unexpected reply {reply}"
+                    );
+                    latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                }
+                latencies_ms
+            })
+        })
+        .collect();
+
+    let mut samples: Vec<f64> = Vec::with_capacity(CLIENTS * per_client);
+    for w in workers {
+        samples.extend(w.join().expect("client thread panicked"));
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let report = daemon.shutdown();
+    assert!(report.conservation_ok(), "{name}: {report}");
+
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let requests = samples.len();
+    Row {
+        name,
+        requests,
+        req_per_sec: requests as f64 / elapsed,
+        p50_ms: percentile(&samples, 50.0),
+        p95_ms: percentile(&samples, 95.0),
+        p99_ms: percentile(&samples, 99.0),
+    }
+}
+
+fn measure_rows() -> Vec<Row> {
+    let per_client = requests_per_client();
+    vec![
+        run_workload("recommend_distinct", per_client, move |c, i| {
+            // Unique hive counts per request: nothing can coalesce.
+            format!("{{\"op\":\"recommend\",\"hives\":{},\"cap\":35}}", 100 + c * per_client + i)
+        }),
+        run_workload("recommend_coalesced", per_client, |_, _| {
+            "{\"op\":\"recommend\",\"hives\":630,\"cap\":35}".to_string()
+        }),
+        run_workload("montecarlo_distinct", per_client, move |c, i| {
+            format!(
+                "{{\"op\":\"montecarlo\",\"clients\":200,\"replications\":32,\"cap\":10,\
+                 \"seed\":{}}}",
+                1 + c * per_client + i
+            )
+        }),
+    ]
+}
+
+fn write_json(rows: &[Row]) {
+    let mut out = String::from("{\n  \"bench\": \"serve_throughput\",\n");
+    out.push_str(&format!("  \"n_threads\": {},\n", current_num_threads()));
+    out.push_str(&format!("  \"clients\": {},\n", CLIENTS));
+    out.push_str(&format!("  \"requests_per_client\": {},\n", requests_per_client()));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"requests\": {}, \"req_per_sec\": {:.1}, \
+             \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}}}{}\n",
+            r.name,
+            r.requests,
+            r.req_per_sec,
+            r.p50_ms,
+            r.p95_ms,
+            r.p99_ms,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    match std::fs::write(path, &out) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn criterion_groups() {
+    let mut c = Criterion::from_args();
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+    group.bench_function("recommend_round_trip", |b| {
+        let daemon = spawn("127.0.0.1:0", ServeOptions::default()).expect("spawn daemon");
+        let mut client = ServeClient::connect(daemon.addr()).expect("connect");
+        let mut n = 0usize;
+        b.iter(|| {
+            n += 1;
+            let req = format!("{{\"op\":\"recommend\",\"hives\":{},\"cap\":35}}", 100 + n);
+            black_box(client.call(&req).expect("call"))
+        });
+        daemon.shutdown();
+    });
+    group.finish();
+    c.final_summary();
+}
+
+fn main() {
+    criterion_groups();
+    let rows = measure_rows();
+    for r in &rows {
+        println!(
+            "{:<22} {:>5} reqs: {:>9.1} req/s  p50 {:>8.3} ms  p95 {:>8.3} ms  p99 {:>8.3} ms",
+            r.name, r.requests, r.req_per_sec, r.p50_ms, r.p95_ms, r.p99_ms
+        );
+    }
+    write_json(&rows);
+}

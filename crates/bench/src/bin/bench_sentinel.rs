@@ -2,9 +2,10 @@
 //!
 //! Reads the machine-readable baselines the bench harnesses write at the
 //! repository root — `BENCH_dsp.json` (per-stage DSP/CNN latencies),
-//! `BENCH_scale.json` (per-backend sweep throughput) and
-//! `BENCH_parallel.json` (pooled sweep latencies) — and fails (exit 1)
-//! when any pinned row regressed beyond the allowed envelope.
+//! `BENCH_scale.json` (per-backend sweep throughput),
+//! `BENCH_parallel.json` (pooled sweep latencies) and `BENCH_serve.json`
+//! (daemon request throughput) — and fails (exit 1) when any pinned row
+//! regressed beyond the allowed envelope.
 //!
 //! The envelope has two named factors so the policy reads off the code:
 //!
@@ -20,9 +21,9 @@
 //! the pipeline — the sentinel prints what it skipped so silent coverage
 //! loss is visible in the log.
 //!
-//! Usage: `bench_sentinel [--dsp FILE] [--scale FILE] [--parallel FILE]`
-//! (defaults to the repo-root filenames, resolved against the current
-//! directory).
+//! Usage: `bench_sentinel [--dsp FILE] [--scale FILE] [--parallel FILE]
+//! [--serve FILE]` (defaults to the repo-root filenames, resolved
+//! against the current directory).
 
 use pb_telemetry::json::{self, Json};
 use std::process::ExitCode;
@@ -68,6 +69,18 @@ const SCALE_CLIENTS_PER_SEC: &[(&str, u64, f64)] = &[
 /// the chunk plan or the per-point evaluation got slower.
 const PARALLEL_MS: &[(&str, f64)] =
     &[("montecarlo_replicate_sweep", 0.059), ("fig7_range_sweep", 0.646), ("train_epoch", 7.221)];
+
+/// Pinned serving-throughput floors (requests/second) from
+/// `BENCH_serve.json` on the reference box. These guard the daemon's
+/// whole request path — framed codec, admission, coalescing, executor
+/// fan-out — over loopback TCP; the `recommend` rows assume the
+/// single-write frame + `TCP_NODELAY` path (losing either re-parks every
+/// reply behind a ~40 ms delayed ACK, a >1000× drop).
+const SERVE_REQ_PER_SEC: &[(&str, f64)] = &[
+    ("recommend_distinct", 20_630.7),
+    ("recommend_coalesced", 25_714.8),
+    ("montecarlo_distinct", 10_801.7),
+];
 
 struct Outcome {
     checked: usize,
@@ -194,20 +207,52 @@ fn check_parallel(doc: &Json, out: &mut Outcome) {
     }
 }
 
+/// Serving-throughput gate: `req_per_sec` must stay above
+/// `pinned / (slack × factor)`, same envelope as the scale rows.
+fn check_serve(doc: &Json, out: &mut Outcome) {
+    let rows = rows(doc);
+    for (name, pinned_rps) in SERVE_REQ_PER_SEC {
+        let Some(row) = rows.iter().find(|r| r.get("name").and_then(Json::as_str) == Some(name))
+        else {
+            out.skip(&format!("serve row `{name}` missing"));
+            continue;
+        };
+        let Some(rps) = row.get("req_per_sec").and_then(Json::as_f64) else {
+            out.skip(&format!("serve row `{name}` has no req_per_sec"));
+            continue;
+        };
+        out.checked += 1;
+        let floor = pinned_rps / (MACHINE_SLACK * REGRESSION_FACTOR);
+        let verdict = if rps < floor { "FAIL" } else { "ok" };
+        println!("  {verdict:<4}  serve {name:<30} {rps:>14.1} req/s (floor {floor:.1})");
+        if rps < floor {
+            out.failures.push(format!(
+                "serve `{name}`: {rps:.1} req/s < {floor:.1} \
+                 (pinned {pinned_rps:.1} ÷ {MACHINE_SLACK} machine ÷ {REGRESSION_FACTOR} gate)"
+            ));
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut dsp_path = "BENCH_dsp.json".to_string();
     let mut scale_path = "BENCH_scale.json".to_string();
     let mut parallel_path = "BENCH_parallel.json".to_string();
+    let mut serve_path = "BENCH_serve.json".to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--dsp" => dsp_path = it.next().cloned().unwrap_or(dsp_path),
             "--scale" => scale_path = it.next().cloned().unwrap_or(scale_path),
             "--parallel" => parallel_path = it.next().cloned().unwrap_or(parallel_path),
+            "--serve" => serve_path = it.next().cloned().unwrap_or(serve_path),
             other => {
                 eprintln!("bench_sentinel: unknown argument `{other}`");
-                eprintln!("usage: bench_sentinel [--dsp FILE] [--scale FILE] [--parallel FILE]");
+                eprintln!(
+                    "usage: bench_sentinel [--dsp FILE] [--scale FILE] \
+                     [--parallel FILE] [--serve FILE]"
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -229,6 +274,11 @@ fn main() -> ExitCode {
         check_parallel(&doc, &mut out);
     } else {
         out.skipped += PARALLEL_MS.len();
+    }
+    if let Some(doc) = load(&serve_path) {
+        check_serve(&doc, &mut out);
+    } else {
+        out.skipped += SERVE_REQ_PER_SEC.len();
     }
 
     println!(

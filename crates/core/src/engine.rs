@@ -332,6 +332,20 @@ impl SimContext {
         SimContext { seed, cache, telemetry: Telemetry::disabled(), faults: FaultPlan::NONE }
     }
 
+    /// A context sharing an existing cache *and* reporting into
+    /// `telemetry` — the serving daemon's shape: one process-wide
+    /// allocation cache and one metrics registry across every request,
+    /// while each request still gets its own seed. Note the cache's own
+    /// hit/miss mirroring is bound when the cache is constructed
+    /// ([`AllocationCache::with_telemetry`]), not here.
+    pub fn with_cache_and_telemetry(
+        seed: u64,
+        cache: Arc<AllocationCache>,
+        telemetry: Telemetry,
+    ) -> Self {
+        SimContext { seed, cache, telemetry, faults: FaultPlan::NONE }
+    }
+
     /// This context with `plan` injected into every evaluation. The
     /// structural [`FaultPlan::NONE`] keeps the exact fault-free paths.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {

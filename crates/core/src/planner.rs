@@ -56,12 +56,30 @@ pub fn plan_slot_capacity(
     policy: FillPolicy,
     seed: u64,
 ) -> CapacityPlan {
-    let caps: Vec<usize> = caps.into_iter().collect();
-    assert!(!caps.is_empty(), "capacity sweep must be non-empty");
-    assert!(n_clients > 0, "need at least one client");
     // One context for the whole sweep: the population is fixed, so every
     // capacity shares the same per-point RNG stream (and the cache).
     let ctx = SimContext::new(seed);
+    plan_slot_capacity_with(&ctx, n_clients, caps, make_server, client, loss, policy)
+}
+
+/// [`plan_slot_capacity`] against a caller-supplied [`SimContext`], so a
+/// resident process (the serving daemon) can share one allocation cache
+/// and one telemetry registry across many plans. The context supplies
+/// the seed, the cache and the telemetry, exactly like
+/// [`crate::sweep::SweepConfig::run_with_context`]; results are
+/// bit-identical to [`plan_slot_capacity`] at the same seed.
+pub fn plan_slot_capacity_with(
+    ctx: &SimContext,
+    n_clients: usize,
+    caps: impl IntoIterator<Item = usize>,
+    make_server: impl Fn(usize) -> ServerModel + Sync,
+    client: &ClientModel,
+    loss: &LossModel,
+    policy: FillPolicy,
+) -> CapacityPlan {
+    let caps: Vec<usize> = caps.into_iter().collect();
+    assert!(!caps.is_empty(), "capacity sweep must be non-empty");
+    assert!(n_clients > 0, "need at least one client");
     let curve: Vec<CapacityPoint> = caps
         .par_iter()
         .map(|&cap| {
@@ -76,7 +94,7 @@ pub fn plan_slot_capacity(
                 loss: *loss,
                 policy,
             };
-            let report = Backend::ClosedForm.evaluate(&spec, n_clients, &ctx);
+            let report = Backend::ClosedForm.evaluate(&spec, n_clients, ctx);
             CapacityPoint {
                 cap,
                 per_client: report.total_per_client,

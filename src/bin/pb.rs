@@ -36,6 +36,7 @@ use precision_beekeeping::orchestra::sweep::{
     analyze_crossover, validate_client_count, SweepConfig,
 };
 use precision_beekeeping::orchestra::FillPolicy;
+use precision_beekeeping::serve::{self as serve_mod, ServeClient, ServeOptions};
 use precision_beekeeping::signal::audio::{BeeAudioSynth, ColonyState};
 use precision_beekeeping::signal::pipeline::MelPipeline;
 use precision_beekeeping::telemetry::export::{chrome_trace, chrome_trace_from_jsonl, openmetrics};
@@ -60,11 +61,17 @@ fn main() {
         trace_cmd(rest);
         return;
     }
+    // `call` takes a positional endpoint and request, likewise.
+    if command == "call" {
+        call_cmd(rest);
+        return;
+    }
     let flags = parse_flags(rest.iter().cloned());
     match command {
         "tables" => tables(),
         "recommend" => recommend(&flags),
         "sweep" => sweep(&flags),
+        "serve" => serve(&flags),
         "tune" => tune(&flags),
         "alert" => alert(&flags),
         "help" | "--help" | "-h" => usage(),
@@ -110,6 +117,20 @@ fn usage() {
     println!("                                  fallback root causes, critical paths");
     println!("  tune [--battery-wh W]           fastest sustainable wake-up period");
     println!("  alert [--accuracy A] [--k K]    queen-loss alerting trade-off");
+    println!("  serve [--listen HOST:PORT] [--unix PATH] [--queue N] [--workers N]");
+    println!("        [--metrics] [--openmetrics FILE]");
+    println!("                                  resident daemon: sweep/plan/recommend/");
+    println!("                                  montecarlo/features over a length-framed");
+    println!("                                  JSON protocol, with request coalescing,");
+    println!("                                  a bounded admission queue (shed + retry-");
+    println!("                                  after) and graceful drain on the");
+    println!("                                  'shutdown' op; --metrics prints the");
+    println!("                                  telemetry table after the drain");
+    println!("  call ENDPOINT JSON [--attempts N]");
+    println!("                                  send one framed request to a daemon");
+    println!("                                  (ENDPOINT is host:port or a Unix socket");
+    println!("                                  path) and print the response; honors");
+    println!("                                  shed retry-after up to N tries (default 5)");
 }
 
 fn parse_flags(args: impl Iterator<Item = String>) -> HashMap<String, String> {
@@ -480,6 +501,91 @@ fn in_vivo_energy(telemetry: &Telemetry, seed: u64) {
         .to_ledger()
         .publish_metrics(telemetry, "edge");
     routines.edge_cloud_cycle(CYCLE_PERIOD).to_ledger().publish_metrics(telemetry, "edge_cloud");
+}
+
+/// `pb serve` — runs the resident orchestration daemon until a client
+/// sends the `shutdown` op, then prints the drain accounting (the
+/// conservation line CI greps), the coalesce counter, and — with
+/// `--metrics` / `--openmetrics` — the final telemetry.
+fn serve(flags: &HashMap<String, String>) {
+    let queue = get(flags, "queue", 64usize);
+    let workers = get(flags, "workers", 2usize);
+    if queue == 0 {
+        fail("--queue must be at least 1");
+    }
+    if workers == 0 {
+        fail("--workers must be at least 1");
+    }
+    let metrics = flags.contains_key("metrics");
+    let openmetrics_path = path_flag(flags, "openmetrics");
+    let unix_path = path_flag(flags, "unix");
+    let listen = match flags.get("listen") {
+        Some(a) if a == "true" => fail("--listen needs HOST:PORT"),
+        Some(a) => a.clone(),
+        None => "127.0.0.1:7631".to_string(),
+    };
+    let options = ServeOptions {
+        queue_capacity: queue,
+        workers,
+        telemetry: Telemetry::metrics_only(),
+        ..ServeOptions::default()
+    };
+    let telemetry = options.telemetry.clone();
+    let handle = if let Some(path) = &unix_path {
+        let h = serve_mod::spawn_unix(std::path::Path::new(path), options)
+            .unwrap_or_else(|e| fail(&format!("cannot bind {path}: {e}")));
+        println!("pb serve: listening on unix socket {path}");
+        h
+    } else {
+        let h = serve_mod::spawn(&listen, options)
+            .unwrap_or_else(|e| fail(&format!("cannot bind {listen}: {e}")));
+        println!("pb serve: listening on {}", h.addr());
+        h
+    };
+    println!(
+        "pb serve: queue capacity {queue}, {workers} worker(s); send \
+         {{\"op\":\"shutdown\"}} to drain and stop"
+    );
+    let report = handle.wait();
+    println!("{report}");
+    println!("serve.coalesce.hits : {}", report.coalesced);
+    println!(
+        "serve requests      : {} executed for {} accepted ({} shed)",
+        report.executed, report.accepted, report.shed
+    );
+    if metrics {
+        println!("\ntelemetry metrics:");
+        println!("{}", metrics_table(&telemetry.snapshot()).render());
+    }
+    if let Some(path) = openmetrics_path {
+        match std::fs::write(&path, openmetrics(&telemetry.snapshot())) {
+            Ok(()) => println!("wrote OpenMetrics exposition to {path}"),
+            Err(e) => fail(&format!("cannot write OpenMetrics to {path}: {e}")),
+        }
+    }
+}
+
+/// `pb call ENDPOINT JSON [--attempts N]` — one framed request to a
+/// running daemon; shed responses are honored (sleep `retry_after_s`,
+/// retry with an incremented `attempt`) up to the attempt budget.
+fn call_cmd(args: &[String]) {
+    let Some(endpoint) = args.first().filter(|a| !a.starts_with("--")) else {
+        fail("call needs an endpoint: pb call HOST:PORT|SOCKET_PATH JSON [--attempts N]");
+    };
+    let Some(request) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        fail("call needs a JSON request, e.g. '{\"op\":\"status\"}'");
+    };
+    let flags = parse_flags(args[2..].iter().cloned());
+    let attempts = get(&flags, "attempts", 5u32);
+    if attempts == 0 {
+        fail("--attempts must be at least 1");
+    }
+    let mut client = ServeClient::connect_str(endpoint)
+        .unwrap_or_else(|e| fail(&format!("cannot connect to {endpoint}: {e}")));
+    match client.call_with_retry(request, attempts) {
+        Ok(response) => println!("{response}"),
+        Err(e) => fail(&format!("{endpoint}: {e}")),
+    }
 }
 
 fn tune(flags: &HashMap<String, String>) {

@@ -17,7 +17,10 @@
 //! * [`orchestra`] — the client/server/allocator placement simulator (the
 //!   paper's contribution),
 //! * [`beehive`] — smart beehives, apiaries and the queen-detection
-//!   pipeline.
+//!   pipeline,
+//! * [`serve`] — the resident orchestration daemon behind `pb serve`:
+//!   a framed request protocol with coalescing, bounded admission and
+//!   graceful drain.
 //!
 //! # Quick start
 //!
@@ -42,3 +45,5 @@ pub use pb_signal as signal;
 /// (re-export of the dependency-free `pb-telemetry` crate).
 pub use pb_telemetry as telemetry;
 pub use pb_units as units;
+
+pub mod serve;

@@ -1,0 +1,174 @@
+//! The length-framed wire codec.
+//!
+//! Every message — request or response — travels as one *frame*:
+//!
+//! ```text
+//! +----------------+---------------------+
+//! | length: u32 BE | payload: length × u8 |
+//! +----------------+---------------------+
+//! ```
+//!
+//! The payload is UTF-8 JSON, but the codec itself is byte-agnostic:
+//! framing errors (truncation, oversize) and payload errors (bad UTF-8,
+//! bad JSON) are separate layers, so a payload error never desyncs the
+//! stream — exactly `length` bytes were consumed either way, and the
+//! next frame starts cleanly.
+//!
+//! The length prefix is bounded by [`MAX_FRAME`]. An oversized prefix
+//! is unrecoverable (the peer would have to stream megabytes we refuse
+//! to buffer), so the server replies with a structured error and closes
+//! the connection; everything else keeps the stream alive.
+
+use std::io::{self, Read, Write};
+
+/// Largest accepted payload, in bytes. Requests are small JSON objects
+/// and responses top out at a few hundred sweep rows, so 1 MiB is two
+/// orders of magnitude of headroom while still refusing hostile
+/// prefixes before allocating.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the stream at a frame boundary — normal EOF.
+    Closed,
+    /// The stream ended or errored mid-frame (truncated prefix or
+    /// payload, reset, …).
+    Io(io::Error),
+    /// The length prefix exceeds [`MAX_FRAME`]; the stream cannot be
+    /// resynchronized and must be closed.
+    Oversized(usize),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Io(e) => write!(f, "truncated frame: {e}"),
+            FrameError::Oversized(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte limit")
+            }
+        }
+    }
+}
+
+/// Writes one frame: 4-byte big-endian length, then the payload.
+///
+/// The prefix and payload go out in a single `write_all` — on a TCP
+/// stream, a separate 4-byte write would hand Nagle's algorithm a
+/// sub-MSS segment and stall the payload behind a delayed ACK
+/// (~40–200 ms per frame).
+///
+/// Panics if `payload` exceeds [`MAX_FRAME`] — the server never builds
+/// such a response, and a client that does has a bug worth surfacing.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    assert!(payload.len() <= MAX_FRAME, "frame payload exceeds MAX_FRAME");
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Reads one frame, returning the raw payload bytes.
+///
+/// EOF exactly at a frame boundary is [`FrameError::Closed`]; EOF or an
+/// I/O error anywhere inside a frame is [`FrameError::Io`].
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match r.read(&mut prefix[filled..]) {
+            Ok(0) if filled == 0 => return Err(FrameError::Closed),
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a length prefix",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(FrameError::Io)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn round_trip(payload: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, payload).unwrap();
+        read_frame(&mut Cursor::new(buf)).unwrap()
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        for payload in [&b""[..], b"{}", b"{\"op\":\"status\"}", &[0u8, 255, 128, 7]] {
+            assert_eq!(round_trip(payload), payload);
+        }
+    }
+
+    #[test]
+    fn consecutive_frames_stay_in_sync() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, b"third").unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap(), b"first");
+        assert_eq!(read_frame(&mut cur).unwrap(), b"");
+        assert_eq!(read_frame(&mut cur).unwrap(), b"third");
+        assert!(matches!(read_frame(&mut cur), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn clean_eof_is_closed() {
+        assert!(matches!(read_frame(&mut Cursor::new(Vec::new())), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn truncated_prefix_is_io() {
+        assert!(matches!(read_frame(&mut Cursor::new(vec![0, 0])), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn truncated_payload_is_io() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(matches!(read_frame(&mut Cursor::new(buf)), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_before_allocating() {
+        let len = (MAX_FRAME as u32) + 1;
+        let buf = len.to_be_bytes().to_vec();
+        match read_frame(&mut Cursor::new(buf)) {
+            Err(FrameError::Oversized(n)) => assert_eq!(n, MAX_FRAME + 1),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn max_frame_exactly_is_accepted() {
+        let payload = vec![0x42u8; MAX_FRAME];
+        assert_eq!(round_trip(&payload).len(), MAX_FRAME);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_FRAME")]
+    fn writing_an_oversized_frame_panics() {
+        let payload = vec![0u8; MAX_FRAME + 1];
+        let _ = write_frame(&mut Vec::new(), &payload);
+    }
+}

@@ -1,0 +1,736 @@
+//! Request grammar, canonical coalescing keys, and response rendering.
+//!
+//! A request is one JSON object per frame. The `op` field selects the
+//! operation; every other field is optional and defaults to the same
+//! value the batch CLI would use, so `{"op":"sweep"}` prices exactly
+//! the sweep `pb sweep` prices:
+//!
+//! ```text
+//! {"op":"sweep","backend":"des","cap":35,"from":100,"to":2000,
+//!  "step":100,"service":"cnn","losses":true,"faults":"mid",
+//!  "seed":"990749"}
+//! {"op":"plan","clients":630,"cap_from":1,"cap_to":60}
+//! {"op":"recommend","hives":630,"cap":35}
+//! {"op":"montecarlo","clients":200,"replications":32,"cap":10}
+//! {"op":"features","colony":"queenless","duration_s":2,"seed":"7"}
+//! {"op":"status"}   {"op":"shutdown"}
+//! ```
+//!
+//! Seeds may arrive as a JSON integer (exact up to 2⁵³) or as a decimal
+//! or `0x…` string (exact over the full u64 range). An optional
+//! `attempt` field (≥ 1, default 1) feeds the shed-response backoff and
+//! is deliberately **excluded** from the coalescing key: retries of the
+//! same work must coalesce with the original.
+//!
+//! [`Request::canonical`] renders the fully-defaulted request back to a
+//! canonical JSON string with a fixed field order — that string *is*
+//! the coalescing key, so two requests coalesce exactly when they
+//! denote the same computation, regardless of field order, formatting,
+//! or how the seed was spelled.
+//!
+//! Responses are one JSON object per frame, `status` first:
+//!
+//! * `{"status":"ok","op":…,"body":{…}}` — the result;
+//! * `{"status":"error","error":"…"}` — the request was malformed or
+//!   invalid (the stream stays usable);
+//! * `{"status":"shed","retry_after_s":…,"attempt":…,"queue_depth":…}`
+//!   — the admission queue was full; retry after the given delay.
+//!
+//! All floats are rendered with Rust's shortest-round-trip `Display`,
+//! which makes response bytes a faithful function of the result bits —
+//! the property the bit-identity tests in `tests/serve_protocol.rs`
+//! pin.
+
+use crate::orchestra::engine::Backend;
+use crate::orchestra::faults::{FaultPlan, FaultStats};
+use crate::orchestra::montecarlo::CiPoint;
+use crate::orchestra::planner::CapacityPlan;
+use crate::orchestra::sweep::{analyze_crossover, validate_client_count, ComparisonPoint};
+use crate::orchestra::ServiceKind;
+use crate::signal::audio::ColonyState;
+use crate::telemetry::json::{self, Json};
+use pb_beehive::apiary::ScenarioRecommendation;
+
+/// Upper bound on Monte-Carlo replications per request — enough for a
+/// tight CI, small enough that one request cannot monopolize the pool.
+pub const MAX_REPLICATIONS: usize = 100_000;
+
+/// A population sweep (the paper's Fig. 7), mirroring `pb sweep`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepRequest {
+    /// Evaluation backend.
+    pub backend: Backend,
+    /// Service the clients run.
+    pub service: ServiceKind,
+    /// Clients allowed in parallel per slot.
+    pub cap: usize,
+    /// First population.
+    pub from: usize,
+    /// Last population.
+    pub to: usize,
+    /// Population step.
+    pub step: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Apply the paper's loss models.
+    pub losses: bool,
+    /// Deterministic fault plan.
+    pub faults: FaultPlan,
+}
+
+/// A slot-capacity plan, mirroring the planner's CLI-visible sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlanRequest {
+    /// Fixed population to plan for.
+    pub clients: usize,
+    /// Smallest capacity evaluated.
+    pub cap_from: usize,
+    /// Largest capacity evaluated.
+    pub cap_to: usize,
+    /// Service the clients run.
+    pub service: ServiceKind,
+    /// Apply the paper's loss models.
+    pub losses: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// An apiary placement recommendation, mirroring `pb recommend`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RecommendRequest {
+    /// Evaluation backend.
+    pub backend: Backend,
+    /// Apiary size.
+    pub hives: usize,
+    /// Clients allowed in parallel per slot.
+    pub cap: usize,
+    /// Service the hives run.
+    pub service: ServiceKind,
+    /// Apply the paper's loss models.
+    pub losses: bool,
+}
+
+/// A Monte-Carlo confidence interval at one population.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MonteCarloRequest {
+    /// Population size.
+    pub clients: usize,
+    /// Independent replications (≥ 2).
+    pub replications: usize,
+    /// Clients allowed in parallel per slot.
+    pub cap: usize,
+    /// Service the clients run.
+    pub service: ServiceKind,
+    /// Apply the paper's loss models.
+    pub losses: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// Mel band means of a synthesized clip through the daemon's shared
+/// planned [`crate::signal::pipeline::MelPipeline`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FeaturesRequest {
+    /// Ground-truth colony condition of the synthesized clip.
+    pub colony: ColonyState,
+    /// Synthesis seed.
+    pub seed: u64,
+    /// Clip duration in seconds (0 < d ≤ 30).
+    pub duration_s: f64,
+}
+
+/// One parsed, validated, fully-defaulted request.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Request {
+    /// Population sweep.
+    Sweep(SweepRequest),
+    /// Slot-capacity plan.
+    Plan(PlanRequest),
+    /// Apiary recommendation.
+    Recommend(RecommendRequest),
+    /// Monte-Carlo confidence interval.
+    MonteCarlo(MonteCarloRequest),
+    /// DSP feature extraction through the shared pipeline.
+    Features(FeaturesRequest),
+    /// Daemon counters and queue state.
+    Status,
+    /// Graceful drain: finish everything queued, then stop.
+    Shutdown,
+}
+
+/// A request plus its transport-level `attempt` counter (not part of
+/// the coalescing key).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Envelope {
+    /// The operation to execute.
+    pub request: Request,
+    /// Which attempt this is (1 = first try); echoed in shed responses
+    /// and fed to the retry-after backoff schedule.
+    pub attempt: u32,
+}
+
+impl Request {
+    /// The operation name, as it appears in `op` fields and per-op
+    /// telemetry histogram names (`serve.request.<op>`).
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Sweep(_) => "sweep",
+            Request::Plan(_) => "plan",
+            Request::Recommend(_) => "recommend",
+            Request::MonteCarlo(_) => "montecarlo",
+            Request::Features(_) => "features",
+            Request::Status => "status",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
+    /// The canonical form: the fully-defaulted request as JSON with a
+    /// fixed field order. Two requests are coalesced exactly when their
+    /// canonical forms are byte-equal.
+    pub fn canonical(&self) -> String {
+        match self {
+            Request::Sweep(r) => format!(
+                "{{\"op\":\"sweep\",\"backend\":\"{}\",\"service\":\"{}\",\"cap\":{},\
+                 \"from\":{},\"to\":{},\"step\":{},\"seed\":\"{}\",\"losses\":{},\
+                 \"faults\":\"{}\"}}",
+                r.backend,
+                service_token(r.service),
+                r.cap,
+                r.from,
+                r.to,
+                r.step,
+                r.seed,
+                r.losses,
+                r.faults
+            ),
+            Request::Plan(r) => format!(
+                "{{\"op\":\"plan\",\"clients\":{},\"cap_from\":{},\"cap_to\":{},\
+                 \"service\":\"{}\",\"losses\":{},\"seed\":\"{}\"}}",
+                r.clients,
+                r.cap_from,
+                r.cap_to,
+                service_token(r.service),
+                r.losses,
+                r.seed
+            ),
+            Request::Recommend(r) => format!(
+                "{{\"op\":\"recommend\",\"backend\":\"{}\",\"hives\":{},\"cap\":{},\
+                 \"service\":\"{}\",\"losses\":{}}}",
+                r.backend,
+                r.hives,
+                r.cap,
+                service_token(r.service),
+                r.losses
+            ),
+            Request::MonteCarlo(r) => format!(
+                "{{\"op\":\"montecarlo\",\"clients\":{},\"replications\":{},\"cap\":{},\
+                 \"service\":\"{}\",\"losses\":{},\"seed\":\"{}\"}}",
+                r.clients,
+                r.replications,
+                r.cap,
+                service_token(r.service),
+                r.losses,
+                r.seed
+            ),
+            Request::Features(r) => format!(
+                "{{\"op\":\"features\",\"colony\":\"{}\",\"seed\":\"{}\",\"duration_s\":{}}}",
+                colony_name(r.colony),
+                r.seed,
+                r.duration_s
+            ),
+            Request::Status => "{\"op\":\"status\"}".to_string(),
+            Request::Shutdown => "{\"op\":\"shutdown\"}".to_string(),
+        }
+    }
+}
+
+/// The wire spelling of a service kind: the token [`parse_request`]
+/// accepts, so canonical forms re-parse to themselves (unlike the
+/// display-cased `ServiceKind::name`).
+fn service_token(s: ServiceKind) -> &'static str {
+    match s {
+        ServiceKind::Svm => "svm",
+        ServiceKind::Cnn => "cnn",
+        ServiceKind::CnnInt8 => "cnn-int8",
+    }
+}
+
+fn colony_name(c: ColonyState) -> &'static str {
+    match c {
+        ColonyState::Queenright => "queenright",
+        ColonyState::Queenless => "queenless",
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn field<'a>(obj: &'a Json, key: &str) -> Option<&'a Json> {
+    obj.get(key)
+}
+
+/// A non-negative integer field, accepted as an exact JSON number.
+fn get_usize(obj: &Json, key: &str, default: usize) -> Result<usize, String> {
+    let Some(v) = field(obj, key) else { return Ok(default) };
+    let n = v.as_f64().ok_or_else(|| format!("`{key}` must be a number"))?;
+    if !(n.fract() == 0.0 && (0.0..=9.007_199_254_740_992e15).contains(&n)) {
+        return Err(format!("`{key}` must be a non-negative integer, got {n}"));
+    }
+    Ok(n as usize)
+}
+
+/// A seed field: a JSON integer (exact up to 2⁵³) or a decimal / `0x…`
+/// string (exact over the full u64 range).
+fn get_seed(obj: &Json, key: &str, default: u64) -> Result<u64, String> {
+    let Some(v) = field(obj, key) else { return Ok(default) };
+    if let Some(s) = v.as_str() {
+        let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => s.parse::<u64>(),
+        };
+        return parsed.map_err(|_| format!("`{key}` string must be a decimal or 0x… u64"));
+    }
+    let n = v.as_f64().ok_or_else(|| format!("`{key}` must be a number or string"))?;
+    if !(n.fract() == 0.0 && (0.0..=9.007_199_254_740_992e15).contains(&n)) {
+        return Err(format!(
+            "`{key}` number must be a non-negative integer ≤ 2^53 (use a string for larger seeds)"
+        ));
+    }
+    Ok(n as u64)
+}
+
+fn get_f64(obj: &Json, key: &str, default: f64) -> Result<f64, String> {
+    let Some(v) = field(obj, key) else { return Ok(default) };
+    v.as_f64().ok_or_else(|| format!("`{key}` must be a number"))
+}
+
+fn get_bool(obj: &Json, key: &str, default: bool) -> Result<bool, String> {
+    let Some(v) = field(obj, key) else { return Ok(default) };
+    match v {
+        Json::Bool(b) => Ok(*b),
+        _ => Err(format!("`{key}` must be a boolean")),
+    }
+}
+
+fn get_service(obj: &Json) -> Result<ServiceKind, String> {
+    let Some(v) = field(obj, "service") else { return Ok(ServiceKind::Cnn) };
+    match v.as_str() {
+        Some("svm") => Ok(ServiceKind::Svm),
+        Some("cnn") => Ok(ServiceKind::Cnn),
+        Some("cnn-int8") => Ok(ServiceKind::CnnInt8),
+        _ => Err("`service` must be \"svm\", \"cnn\" or \"cnn-int8\"".to_string()),
+    }
+}
+
+fn get_backend(obj: &Json) -> Result<Backend, String> {
+    let Some(v) = field(obj, "backend") else { return Ok(Backend::ClosedForm) };
+    let s = v.as_str().ok_or("`backend` must be a string")?;
+    s.parse::<Backend>().map_err(|e| format!("`backend`: {e}"))
+}
+
+fn get_faults(obj: &Json) -> Result<FaultPlan, String> {
+    let Some(v) = field(obj, "faults") else { return Ok(FaultPlan::NONE) };
+    let s = v.as_str().ok_or("`faults` must be a spec string ('none', 'mid' or key=value,…)")?;
+    s.parse::<FaultPlan>().map_err(|e| format!("`faults`: {e}"))
+}
+
+/// Default master seed, shared with `pb sweep`.
+pub const DEFAULT_SEED: u64 = 0xF1E1D;
+
+/// Parses and validates one request frame's JSON text.
+///
+/// Every error is a human-readable message destined for a structured
+/// `{"status":"error"}` reply — parsing never panics, whatever the
+/// bytes.
+pub fn parse_request(text: &str) -> Result<Envelope, String> {
+    let doc = json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    if !matches!(doc, Json::Obj(_)) {
+        return Err("request must be a JSON object".to_string());
+    }
+    let attempt_f = get_f64(&doc, "attempt", 1.0)?;
+    if !(attempt_f.fract() == 0.0 && (1.0..=1e6).contains(&attempt_f)) {
+        return Err("`attempt` must be an integer ≥ 1".to_string());
+    }
+    let attempt = attempt_f as u32;
+    let op =
+        field(&doc, "op").ok_or("missing `op` field")?.as_str().ok_or("`op` must be a string")?;
+    let request = match op {
+        "sweep" => {
+            let r = SweepRequest {
+                backend: get_backend(&doc)?,
+                service: get_service(&doc)?,
+                cap: get_usize(&doc, "cap", 35)?,
+                from: get_usize(&doc, "from", 100)?,
+                to: get_usize(&doc, "to", 2000)?,
+                step: get_usize(&doc, "step", 100)?,
+                seed: get_seed(&doc, "seed", DEFAULT_SEED)?,
+                losses: get_bool(&doc, "losses", false)?,
+                faults: get_faults(&doc)?,
+            };
+            if r.cap == 0 {
+                return Err("`cap` must be at least 1 client per slot".to_string());
+            }
+            if r.step == 0 {
+                return Err("`step` must be positive".to_string());
+            }
+            if r.from == 0 {
+                return Err("`from` must be at least 1".to_string());
+            }
+            if r.to < r.from {
+                return Err("`to` must be at least `from`".to_string());
+            }
+            validate_client_count(r.to).map_err(|e| format!("`to`: {e}"))?;
+            Request::Sweep(r)
+        }
+        "plan" => {
+            let r = PlanRequest {
+                clients: get_usize(&doc, "clients", 630)?,
+                cap_from: get_usize(&doc, "cap_from", 1)?,
+                cap_to: get_usize(&doc, "cap_to", 60)?,
+                service: get_service(&doc)?,
+                losses: get_bool(&doc, "losses", false)?,
+                seed: get_seed(&doc, "seed", 1)?,
+            };
+            if r.clients == 0 {
+                return Err("`clients` must be at least 1".to_string());
+            }
+            if r.cap_from == 0 {
+                return Err("`cap_from` must be at least 1".to_string());
+            }
+            if r.cap_to < r.cap_from {
+                return Err("`cap_to` must be at least `cap_from`".to_string());
+            }
+            if r.cap_to - r.cap_from >= 10_000 {
+                return Err("capacity range too wide (max 10000 settings)".to_string());
+            }
+            validate_client_count(r.clients).map_err(|e| format!("`clients`: {e}"))?;
+            Request::Plan(r)
+        }
+        "recommend" => {
+            let r = RecommendRequest {
+                backend: get_backend(&doc)?,
+                hives: get_usize(&doc, "hives", 5)?,
+                cap: get_usize(&doc, "cap", 10)?,
+                service: get_service(&doc)?,
+                losses: get_bool(&doc, "losses", false)?,
+            };
+            if r.hives == 0 {
+                return Err("`hives` must be at least 1".to_string());
+            }
+            if r.cap == 0 {
+                return Err("`cap` must be at least 1 client per slot".to_string());
+            }
+            validate_client_count(r.hives).map_err(|e| format!("`hives`: {e}"))?;
+            Request::Recommend(r)
+        }
+        "montecarlo" => {
+            let r = MonteCarloRequest {
+                clients: get_usize(&doc, "clients", 200)?,
+                replications: get_usize(&doc, "replications", 32)?,
+                cap: get_usize(&doc, "cap", 10)?,
+                service: get_service(&doc)?,
+                losses: get_bool(&doc, "losses", true)?,
+                seed: get_seed(&doc, "seed", DEFAULT_SEED)?,
+            };
+            if r.clients == 0 {
+                return Err("`clients` must be at least 1".to_string());
+            }
+            if r.replications < 2 {
+                return Err("`replications` must be at least 2".to_string());
+            }
+            if r.replications > MAX_REPLICATIONS {
+                return Err(format!("`replications` must be at most {MAX_REPLICATIONS}"));
+            }
+            if r.cap == 0 {
+                return Err("`cap` must be at least 1 client per slot".to_string());
+            }
+            validate_client_count(r.clients).map_err(|e| format!("`clients`: {e}"))?;
+            Request::MonteCarlo(r)
+        }
+        "features" => {
+            let colony = match field(&doc, "colony").map(|v| v.as_str()) {
+                None => ColonyState::Queenright,
+                Some(Some("queenright")) => ColonyState::Queenright,
+                Some(Some("queenless")) => ColonyState::Queenless,
+                _ => return Err("`colony` must be \"queenright\" or \"queenless\"".to_string()),
+            };
+            let r = FeaturesRequest {
+                colony,
+                seed: get_seed(&doc, "seed", 1)?,
+                duration_s: get_f64(&doc, "duration_s", 2.0)?,
+            };
+            if !(r.duration_s > 0.0 && r.duration_s <= 30.0 && r.duration_s.is_finite()) {
+                return Err("`duration_s` must be in (0, 30]".to_string());
+            }
+            Request::Features(r)
+        }
+        "status" => Request::Status,
+        "shutdown" => Request::Shutdown,
+        other => {
+            return Err(format!(
+                "unknown op `{other}` (expected sweep, plan, recommend, montecarlo, \
+                 features, status or shutdown)"
+            ))
+        }
+    };
+    Ok(Envelope { request, attempt })
+}
+
+// ---------------------------------------------------------------------
+// Response rendering
+// ---------------------------------------------------------------------
+
+/// Wraps a rendered body object into the `ok` response envelope.
+pub fn ok_response(op: &str, body: &str) -> String {
+    format!("{{\"status\":\"ok\",\"op\":\"{op}\",\"body\":{body}}}")
+}
+
+/// A structured error reply; the stream stays usable afterwards.
+pub fn error_response(message: &str) -> String {
+    format!("{{\"status\":\"error\",\"error\":{}}}", json::escape(message))
+}
+
+/// A load-shed reply carrying the retry-after delay (seconds) the
+/// [`crate::orchestra::faults::RetryPolicy`] schedule prescribes for
+/// this attempt.
+pub fn shed_response(retry_after_s: f64, attempt: u32, queue_depth: usize) -> String {
+    format!(
+        "{{\"status\":\"shed\",\"retry_after_s\":{retry_after_s},\"attempt\":{attempt},\
+         \"queue_depth\":{queue_depth}}}"
+    )
+}
+
+fn push_opt_usize(s: &mut String, v: Option<usize>) {
+    match v {
+        Some(n) => s.push_str(&n.to_string()),
+        None => s.push_str("null"),
+    }
+}
+
+/// Renders the sweep result body. Public so the protocol tests can
+/// compute the expected bytes through the exact batch-path API
+/// ([`crate::orchestra::sweep::SweepConfig::run_with_context`]) and
+/// compare them to the served response.
+pub fn sweep_body(req: &SweepRequest, points: &[ComparisonPoint]) -> String {
+    let crossover = analyze_crossover(points);
+    let mut s = String::with_capacity(128 + points.len() * 96);
+    s.push_str("{\"points\":[");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"n\":{},\"active\":{},\"servers\":{},\"edge_per_client\":{},\
+             \"cloud_per_client\":{},\"advantage\":{}}}",
+            p.n_clients,
+            p.cloud.n_active,
+            p.cloud.n_servers,
+            p.edge.total_per_client.value(),
+            p.cloud.total_per_client.value(),
+            p.advantage().value()
+        ));
+    }
+    s.push_str("],\"crossover\":{\"first\":");
+    push_opt_usize(&mut s, crossover.first_crossover);
+    s.push_str(",\"always_from\":");
+    push_opt_usize(&mut s, crossover.always_after);
+    s.push_str(",\"max_advantage\":");
+    match crossover.max_advantage {
+        Some((n, adv)) => s.push_str(&format!("{{\"n\":{n},\"joules\":{}}}", adv.value())),
+        None => s.push_str("null"),
+    }
+    s.push('}');
+    if !req.faults.is_none() {
+        let mut agg = FaultStats::default();
+        let mut active = 0u64;
+        for p in points {
+            let f = &p.cloud.faults;
+            agg.attempts += f.attempts;
+            agg.retries += f.retries;
+            agg.fallbacks += f.fallbacks;
+            agg.brownouts += f.brownouts;
+            agg.sensor_dropouts += f.sensor_dropouts;
+            agg.delivered += f.delivered;
+            active += p.cloud.n_active as u64;
+        }
+        let accounted = agg.delivered + agg.fallbacks + agg.sensor_dropouts;
+        s.push_str(&format!(
+            ",\"faults\":{{\"attempts\":{},\"retries\":{},\"fallbacks\":{},\
+             \"brownouts\":{},\"dropouts\":{},\"delivered\":{},\"active\":{},\
+             \"conservation\":\"{}\"}}",
+            agg.attempts,
+            agg.retries,
+            agg.fallbacks,
+            agg.brownouts,
+            agg.sensor_dropouts,
+            agg.delivered,
+            active,
+            if accounted == active { "ok" } else { "violated" }
+        ));
+    }
+    s.push('}');
+    s
+}
+
+/// Renders the capacity-plan result body.
+pub fn plan_body(req: &PlanRequest, plan: &CapacityPlan) -> String {
+    let mut s = String::with_capacity(128 + plan.curve.len() * 64);
+    s.push_str(&format!(
+        "{{\"clients\":{},\"best\":{{\"cap\":{},\"per_client\":{},\"servers\":{},\
+         \"server_capacity\":{}}},\"curve\":[",
+        req.clients,
+        plan.best.cap,
+        plan.best.per_client.value(),
+        plan.best.n_servers,
+        plan.best.server_capacity
+    ));
+    for (i, p) in plan.curve.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"cap\":{},\"per_client\":{},\"servers\":{}}}",
+            p.cap,
+            p.per_client.value(),
+            p.n_servers
+        ));
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Renders the recommendation result body.
+pub fn recommend_body(req: &RecommendRequest, rec: &ScenarioRecommendation) -> String {
+    format!(
+        "{{\"hives\":{},\"edge_per_hive\":{},\"cloud_per_hive\":{},\"servers_needed\":{},\
+         \"recommend\":\"{}\"}}",
+        req.hives,
+        rec.edge_per_hive.value(),
+        rec.cloud_per_hive.value(),
+        rec.servers_needed,
+        rec.scenario.name()
+    )
+}
+
+/// Renders the Monte-Carlo result body.
+pub fn montecarlo_body(req: &MonteCarloRequest, ci: &CiPoint) -> String {
+    format!(
+        "{{\"clients\":{},\"replications\":{},\"cloud_mean\":{},\"cloud_ci95\":{},\
+         \"edge_mean\":{},\"cloud_win_fraction\":{}}}",
+        req.clients,
+        req.replications,
+        ci.cloud_mean.value(),
+        ci.cloud_ci95.value(),
+        ci.edge_mean.value(),
+        ci.cloud_win_fraction
+    )
+}
+
+/// Renders the feature-extraction result body.
+pub fn features_body(req: &FeaturesRequest, bands: &[f64]) -> String {
+    let mut s = String::with_capacity(64 + bands.len() * 20);
+    s.push_str(&format!(
+        "{{\"colony\":\"{}\",\"n_bands\":{},\"bands\":[",
+        colony_name(req.colony),
+        bands.len()
+    ));
+    for (i, b) in bands.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&b.to_string());
+    }
+    s.push_str("]}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_mirror_the_batch_cli() {
+        let env = parse_request("{\"op\":\"sweep\"}").unwrap();
+        let Request::Sweep(r) = env.request else { panic!("expected sweep") };
+        assert_eq!(
+            r,
+            SweepRequest {
+                backend: Backend::ClosedForm,
+                service: ServiceKind::Cnn,
+                cap: 35,
+                from: 100,
+                to: 2000,
+                step: 100,
+                seed: DEFAULT_SEED,
+                losses: false,
+                faults: FaultPlan::NONE,
+            }
+        );
+        assert_eq!(env.attempt, 1);
+    }
+
+    #[test]
+    fn canonical_is_field_order_and_spelling_independent() {
+        let a = parse_request("{\"op\":\"sweep\",\"cap\":35,\"seed\":990749}").unwrap();
+        let b = parse_request("{\"seed\":\"0xF1E1D\",\"op\":\"sweep\"}").unwrap();
+        let c = parse_request("{\"op\":\"sweep\",\"attempt\":3}").unwrap();
+        assert_eq!(a.request.canonical(), b.request.canonical());
+        // `attempt` must not fragment the coalescing key.
+        assert_eq!(a.request.canonical(), c.request.canonical());
+        assert_eq!(c.attempt, 3);
+    }
+
+    #[test]
+    fn canonical_reparses_to_the_same_request() {
+        for text in [
+            "{\"op\":\"sweep\",\"backend\":\"des\",\"faults\":\"mid\",\"losses\":true}",
+            "{\"op\":\"plan\",\"clients\":630}",
+            "{\"op\":\"recommend\",\"hives\":630,\"cap\":35}",
+            "{\"op\":\"montecarlo\",\"clients\":200,\"replications\":8}",
+            "{\"op\":\"features\",\"colony\":\"queenless\",\"duration_s\":1.5}",
+            "{\"op\":\"status\"}",
+        ] {
+            let env = parse_request(text).unwrap();
+            let canon = env.request.canonical();
+            let again = parse_request(&canon).unwrap();
+            assert_eq!(env.request, again.request, "canonical form must be a fixed point");
+            assert_eq!(again.request.canonical(), canon);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_requests() {
+        for bad in [
+            "{\"op\":\"sweep\",\"cap\":0}",
+            "{\"op\":\"sweep\",\"step\":0}",
+            "{\"op\":\"sweep\",\"from\":200,\"to\":100}",
+            "{\"op\":\"sweep\",\"seed\":1.5}",
+            "{\"op\":\"montecarlo\",\"replications\":1}",
+            "{\"op\":\"plan\",\"cap_from\":5,\"cap_to\":4}",
+            "{\"op\":\"recommend\",\"hives\":0}",
+            "{\"op\":\"features\",\"duration_s\":-1}",
+            "{\"op\":\"features\",\"colony\":\"swarming\"}",
+            "{\"op\":\"warp\"}",
+            "{\"no_op\":1}",
+            "[1,2,3]",
+            "not json at all",
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn seeds_accept_full_u64_range_as_strings() {
+        let env = parse_request("{\"op\":\"sweep\",\"seed\":\"18446744073709551615\"}").unwrap();
+        let Request::Sweep(r) = env.request else { panic!() };
+        assert_eq!(r.seed, u64::MAX);
+        assert!(parse_request("{\"op\":\"sweep\",\"seed\":\"18446744073709551616\"}").is_err());
+    }
+
+    #[test]
+    fn error_responses_escape_the_message() {
+        let resp = error_response("bad \"quote\" and \\ slash");
+        assert!(json::parse(&resp).is_ok(), "error response must stay valid JSON: {resp}");
+    }
+}
